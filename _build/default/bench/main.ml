@@ -1,0 +1,117 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (plus the motivation figures), then runs bechamel
+   microbenchmarks of the simulator primitives the experiments stand on.
+
+   Environment:
+     BENCH_SCALE  duration scale factor (default 0.25; 1.0 = full length)
+     BENCH_SEED   root seed (default 42)
+     BENCH_ONLY   comma-separated experiment ids to run (default: all)
+*)
+
+open Taichi_engine
+
+let getenv_f name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string s with _ -> default)
+  | None -> default
+
+let getenv_i name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string s with _ -> default)
+  | None -> default
+
+let wanted =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | Some s -> Some (String.split_on_char ',' s)
+  | None -> None
+
+(* --- paper experiments -------------------------------------------------- *)
+
+let run_experiments () =
+  let scale = getenv_f "BENCH_SCALE" 0.25 in
+  let seed = getenv_i "BENCH_SEED" 42 in
+  Printf.printf
+    "Tai Chi evaluation harness: seed=%d scale=%.2f (set BENCH_SCALE=1.0 \
+     for full-length runs)\n"
+    seed scale;
+  List.iter
+    (fun (name, f) ->
+      let skip =
+        match wanted with Some names -> not (List.mem name names) | None -> false
+      in
+      if not skip then begin
+        let t0 = Unix.gettimeofday () in
+        f ~seed ~scale;
+        Printf.printf "[%s completed in %.1fs wall]\n" name
+          (Unix.gettimeofday () -. t0)
+      end)
+    Taichi_platform.Experiments.all
+
+(* --- bechamel microbenchmarks -------------------------------------------- *)
+
+let bench_heap () =
+  let h = Pheap.create () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      Pheap.push h ~key:(!i * 7919 mod 1024) ~seq:!i ();
+      if Pheap.length h > 512 then ignore (Pheap.pop h))
+
+let bench_sim_event () =
+  let sim = Sim.create () in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Sim.after sim 10 (fun () -> ()));
+      ignore (Sim.step sim))
+
+let bench_rng () =
+  let rng = Rng.create ~seed:1 in
+  Bechamel.Staged.stage (fun () -> ignore (Rng.bits64 rng))
+
+let bench_histogram () =
+  let h = Histogram.create () in
+  let rng = Rng.create ~seed:2 in
+  Bechamel.Staged.stage (fun () -> Histogram.add h (Rng.int rng 10_000_000))
+
+let bench_dist () =
+  let rng = Rng.create ~seed:3 in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Dist.exponential rng ~mean:100.0))
+
+let run_microbenches () =
+  print_newline ();
+  print_endline "Simulator-primitive microbenchmarks (bechamel)";
+  print_endline "==============================================";
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"engine"
+      [
+        Test.make ~name:"pheap push/pop" (bench_heap ());
+        Test.make ~name:"sim schedule+step" (bench_sim_event ());
+        Test.make ~name:"rng bits64" (bench_rng ());
+        Test.make ~name:"histogram add" (bench_histogram ());
+        Test.make ~name:"dist exponential" (bench_dist ());
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-22s %10.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "  %-22s (no estimate)\n" name)
+    results
+
+let () =
+  run_experiments ();
+  run_microbenches ()

@@ -1,0 +1,1 @@
+bin/cli.ml: Arg Cmd Cmdliner List Printf String Taichi_platform Term

@@ -1,0 +1,1 @@
+bin/taichi_sim.mli:

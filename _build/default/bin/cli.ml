@@ -1,0 +1,46 @@
+(* Cmdliner front end for the experiment suite. *)
+
+open Cmdliner
+
+let experiment_names = List.map fst Taichi_platform.Experiments.all
+
+let run_experiment name seed scale =
+  match List.assoc_opt name Taichi_platform.Experiments.all with
+  | Some f ->
+      f ~seed ~scale;
+      0
+  | None ->
+      Printf.eprintf "unknown experiment %s; known: %s\n" name
+        (String.concat ", " experiment_names);
+      1
+
+let name_arg =
+  let doc =
+    "Experiment id: " ^ String.concat ", " experiment_names ^ ", or 'all'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+
+let seed_arg =
+  let doc = "Root random seed (experiments are bit-reproducible per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let scale_arg =
+  let doc =
+    "Duration scale factor: 1.0 runs the full experiment, smaller values \
+     shrink simulated time for quick checks."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
+
+let run name seed scale =
+  if name = "all" then begin
+    List.iter (fun (_, f) -> f ~seed ~scale) Taichi_platform.Experiments.all;
+    0
+  end
+  else run_experiment name seed scale
+
+let cmd =
+  let doc = "Reproduce the Tai Chi (SOSP'25) evaluation on the simulator" in
+  let info = Cmd.info "taichi_sim" ~doc in
+  Cmd.v info Term.(const run $ name_arg $ seed_arg $ scale_arg)
+
+let main () = exit (Cmd.eval' cmd)

@@ -1,0 +1,3 @@
+(* Command-line driver: run any paper experiment by id. *)
+
+let () = Cli.main ()

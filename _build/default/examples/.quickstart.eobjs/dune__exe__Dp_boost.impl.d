@@ -1,0 +1,1 @@
+examples/dp_boost.ml: Exp_common Fio List Netperf Policy Printf Rng Rr_engine Sim Synth_cp System Taichi_controlplane Taichi_engine Taichi_os Taichi_platform Taichi_workloads Task Time_ns

@@ -1,0 +1,1 @@
+examples/vm_startup_storm.ml: Exp_common List Policy Printf Recorder Rng Sim System Taichi_controlplane Taichi_engine Taichi_metrics Taichi_os Taichi_platform Task Time_ns Vm_lifecycle

@@ -1,0 +1,63 @@
+(* Inverse adaptation (§8 Discussions): in a low-density deployment the
+   control plane needs fewer CPUs, so Tai Chi's dynamic partitioning
+   donates 50% of the CP pCPUs to the data plane — CP tasks fall back to
+   stealing idle data-plane cycles, keeping their performance flat while
+   peak data-plane throughput rises.
+
+   Run with: dune exec examples/dp_boost.exe *)
+
+open Taichi_engine
+open Taichi_os
+open Taichi_workloads
+open Taichi_controlplane
+open Taichi_platform
+
+let peak_throughput layout =
+  let sys = System.create ~seed:55 ~layout Policy.taichi_default in
+  System.warmup sys;
+  let d = Time_ns.ms 300 in
+  let until = Sim.now (System.sim sys) + d in
+  Exp_common.start_bg_cp sys;
+  let rng = Rng.split (System.rng sys) "boost" in
+  let crr =
+    Netperf.tcp_crr (System.client sys) rng ~cores:(System.net_cores sys) ~until
+  in
+  let fio =
+    Fio.run (System.client sys) rng ~params:Fio.default_params
+      ~cores:(System.storage_cores sys) ~until
+  in
+  System.advance sys (d + Time_ns.ms 5);
+  (Rr_engine.tps crr ~duration:d, Fio.iops fio ~duration:d)
+
+let cp_latency layout =
+  let sys = System.create ~seed:56 ~layout Policy.taichi_default in
+  System.warmup sys;
+  let rng = Rng.split (System.rng sys) "boostcp" in
+  let tasks =
+    Synth_cp.make_batch ~rng
+      ~params:{ Synth_cp.default_params with total_work = Time_ns.ms 20 }
+      ~locks:[ Task.spinlock "l" ] ~affinity:[] ~count:8
+  in
+  List.iter (fun t -> System.spawn_cp sys t) tasks;
+  ignore (System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 10));
+  Exp_common.avg_turnaround_ms tasks
+
+let () =
+  let normal = System.default_layout in
+  let boosted = { System.n_net = 6; n_storage = 4; n_cp = 2 } in
+  let cps0, iops0 = peak_throughput normal in
+  let cps1, iops1 = peak_throughput boosted in
+  let cp0 = cp_latency normal and cp1 = cp_latency boosted in
+  let pct a b = (b -. a) /. a *. 100.0 in
+  Printf.printf "Donating 2 of 4 CP cores to the data plane (5+3 -> 6+4):\n\n";
+  Printf.printf "  peak CPS   : %9.0f -> %9.0f  (%+.1f%%)\n" cps0 cps1 (pct cps0 cps1);
+  Printf.printf "  peak IOPS  : %9.0f -> %9.0f  (%+.1f%%)\n" iops0 iops1
+    (pct iops0 iops1);
+  Printf.printf "  CP avg (8 x 20ms tasks): %5.1f ms -> %5.1f ms  (%+.1f%%)\n"
+    cp0 cp1 (pct cp0 cp1);
+  print_newline ();
+  print_endline
+    "Paper §8 reports +43% connections/s and +39% peak IOPS with CP\n\
+     performance consistent with the 4-core baseline — the same shape as\n\
+     above: throughput scales with the donated cores while CP work hides\n\
+     in idle data-plane cycles."

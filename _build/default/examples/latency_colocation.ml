@@ -1,0 +1,82 @@
+(* Latency-sensitive colocation: the §3.2 problem and Tai Chi's answer.
+
+   A finance-style latency-critical flow runs through one data-plane core
+   while heavyweight control-plane tasks (full of non-preemptible kernel
+   routines) need CPU time. Four schedulers face the same scenario:
+
+   - static baseline: CP confined to its cores — safe but CP-starved;
+   - naive co-scheduling: CP borrows the data-plane core through the OS
+     scheduler — ms-scale tail spikes;
+   - Tai Chi without the HW probe — vCPU preemption but visible slices;
+   - full Tai Chi — both planes meet their SLOs.
+
+   Run with: dune exec examples/latency_colocation.exe *)
+
+open Taichi_engine
+open Taichi_os
+open Taichi_metrics
+open Taichi_workloads
+open Taichi_platform
+
+let scenario policy =
+  let sys = System.create ~seed:33 policy in
+  System.warmup sys;
+  let horizon = Time_ns.ms 400 in
+  let until = Sim.now (System.sim sys) + horizon in
+  (* Hungry CP: short bursts with non-preemptible routines, offered above
+     the dedicated cores' capacity. *)
+  Exp_common.start_cp_churn sys ~period:(Time_ns.ms 1) ~work:(Time_ns.ms 5) ~until;
+  let rng = Rng.split (System.rng sys) "lc" in
+  (* One extra np-heavy task that the naive policy pins onto the probed
+     core — the colocation the operator is tempted to do. *)
+  let lock = Task.spinlock "drv" in
+  let heavy =
+    Task.create ~name:"np-heavy"
+      ~step:
+        (Program.to_step
+           [
+             Program.Forever
+               ([ Program.compute (Time_ns.us 200) ]
+               @ Program.critical_section lock
+                   [ Program.kernel_routine (Time_ns.ms 2) ]
+               @ [ Program.sleep (Time_ns.us 200) ]);
+           ])
+      ()
+  in
+  let probe_core = List.hd (System.net_cores sys) in
+  (match policy with
+  | Policy.Naive_coschedule -> heavy.Task.affinity <- [ probe_core ]
+  | _ -> ());
+  System.spawn_cp sys heavy;
+  let rtt = Recorder.create "rtt" in
+  Ping.run (System.client sys) rng
+    ~params:{ Ping.default_params with interval = Time_ns.us 400; count = 900 }
+    ~core:probe_core ~recorder:rtt;
+  System.advance sys horizon;
+  let spikes =
+    Taichi_dataplane.Dp_service.spikes (List.hd (System.net_services sys))
+  in
+  (Ping.summarize rtt, spikes)
+
+let () =
+  let policies =
+    [
+      ("static baseline", Policy.Static_partition);
+      ("naive co-schedule", Policy.Naive_coschedule);
+      ("taichi w/o probe", Policy.taichi_no_hw_probe);
+      ("taichi (full)", Policy.taichi_default);
+    ]
+  in
+  Printf.printf "%-18s %8s %8s %8s %8s\n" "scheduler" "avg_us" "p-max_us"
+    "mdev_us" "spikes";
+  List.iter
+    (fun (name, policy) ->
+      let s, spikes = scenario policy in
+      Printf.printf "%-18s %8.1f %8.1f %8.2f %8d\n" name s.Ping.avg_us
+        s.Ping.max_us s.Ping.mdev_us spikes)
+    policies;
+  print_newline ();
+  print_endline
+    "The naive path inherits every non-preemptible routine as a tail spike;\n\
+     Tai Chi's vCPU encapsulation breaks the routines, and its hardware\n\
+     probe hides the remaining 2us switch inside the accelerator window."

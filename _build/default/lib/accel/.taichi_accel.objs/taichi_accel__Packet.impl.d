@@ -1,0 +1,1 @@
+lib/accel/packet.ml: Format Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/accel/packet.mli: Format Taichi_engine Time_ns

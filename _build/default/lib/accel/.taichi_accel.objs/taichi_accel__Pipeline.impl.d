@@ -1,0 +1,1 @@
+lib/accel/pipeline.ml: Hashtbl Packet Ring Sim Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/accel/ring.ml: List Packet Queue

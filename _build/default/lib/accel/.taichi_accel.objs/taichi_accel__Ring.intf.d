@@ -1,0 +1,1 @@
+lib/accel/ring.mli: Packet

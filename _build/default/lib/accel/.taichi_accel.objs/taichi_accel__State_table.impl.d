@@ -1,0 +1,1 @@
+lib/accel/state_table.ml: Array

@@ -1,0 +1,30 @@
+open Taichi_engine
+
+type kind = Net_rx | Net_tx | Storage_read | Storage_write
+
+type t = {
+  pid : int;
+  kind : kind;
+  size : int;
+  dst_core : int;
+  tag : int;
+  mutable t_submit : Time_ns.t;
+  mutable t_ring : Time_ns.t;
+  mutable t_done : Time_ns.t;
+}
+
+let next_pid = ref 0
+
+let create ~kind ~size ~dst_core ~tag =
+  incr next_pid;
+  { pid = !next_pid; kind; size; dst_core; tag; t_submit = 0; t_ring = 0; t_done = 0 }
+
+let kind_name = function
+  | Net_rx -> "net_rx"
+  | Net_tx -> "net_tx"
+  | Storage_read -> "storage_read"
+  | Storage_write -> "storage_write"
+
+let pp fmt t =
+  Format.fprintf fmt "pkt<%d %s %dB core%d tag=%d>" t.pid (kind_name t.kind)
+    t.size t.dst_core t.tag

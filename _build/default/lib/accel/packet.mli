@@ -1,0 +1,24 @@
+(** I/O work descriptors flowing through the SmartNIC accelerator.
+
+    A "packet" stands for one unit of offloaded I/O — a network frame for
+    the DPDK-like service or a block request for the SPDK-like service.
+    Timestamps cover the Fig 6 pipeline stages. *)
+
+open Taichi_engine
+
+type kind = Net_rx | Net_tx | Storage_read | Storage_write
+
+type t = {
+  pid : int;
+  kind : kind;
+  size : int;  (** bytes *)
+  dst_core : int;  (** physical core whose data-plane service handles it *)
+  tag : int;  (** caller-defined correlation id (flow, op, request) *)
+  mutable t_submit : Time_ns.t;  (** entered the accelerator (Fig 6 ①) *)
+  mutable t_ring : Time_ns.t;  (** landed in the service ring (Fig 6 ③) *)
+  mutable t_done : Time_ns.t;  (** software processing finished (Fig 6 ④) *)
+}
+
+val create : kind:kind -> size:int -> dst_core:int -> tag:int -> t
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+open Taichi_engine
+
+type config = { preprocess : Time_ns.t; transfer : Time_ns.t }
+
+let default_config = { preprocess = Time_ns.ns 2700; transfer = Time_ns.ns 500 }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  rings : (int, Ring.t) Hashtbl.t;
+  in_flight : (int, int ref) Hashtbl.t;
+  mutable probe_hook : (Packet.t -> unit) option;
+  mutable deliver_hook : core:int -> unit;
+  mutable submitted : int;
+  mutable delivered : int;
+}
+
+let create ?(config = default_config) sim =
+  {
+    sim;
+    config;
+    rings = Hashtbl.create 16;
+    in_flight = Hashtbl.create 16;
+    probe_hook = None;
+    deliver_hook = (fun ~core:_ -> ());
+    submitted = 0;
+    delivered = 0;
+  }
+
+let config t = t.config
+let window t = t.config.preprocess + t.config.transfer
+let attach_ring t ~core ring = Hashtbl.replace t.rings core ring
+let ring t ~core = Hashtbl.find t.rings core
+let set_probe_hook t hook = t.probe_hook <- hook
+let set_deliver_hook t hook = t.deliver_hook <- hook
+
+let flight_cell t core =
+  match Hashtbl.find_opt t.in_flight core with
+  | Some cell -> cell
+  | None ->
+      let cell = ref 0 in
+      Hashtbl.replace t.in_flight core cell;
+      cell
+
+let in_flight t ~core = !(flight_cell t core)
+
+let submit t pkt =
+  t.submitted <- t.submitted + 1;
+  pkt.Packet.t_submit <- Sim.now t.sim;
+  let cell = flight_cell t pkt.Packet.dst_core in
+  incr cell;
+  (match t.probe_hook with Some hook -> hook pkt | None -> ());
+  ignore
+    (Sim.after t.sim (window t) (fun () ->
+         decr cell;
+         pkt.Packet.t_ring <- Sim.now t.sim;
+         let ring = Hashtbl.find t.rings pkt.Packet.dst_core in
+         if Ring.push ring pkt then begin
+           t.delivered <- t.delivered + 1;
+           t.deliver_hook ~core:pkt.Packet.dst_core
+         end))
+
+let submitted t = t.submitted
+let delivered t = t.delivered

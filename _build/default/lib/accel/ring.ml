@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  capacity : int;
+  q : Packet.t Queue.t;
+  mutable drops : int;
+  mutable enqueued : int;
+}
+
+let create ?(capacity = 4096) ~name () =
+  { name; capacity; q = Queue.create (); drops = 0; enqueued = 0 }
+
+let name t = t.name
+let capacity t = t.capacity
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+
+let push t pkt =
+  if Queue.length t.q >= t.capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push pkt t.q;
+    t.enqueued <- t.enqueued + 1;
+    true
+  end
+
+let pop_burst t ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty t.q then List.rev acc
+    else take (n - 1) (Queue.pop t.q :: acc)
+  in
+  take max []
+
+let drops t = t.drops
+let total_enqueued t = t.enqueued

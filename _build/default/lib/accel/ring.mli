@@ -1,0 +1,24 @@
+(** A bounded descriptor ring between the accelerator and one data-plane
+    service — the memory "shared with the corresponding DP service" of
+    Fig 6 ③. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** [create ~name ()] is an empty ring; default capacity 4096. *)
+
+val name : t -> string
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> Packet.t -> bool
+(** [push t pkt] enqueues and returns [true]; returns [false] (and counts a
+    drop) when the ring is full. *)
+
+val pop_burst : t -> max:int -> Packet.t list
+(** [pop_burst t ~max] dequeues up to [max] descriptors in FIFO order —
+    [rte_eth_rx_burst] semantics. *)
+
+val drops : t -> int
+val total_enqueued : t -> int

@@ -1,0 +1,13 @@
+type cpu_state = P_state | V_state
+
+type t = { states : cpu_state array; mutable updates : int }
+
+let create ~cores = { states = Array.make cores P_state; updates = 0 }
+let get t ~core = t.states.(core)
+
+let set t ~core s =
+  t.states.(core) <- s;
+  t.updates <- t.updates + 1
+
+let state_name = function P_state -> "P" | V_state -> "V"
+let updates t = t.updates

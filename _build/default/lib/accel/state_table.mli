@@ -1,0 +1,20 @@
+(** The per-CPU state table inside the programmable accelerator.
+
+    The hardware workload probe keeps one record per physical core: either
+    P-state (a data-plane service runs natively; probe interrupts are
+    masked) or V-state (a vCPU currently occupies the core; an arriving
+    packet must trigger an IRQ to evict it). The vCPU scheduler updates the
+    table on every placement change (§4.3, Fig 10). *)
+
+type cpu_state = P_state | V_state
+
+type t
+
+val create : cores:int -> t
+val get : t -> core:int -> cpu_state
+val set : t -> core:int -> cpu_state -> unit
+val state_name : cpu_state -> string
+
+val updates : t -> int
+(** Number of [set] calls — the table-update traffic between the vCPU
+    scheduler and the accelerator. *)

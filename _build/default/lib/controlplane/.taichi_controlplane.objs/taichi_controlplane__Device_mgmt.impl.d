@@ -1,0 +1,1 @@
+lib/controlplane/device_mgmt.ml: List Nonpreempt Program Taichi_engine Taichi_os Task Time_ns

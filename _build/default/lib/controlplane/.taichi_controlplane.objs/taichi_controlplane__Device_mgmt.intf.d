@@ -1,0 +1,1 @@
+lib/controlplane/device_mgmt.mli: Nonpreempt Program Rng Taichi_engine Taichi_os Task Time_ns

@@ -1,0 +1,1 @@
+lib/controlplane/monitor.ml: Dist List Nonpreempt Printf Program Rng Taichi_engine Taichi_os Task Time_ns

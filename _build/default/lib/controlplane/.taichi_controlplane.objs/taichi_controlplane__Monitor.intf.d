@@ -1,0 +1,1 @@
+lib/controlplane/monitor.mli: Rng Taichi_engine Taichi_os Task Time_ns

@@ -1,0 +1,1 @@
+lib/controlplane/nonpreempt.ml: Dist Rng Taichi_engine Time_ns

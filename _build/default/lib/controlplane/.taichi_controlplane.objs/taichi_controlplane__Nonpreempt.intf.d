@@ -1,0 +1,1 @@
+lib/controlplane/nonpreempt.mli: Rng Taichi_engine Time_ns

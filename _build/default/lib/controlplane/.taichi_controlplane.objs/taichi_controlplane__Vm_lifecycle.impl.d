@@ -1,0 +1,1 @@
+lib/controlplane/vm_lifecycle.ml: Device_mgmt Program Recorder Sim Taichi_engine Taichi_metrics Taichi_os Task Time_ns

@@ -1,0 +1,1 @@
+lib/controlplane/vm_lifecycle.mli: Device_mgmt Recorder Rng Sim Taichi_engine Taichi_metrics Taichi_os Task Time_ns

@@ -1,0 +1,48 @@
+(** Device-management control-plane tasks (§2.3 category 1).
+
+    Initialization and deinitialization of emulated devices (eNICs and
+    virtual block devices). Each device passes through: specification
+    parsing (user space), a driver critical section under a shared device
+    lock containing a non-preemptible configure routine, a coordination
+    round trip with the data-plane service that will serve the device, and
+    preemptible kernel bookkeeping. These tasks sit directly on the VM
+    startup path. *)
+
+open Taichi_engine
+open Taichi_os
+
+type params = {
+  parse_cost : Time_ns.t;  (** per-device user-space preparation *)
+  configure : Nonpreempt.t;  (** non-preemptible configure routine sampler *)
+  dpcp_roundtrip : Time_ns.t;
+      (** latency of one CP↔DP coordination exchange; native IPC under
+          Tai Chi and the baseline, RPC-inflated under type-2 *)
+  bookkeeping : Time_ns.t;  (** preemptible kernel tail per device *)
+}
+
+val default_params : rng:Rng.t -> params
+
+val device_init_program :
+  rng:Rng.t -> params:params -> locks:Task.spinlock list -> Program.instr list
+(** The instruction sequence initializing one device; critical sections
+    rotate over [locks] (one per device class). Empty list = lock-free. *)
+
+val init_task :
+  rng:Rng.t ->
+  params:params ->
+  locks:Task.spinlock list ->
+  devices:int ->
+  affinity:int list ->
+  name:string ->
+  Task.t
+(** A task initializing [devices] devices sequentially (one VM's worth). *)
+
+val deinit_task :
+  rng:Rng.t ->
+  params:params ->
+  locks:Task.spinlock list ->
+  devices:int ->
+  affinity:int list ->
+  name:string ->
+  Task.t
+(** Teardown: same structure, roughly half the per-device cost. *)

@@ -1,0 +1,44 @@
+(** The synth_cp benchmark (§6.1).
+
+    An in-house-style synthetic control-plane task: a fixed amount of total
+    work (50 ms by default, matching the paper) interleaving user-space
+    computation, non-preemptible kernel routines, and critical sections on
+    shared driver locks — the access pattern of classic device-management
+    tasks. Supports arbitrary concurrency for stress tests. *)
+
+open Taichi_engine
+open Taichi_os
+
+type params = {
+  total_work : Time_ns.t;  (** per-task work, paper: 50 ms *)
+  phases : int;  (** user/kernel interleavings *)
+  kernel_fraction : float;  (** share of work in kernel routines *)
+  locked_fraction : float;
+      (** share of kernel work inside shared-lock critical sections *)
+  io_wait : Time_ns.t;
+      (** off-CPU wait per phase (device/IPC response), after which the
+          task re-queues — the wakeup path where oversubscribed CPUs add
+          convoy delay *)
+}
+
+val default_params : params
+
+val make :
+  rng:Rng.t ->
+  params:params ->
+  locks:Task.spinlock list ->
+  affinity:int list ->
+  name:string ->
+  unit ->
+  Task.t
+(** One synth_cp task. Critical sections pick locks round-robin from
+    [locks]; an empty list disables locking. *)
+
+val make_batch :
+  rng:Rng.t ->
+  params:params ->
+  locks:Task.spinlock list ->
+  affinity:int list ->
+  count:int ->
+  Task.t list
+(** [count] identically-distributed tasks (independent random draws). *)

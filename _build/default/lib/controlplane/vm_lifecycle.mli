@@ -1,0 +1,41 @@
+(** The VM startup workflow (Fig 1c red path).
+
+    Cluster management issues a creation command; a control-plane task
+    parses it, initializes the VM's emulated devices in coordination with
+    the data plane, and finally notifies QEMU on the host, which boots the
+    guest. VM startup time — the SLO the paper tracks — spans command
+    receipt to boot completion, so it is the control-plane portion plus a
+    fixed host-side boot. *)
+
+open Taichi_engine
+open Taichi_os
+open Taichi_metrics
+
+type params = {
+  command_parse : Time_ns.t;  (** Fig 1c step 2 *)
+  devices_per_vm : int;  (** grows with instance density *)
+  device : Device_mgmt.params;
+  qemu_notify : Time_ns.t;  (** Fig 1c step 5, CP side *)
+  host_boot : Time_ns.t;  (** host-side QEMU instantiation, off-SmartNIC *)
+}
+
+val default_params : rng:Rng.t -> params
+
+val at_density : base:params -> float -> params
+(** [at_density ~base d] scales [devices_per_vm] by the instance-density
+    multiplier [d] (§3.1: 4x density means 4x the devices). *)
+
+val startup_task :
+  sim:Sim.t ->
+  rng:Rng.t ->
+  params:params ->
+  locks:Task.spinlock list ->
+  affinity:int list ->
+  name:string ->
+  recorder:Recorder.t ->
+  Task.t
+(** A task performing one VM startup. On completion it records the full
+    startup time (control-plane turnaround + host boot) in [recorder]. *)
+
+val slo : Time_ns.t
+(** The VM-startup SLO target used to normalize Figs 2 and 17. *)

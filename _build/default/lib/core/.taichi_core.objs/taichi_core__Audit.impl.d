@@ -1,0 +1,1 @@
+lib/core/audit.ml: Kernel List Machine Sim Taichi Taichi_engine Taichi_hw Taichi_os Taichi_virt Task Time_ns Vcpu

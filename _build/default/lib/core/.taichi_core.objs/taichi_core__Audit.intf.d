@@ -1,0 +1,1 @@
+lib/core/audit.mli: Taichi Taichi_engine Taichi_os Task Time_ns

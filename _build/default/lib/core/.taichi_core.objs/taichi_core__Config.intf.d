@@ -1,0 +1,1 @@
+lib/core/config.mli: Cost_model Taichi_engine Taichi_virt Time_ns

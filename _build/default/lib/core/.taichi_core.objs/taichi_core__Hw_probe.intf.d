@@ -1,0 +1,1 @@
+lib/core/hw_probe.mli: Config Pipeline Sim State_table Taichi_accel Taichi_engine Vcpu_sched

@@ -1,0 +1,1 @@
+lib/core/ipi_orchestrator.ml: Accounting Config Cost_model Hashtbl Kernel List Machine Taichi_hw Taichi_os Taichi_virt Vcpu Vcpu_sched Vmexit

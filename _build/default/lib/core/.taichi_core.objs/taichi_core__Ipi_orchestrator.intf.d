@@ -1,0 +1,1 @@
+lib/core/ipi_orchestrator.mli: Config Kernel Machine Taichi_hw Taichi_os Taichi_virt Vcpu Vcpu_sched

@@ -1,0 +1,1 @@
+lib/core/taichi.ml: Config Format Hw_probe Ipi_orchestrator Kernel List Machine Softirq State_table Sw_probe Taichi_accel Taichi_hw Taichi_os Taichi_virt Vcpu Vcpu_sched

@@ -1,0 +1,1 @@
+lib/core/vcpu_sched.mli: Config Dp_service Kernel Machine Softirq State_table Sw_probe Taichi_accel Taichi_dataplane Taichi_hw Taichi_os Taichi_virt Vcpu

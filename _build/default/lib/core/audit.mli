@@ -1,0 +1,44 @@
+(** On-demand instruction-level auditing (§8 Discussions).
+
+    Once hybrid virtualization is in the kernel, a vCPU context doubles as
+    an auditing domain: privileged activity inside guest context is
+    observable at VM-exit granularity. To audit an arbitrary running
+    application, the OS migrates it into a vCPU via plain CPU affinity,
+    records its privileged activity while it executes there, and
+    transparently migrates it back — no persistent runtime overhead on
+    unaudited tasks.
+
+    The simulator models the telemetry as counts of kernel-mode operations
+    and lock acquisitions observed while the task was confined to the
+    auditing vCPU, plus the guest-context CPU time covered. *)
+
+open Taichi_engine
+open Taichi_os
+
+type report = {
+  task_name : string;
+  audited_for : Time_ns.t;  (** wall (simulated) duration of the audit *)
+  guest_cpu_time : Time_ns.t;  (** CPU time executed under audit *)
+  kernel_entries : int;  (** privileged (kernel-mode) operations observed *)
+  lock_acquisitions : int;
+  vm_exits_observed : int;
+}
+
+type t
+
+val create : Taichi.t -> t
+(** An auditor bound to a running Tai Chi instance. *)
+
+val start :
+  t ->
+  Task.t ->
+  duration:Time_ns.t ->
+  on_report:(report -> unit) ->
+  unit
+(** [start auditor task ~duration ~on_report] confines [task] to the
+    auditing vCPU domain now and restores its previous affinity after
+    [duration], delivering the telemetry report. One audit at a time per
+    auditor; starting a second concurrently raises [Invalid_argument]. *)
+
+val auditing : t -> bool
+val audits_completed : t -> int

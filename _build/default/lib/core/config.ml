@@ -1,0 +1,44 @@
+open Taichi_engine
+open Taichi_virt
+
+type t = {
+  n_vcpus : int;
+  initial_slice : Time_ns.t;
+  max_slice : Time_ns.t;
+  threshold_init : int;
+  threshold_min : int;
+  threshold_max : int;
+  threshold_dec : int;
+  halt_poll : Time_ns.t;
+  irq_latency : Time_ns.t;
+  borrow_slice : Time_ns.t;
+  hw_probe : bool;
+  lock_safe_resched : bool;
+  adaptive_slice : bool;
+  adaptive_threshold : bool;
+  cost : Cost_model.t;
+}
+
+let default =
+  {
+    n_vcpus = 8;
+    initial_slice = Time_ns.us 50;
+    max_slice = Time_ns.us 100;
+    threshold_init = 200;
+    threshold_min = 50;
+    threshold_max = 1000;
+    threshold_dec = 50;
+    halt_poll = Time_ns.us 10;
+    irq_latency = Time_ns.ns 300;
+    borrow_slice = Time_ns.us 50;
+    hw_probe = true;
+    lock_safe_resched = true;
+    adaptive_slice = true;
+    adaptive_threshold = true;
+    cost = Cost_model.default;
+  }
+
+let no_hw_probe t = { t with hw_probe = false }
+let fixed_slice t = { t with adaptive_slice = false }
+let fixed_threshold t = { t with adaptive_threshold = false }
+let unsafe_locks t = { t with lock_safe_resched = false }

@@ -1,0 +1,50 @@
+(** Tai Chi configuration.
+
+    All tunables of the scheduling framework in one record. Values marked
+    "paper" are taken directly from the publication; the rest are
+    consistent order-of-magnitude engineering choices documented here. *)
+
+open Taichi_engine
+open Taichi_virt
+
+type t = {
+  n_vcpus : int;
+      (** over-provisioned vCPUs registered as native CPUs; default one per
+          data-plane core *)
+  initial_slice : Time_ns.t;  (** paper: 50 µs (§4.1) *)
+  max_slice : Time_ns.t;
+      (** cap for the doubling slice (100 µs); bounds worst-case data-plane
+          recovery when the hardware probe is absent *)
+  threshold_init : int;
+      (** initial empty-poll count N before a yield (§4.3) *)
+  threshold_min : int;
+  threshold_max : int;
+  threshold_dec : int;  (** additive decrease on sustained idleness *)
+  halt_poll : Time_ns.t;
+      (** how long a workless vCPU may linger before a Halt exit *)
+  irq_latency : Time_ns.t;
+      (** accelerator-to-core IRQ delivery latency for the hardware probe *)
+  borrow_slice : Time_ns.t;
+      (** re-check period while a lock-holding vCPU borrows a CP pCPU *)
+  hw_probe : bool;  (** enable the hardware workload probe *)
+  lock_safe_resched : bool;
+      (** enable §4.1 safe CP-to-DP scheduling in lock context *)
+  adaptive_slice : bool;  (** double the slice on expiry exits *)
+  adaptive_threshold : bool;  (** adapt N from VM-exit reasons *)
+  cost : Cost_model.t;
+}
+
+val default : t
+(** The full Tai Chi configuration: everything enabled, paper timings. *)
+
+val no_hw_probe : t -> t
+(** §6.4 ablation: disable the hardware workload probe. *)
+
+val fixed_slice : t -> t
+(** Ablation: disable adaptive time slices. *)
+
+val fixed_threshold : t -> t
+(** Ablation: disable the adaptive empty-poll threshold. *)
+
+val unsafe_locks : t -> t
+(** Ablation: disable lock-context safe rescheduling. *)

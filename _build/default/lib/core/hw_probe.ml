@@ -1,0 +1,47 @@
+open Taichi_engine
+open Taichi_accel
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  table : State_table.t;
+  sched : Vcpu_sched.t;
+  pending : (int, unit) Hashtbl.t;
+  mutable triggers : int;
+  mutable suppressed : int;
+}
+
+let install config sim table pipeline sched =
+  let t =
+    {
+      config;
+      sim;
+      table;
+      sched;
+      pending = Hashtbl.create 16;
+      triggers = 0;
+      suppressed = 0;
+    }
+  in
+  if config.Config.hw_probe then
+    Pipeline.set_probe_hook pipeline
+      (Some
+         (fun pkt ->
+           let core = pkt.Packet.dst_core in
+           match State_table.get t.table ~core with
+           | State_table.P_state -> ()
+           | State_table.V_state ->
+               if Hashtbl.mem t.pending core then
+                 t.suppressed <- t.suppressed + 1
+               else begin
+                 Hashtbl.replace t.pending core ();
+                 t.triggers <- t.triggers + 1;
+                 ignore
+                   (Sim.after t.sim t.config.Config.irq_latency (fun () ->
+                        Hashtbl.remove t.pending core;
+                        Vcpu_sched.on_probe_irq t.sched ~core))
+               end));
+  t
+
+let triggers t = t.triggers
+let suppressed t = t.suppressed

@@ -1,0 +1,27 @@
+(** The hardware workload probe (§4.3, Fig 10).
+
+    Roughly thirty lines of accelerator firmware in the real system: before
+    preprocessing each I/O descriptor, look up the destination core in the
+    per-CPU state table; if the core is in V-state, fire an asynchronous
+    IRQ at it so the vCPU scheduler can restore the data-plane service
+    while the 3.2 µs hardware window elapses. P-state cores are left alone
+    (interrupts effectively masked), so a busy data-plane service is never
+    disturbed. *)
+
+open Taichi_engine
+open Taichi_accel
+
+type t
+
+val install :
+  Config.t -> Sim.t -> State_table.t -> Pipeline.t -> Vcpu_sched.t -> t
+(** Hooks the pipeline's detection point. The probe only acts when
+    [config.hw_probe] is true, so installing it unconditionally and
+    toggling via config keeps wiring uniform. *)
+
+val triggers : t -> int
+(** IRQs fired (V-state hits). *)
+
+val suppressed : t -> int
+(** Descriptors that found the core already being evicted (IRQ pending)
+    and needed no second interrupt. *)

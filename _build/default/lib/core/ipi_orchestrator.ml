@@ -1,0 +1,100 @@
+open Taichi_hw
+open Taichi_os
+open Taichi_virt
+
+type stats = {
+  routed_to_vcpu : int;
+  posted : int;
+  wakeups : int;
+  reissued : int;
+}
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  sched : Vcpu_sched.t;
+  vcpu_kcpus : (int, Vcpu.t) Hashtbl.t;
+  mutable online : int;
+  mutable s_routed : int;
+  mutable s_posted : int;
+  mutable s_wakeups : int;
+  mutable s_reissued : int;
+}
+
+let is_vcpu_kcpu t id = Hashtbl.mem t.vcpu_kcpus id
+
+let intercept t ~src ~dst ~vector:_ =
+  (* Source side: an IPI from guest context forces a VM-exit; the
+     orchestrator reissues it from the host (Fig 8b). *)
+  (match Hashtbl.find_opt t.vcpu_kcpus src with
+  | Some v when Vcpu.is_placed v ->
+      t.s_reissued <- t.s_reissued + 1;
+      Vcpu.record_exit v Vmexit.Ipi_send;
+      (match Vcpu.core v with
+      | Some core ->
+          Accounting.charge
+            (Machine.accounting t.machine)
+            ~core Accounting.Switch t.config.Config.cost.Cost_model.light_exit
+      | None -> ())
+  | Some _ | None -> ());
+  (* Destination side. *)
+  match Hashtbl.find_opt t.vcpu_kcpus dst with
+  | None -> Machine.Deliver
+  | Some v ->
+      t.s_routed <- t.s_routed + 1;
+      if Vcpu.is_placed v then begin
+        (* Posted interrupt: inject without a VM-exit. *)
+        t.s_posted <- t.s_posted + 1;
+        Machine.Deliver
+      end
+      else begin
+        (* Awaken the sleeping vCPU, then deliver. *)
+        t.s_wakeups <- t.s_wakeups + 1;
+        Vcpu_sched.poke t.sched ~kcpu:dst;
+        Machine.Deliver
+      end
+
+let install config machine kernel sched =
+  let t =
+    {
+      config;
+      machine;
+      kernel;
+      sched;
+      vcpu_kcpus = Hashtbl.create 16;
+      online = 0;
+      s_routed = 0;
+      s_posted = 0;
+      s_wakeups = 0;
+      s_reissued = 0;
+    }
+  in
+  Machine.set_ipi_interceptor machine
+    (Some (fun ~src ~dst ~vector -> intercept t ~src ~dst ~vector));
+  t
+
+let register_vcpus t ~first_kcpu ~count =
+  List.init count (fun i ->
+      let kcpu_id = first_kcpu + i in
+      let kcpu = Kernel.add_virtual_cpu t.kernel ~id:kcpu_id in
+      let v =
+        Vcpu.create ~vid:i ~kcpu:kcpu_id
+          ~initial_slice:t.config.Config.initial_slice
+      in
+      Hashtbl.replace t.vcpu_kcpus kcpu_id v;
+      Vcpu_sched.add_vcpu t.sched v;
+      Kernel.boot t.kernel kcpu ~src:0
+        ~on_online:(fun () -> t.online <- t.online + 1)
+        ();
+      v)
+
+let online_vcpus t = t.online
+
+let stats t =
+  {
+    routed_to_vcpu = t.s_routed;
+    posted = t.s_posted;
+    wakeups = t.s_wakeups;
+    reissued = t.s_reissued;
+  }

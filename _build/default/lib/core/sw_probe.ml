@@ -1,0 +1,34 @@
+type t = {
+  config : Config.t;
+  thresholds : int array;
+  fps : int array;
+  mutable adjustments : int;
+}
+
+let create config ~cores =
+  {
+    config;
+    thresholds = Array.make cores config.Config.threshold_init;
+    fps = Array.make cores 0;
+    adjustments = 0;
+  }
+
+let threshold t ~core = t.thresholds.(core)
+
+let on_sustained_idle t ~core =
+  if t.config.Config.adaptive_threshold then begin
+    let n = t.thresholds.(core) - t.config.Config.threshold_dec in
+    t.thresholds.(core) <- max t.config.Config.threshold_min n;
+    t.adjustments <- t.adjustments + 1
+  end
+
+let on_false_positive t ~core =
+  t.fps.(core) <- t.fps.(core) + 1;
+  if t.config.Config.adaptive_threshold then begin
+    let n = t.thresholds.(core) * 2 in
+    t.thresholds.(core) <- min t.config.Config.threshold_max n;
+    t.adjustments <- t.adjustments + 1
+  end
+
+let false_positives t ~core = t.fps.(core)
+let adjustments t = t.adjustments

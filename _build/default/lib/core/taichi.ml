@@ -1,0 +1,69 @@
+open Taichi_hw
+open Taichi_os
+open Taichi_virt
+open Taichi_accel
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  table : State_table.t;
+  sw : Sw_probe.t;
+  softirq : Softirq.t;
+  sched : Vcpu_sched.t;
+  orch : Ipi_orchestrator.t;
+  probe : Hw_probe.t;
+  vcpus : Vcpu.t list;
+  cp_pcpus : int list;
+}
+
+let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
+    ~cp_pcpus () =
+  let cores = Machine.physical_cores machine in
+  let table = State_table.create ~cores in
+  let sw = Sw_probe.create config ~cores in
+  let softirq = Softirq.create machine in
+  let sched = Vcpu_sched.create config machine kernel softirq sw table in
+  List.iter (fun dp -> Vcpu_sched.register_dp sched dp) dps;
+  Vcpu_sched.set_cp_pcpus sched cp_pcpus;
+  let orch = Ipi_orchestrator.install config machine kernel sched in
+  let vcpus =
+    Ipi_orchestrator.register_vcpus orch ~first_kcpu:cores
+      ~count:config.Config.n_vcpus
+  in
+  let probe = Hw_probe.install config (Machine.sim machine) table pipeline sched in
+  { config; machine; kernel; table; sw; softirq; sched; orch; probe; vcpus; cp_pcpus }
+
+let config t = t.config
+let machine t = t.machine
+let kernel t = t.kernel
+let scheduler t = t.sched
+let orchestrator t = t.orch
+let hw_probe t = t.probe
+let sw_probe t = t.sw
+let softirq t = t.softirq
+let state_table t = t.table
+let vcpus t = t.vcpus
+
+let cp_cpu_ids t =
+  t.cp_pcpus @ List.map (fun v -> v.Vcpu.kcpu) t.vcpus
+
+let ready t = Ipi_orchestrator.online_vcpus t.orch = List.length t.vcpus
+
+let total_vm_exits t =
+  List.fold_left (fun acc v -> acc + Vcpu.total_exits v) 0 t.vcpus
+
+let pp_summary fmt t =
+  let s = Vcpu_sched.stats t.sched in
+  let o = Ipi_orchestrator.stats t.orch in
+  Format.fprintf fmt
+    "taichi: vcpus=%d placements=%d probe_evictions=%d pending_evictions=%d \
+     halts=%d rotations=%d rescues=%d borrows=%d unsafe=%d vm_exits=%d \
+     probe_triggers=%d ipi[routed=%d posted=%d wakeups=%d reissued=%d]"
+    (List.length t.vcpus) s.Vcpu_sched.placements s.Vcpu_sched.probe_evictions
+    s.Vcpu_sched.pending_evictions s.Vcpu_sched.halt_exits
+    s.Vcpu_sched.rotations s.Vcpu_sched.lock_rescues s.Vcpu_sched.borrows
+    s.Vcpu_sched.unsafe_suspensions (total_vm_exits t)
+    (Hw_probe.triggers t.probe) o.Ipi_orchestrator.routed_to_vcpu
+    o.Ipi_orchestrator.posted o.Ipi_orchestrator.wakeups
+    o.Ipi_orchestrator.reissued

@@ -1,0 +1,66 @@
+(** Tai Chi: the assembled hybrid-virtualization scheduling framework.
+
+    [install] wires every component of the paper's design onto an existing
+    simulated SmartNIC — machine, kernel, accelerator pipeline and
+    data-plane services — exactly as the production kernel module loads
+    onto a running system:
+
+    + a per-core {!State_table} shared with the accelerator;
+    + the {!Sw_probe} adaptive yield thresholds, attached to each
+      data-plane service's poll loop;
+    + the {!Vcpu_sched} softirq-based vCPU scheduler;
+    + the {!Ipi_orchestrator}, which also hotplugs the configured number
+      of vCPUs into the kernel as native CPUs;
+    + the {!Hw_probe} in the accelerator pipeline.
+
+    Control-plane tasks need zero modification: bind them (CPU affinity)
+    to {!cp_cpu_ids}, which spans the dedicated CP pCPUs plus all
+    registered vCPUs. *)
+
+open Taichi_hw
+open Taichi_os
+open Taichi_virt
+open Taichi_accel
+open Taichi_dataplane
+
+type t
+
+val install :
+  ?config:Config.t ->
+  machine:Machine.t ->
+  kernel:Kernel.t ->
+  pipeline:Pipeline.t ->
+  dps:Dp_service.t list ->
+  cp_pcpus:int list ->
+  unit ->
+  t
+(** Install Tai Chi. vCPU kernel ids start right after the machine's
+    physical cores. vCPUs come online after the kernel boot delay of
+    simulated time has run. *)
+
+val config : t -> Config.t
+val machine : t -> Machine.t
+val kernel : t -> Kernel.t
+val scheduler : t -> Vcpu_sched.t
+val orchestrator : t -> Ipi_orchestrator.t
+val hw_probe : t -> Hw_probe.t
+val sw_probe : t -> Sw_probe.t
+
+val softirq : t -> Softirq.t
+(** The softirq layer carrying the dedicated context-switch vector. *)
+
+val state_table : t -> State_table.t
+val vcpus : t -> Vcpu.t list
+
+val cp_cpu_ids : t -> int list
+(** Kernel CPU ids control-plane tasks should be affine to: the dedicated
+    CP pCPUs plus every vCPU. *)
+
+val ready : t -> bool
+(** All vCPUs finished hotplug. *)
+
+val total_vm_exits : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph operational summary (placements, exits, probe activity,
+    IPI routing) for experiment logs. *)

@@ -1,0 +1,485 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_virt
+open Taichi_accel
+open Taichi_dataplane
+
+type stats = {
+  placements : int;
+  probe_evictions : int;
+  pending_evictions : int;
+  halt_exits : int;
+  rotations : int;
+  lock_rescues : int;
+  borrows : int;
+  unsafe_suspensions : int;
+}
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  softirq : Softirq.t;
+  sw : Sw_probe.t;
+  table : State_table.t;
+  pending_place : (int, Vcpu.t) Hashtbl.t;  (* core -> vcpu awaiting softirq *)
+  mutable vcpu_list : Vcpu.t list;
+  by_kcpu : (int, Vcpu.t) Hashtbl.t;
+  dps : (int, Dp_service.t) Hashtbl.t;  (* physical core -> service *)
+  placed : (int, Vcpu.t) Hashtbl.t;  (* physical core -> vcpu *)
+  slice_timers : (int, Sim.handle) Hashtbl.t;  (* core -> expiry event *)
+  runq : Vcpu.t Queue.t;  (* runnable unplaced vCPUs, round-robin *)
+  in_runq : (int, unit) Hashtbl.t;  (* vid set *)
+  borrowing : (int, unit) Hashtbl.t;  (* vid set: borrow in progress *)
+  borrowed_cores : (int, unit) Hashtbl.t;  (* CP pCPUs currently frozen *)
+  mutable cp_pcpus : int list;
+  mutable next_borrow : int;
+  mutable s_placements : int;
+  mutable s_probe_evictions : int;
+  mutable s_pending_evictions : int;
+  mutable s_halt_exits : int;
+  mutable s_rotations : int;
+  mutable s_lock_rescues : int;
+  mutable s_borrows : int;
+  mutable s_unsafe : int;
+}
+
+let charge_core t core d =
+  if d > 0 then Accounting.charge (Machine.accounting t.machine) ~core Accounting.Switch d
+
+let world_switch t = t.config.Config.cost.Cost_model.world_switch
+let light_exit t = t.config.Config.cost.Cost_model.light_exit
+
+(* A yield evicted within this window counts as a false positive for the
+   adaptive empty-poll threshold. *)
+let short_yield t = 5 * t.config.Config.cost.Cost_model.world_switch + Time_ns.us 15
+
+let kcpu_of t v = Kernel.cpu t.kernel v.Vcpu.kcpu
+
+let has_work t v = Kernel.cpu_has_work (kcpu_of t v)
+
+(* --- runnable queue ----------------------------------------------------- *)
+
+let rec pop_runnable t =
+  if Queue.is_empty t.runq then None
+  else
+    let v = Queue.pop t.runq in
+    Hashtbl.remove t.in_runq v.Vcpu.vid;
+    (* Skip stale entries: placed meanwhile, borrowing, or out of work. *)
+    if Vcpu.is_placed v || Hashtbl.mem t.borrowing v.Vcpu.vid || not (has_work t v)
+    then pop_runnable t
+    else Some v
+
+let mark_runnable t v =
+  if
+    (not (Vcpu.is_placed v))
+    && (not (Hashtbl.mem t.in_runq v.Vcpu.vid))
+    && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
+    && has_work t v
+  then begin
+    Queue.push v t.runq;
+    Hashtbl.replace t.in_runq v.Vcpu.vid ()
+  end
+
+let runnable_waiting t =
+  Queue.fold
+    (fun acc v ->
+      acc
+      ||
+      (not (Vcpu.is_placed v))
+      && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
+      && has_work t v)
+    false t.runq
+
+(* --- placement ----------------------------------------------------------- *)
+
+let cancel_slice t core =
+  match Hashtbl.find_opt t.slice_timers core with
+  | Some h ->
+      Sim.cancel h;
+      Hashtbl.remove t.slice_timers core
+  | None -> ()
+
+let rec arm_slice t v core =
+  cancel_slice t core;
+  let h = Sim.after t.sim v.Vcpu.slice (fun () -> on_slice_expiry t core) in
+  Hashtbl.replace t.slice_timers core h;
+  v.Vcpu.slice_started <- Sim.now t.sim
+
+(* Bring [v] up on [core]; the core must already be committed (yielded DP
+   or direct vCPU switch). *)
+and back_on_core t v core =
+  State_table.set t.table ~core State_table.V_state;
+  Hashtbl.replace t.placed core v;
+  v.Vcpu.placement <- Vcpu.On_core core;
+  v.Vcpu.last_placed <- Sim.now t.sim;
+  Kernel.set_backing_core t.kernel (kcpu_of t v) (Some core);
+  t.s_placements <- t.s_placements + 1;
+  charge_core t core (world_switch t);
+  ignore
+    (Sim.after t.sim (world_switch t) (fun () ->
+         match Hashtbl.find_opt t.placed core with
+         | Some v' when v' == v ->
+             Kernel.set_backed t.kernel (kcpu_of t v) true;
+             arm_slice t v core
+         | Some _ | None -> ()))
+
+(* DP-to-CP switching enters guest context through the dedicated softirq
+   raised on the yielding core (§4.1): commit the yield, then let the
+   softirq handler perform the context switch. *)
+and try_place_on_dp t v dp =
+  if Dp_service.try_yield dp then begin
+    let core = Dp_service.core dp in
+    (* Reserve the core and flip the state table immediately: the hardware
+       probe must already treat it as V-state while the softirq is in
+       flight, so a racing packet evicts cleanly. *)
+    Hashtbl.replace t.pending_place core v;
+    Hashtbl.replace t.placed core v;
+    v.Vcpu.placement <- Vcpu.On_core core;
+    v.Vcpu.last_placed <- Sim.now t.sim;
+    State_table.set t.table ~core State_table.V_state;
+    Softirq.raise_softirq t.softirq ~cpu:core ~vector:Softirq.vector_taichi;
+    true
+  end
+  else false
+
+and on_place_softirq t core =
+  match Hashtbl.find_opt t.pending_place core with
+  | None -> ()
+  | Some v -> (
+      Hashtbl.remove t.pending_place core;
+      (* The yield may have been revoked (an eviction raced the softirq). *)
+      match Hashtbl.find_opt t.placed core with
+      | Some v' when v' == v && v.Vcpu.placement = Vcpu.On_core core ->
+          back_on_core t v core
+      | Some _ | None -> ())
+
+(* A data-plane core crossed its empty-poll threshold. *)
+and on_dp_idle t dp =
+  match pop_runnable t with
+  | None -> ()  (* core parks; claimed later by [try_place_parked] *)
+  | Some v -> if not (try_place_on_dp t v dp) then mark_runnable t v
+
+(* Work appeared for an unplaced vCPU: grab a parked core if one exists. *)
+and try_place_parked t v =
+  if (not (Vcpu.is_placed v)) && not (Hashtbl.mem t.borrowing v.Vcpu.vid) then begin
+    let parked =
+      Hashtbl.fold
+        (fun _ dp acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if Dp_service.state dp = Dp_service.Idle_parked then Some dp
+              else None)
+        t.dps None
+    in
+    match parked with
+    | Some dp when try_place_on_dp t v dp -> ()
+    | Some _ | None -> mark_runnable t v
+  end
+
+(* Tear [v] down from [core]; pollution and backed-time bookkeeping. The
+   core's next owner is decided by the caller. *)
+and unback t v core =
+  cancel_slice t core;
+  let occupancy = Sim.now t.sim - v.Vcpu.last_placed in
+  v.Vcpu.total_backed <- v.Vcpu.total_backed + occupancy;
+  Cache_model.occupy_foreign (Machine.cache t.machine) ~core occupancy;
+  Kernel.set_backed t.kernel (kcpu_of t v) false;
+  Kernel.set_backing_core t.kernel (kcpu_of t v) None;
+  Hashtbl.remove t.placed core;
+  v.Vcpu.placement <- Vcpu.Unplaced
+
+(* Full eviction back to the data-plane service. *)
+and evict_to_dp t v core =
+  unback t v core;
+  State_table.set t.table ~core State_table.P_state;
+  let dp = Hashtbl.find t.dps core in
+  (* §4.1 safe scheduling in lock context. *)
+  let cur = Kernel.current (kcpu_of t v) in
+  let lock_bound = match cur with Some task -> Task.nonpreemptible task | None -> false in
+  if lock_bound && t.config.Config.lock_safe_resched then rescue t v
+  else begin
+    if lock_bound then t.s_unsafe <- t.s_unsafe + 1;
+    (* The VM-exit acts as a scheduling tick inside the guest context: a
+       preemptible current task returns to the runqueue, where idle CP
+       pCPUs can steal it instead of waiting for the vCPU's next slot. *)
+    Kernel.requeue_if_preemptible t.kernel (kcpu_of t v);
+    mark_runnable t v;
+    (* Another core may be sitting parked: migrate there right away
+       rather than waiting for its next idle notification. *)
+    try_place_parked t v
+  end;
+  Dp_service.resume dp ~switch_cost:(world_switch t)
+
+(* Direct vCPU-to-vCPU switch: the core stays in V-state. *)
+and switch_vcpu t ~from_v ~to_v core =
+  unback t from_v core;
+  t.s_rotations <- t.s_rotations + 1;
+  mark_runnable t from_v;
+  back_on_core t to_v core
+
+and on_slice_expiry t core =
+  Hashtbl.remove t.slice_timers core;
+  match Hashtbl.find_opt t.placed core with
+  | None -> ()
+  | Some v ->
+      Vcpu.record_exit v Vmexit.Timeslice_expired;
+      let dp = Hashtbl.find t.dps core in
+      if Dp_service.pending_work dp then begin
+        t.s_pending_evictions <- t.s_pending_evictions + 1;
+        v.Vcpu.slice <- t.config.Config.initial_slice;
+        (* Only a yield evicted almost immediately was a false positive;
+           an eviction after a long donated stretch is a successful yield
+           and drives the threshold down, not up. *)
+        if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
+          Sw_probe.on_false_positive t.sw ~core
+        else Sw_probe.on_sustained_idle t.sw ~core;
+        evict_to_dp t v core
+      end
+      else begin
+        Sw_probe.on_sustained_idle t.sw ~core;
+        if t.config.Config.adaptive_slice then
+          v.Vcpu.slice <- min (2 * v.Vcpu.slice) t.config.Config.max_slice;
+        charge_core t core (light_exit t);
+        if runnable_waiting t then begin
+          match pop_runnable t with
+          | Some v' ->
+              (* Prefer spreading onto a parked core over rotating here:
+                 rotation costs two world switches for zero extra
+                 capacity. *)
+              let parked =
+                Hashtbl.fold
+                  (fun _ dp acc ->
+                    match acc with
+                    | Some _ -> acc
+                    | None ->
+                        if Dp_service.state dp = Dp_service.Idle_parked then
+                          Some dp
+                        else None)
+                  t.dps None
+              in
+              (match parked with
+              | Some dp when try_place_on_dp t v' dp ->
+                  continue_or_halt t v core
+              | Some _ | None -> switch_vcpu t ~from_v:v ~to_v:v' core)
+          | None -> continue_or_halt t v core
+        end
+        else continue_or_halt t v core
+      end
+
+and continue_or_halt t v core =
+  if has_work t v then arm_slice t v core
+  else halt_exit t v core
+
+and halt_exit t v core =
+  Vcpu.record_exit v Vmexit.Halt;
+  t.s_halt_exits <- t.s_halt_exits + 1;
+  match pop_runnable t with
+  | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core
+  | None -> evict_to_dp t v core
+
+(* --- §4.1 lock-context rescue ------------------------------------------- *)
+
+and rescue t v =
+  t.s_lock_rescues <- t.s_lock_rescues + 1;
+  let parked =
+    Hashtbl.fold
+      (fun _ dp acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Dp_service.state dp = Dp_service.Idle_parked then Some dp
+            else None)
+      t.dps None
+  in
+  match parked with
+  | Some dp when try_place_on_dp t v dp -> ()
+  | Some _ | None -> borrow_cp_pcpu t v
+
+(* The borrow operates BENEATH the OS, like the production softirq overlay:
+   the chosen CP pCPU's kernel context is frozen outright (even a spinning
+   task — it is burning cycles waiting for exactly the lock our vCPU
+   holds), the vCPU runs on the physical core until its task leaves the
+   lock context, then the pCPU is thawed. Going through the OS scheduler
+   instead would deadlock: the grant would wait on spinners that wait on
+   the borrowed vCPU's lock. *)
+and borrow_cp_pcpu t v =
+  (* Never freeze a pCPU whose current task is inside a lock or other
+     non-preemptible routine: suspending a lock holder beneath the OS
+     could recreate the very circular wait the rescue exists to break. *)
+  let safe_target id =
+    (not (Hashtbl.mem t.borrowed_cores id))
+    &&
+    match Kernel.current (Kernel.cpu t.kernel id) with
+    | Some task -> not (Task.nonpreemptible task)
+    | None -> true
+  in
+  let free_cp = List.filter safe_target t.cp_pcpus in
+  match free_cp with
+  | [] ->
+      if t.cp_pcpus = [] then begin
+        t.s_unsafe <- t.s_unsafe + 1;
+        mark_runnable t v
+      end
+      else
+        (* All CP pCPUs carry borrows; retry shortly. *)
+        ignore
+          (Sim.after t.sim t.config.Config.borrow_slice (fun () ->
+               if
+                 (not (Vcpu.is_placed v))
+                 && not (Hashtbl.mem t.borrowing v.Vcpu.vid)
+               then rescue t v))
+  | cp_list ->
+      t.s_borrows <- t.s_borrows + 1;
+      Hashtbl.replace t.borrowing v.Vcpu.vid ();
+      let n = List.length cp_list in
+      let cp_id = List.nth cp_list (t.next_borrow mod n) in
+      t.next_borrow <- t.next_borrow + 1;
+      Hashtbl.replace t.borrowed_cores cp_id ();
+      let cp = Kernel.cpu t.kernel cp_id in
+      Kernel.set_backed t.kernel cp false;
+      let kc = kcpu_of t v in
+      v.Vcpu.placement <- Vcpu.On_core cp_id;
+      v.Vcpu.last_placed <- Sim.now t.sim;
+      Kernel.set_backing_core t.kernel kc (Some cp_id);
+      charge_core t cp_id (world_switch t);
+      ignore
+        (Sim.after t.sim (world_switch t) (fun () ->
+             Kernel.set_backed t.kernel kc true;
+             borrow_check t v cp_id))
+
+and borrow_check t v cp_id =
+  ignore
+    (Sim.after t.sim t.config.Config.borrow_slice (fun () ->
+         let kc = kcpu_of t v in
+         let still_locked =
+           match Kernel.current kc with
+           | Some task -> Task.nonpreemptible task
+           | None -> false
+         in
+         if still_locked then borrow_check t v cp_id
+         else begin
+           (* End the borrow: thaw the pCPU. *)
+           let occupancy = Sim.now t.sim - v.Vcpu.last_placed in
+           v.Vcpu.total_backed <- v.Vcpu.total_backed + occupancy;
+           Kernel.set_backed t.kernel kc false;
+           Kernel.requeue_if_preemptible t.kernel kc;
+           Kernel.set_backing_core t.kernel kc None;
+           v.Vcpu.placement <- Vcpu.Unplaced;
+           Hashtbl.remove t.borrowing v.Vcpu.vid;
+           Hashtbl.remove t.borrowed_cores cp_id;
+           Kernel.set_backed t.kernel (Kernel.cpu t.kernel cp_id) true;
+           mark_runnable t v;
+           try_place_parked t v
+         end))
+
+(* --- hardware-probe entry ------------------------------------------------ *)
+
+let on_probe_irq t ~core =
+  match Hashtbl.find_opt t.placed core with
+  | None -> ()
+  | Some v ->
+      Vcpu.record_exit v Vmexit.Hw_probe_irq;
+      t.s_probe_evictions <- t.s_probe_evictions + 1;
+      v.Vcpu.slice <- t.config.Config.initial_slice;
+      if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
+        Sw_probe.on_false_positive t.sw ~core
+      else Sw_probe.on_sustained_idle t.sw ~core;
+      evict_to_dp t v core
+
+(* --- kernel hooks --------------------------------------------------------- *)
+
+let on_work_available t kcpu_id =
+  match Hashtbl.find_opt t.by_kcpu kcpu_id with
+  | None -> ()
+  | Some v -> try_place_parked t v
+
+let poke t ~kcpu = on_work_available t kcpu
+
+let on_cpu_idle t kcpu_id =
+  match Hashtbl.find_opt t.by_kcpu kcpu_id with
+  | None -> ()
+  | Some v -> (
+      match v.Vcpu.placement with
+      | Vcpu.Unplaced -> ()
+      | Vcpu.On_core core ->
+          if Hashtbl.mem t.borrowing v.Vcpu.vid then ()
+          else
+            ignore
+              (Sim.after t.sim t.config.Config.halt_poll (fun () ->
+                   match Hashtbl.find_opt t.placed core with
+                   | Some v' when v' == v && not (has_work t v) ->
+                       halt_exit t v core
+                   | Some _ | None -> ())))
+
+(* --- construction --------------------------------------------------------- *)
+
+let create config machine kernel softirq sw table =
+  let t =
+    {
+      config;
+      sim = Machine.sim machine;
+      machine;
+      kernel;
+      softirq;
+      sw;
+      table;
+      pending_place = Hashtbl.create 16;
+      vcpu_list = [];
+      by_kcpu = Hashtbl.create 16;
+      dps = Hashtbl.create 16;
+      placed = Hashtbl.create 16;
+      slice_timers = Hashtbl.create 16;
+      runq = Queue.create ();
+      in_runq = Hashtbl.create 16;
+      borrowing = Hashtbl.create 16;
+      borrowed_cores = Hashtbl.create 16;
+      cp_pcpus = [];
+      next_borrow = 0;
+      s_placements = 0;
+      s_probe_evictions = 0;
+      s_pending_evictions = 0;
+      s_halt_exits = 0;
+      s_rotations = 0;
+      s_lock_rescues = 0;
+      s_borrows = 0;
+      s_unsafe = 0;
+    }
+  in
+  Kernel.set_work_available_hook kernel (fun kcpu_id -> on_work_available t kcpu_id);
+  Kernel.set_cpu_idle_hook kernel (fun kcpu_id -> on_cpu_idle t kcpu_id);
+  t
+
+let add_vcpu t v =
+  t.vcpu_list <- t.vcpu_list @ [ v ];
+  Hashtbl.replace t.by_kcpu v.Vcpu.kcpu v
+
+let vcpus t = t.vcpu_list
+
+let register_dp t dp =
+  let core = Dp_service.core dp in
+  Hashtbl.replace t.dps core dp;
+  Softirq.register t.softirq ~cpu:core ~vector:Softirq.vector_taichi (fun () ->
+      on_place_softirq t core);
+  let hooks = Dp_service.hooks dp in
+  hooks.Dp_service.idle_threshold <- (fun () -> Sw_probe.threshold t.sw ~core);
+  hooks.Dp_service.idle_detected <- (fun dp -> on_dp_idle t dp)
+
+let set_cp_pcpus t ids = t.cp_pcpus <- ids
+
+let placed_vcpu t ~core = Hashtbl.find_opt t.placed core
+
+let stats t =
+  {
+    placements = t.s_placements;
+    probe_evictions = t.s_probe_evictions;
+    pending_evictions = t.s_pending_evictions;
+    halt_exits = t.s_halt_exits;
+    rotations = t.s_rotations;
+    lock_rescues = t.s_lock_rescues;
+    borrows = t.s_borrows;
+    unsafe_suspensions = t.s_unsafe;
+  }

@@ -1,0 +1,78 @@
+(** The Tai Chi vCPU scheduler (§4.1).
+
+    Dynamically maps over-provisioned vCPUs (each a kernel logical CPU
+    hosting control-plane tasks) onto idle data-plane cores:
+
+    - {b DP-to-CP yielding}: when a data-plane service reports idleness
+      (software workload probe), the scheduler picks the next runnable
+      vCPU round-robin, takes the core through the softirq-based context
+      switch (modeled as the 2 µs world switch), and flips the core to
+      V-state in the accelerator's state table.
+    - {b CP-to-DP preemption}: a hardware-probe IRQ or pending work at
+      slice expiry evicts the vCPU and resumes the data-plane service; the
+      2 µs restore overlaps the 3.2 µs preprocessing window when the probe
+      is enabled.
+    - {b Adaptive time slice}: 50 µs initially, doubling on expiry exits
+      (sustained idleness), reset on probe exits.
+    - {b Lock-context safety}: a vCPU evicted while its current task is
+      non-preemptible is immediately re-placed on another parked
+      data-plane core, or failing that borrows a dedicated CP pCPU
+      (reclaiming it from the kernel) until the lock is released —
+      guaranteeing forward progress (§4.1). *)
+
+
+open Taichi_hw
+open Taichi_os
+open Taichi_virt
+open Taichi_accel
+open Taichi_dataplane
+
+type t
+
+val create :
+  Config.t ->
+  Machine.t ->
+  Kernel.t ->
+  Softirq.t ->
+  Sw_probe.t ->
+  State_table.t ->
+  t
+(** Installs the kernel work-available and cpu-idle hooks. DP-to-CP
+    context switches enter guest context through the dedicated softirq
+    (§4.1), registered per data-plane core by {!register_dp}. *)
+
+val add_vcpu : t -> Vcpu.t -> unit
+val vcpus : t -> Vcpu.t list
+
+val register_dp : t -> Dp_service.t -> unit
+(** Attach a data-plane service: installs its idle-threshold and
+    idle-detected hooks and makes its core a yield target. *)
+
+val set_cp_pcpus : t -> int list -> unit
+(** Dedicated control-plane physical CPUs used as the borrow fallback for
+    lock-context rescheduling. *)
+
+val on_probe_irq : t -> core:int -> unit
+(** Entry point for the hardware workload probe: evict the vCPU on [core]
+    and restore the data-plane service. *)
+
+val placed_vcpu : t -> core:int -> Vcpu.t option
+
+val poke : t -> kcpu:int -> unit
+(** Awaken the vCPU backing kernel CPU [kcpu] if it has work — the
+    orchestrator's path for IPIs targeting a sleeping vCPU (§4.2). *)
+
+type stats = {
+  placements : int;  (** vCPU switched onto a data-plane core *)
+  probe_evictions : int;
+  pending_evictions : int;  (** evicted at slice expiry with work waiting *)
+  halt_exits : int;
+  rotations : int;  (** direct vCPU-to-vCPU switches *)
+  lock_rescues : int;  (** §4.1 safe rescheduling events *)
+  borrows : int;  (** rescues that had to borrow a CP pCPU *)
+  unsafe_suspensions : int;
+      (** evictions that left a lock-holder unbacked (only with
+          [lock_safe_resched = false]) *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/dataplane/dp_service.ml: Accounting Cache_model List Machine Packet Pipeline Printf Recorder Ring Sim Taichi_accel Taichi_engine Taichi_hw Taichi_metrics Time_ns

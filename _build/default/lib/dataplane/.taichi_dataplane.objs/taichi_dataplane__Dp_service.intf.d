@@ -1,0 +1,1 @@
+lib/dataplane/dp_service.mli: Machine Packet Pipeline Recorder Ring Taichi_accel Taichi_engine Taichi_hw Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/dataplane/storage_service.ml: Dp_service Packet Taichi_accel Taichi_engine Time_ns

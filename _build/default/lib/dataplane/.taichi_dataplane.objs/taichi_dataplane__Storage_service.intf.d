@@ -1,0 +1,1 @@
+lib/dataplane/storage_service.mli: Dp_service Machine Packet Pipeline Taichi_accel Taichi_engine Taichi_hw Time_ns

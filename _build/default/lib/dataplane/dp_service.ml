@@ -1,0 +1,211 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_accel
+open Taichi_metrics
+
+type config = {
+  core : int;
+  burst : int;
+  poll_iter : Time_ns.t;
+  per_packet : Packet.t -> Time_ns.t;
+  spike_threshold : Time_ns.t;
+}
+
+let default_config ~core ~per_packet =
+  {
+    core;
+    burst = 32;
+    poll_iter = Time_ns.ns 100;
+    per_packet;
+    spike_threshold = Time_ns.us 100;
+  }
+
+type state = Processing | Counting | Idle_parked | Yielded
+
+type t = {
+  sim : Sim.t;
+  machine : Machine.t;
+  pipeline : Pipeline.t;
+  config : config;
+  ring : Ring.t;
+  hooks : hooks;
+  latency : Recorder.t;
+  mutable state : state;
+  mutable started : bool;
+  mutable speed_tax : float;
+  mutable idle_event : Sim.handle option;
+  mutable poll_since : Time_ns.t;  (** start of the current poll/park span *)
+  mutable resuming : bool;
+}
+
+and hooks = {
+  mutable idle_threshold : unit -> int;
+  mutable idle_detected : t -> unit;
+  mutable work_arrived_while_yielded : t -> unit;
+  mutable on_packets_done : Packet.t list -> unit;
+}
+
+let default_hooks () =
+  {
+    idle_threshold = (fun () -> 200);
+    idle_detected = (fun _ -> ());
+    work_arrived_while_yielded = (fun _ -> ());
+    on_packets_done = (fun _ -> ());
+  }
+
+let charge t cls d =
+  if d > 0 then
+    Accounting.charge (Machine.accounting t.machine) ~core:t.config.core cls d
+
+(* Close out the running empty-poll / parked span as poll time. *)
+let settle_poll_time t =
+  let d = Sim.now t.sim - t.poll_since in
+  charge t Accounting.Dp_poll d;
+  t.poll_since <- Sim.now t.sim
+
+let rec enter_counting t =
+  t.state <- Counting;
+  t.poll_since <- Sim.now t.sim;
+  let n = t.hooks.idle_threshold () in
+  let span = n * t.config.poll_iter in
+  t.idle_event <-
+    Some
+      (Sim.after t.sim span (fun () ->
+           t.idle_event <- None;
+           settle_poll_time t;
+           t.state <- Idle_parked;
+           t.poll_since <- Sim.now t.sim;
+           t.hooks.idle_detected t))
+
+and start_processing t ~discovery =
+  t.state <- Processing;
+  if discovery > 0 then charge t Accounting.Dp_poll discovery;
+  ignore (Sim.after t.sim discovery (fun () -> process_loop t))
+
+and process_loop t =
+  match Ring.pop_burst t.ring ~max:t.config.burst with
+  | [] -> enter_counting t
+  | pkts ->
+      Recorder.incr t.latency "bursts";
+      let work =
+        List.fold_left (fun acc p -> acc + t.config.per_packet p) 0 pkts
+      in
+      let work =
+        if t.speed_tax = 0.0 then work
+        else work + int_of_float (float_of_int work *. t.speed_tax)
+      in
+      let wall =
+        Cache_model.charge_work (Machine.cache t.machine) ~core:t.config.core work
+      in
+      ignore
+        (Sim.after t.sim wall (fun () ->
+             charge t Accounting.Dp_work wall;
+             let now = Sim.now t.sim in
+             List.iter
+               (fun p ->
+                 p.Packet.t_done <- now;
+                 let lat = now - p.Packet.t_submit in
+                 Recorder.observe t.latency lat;
+                 if lat > t.config.spike_threshold then
+                   Recorder.incr t.latency "spikes")
+               pkts;
+             t.hooks.on_packets_done pkts;
+             process_loop t))
+
+let on_ring_activity t =
+  if t.started then
+    match t.state with
+    | Processing -> ()
+    | Counting ->
+        (match t.idle_event with Some h -> Sim.cancel h | None -> ());
+        t.idle_event <- None;
+        settle_poll_time t;
+        start_processing t ~discovery:t.config.poll_iter
+    | Idle_parked ->
+        settle_poll_time t;
+        start_processing t ~discovery:t.config.poll_iter
+    | Yielded -> t.hooks.work_arrived_while_yielded t
+
+let create machine pipeline config =
+  let sim = Machine.sim machine in
+  let ring = Ring.create ~name:(Printf.sprintf "dp-core%d" config.core) () in
+  Pipeline.attach_ring pipeline ~core:config.core ring;
+  let t =
+    {
+      sim;
+      machine;
+      pipeline;
+      config;
+      ring;
+      hooks = default_hooks ();
+      latency = Recorder.create (Printf.sprintf "dp%d.latency" config.core);
+      state = Counting;
+      started = false;
+      speed_tax = 0.0;
+      idle_event = None;
+      poll_since = 0;
+      resuming = false;
+    }
+  in
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    if Ring.is_empty t.ring then enter_counting t
+    else start_processing t ~discovery:t.config.poll_iter
+  end
+
+let hooks t = t.hooks
+let state t = t.state
+let core t = t.config.core
+let config t = t.config
+let ring t = t.ring
+let set_speed_tax t tax = t.speed_tax <- tax
+
+let pending_work t =
+  (not (Ring.is_empty t.ring))
+  || Pipeline.in_flight t.pipeline ~core:t.config.core > 0
+
+let try_yield t =
+  match t.state with
+  | (Counting | Idle_parked) when not (pending_work t) ->
+      (match t.idle_event with Some h -> Sim.cancel h | None -> ());
+      t.idle_event <- None;
+      settle_poll_time t;
+      t.state <- Yielded;
+      Recorder.incr t.latency "yields";
+      true
+  | Counting | Idle_parked | Processing | Yielded -> false
+
+let resume t ~switch_cost =
+  if t.state = Yielded && not t.resuming then begin
+    t.resuming <- true;
+    Recorder.incr t.latency "resumes";
+    ignore
+      (Sim.after t.sim switch_cost (fun () ->
+           charge t Accounting.Switch switch_cost;
+           t.resuming <- false;
+           if Ring.is_empty t.ring then enter_counting t
+           else start_processing t ~discovery:t.config.poll_iter))
+  end
+
+let latency t = t.latency
+let packets_processed t = Recorder.count t.latency
+let yields t = Recorder.counter t.latency "yields"
+let spikes t = Recorder.counter t.latency "spikes"
+
+let busy_fraction t ~elapsed =
+  if elapsed <= 0 then 0.0
+  else
+    let work =
+      Accounting.busy_class (Machine.accounting t.machine) ~core:t.config.core
+        Accounting.Dp_work
+    in
+    float_of_int work /. float_of_int elapsed
+
+(* Wire the pipeline's delivery notification for this service's core. The
+   pipeline has a single deliver hook, so the platform composes them; this
+   helper builds the composition step. *)
+let attach_delivery t previous ~core:c =
+  if c = t.config.core then on_ring_activity t else previous ~core:c

@@ -1,0 +1,101 @@
+(** A poll-mode data-plane service (DPDK/SPDK style) pinned to one core.
+
+    The service owns its physical core and runs the canonical run-to-
+    completion loop of Fig 9: poll the RX ring in bursts, process what
+    arrived, and count consecutive empty polls. When the empty-poll count
+    crosses the (externally owned, adaptive) threshold it reports idleness
+    — the [notify_idle_DP_CPU_cycles] call a production service adds in
+    under ten lines. What happens next is up to the attached policy hooks:
+    the baseline keeps polling, Tai Chi lends the core to a vCPU, the
+    naive co-scheduler lends it to the kernel directly.
+
+    Empty polling is virtualized: instead of simulating every 100 ns poll
+    iteration, one cancellable event is scheduled at the exact time the
+    threshold would be crossed. This is behaviour-preserving because the
+    poll loop is deterministic between ring arrivals. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_accel
+open Taichi_metrics
+
+type config = {
+  core : int;  (** physical core the service is pinned to *)
+  burst : int;  (** max descriptors per poll, DPDK default 32 *)
+  poll_iter : Time_ns.t;  (** cost of one empty poll iteration *)
+  per_packet : Packet.t -> Time_ns.t;  (** software processing cost *)
+  spike_threshold : Time_ns.t;
+      (** packet latency above this counts as a tail-latency spike *)
+}
+
+val default_config : core:int -> per_packet:(Packet.t -> Time_ns.t) -> config
+(** burst 32, poll_iter 100 ns, spike threshold 100 µs. *)
+
+type state =
+  | Processing  (** executing a burst *)
+  | Counting  (** empty-polling towards the idleness threshold *)
+  | Idle_parked  (** threshold crossed, core not taken by anyone *)
+  | Yielded  (** core lent out (to a vCPU or to the kernel) *)
+
+type t
+
+(** Policy attachment points; all default to no-ops / constants. *)
+type hooks = {
+  mutable idle_threshold : unit -> int;
+      (** consecutive empty polls before idleness is declared (adaptive N
+          of §4.3); default 200 *)
+  mutable idle_detected : t -> unit;
+      (** threshold crossed; the policy may take the core *)
+  mutable work_arrived_while_yielded : t -> unit;
+      (** a descriptor landed in the ring while the core was lent out *)
+  mutable on_packets_done : Packet.t list -> unit;
+      (** processing of a burst finished (workload completion path) *)
+}
+
+val create : Machine.t -> Pipeline.t -> config -> t
+(** Creates the service, attaches its RX ring to the pipeline for
+    [config.core], and registers ring-delivery notification. The service
+    is stopped until {!start}. *)
+
+val start : t -> unit
+(** Begin the poll loop (in [Counting] state). *)
+
+val hooks : t -> hooks
+val state : t -> state
+val core : t -> int
+val config : t -> config
+val ring : t -> Ring.t
+
+val set_speed_tax : t -> float -> unit
+(** Guest-mode execution tax for the Tai Chi-vDP configuration: packet
+    processing takes [1 + tax] longer. *)
+
+val pending_work : t -> bool
+(** Ring descriptors waiting or in flight in the accelerator. *)
+
+val try_yield : t -> bool
+(** Policy-side: take the core. Succeeds only in [Idle_parked] or
+    [Counting] state with no pending work; the service stops polling and
+    enters [Yielded]. *)
+
+val resume : t -> switch_cost:Time_ns.t -> unit
+(** Policy-side: give the core back. After [switch_cost] the service polls
+    again: processes pending work or resumes counting. No-op unless
+    [Yielded]. *)
+
+val latency : t -> Recorder.t
+(** Per-packet latency (submit to processing completion), with counters
+    ["spikes"], ["bursts"], ["yields"], ["resumes"]. *)
+
+val packets_processed : t -> int
+val yields : t -> int
+val spikes : t -> int
+
+val busy_fraction : t -> elapsed:Time_ns.t -> float
+(** Fraction of [elapsed] spent doing useful packet processing — the
+    "data-plane CPU utilization" of Fig 3. *)
+
+val attach_delivery : t -> (core:int -> unit) -> core:int -> unit
+(** [attach_delivery t previous] composes this service's ring-activity
+    handler with an existing pipeline delivery hook: use as
+    [Pipeline.set_deliver_hook p (Dp_service.attach_delivery t old_hook)]. *)

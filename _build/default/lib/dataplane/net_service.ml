@@ -1,0 +1,30 @@
+open Taichi_engine
+open Taichi_accel
+
+type cost_params = {
+  base : Time_ns.t;
+  per_byte_ns : float;
+  connection_extra : Time_ns.t;
+}
+
+(* Calibrated to SmartNIC-class ARM cores: a per-core ceiling of roughly
+   450k small packets/s, with connection establishment costing an order of
+   magnitude more than forwarding (flow insertion, state allocation). *)
+let default_cost =
+  { base = Time_ns.ns 1800; per_byte_ns = 0.30; connection_extra = Time_ns.ns 12000 }
+
+let connection_tag_bit = 1 lsl 60
+
+let packet_cost cost pkt =
+  let size_cost = int_of_float (float_of_int pkt.Packet.size *. cost.per_byte_ns) in
+  let conn =
+    if pkt.Packet.tag land connection_tag_bit <> 0 then cost.connection_extra
+    else 0
+  in
+  cost.base + size_cost + conn
+
+let create ?(cost = default_cost) machine pipeline ~core =
+  let config =
+    Dp_service.default_config ~core ~per_packet:(packet_cost cost)
+  in
+  Dp_service.create machine pipeline config

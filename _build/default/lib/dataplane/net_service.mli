@@ -1,0 +1,29 @@
+(** The DPDK-like networking data-plane service.
+
+    A thin specialization of {!Dp_service} with a packet-size-aware cost
+    model for software packet processing (header parsing, flow lookup,
+    vswitch actions, TX descriptor setup). *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_accel
+
+type cost_params = {
+  base : Time_ns.t;  (** fixed per-packet software cost *)
+  per_byte_ns : float;  (** payload-touching cost per byte *)
+  connection_extra : Time_ns.t;
+      (** extra cost for connection-establishment packets (tag-marked),
+          used by tcp_crr/CPS-style workloads *)
+}
+
+val default_cost : cost_params
+
+val connection_tag_bit : int
+(** Workloads set this bit in [Packet.tag] to mark a packet as carrying
+    connection establishment work. *)
+
+val packet_cost : cost_params -> Packet.t -> Time_ns.t
+
+val create :
+  ?cost:cost_params -> Machine.t -> Pipeline.t -> core:int -> Dp_service.t
+(** A networking service pinned to [core]. *)

@@ -1,0 +1,24 @@
+open Taichi_engine
+open Taichi_accel
+
+type cost_params = {
+  per_io : Time_ns.t;
+  per_4k : Time_ns.t;
+  write_penalty : float;
+}
+
+(* Roughly 200k 4-KiB IOPS per SmartNIC core. *)
+let default_cost =
+  { per_io = Time_ns.ns 4000; per_4k = Time_ns.ns 1000; write_penalty = 0.15 }
+
+let io_cost cost pkt =
+  let blocks = (pkt.Packet.size + 4095) / 4096 in
+  let base = cost.per_io + (blocks * cost.per_4k) in
+  match pkt.Packet.kind with
+  | Packet.Storage_write ->
+      base + int_of_float (float_of_int base *. cost.write_penalty)
+  | Packet.Storage_read | Packet.Net_rx | Packet.Net_tx -> base
+
+let create ?(cost = default_cost) machine pipeline ~core =
+  let config = Dp_service.default_config ~core ~per_packet:(io_cost cost) in
+  Dp_service.create machine pipeline config

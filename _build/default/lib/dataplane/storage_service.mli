@@ -1,0 +1,22 @@
+(** The SPDK-like storage data-plane service.
+
+    Block I/O requests (reads and writes) flow through the same
+    accelerator pipeline and poll-mode loop; the software cost covers
+    request validation, mapping, and backend submission. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_accel
+
+type cost_params = {
+  per_io : Time_ns.t;  (** fixed cost per block request *)
+  per_4k : Time_ns.t;  (** additional cost per 4 KiB of payload *)
+  write_penalty : float;  (** relative extra cost of writes over reads *)
+}
+
+val default_cost : cost_params
+
+val io_cost : cost_params -> Packet.t -> Time_ns.t
+
+val create :
+  ?cost:cost_params -> Machine.t -> Pipeline.t -> core:int -> Dp_service.t

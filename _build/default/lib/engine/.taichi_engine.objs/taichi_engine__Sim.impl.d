@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Pheap Printf Time_ns

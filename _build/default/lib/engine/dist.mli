@@ -1,0 +1,45 @@
+(** Probability distributions over floats and durations.
+
+    Samplers used by workload generators and the control-plane routine
+    models. All draw from an explicit {!Rng.t}. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** [exponential rng ~mean] samples Exp with the given mean. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** [normal rng ~mu ~sigma] samples a Gaussian (Box–Muller). *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [lognormal rng ~mu ~sigma] samples exp(N(mu, sigma)). *)
+
+val pareto : Rng.t -> scale:float -> shape:float -> float
+(** [pareto rng ~scale ~shape] samples a Pareto with minimum [scale]. *)
+
+val bounded_pareto : Rng.t -> lo:float -> hi:float -> shape:float -> float
+(** [bounded_pareto rng ~lo ~hi ~shape] samples a Pareto truncated to
+    [\[lo, hi\]] by inverse transform, preserving the heavy tail inside the
+    bound. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** [poisson rng ~lambda] samples a Poisson count. Uses Knuth's method for
+    small [lambda] and a normal approximation above 64. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+type empirical
+(** A distribution described by weighted points, sampled by linear
+    interpolation between quantiles. *)
+
+val empirical_of_weighted : (float * float) list -> empirical
+(** [empirical_of_weighted bins] builds an empirical distribution from
+    [(value, weight)] pairs. Raises [Invalid_argument] on an empty list or
+    non-positive total weight. *)
+
+val empirical_sample : empirical -> Rng.t -> float
+
+val exponential_ns : Rng.t -> mean:Time_ns.t -> Time_ns.t
+(** Duration-typed convenience wrapper around {!exponential}. *)
+
+val lognormal_ns : Rng.t -> median:Time_ns.t -> sigma:float -> Time_ns.t
+(** [lognormal_ns rng ~median ~sigma] samples a lognormal duration whose
+    median is [median]. *)

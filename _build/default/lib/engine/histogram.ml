@@ -1,0 +1,132 @@
+(* Buckets: values < 64 map one-to-one; above that, each power of two is
+   split into 32 sub-buckets. Index layout mirrors HdrHistogram with
+   sub_bucket_bits = 5. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+
+type t = {
+  mutable buckets : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+let create () =
+  { buckets = Array.make 1024 0; n = 0; total = 0.0; lo = max_int; hi = min_int }
+
+(* Index of the bucket containing v (v >= 0). *)
+let index_of v =
+  if v < 2 * sub_count then v
+  else
+    (* Position of the highest set bit. *)
+    let rec highest_bit x acc = if x <= 1 then acc else highest_bit (x lsr 1) (acc + 1) in
+    let h = highest_bit v 0 in
+    let shift = h - sub_bits in
+    let sub = (v lsr shift) - sub_count in
+    (((h - sub_bits) + 1) * sub_count) + sub
+
+(* Upper bound of the values mapped to bucket [i]. *)
+let upper_of i =
+  if i < 2 * sub_count then i
+  else
+    let block = (i / sub_count) - 1 in
+    let sub = i mod sub_count in
+    let shift = block + 0 in
+    ((sub_count + sub + 1) lsl shift) - 1
+
+let ensure h i =
+  let cap = Array.length h.buckets in
+  if i >= cap then begin
+    let ncap = Stdlib.max (i + 1) (cap * 2) in
+    let narr = Array.make ncap 0 in
+    Array.blit h.buckets 0 narr 0 cap;
+    h.buckets <- narr
+  end
+
+let add_many h v n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let i = index_of v in
+    ensure h i;
+    h.buckets.(i) <- h.buckets.(i) + n;
+    h.n <- h.n + n;
+    h.total <- h.total +. (float_of_int v *. float_of_int n);
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v
+  end
+
+let add h v = add_many h v 1
+let count h = h.n
+let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
+let min_value h = if h.n = 0 then invalid_arg "Histogram.min_value: empty" else h.lo
+let max_value h = if h.n = 0 then invalid_arg "Histogram.max_value: empty" else h.hi
+
+let percentile h p =
+  if h.n = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let target =
+    Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.n)))
+  in
+  let acc = ref 0 and result = ref h.hi and found = ref false in
+  Array.iteri
+    (fun i c ->
+      if (not !found) && c > 0 then begin
+        acc := !acc + c;
+        if !acc >= target then begin
+          result := Stdlib.min (upper_of i) h.hi;
+          found := true
+        end
+      end)
+    h.buckets;
+  Stdlib.max h.lo !result
+
+let cdf_points h =
+  let acc = ref 0 in
+  let points = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        acc := !acc + c;
+        points := (upper_of i, float_of_int !acc /. float_of_int h.n) :: !points
+      end)
+    h.buckets;
+  List.rev !points
+
+let fraction_below h v =
+  if h.n = 0 then 0.0
+  else begin
+    let limit = index_of (Stdlib.max 0 v) in
+    let acc = ref 0 in
+    Array.iteri (fun i c -> if i < limit then acc := !acc + c) h.buckets;
+    float_of_int !acc /. float_of_int h.n
+  end
+
+let merge a b =
+  let out = create () in
+  let fold src =
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          ensure out i;
+          out.buckets.(i) <- out.buckets.(i) + c
+        end)
+      src.buckets;
+    out.n <- out.n + src.n;
+    out.total <- out.total +. src.total;
+    if src.n > 0 then begin
+      if src.lo < out.lo then out.lo <- src.lo;
+      if src.hi > out.hi then out.hi <- src.hi
+    end
+  in
+  fold a;
+  fold b;
+  out
+
+let clear h =
+  Array.fill h.buckets 0 (Array.length h.buckets) 0;
+  h.n <- 0;
+  h.total <- 0.0;
+  h.lo <- max_int;
+  h.hi <- min_int

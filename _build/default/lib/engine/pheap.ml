@@ -1,0 +1,75 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.arr in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* Dummy slot content is never observed: [size] guards all reads. *)
+  let dummy = h.arr.(0) in
+  let narr = Array.make ncap dummy in
+  Array.blit h.arr 0 narr 0 h.size;
+  h.arr <- narr
+
+let push h ~key ~seq value =
+  let e = { key; seq; value } in
+  if h.size = Array.length h.arr then
+    if h.size = 0 then h.arr <- Array.make 16 e else grow h;
+  h.arr.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift the new element up to restore the heap invariant. *)
+  let i = ref (h.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less h.arr.(!i) h.arr.(parent) then begin
+      let tmp = h.arr.(parent) in
+      h.arr.(parent) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+    if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.arr.(!smallest) in
+      h.arr.(!smallest) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let top = h.arr.(0) in
+    Some (top.key, top.seq, top.value)
+
+let clear h = h.size <- 0

@@ -1,0 +1,28 @@
+(** A polymorphic binary min-heap keyed by [(int, int)] pairs.
+
+    The heap orders elements by a primary integer key (the simulated
+    timestamp) and breaks ties with a secondary key (an insertion sequence
+    number), guaranteeing deterministic FIFO ordering of same-time events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v] with primary key [key] and tie-break
+    [seq]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum element as [(key, seq, v)], or
+    [None] when empty. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** [peek h] is the minimum element without removing it. *)
+
+val clear : 'a t -> unit

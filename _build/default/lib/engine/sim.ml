@@ -1,0 +1,94 @@
+type handle = {
+  time : Time_ns.t;
+  mutable state : [ `Pending | `Fired | `Cancelled ];
+  callback : unit -> unit;
+  live : int ref;
+}
+
+type t = {
+  mutable clock : Time_ns.t;
+  mutable seq : int;
+  heap : handle Pheap.t;
+  live : int ref;
+  mutable fired : int;
+}
+
+let create () =
+  { clock = 0; seq = 0; heap = Pheap.create (); live = ref 0; fired = 0 }
+
+let now sim = sim.clock
+
+let at sim time callback =
+  if time < sim.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %d is before now %d" time sim.clock);
+  let h = { time; state = `Pending; callback; live = sim.live } in
+  Pheap.push sim.heap ~key:time ~seq:sim.seq h;
+  sim.seq <- sim.seq + 1;
+  incr sim.live;
+  h
+
+let after sim delay callback =
+  if delay < 0 then invalid_arg "Sim.after: negative delay";
+  at sim (sim.clock + delay) callback
+
+let immediate sim callback = at sim sim.clock callback
+
+let cancel h =
+  match h.state with
+  | `Pending ->
+      h.state <- `Cancelled;
+      decr h.live
+  | `Fired | `Cancelled -> ()
+
+let is_pending h = h.state = `Pending
+let fire_time h = h.time
+
+(* Pop entries until a pending one is found; cancelled entries are dropped
+   lazily here rather than removed from the heap at cancellation time. *)
+let rec next_live sim =
+  match Pheap.pop sim.heap with
+  | None -> None
+  | Some (_, _, h) -> (
+      match h.state with
+      | `Pending -> Some h
+      | `Cancelled | `Fired -> next_live sim)
+
+let step sim =
+  match next_live sim with
+  | None -> false
+  | Some h ->
+      sim.clock <- h.time;
+      h.state <- `Fired;
+      decr sim.live;
+      sim.fired <- sim.fired + 1;
+      h.callback ();
+      true
+
+let run ?until sim =
+  let continue = ref true in
+  while !continue do
+    (* Drop cancelled heads so the next-event time seen below is live. *)
+    let rec live_head () =
+      match Pheap.peek sim.heap with
+      | None -> None
+      | Some (_, _, h) when h.state <> `Pending ->
+          ignore (Pheap.pop sim.heap);
+          live_head ()
+      | Some (t, _, _) -> Some t
+    in
+    match live_head () with
+    | None -> continue := false
+    | Some t -> (
+        match until with
+        | Some limit when t > limit ->
+            sim.clock <- limit;
+            continue := false
+        | _ -> ignore (step sim))
+  done;
+  match until with
+  | Some limit when sim.clock < limit -> sim.clock <- limit
+  | _ -> ()
+
+let pending_events sim = !(sim.live)
+let events_processed sim = sim.fired

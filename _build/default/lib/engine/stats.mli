@@ -1,0 +1,31 @@
+(** Streaming summary statistics (Welford's online algorithm). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add s x] folds one observation into the summary. *)
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** [mean s] is 0 when no observations were added. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 with fewer than two points. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh summary equivalent to observing both streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type record = { time : Time_ns.t; category : string; message : string }
+
+type t = {
+  mutable on : bool;
+  limit : int;
+  buf : record Queue.t;
+}
+
+let create ?(limit = 100_000) ?(enabled = false) () =
+  { on = enabled; limit; buf = Queue.create () }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let emit t ~time ~category message =
+  if t.on then begin
+    Queue.push { time; category; message } t.buf;
+    if Queue.length t.buf > t.limit then ignore (Queue.pop t.buf)
+  end
+
+let emitf t ~time ~category fmt =
+  if t.on then
+    Format.kasprintf (fun message -> emit t ~time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let records t = List.of_seq (Queue.to_seq t.buf)
+
+let by_category t category =
+  List.filter (fun r -> r.category = category) (records t)
+
+let length t = Queue.length t.buf
+let clear t = Queue.clear t.buf
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%12s [%s] %s@." (Time_ns.to_string r.time) r.category
+        r.message)
+    (records t)

@@ -1,0 +1,36 @@
+(** Lightweight event tracing for debugging and timeline rendering.
+
+    A trace is a bounded in-memory log of [(time, category, message)]
+    records. Disabled traces cost one branch per emission, so components can
+    trace unconditionally. *)
+
+type t
+
+type record = { time : Time_ns.t; category : string; message : string }
+
+val create : ?limit:int -> ?enabled:bool -> unit -> t
+(** [create ?limit ?enabled ()] is a trace retaining at most [limit]
+    (default 100_000) records; older records are dropped. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:Time_ns.t -> category:string -> string -> unit
+(** [emit t ~time ~category msg] appends a record when the trace is
+    enabled. *)
+
+val emitf :
+  t -> time:Time_ns.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!emit}; the format arguments are only evaluated
+    when the trace is enabled. *)
+
+val records : t -> record list
+(** [records t] is the retained records in chronological order. *)
+
+val by_category : t -> string -> record list
+
+val length : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints the retained records, one per line. *)

@@ -1,0 +1,1 @@
+lib/hw/accounting.ml: Array Float Format List Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/hw/accounting.mli: Format Taichi_engine Time_ns

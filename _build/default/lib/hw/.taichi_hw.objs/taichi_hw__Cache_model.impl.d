@@ -1,0 +1,1 @@
+lib/hw/cache_model.ml: Array Taichi_engine Time_ns

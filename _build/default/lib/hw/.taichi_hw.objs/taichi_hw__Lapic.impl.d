@@ -1,0 +1,1 @@
+lib/hw/lapic.ml: Hashtbl Queue

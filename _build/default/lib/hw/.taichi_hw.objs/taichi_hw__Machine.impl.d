@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Accounting Cache_model Hashtbl Lapic Printf Sim Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Accounting Cache_model Lapic Sim Taichi_engine Time_ns

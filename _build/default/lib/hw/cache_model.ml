@@ -1,0 +1,42 @@
+open Taichi_engine
+
+type params = {
+  surcharge_max : float;
+  fill_time : Time_ns.t;
+  decay_work : Time_ns.t;
+}
+
+let default_params =
+  { surcharge_max = 0.20; fill_time = Time_ns.us 30; decay_work = Time_ns.us 25 }
+
+type t = { params : params; levels : float array }
+
+let create ?(params = default_params) ~cores () =
+  { params; levels = Array.make cores 0.0 }
+
+let occupy_foreign t ~core d =
+  if d > 0 then begin
+    let tau = float_of_int t.params.fill_time in
+    let frac = 1.0 -. exp (-.float_of_int d /. tau) in
+    t.levels.(core) <- t.levels.(core) +. ((1.0 -. t.levels.(core)) *. frac)
+  end
+
+let level t ~core = t.levels.(core)
+
+let charge_work t ~core work =
+  if work <= 0 then work
+  else begin
+    let l = t.levels.(core) in
+    if l < 1e-6 then work
+    else begin
+      let tau = float_of_int t.params.decay_work in
+      let w = float_of_int work in
+      (* Average pollution over the work interval, given exponential decay
+         from [l]: l * tau/w * (1 - exp(-w/tau)). *)
+      let avg = l *. tau /. w *. (1.0 -. exp (-.w /. tau)) in
+      t.levels.(core) <- l *. exp (-.w /. tau);
+      work + int_of_float (w *. t.params.surcharge_max *. avg)
+    end
+  end
+
+let reset t ~core = t.levels.(core) <- 0.0

@@ -1,0 +1,43 @@
+(** Cache and TLB pollution model.
+
+    When Tai Chi schedules a vCPU onto a data-plane core, the control-plane
+    task evicts cache lines and TLB entries that the data-plane service had
+    warm. The next stretch of data-plane work then runs slower until the
+    working set is re-established. The paper attributes its ~0.7% average
+    data-plane overhead to exactly this effect (§6.5).
+
+    The model keeps one pollution level in [0, 1] per core. Foreign
+    occupancy raises the level towards 1 with an exponential approach over
+    occupancy time; data-plane work pays a surcharge proportional to the
+    current level and simultaneously decays it over the work executed. *)
+
+open Taichi_engine
+
+type t
+
+type params = {
+  surcharge_max : float;
+      (** Relative slowdown at full pollution, e.g. 0.25 = +25%. *)
+  fill_time : Time_ns.t;
+      (** Foreign occupancy time constant to approach full pollution. *)
+  decay_work : Time_ns.t;
+      (** Data-plane work time constant to wash pollution back out. *)
+}
+
+val default_params : params
+
+val create : ?params:params -> cores:int -> unit -> t
+
+val occupy_foreign : t -> core:int -> Time_ns.t -> unit
+(** [occupy_foreign t ~core d] records [d] of foreign (control-plane)
+    occupancy on [core], raising its pollution level. *)
+
+val level : t -> core:int -> float
+(** Current pollution level in [0, 1]. *)
+
+val charge_work : t -> core:int -> Time_ns.t -> Time_ns.t
+(** [charge_work t ~core work] returns the wall-clock cost of executing
+    [work] of data-plane processing given current pollution, and decays the
+    pollution accordingly. Always >= [work]. *)
+
+val reset : t -> core:int -> unit

@@ -1,0 +1,46 @@
+type vector = int
+
+type t = {
+  apic_id : int;
+  handlers : (vector, unit -> unit) Hashtbl.t;
+  pending : vector Queue.t;
+  mutable masked : bool;
+  mutable delivered : int;
+  mutable spurious : int;
+}
+
+let create ~apic_id =
+  {
+    apic_id;
+    handlers = Hashtbl.create 8;
+    pending = Queue.create ();
+    masked = false;
+    delivered = 0;
+    spurious = 0;
+  }
+
+let apic_id t = t.apic_id
+
+let register_handler t v f = Hashtbl.replace t.handlers v f
+
+let deliver t v =
+  match Hashtbl.find_opt t.handlers v with
+  | Some f ->
+      t.delivered <- t.delivered + 1;
+      f ()
+  | None -> t.spurious <- t.spurious + 1
+
+let inject t v = if t.masked then Queue.push v t.pending else deliver t v
+
+let masked t = t.masked
+
+let set_masked t m =
+  t.masked <- m;
+  if not m then
+    while not (Queue.is_empty t.pending) do
+      deliver t (Queue.pop t.pending)
+    done
+
+let pending_count t = Queue.length t.pending
+let delivered_count t = t.delivered
+let spurious_count t = t.spurious

@@ -1,0 +1,33 @@
+(** A per-CPU local interrupt controller.
+
+    Each logical CPU (physical or Tai-Chi-registered virtual) owns a LAPIC
+    identified by an APIC id. Vectors map to handlers; injection delivers
+    immediately when the LAPIC is unmasked and queues otherwise, draining in
+    FIFO order on unmask — the behaviour the hardware workload probe relies
+    on when it targets a CPU whose data-plane service masked interrupts
+    (P-state). *)
+
+type t
+
+type vector = int
+
+val create : apic_id:int -> t
+val apic_id : t -> int
+
+val register_handler : t -> vector -> (unit -> unit) -> unit
+(** [register_handler t v f] installs [f] for vector [v], replacing any
+    previous handler. *)
+
+val inject : t -> vector -> unit
+(** [inject t v] delivers vector [v]: runs the handler now when unmasked,
+    otherwise appends to the pending queue. An injection with no registered
+    handler counts as spurious. *)
+
+val masked : t -> bool
+
+val set_masked : t -> bool -> unit
+(** [set_masked t false] drains pending vectors in arrival order. *)
+
+val pending_count : t -> int
+val delivered_count : t -> int
+val spurious_count : t -> int

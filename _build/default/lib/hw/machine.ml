@@ -1,0 +1,66 @@
+open Taichi_engine
+
+type config = { physical_cores : int; ipi_latency : Time_ns.t }
+
+let default_config = { physical_cores = 12; ipi_latency = Time_ns.ns 500 }
+
+type route = Deliver | Consumed
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  accounting : Accounting.t;
+  cache : Cache_model.t;
+  lapics : (int, Lapic.t) Hashtbl.t;
+  mutable interceptor : (src:int -> dst:int -> vector:Lapic.vector -> route) option;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(config = default_config) sim =
+  {
+    sim;
+    config;
+    accounting = Accounting.create ~cores:config.physical_cores;
+    cache = Cache_model.create ~cores:config.physical_cores ();
+    lapics = Hashtbl.create 32;
+    interceptor = None;
+    sent = 0;
+    dropped = 0;
+  }
+
+let sim t = t.sim
+let config t = t.config
+let physical_cores t = t.config.physical_cores
+let accounting t = t.accounting
+let cache t = t.cache
+
+let register_lapic t lapic =
+  let id = Lapic.apic_id lapic in
+  if Hashtbl.mem t.lapics id then
+    invalid_arg (Printf.sprintf "Machine.register_lapic: duplicate id %d" id);
+  Hashtbl.replace t.lapics id lapic
+
+let lapic t ~apic_id = Hashtbl.find t.lapics apic_id
+let lapic_opt t ~apic_id = Hashtbl.find_opt t.lapics apic_id
+
+let set_ipi_interceptor t hook = t.interceptor <- hook
+
+let deliver_raw t ~dst ~vector =
+  match Hashtbl.find_opt t.lapics dst with
+  | Some lapic ->
+      ignore
+        (Sim.after t.sim t.config.ipi_latency (fun () -> Lapic.inject lapic vector))
+  | None -> t.dropped <- t.dropped + 1
+
+let send_ipi t ~src ~dst ~vector =
+  t.sent <- t.sent + 1;
+  match t.interceptor with
+  | Some hook -> (
+      match hook ~src ~dst ~vector with
+      | Deliver -> deliver_raw t ~dst ~vector
+      | Consumed -> ())
+  | None -> deliver_raw t ~dst ~vector
+
+let ipis_sent t = t.sent
+let ipis_dropped t = t.dropped

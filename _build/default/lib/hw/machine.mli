@@ -1,0 +1,52 @@
+(** The SmartNIC machine: physical cores, the IPI fabric and shared models.
+
+    The machine owns the physical resources every other layer builds on. It
+    routes inter-processor interrupts between LAPICs — with an optional
+    interceptor hook, which is exactly where Tai Chi's unified IPI
+    orchestrator plugs in (§4.2 intercepts [x2apic_send_IPI]). *)
+
+open Taichi_engine
+
+type t
+
+type config = {
+  physical_cores : int;  (** general-purpose SmartNIC cores, e.g. 12 *)
+  ipi_latency : Time_ns.t;  (** fabric delivery latency of one IPI *)
+}
+
+val default_config : config
+(** 12 cores (Table 4), 500 ns IPI delivery. *)
+
+val create : ?config:config -> Sim.t -> t
+
+val sim : t -> Sim.t
+val config : t -> config
+val physical_cores : t -> int
+val accounting : t -> Accounting.t
+val cache : t -> Cache_model.t
+
+val register_lapic : t -> Lapic.t -> unit
+(** [register_lapic t lapic] makes the LAPIC addressable by its APIC id.
+    Raises [Invalid_argument] on a duplicate id. *)
+
+val lapic : t -> apic_id:int -> Lapic.t
+(** Raises [Not_found] for an unregistered id. *)
+
+val lapic_opt : t -> apic_id:int -> Lapic.t option
+
+type route = Deliver | Consumed
+(** Interceptor outcome: [Deliver] lets the fabric deliver normally;
+    [Consumed] means the interceptor handled routing itself. *)
+
+val set_ipi_interceptor :
+  t -> (src:int -> dst:int -> vector:Lapic.vector -> route) option -> unit
+(** Installs (or removes) the hook consulted on the send side of every IPI
+    before fabric delivery. *)
+
+val send_ipi : t -> src:int -> dst:int -> vector:Lapic.vector -> unit
+(** [send_ipi t ~src ~dst ~vector] consults the interceptor, then delivers
+    to the destination LAPIC after the configured fabric latency. An IPI to
+    an unregistered destination is dropped and counted. *)
+
+val ipis_sent : t -> int
+val ipis_dropped : t -> int

@@ -1,0 +1,1 @@
+lib/metrics/recorder.ml: Format Hashtbl Histogram List Stats Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/metrics/recorder.mli: Format Histogram Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/metrics/slo.ml: Format List Recorder Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/metrics/slo.mli: Format Recorder Taichi_engine Time_ns

@@ -1,0 +1,56 @@
+open Taichi_engine
+
+type objective =
+  | Latency_percentile of { percentile : float; bound : Time_ns.t }
+  | Mean_latency of Time_ns.t
+  | Max_latency of Time_ns.t
+  | Min_throughput of float
+
+type t = { name : string; objective : objective }
+
+type verdict = { slo : t; satisfied : bool; measured : float; target : float }
+
+let latency_p name ~percentile ~bound =
+  { name; objective = Latency_percentile { percentile; bound } }
+
+let mean_latency name bound = { name; objective = Mean_latency bound }
+let max_latency name bound = { name; objective = Max_latency bound }
+let min_throughput name ~per_sec = { name; objective = Min_throughput per_sec }
+
+let check slo recorder ~duration =
+  let empty = Recorder.count recorder = 0 in
+  match slo.objective with
+  | Latency_percentile { percentile; bound } ->
+      let measured =
+        if empty then infinity
+        else float_of_int (Recorder.percentile recorder percentile)
+      in
+      { slo; satisfied = measured <= float_of_int bound; measured;
+        target = float_of_int bound }
+  | Mean_latency bound ->
+      let measured = if empty then infinity else Recorder.mean recorder in
+      { slo; satisfied = measured <= float_of_int bound; measured;
+        target = float_of_int bound }
+  | Max_latency bound ->
+      let measured =
+        if empty then infinity else float_of_int (Recorder.max_value recorder)
+      in
+      { slo; satisfied = measured <= float_of_int bound; measured;
+        target = float_of_int bound }
+  | Min_throughput per_sec ->
+      let measured = Recorder.throughput_per_sec recorder ~duration in
+      { slo; satisfied = measured >= per_sec; measured; target = per_sec }
+
+let check_all slos recorder ~duration =
+  List.map (fun slo -> check slo recorder ~duration) slos
+
+let pp_verdict fmt v =
+  let status = if v.satisfied then "OK" else "VIOLATED" in
+  match v.slo.objective with
+  | Min_throughput _ ->
+      Format.fprintf fmt "%s: %s (%.1f/s vs >= %.1f/s)" v.slo.name status
+        v.measured v.target
+  | Latency_percentile _ | Mean_latency _ | Max_latency _ ->
+      Format.fprintf fmt "%s: %s (%s vs <= %s)" v.slo.name status
+        (Time_ns.to_string (int_of_float v.measured))
+        (Time_ns.to_string (int_of_float v.target))

@@ -1,0 +1,31 @@
+(** Service-level objective definitions and compliance checks.
+
+    SLOs mirror the paper's two families: latency-percentile objectives for
+    data-plane services and completion-time objectives for control-plane
+    tasks (e.g. VM startup). *)
+
+open Taichi_engine
+
+type objective =
+  | Latency_percentile of { percentile : float; bound : Time_ns.t }
+      (** e.g. p99 RTT below 100 µs. *)
+  | Mean_latency of Time_ns.t
+  | Max_latency of Time_ns.t
+  | Min_throughput of float  (** operations per second. *)
+
+type t = { name : string; objective : objective }
+
+type verdict = { slo : t; satisfied : bool; measured : float; target : float }
+
+val latency_p : string -> percentile:float -> bound:Time_ns.t -> t
+val mean_latency : string -> Time_ns.t -> t
+val max_latency : string -> Time_ns.t -> t
+val min_throughput : string -> per_sec:float -> t
+
+val check : t -> Recorder.t -> duration:Time_ns.t -> verdict
+(** [check slo recorder ~duration] evaluates the objective against the
+    recorder's samples. An SLO over an empty recorder is unsatisfied. *)
+
+val check_all : t list -> Recorder.t -> duration:Time_ns.t -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Accounting Hashtbl Lapic List Machine Printf Queue Sim Taichi_engine Taichi_hw Task Time_ns

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Lapic Machine Sim Taichi_engine Taichi_hw Task Time_ns

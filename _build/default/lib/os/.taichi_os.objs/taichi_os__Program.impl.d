@@ -1,0 +1,1 @@
+lib/os/program.ml: Task

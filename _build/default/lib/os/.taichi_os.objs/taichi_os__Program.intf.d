@@ -1,0 +1,1 @@
+lib/os/program.mli: Taichi_engine Task

@@ -1,0 +1,1 @@
+lib/os/softirq.ml: Accounting Hashtbl Machine Sim Taichi_engine Taichi_hw Time_ns

@@ -1,0 +1,1 @@
+lib/os/softirq.mli: Machine Taichi_engine Taichi_hw Time_ns

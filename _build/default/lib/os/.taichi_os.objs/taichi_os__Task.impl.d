@@ -1,0 +1,1 @@
+lib/os/task.ml: Format Queue Taichi_engine Time_ns

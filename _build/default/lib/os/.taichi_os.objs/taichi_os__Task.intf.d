@@ -1,0 +1,1 @@
+lib/os/task.mli: Format Queue Taichi_engine Time_ns

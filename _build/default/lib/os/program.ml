@@ -1,0 +1,66 @@
+type instr =
+  | Op of Task.op
+  | Gen of (unit -> instr list)
+  | Repeat of int * instr list
+  | Forever of instr list
+
+type frame_kind = Once | Loop of instr list | Count of int ref * instr list
+
+type frame = { mutable rest : instr list; kind : frame_kind }
+
+let to_step instrs =
+  let stack = ref [ { rest = instrs; kind = Once } ] in
+  let rec next () =
+    match !stack with
+    | [] -> Task.Exit
+    | frame :: outer -> (
+        match frame.rest with
+        | [] -> (
+            match frame.kind with
+            | Once ->
+                stack := outer;
+                next ()
+            | Loop body ->
+                frame.rest <- body;
+                next ()
+            | Count (n, body) ->
+                if !n > 0 then begin
+                  decr n;
+                  frame.rest <- body;
+                  next ()
+                end
+                else begin
+                  stack := outer;
+                  next ()
+                end)
+        | Op o :: tl ->
+            frame.rest <- tl;
+            o
+        | Gen f :: tl ->
+            frame.rest <- tl;
+            stack := { rest = f (); kind = Once } :: !stack;
+            next ()
+        | Repeat (n, body) :: tl ->
+            frame.rest <- tl;
+            if n > 0 then
+              stack := { rest = body; kind = Count (ref (n - 1), body) } :: !stack;
+            next ()
+        | Forever body :: tl ->
+            frame.rest <- tl;
+            stack := { rest = body; kind = Loop body } :: !stack;
+            next ())
+  in
+  fun (_ : Task.t) -> next ()
+
+let compute d = Op (Task.Run { duration = d; mode = Task.User })
+
+let kernel_routine ?(preemptible = false) d =
+  let mode = if preemptible then Task.Kernel else Task.Kernel_nonpreemptible in
+  Op (Task.Run { duration = d; mode })
+
+let critical_section lock body =
+  (Op (Task.Acquire lock) :: body) @ [ Op (Task.Release lock) ]
+
+let sleep d = Op (Task.Sleep_for d)
+let block wq = Op (Task.Block wq)
+let signal wq = Op (Task.Signal wq)

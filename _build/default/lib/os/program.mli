@@ -1,0 +1,31 @@
+(** Combinators for building task step functions.
+
+    Control-plane task behaviours are written as instruction lists —
+    sequences, bounded loops, infinite loops and dynamic stages — and
+    compiled into the generator closure a {!Task.t} needs. *)
+
+type instr =
+  | Op of Task.op  (** one kernel operation *)
+  | Gen of (unit -> instr list)
+      (** expanded when reached, for data-dependent stages *)
+  | Repeat of int * instr list  (** run the body [n] times *)
+  | Forever of instr list  (** run the body until the task is killed *)
+
+val to_step : instr list -> Task.t -> Task.op
+(** [to_step instrs] compiles the program; when instructions are exhausted
+    the task exits. Each call to the resulting function consumes one
+    operation. *)
+
+val compute : Taichi_engine.Time_ns.t -> instr
+(** [compute d] is a preemptible user-space computation of length [d]. *)
+
+val kernel_routine : ?preemptible:bool -> Taichi_engine.Time_ns.t -> instr
+(** [kernel_routine d] is a kernel-space section; non-preemptible by
+    default, matching the §3.2 routines. *)
+
+val critical_section : Task.spinlock -> instr list -> instr list
+(** [critical_section lock body] wraps [body] in acquire/release. *)
+
+val sleep : Taichi_engine.Time_ns.t -> instr
+val block : Task.waitq -> instr
+val signal : Task.waitq -> instr

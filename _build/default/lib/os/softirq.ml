@@ -1,0 +1,53 @@
+open Taichi_engine
+open Taichi_hw
+
+type t = {
+  sim : Sim.t;
+  machine : Machine.t;
+  dispatch_cost : Time_ns.t;
+  handlers : (int * int, unit -> unit) Hashtbl.t;
+  pending : (int * int, unit) Hashtbl.t;
+  mutable raised : int;
+  mutable handled : int;
+  mutable coalesced : int;
+}
+
+let vector_taichi = 42
+
+let create ?(dispatch_cost = Time_ns.ns 200) machine =
+  {
+    sim = Machine.sim machine;
+    machine;
+    dispatch_cost;
+    handlers = Hashtbl.create 32;
+    pending = Hashtbl.create 32;
+    raised = 0;
+    handled = 0;
+    coalesced = 0;
+  }
+
+let register t ~cpu ~vector f = Hashtbl.replace t.handlers (cpu, vector) f
+
+let raise_softirq t ~cpu ~vector =
+  t.raised <- t.raised + 1;
+  let key = (cpu, vector) in
+  if Hashtbl.mem t.pending key then t.coalesced <- t.coalesced + 1
+  else begin
+    Hashtbl.replace t.pending key ();
+    ignore
+      (Sim.after t.sim t.dispatch_cost (fun () ->
+           Hashtbl.remove t.pending key;
+           if cpu < Machine.physical_cores t.machine then
+             Accounting.charge (Machine.accounting t.machine) ~core:cpu
+               Accounting.Os t.dispatch_cost;
+           match Hashtbl.find_opt t.handlers key with
+           | Some f ->
+               t.handled <- t.handled + 1;
+               f ()
+           | None -> ()))
+  end
+
+let pending t ~cpu ~vector = Hashtbl.mem t.pending (cpu, vector)
+let raised_count t = t.raised
+let handled_count t = t.handled
+let coalesced_count t = t.coalesced

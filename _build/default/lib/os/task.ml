@@ -1,0 +1,103 @@
+open Taichi_engine
+
+type prio = Rt | Normal
+
+type exec_mode = User | Kernel | Kernel_nonpreemptible
+
+type op =
+  | Run of { duration : Time_ns.t; mode : exec_mode }
+  | Acquire of spinlock
+  | Release of spinlock
+  | Sleep_for of Time_ns.t
+  | Block of waitq
+  | Signal of waitq
+  | Exit
+
+and spinlock = {
+  lk_name : string;
+  mutable owner : t option;
+  waiters : t Queue.t;
+  mutable acquisitions : int;
+  mutable contentions : int;
+}
+
+and waitq = { wq_name : string; mutable credits : int; mutable sleepers : t list }
+
+and state =
+  | New
+  | Runnable
+  | Running
+  | Spinning of spinlock
+  | Blocked of waitq
+  | Sleeping
+  | Dead
+
+and t = {
+  tid : int;
+  tname : string;
+  prio : prio;
+  mutable affinity : int list;
+  step : t -> op;
+  mutable state : state;
+  mutable cpu : int option;
+  mutable locks_held : int;
+  mutable np_depth : int;
+  mutable spawned_at : Time_ns.t;
+  mutable finished_at : Time_ns.t option;
+  mutable cpu_time : Time_ns.t;
+  mutable spin_time : Time_ns.t;
+  mutable wakeups : int;
+  mutable kernel_entries : int;
+  mutable lock_acquisitions : int;
+}
+
+let next_tid = ref 0
+
+let create ?(prio = Normal) ?(affinity = []) ~name ~step () =
+  incr next_tid;
+  {
+    tid = !next_tid;
+    tname = name;
+    prio;
+    affinity;
+    step;
+    state = New;
+    cpu = None;
+    locks_held = 0;
+    np_depth = 0;
+    spawned_at = 0;
+    finished_at = None;
+    cpu_time = 0;
+    spin_time = 0;
+    wakeups = 0;
+    kernel_entries = 0;
+    lock_acquisitions = 0;
+  }
+
+let spinlock lk_name =
+  { lk_name; owner = None; waiters = Queue.create (); acquisitions = 0; contentions = 0 }
+
+let waitq wq_name = { wq_name; credits = 0; sleepers = [] }
+
+let nonpreemptible t =
+  t.locks_held > 0 || t.np_depth > 0
+  || match t.state with Spinning _ -> true | _ -> false
+
+let is_finished t = t.state = Dead
+
+let turnaround t =
+  match t.finished_at with Some f -> Some (f - t.spawned_at) | None -> None
+
+let pp fmt t =
+  let state_name =
+    match t.state with
+    | New -> "new"
+    | Runnable -> "runnable"
+    | Running -> "running"
+    | Spinning l -> "spinning:" ^ l.lk_name
+    | Blocked w -> "blocked:" ^ w.wq_name
+    | Sleeping -> "sleeping"
+    | Dead -> "dead"
+  in
+  Format.fprintf fmt "task<%d:%s %s cpu=%s>" t.tid t.tname state_name
+    (match t.cpu with Some c -> string_of_int c | None -> "-")

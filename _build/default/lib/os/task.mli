@@ -1,0 +1,97 @@
+(** Kernel tasks and the operation DSL they execute.
+
+    A task is a generator: each time the kernel is ready to run it, it asks
+    the task's [step] function for the next operation — a stretch of
+    computation, a lock acquisition, a sleep, a wait-queue interaction.
+    This models arbitrary control-plane programs (device management,
+    monitors, orchestration agents) without threading through the
+    simulator: the closure carries the task's control state.
+
+    Mutual recursion note: spinlocks and wait queues appear inside {!op}
+    and hold tasks as waiters, so the three types are defined together
+    here; their {e behaviour} (contention, wakeups, non-preemptible
+    sections) is implemented by {!Kernel}. *)
+
+open Taichi_engine
+
+type prio = Rt | Normal
+(** Two scheduling classes: [Rt] preempts [Normal]; round-robin within a
+    class. *)
+
+type exec_mode =
+  | User  (** preemptible user-space computation *)
+  | Kernel  (** preemptible kernel-space computation *)
+  | Kernel_nonpreemptible
+      (** a non-preemptible kernel routine — the ms-scale sections of §3.2
+          that block the OS scheduler until they finish *)
+
+type op =
+  | Run of { duration : Time_ns.t; mode : exec_mode }
+  | Acquire of spinlock
+      (** spin (non-preemptibly) until the lock is granted; holding any
+          lock makes the task non-preemptible *)
+  | Release of spinlock
+  | Sleep_for of Time_ns.t  (** leave the CPU; wake after the delay *)
+  | Block of waitq  (** semaphore P: consume a credit or sleep *)
+  | Signal of waitq  (** semaphore V: wake one sleeper or bank a credit *)
+  | Exit
+
+and spinlock = {
+  lk_name : string;
+  mutable owner : t option;
+  waiters : t Queue.t;
+  mutable acquisitions : int;
+  mutable contentions : int;
+}
+
+and waitq = {
+  wq_name : string;
+  mutable credits : int;
+  mutable sleepers : t list;
+}
+
+and state =
+  | New
+  | Runnable
+  | Running
+  | Spinning of spinlock
+  | Blocked of waitq
+  | Sleeping
+  | Dead
+
+and t = {
+  tid : int;
+  tname : string;
+  prio : prio;
+  mutable affinity : int list;  (** allowed kernel CPU ids; [] = any *)
+  step : t -> op;
+  mutable state : state;
+  mutable cpu : int option;  (** CPU currently running or queuing the task *)
+  mutable locks_held : int;
+  mutable np_depth : int;  (** non-preemptible nesting from [Run] sections *)
+  mutable spawned_at : Time_ns.t;
+  mutable finished_at : Time_ns.t option;
+  mutable cpu_time : Time_ns.t;  (** work actually executed *)
+  mutable spin_time : Time_ns.t;  (** time burnt busy-waiting *)
+  mutable wakeups : int;
+  mutable kernel_entries : int;  (** kernel-mode operations issued *)
+  mutable lock_acquisitions : int;  (** locks taken (audit telemetry) *)
+}
+
+val create :
+  ?prio:prio -> ?affinity:int list -> name:string -> step:(t -> op) -> unit -> t
+(** [create ~name ~step ()] is a fresh task; ids are process-unique. *)
+
+val spinlock : string -> spinlock
+val waitq : string -> waitq
+
+val nonpreemptible : t -> bool
+(** [nonpreemptible t] is [true] when the task holds a lock, is inside a
+    non-preemptible kernel section, or is spinning on a lock. *)
+
+val is_finished : t -> bool
+
+val turnaround : t -> Time_ns.t option
+(** Completion time minus spawn time, for finished tasks. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/platform/exp_common.ml: Bgload List Monitor Packet Printf Rng Sim String Synth_cp System Taichi_accel Taichi_controlplane Taichi_engine Taichi_os Taichi_workloads Task Time_ns

@@ -1,0 +1,1 @@
+lib/platform/exp_common.mli: Policy System Taichi_engine Taichi_os Task Time_ns

@@ -1,0 +1,1 @@
+lib/platform/exp_cp.ml: Device_mgmt Exp_common Float List Policy Printf Recorder Rng Sim Synth_cp System Table Taichi_controlplane Taichi_engine Taichi_metrics Taichi_os Task Time_ns Vm_lifecycle

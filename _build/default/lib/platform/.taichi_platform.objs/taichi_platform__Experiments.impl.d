@@ -1,0 +1,1 @@
+lib/platform/experiments.ml: Exp_ablations Exp_compare Exp_cp Exp_dp Exp_motivation

@@ -1,0 +1,1 @@
+lib/platform/policy.ml: Config Cost_model Taichi_core Taichi_engine Taichi_virt Time_ns

@@ -1,0 +1,1 @@
+lib/platform/policy.mli: Config Taichi_core Taichi_engine

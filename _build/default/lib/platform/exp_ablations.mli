@@ -1,0 +1,8 @@
+(** Ablation benchmarks for the design choices DESIGN.md calls out:
+    adaptive vCPU time slice, adaptive empty-poll threshold, and
+    lock-context safe rescheduling. *)
+
+val ablations : seed:int -> scale:float -> unit
+(** Runs the same mixed CP/DP scenario under full Tai Chi and each
+    single-mechanism-disabled variant; reports CP throughput, DP latency,
+    VM-exit pressure and safety counters. *)

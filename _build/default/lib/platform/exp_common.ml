@@ -1,0 +1,73 @@
+open Taichi_engine
+open Taichi_os
+open Taichi_accel
+open Taichi_workloads
+open Taichi_controlplane
+
+let scaled s d = max (Time_ns.ms 10) (int_of_float (float_of_int d *. s))
+
+let with_system ?layout ~seed policy f =
+  let sys = System.create ~seed ?layout policy in
+  System.warmup sys;
+  f sys
+
+let start_bg_dp sys ~target ~until =
+  let client = System.client sys in
+  let rng = Rng.split (System.rng sys) "bg-dp" in
+  Bgload.start client rng
+    ~params:(Bgload.default_params ~target_util:target)
+    ~cores:(System.net_cores sys) ~kind:Packet.Net_rx ~size:1400 ~until;
+  Bgload.start client rng
+    ~params:
+      {
+        (Bgload.default_params ~target_util:target) with
+        Bgload.per_packet_est = Time_ns.ns 5200;
+      }
+    ~cores:(System.storage_cores sys) ~kind:Packet.Storage_read ~size:4096
+    ~until
+
+let start_bg_cp sys =
+  let rng = Rng.split (System.rng sys) "bg-cp" in
+  let tasks = Monitor.standard_background ~rng ~affinity:[] () in
+  List.iter (fun task -> System.spawn_cp sys task) tasks
+
+let start_cp_ecosystem sys ?(tasks = 48) ?(target_util = 1.8) () =
+  let rng = Rng.split (System.rng sys) "cp-eco" in
+  let eco =
+    Monitor.production_ecosystem ~rng ~affinity:[] ~tasks ~target_util ()
+  in
+  List.iter (fun task -> System.spawn_cp sys task) eco
+
+let start_cp_churn sys ~period ~work ~until =
+  let sim = System.sim sys in
+  let rng = Rng.split (System.rng sys) "cp-churn" in
+  let params = { Synth_cp.default_params with total_work = work; phases = 3 } in
+  let lock = Task.spinlock "churn-dev" in
+  let counter = ref 0 in
+  let rec tick () =
+    if Sim.now sim < until then begin
+      incr counter;
+      let task =
+        Synth_cp.make ~rng ~params ~locks:[ lock ] ~affinity:[]
+          ~name:(Printf.sprintf "churn-%d" !counter)
+          ()
+      in
+      System.spawn_cp sys task;
+      ignore (Sim.after sim period tick)
+    end
+  in
+  tick ()
+
+let avg_turnaround_ms tasks =
+  let finished = List.filter_map Task.turnaround tasks in
+  match finished with
+  | [] -> 0.0
+  | _ ->
+      let sum = List.fold_left ( + ) 0 finished in
+      Time_ns.to_ms_f (sum / List.length finished)
+
+let overhead_pct ~baseline ~measured =
+  if baseline = 0.0 then 0.0 else (baseline -. measured) /. baseline *. 100.0
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,40 @@
+(** Shared plumbing for the experiment drivers. *)
+
+open Taichi_engine
+open Taichi_os
+
+val scaled : float -> Time_ns.t -> Time_ns.t
+(** [scaled s d] shrinks duration [d] by scale [s], floored at 10 ms. *)
+
+val with_system :
+  ?layout:System.layout -> seed:int -> Policy.t -> (System.t -> 'a) -> 'a
+(** Create, warm up, run the body. *)
+
+val start_bg_dp : System.t -> target:float -> until:Time_ns.t -> unit
+(** Bursty background traffic pinning every data-plane core at [target]
+    useful utilization (networking and storage streams). *)
+
+val start_bg_cp : System.t -> unit
+(** The standard long-lived control-plane background (monitors, log
+    flusher, orchestration agent). *)
+
+val start_cp_ecosystem : System.t -> ?tasks:int -> ?target_util:float -> unit -> unit
+(** A production-scale control-plane ecosystem (default 48 tasks consuming
+    ~1.8 cores), the steady load the §3.2 fleet carries on its dedicated
+    CP CPUs. *)
+
+val start_cp_churn :
+  System.t -> period:Time_ns.t -> work:Time_ns.t -> until:Time_ns.t -> unit
+(** Periodically spawn short synth_cp tasks — bursty control-plane demand
+    that keeps vCPUs requesting data-plane cycles during data-plane
+    benchmarks. *)
+
+val avg_turnaround_ms : Task.t list -> float
+(** Mean turnaround of finished tasks, in milliseconds. *)
+
+val overhead_pct : baseline:float -> measured:float -> float
+(** [(baseline - measured) / baseline * 100], i.e. positive = slower than
+    baseline (for higher-is-better metrics). *)
+
+val banner : string -> unit
+(** Experiment section header on stdout. *)

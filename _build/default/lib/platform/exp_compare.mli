@@ -1,0 +1,12 @@
+(** Comparison tables: Table 1 (prior work) and Table 2 (virtualization
+    approaches), with measured values where the simulator can produce
+    them. *)
+
+val table1 : seed:int -> scale:float -> unit
+(** Scheduling granularity / framework overhead / CP transparency,
+    combining the paper's qualitative rows with measured granularity for
+    the OS-scheduler (naive) path and Tai Chi. *)
+
+val table2 : seed:int -> scale:float -> unit
+(** Type-1 vs type-2 vs Tai Chi: residency, measured data-plane
+    performance, OS count and DP-CP IPC latency. *)

@@ -1,0 +1,135 @@
+open Taichi_engine
+open Taichi_os
+open Taichi_metrics
+open Taichi_controlplane
+open Exp_common
+
+(* --- Fig 11 --------------------------------------------------------------- *)
+
+let synth_run sys ~concurrency =
+  let rng = Rng.split (System.rng sys) "fig11" in
+  let locks = [ Task.spinlock "drv-a"; Task.spinlock "drv-b" ] in
+  let tasks =
+    Synth_cp.make_batch ~rng ~params:Synth_cp.default_params ~locks ~affinity:[]
+      ~count:concurrency
+  in
+  List.iter (fun task -> System.spawn_cp sys task) tasks;
+  let ok = System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 30) in
+  if not ok then Printf.printf "  (warning: synth_cp run hit the time limit)\n";
+  avg_turnaround_ms tasks
+
+let concurrencies = [ 1; 2; 4; 8; 16; 32 ]
+
+(* The paper pins data-plane utilization at "30%, consistent with the
+   production p99 case": production load whose per-second p99 is 30% has a
+   mean near 12% (Fig 3), which is what the bursty generator targets — its
+   on-phase seconds run at ~25-30%. *)
+let fig11_dp_target = 0.12
+
+let fig11_point ~seed policy concurrency =
+  with_system ~seed policy (fun sys ->
+      let until = Sim.now (System.sim sys) + Time_ns.sec 30 in
+      start_bg_dp sys ~target:fig11_dp_target ~until;
+      (* Production CP CPUs are never dedicated to the benchmark: they
+         carry the standing 300-500-task ecosystem (§3.2). *)
+      start_cp_ecosystem sys ();
+      synth_run sys ~concurrency)
+
+let fig11 ~seed ~scale:_ =
+  banner "Figure 11: synth_cp execution time vs concurrency (DP at 30%)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("concurrency", Table.Right);
+          ("baseline_ms", Table.Right);
+          ("taichi_ms", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  List.iter
+    (fun conc ->
+      let base = fig11_point ~seed Policy.Static_partition conc in
+      let taichi = fig11_point ~seed Policy.taichi_default conc in
+      Table.add_row table
+        [
+          string_of_int conc;
+          Table.cell_f base;
+          Table.cell_f taichi;
+          Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
+        ])
+    concurrencies;
+  Table.print table;
+  Printf.printf "Paper shape: ~4x faster at 32 concurrent tasks.\n"
+
+(* --- Fig 17 --------------------------------------------------------------- *)
+
+let storm sys ~density =
+  let sim = System.sim sys in
+  let rng = Rng.split (System.rng sys) "fig17" in
+  let locks =
+    List.init 8 (fun i -> Task.spinlock (Printf.sprintf "device-driver-%d" i))
+  in
+  let recorder = Recorder.create "vm.startup" in
+  let params =
+    Vm_lifecycle.at_density ~base:(Vm_lifecycle.default_params ~rng) density
+  in
+  let params =
+    {
+      params with
+      Vm_lifecycle.device =
+        {
+          params.Vm_lifecycle.device with
+          Device_mgmt.dpcp_roundtrip = System.dpcp_roundtrip sys;
+        };
+    }
+  in
+  let n_vms = max 1 (int_of_float (10.0 *. density)) in
+  let tasks =
+    List.init n_vms (fun i ->
+        Vm_lifecycle.startup_task ~sim ~rng ~params ~locks ~affinity:[]
+          ~name:(Printf.sprintf "vm-%d" i)
+          ~recorder)
+  in
+  List.iter (fun task -> System.spawn_cp sys task) tasks;
+  ignore (System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 60));
+  Recorder.mean recorder /. 1e6
+
+let fig17 ~seed ~scale:_ =
+  banner "Figure 17: VM startup vs density, with and without Tai Chi";
+  let slo_ms = Time_ns.to_ms_f Vm_lifecycle.slo in
+  let point policy density =
+    with_system ~seed policy (fun sys ->
+        let until = Sim.now (System.sim sys) + Time_ns.sec 60 in
+        start_bg_dp sys ~target:fig11_dp_target ~until;
+        start_cp_ecosystem sys ();
+        storm sys ~density)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("density", Table.Right);
+          ("baseline_ms", Table.Right);
+          ("baseline/SLO", Table.Right);
+          ("taichi_ms", Table.Right);
+          ("taichi/SLO", Table.Right);
+          ("reduction", Table.Right);
+        ]
+  in
+  List.iter
+    (fun density ->
+      let base = point Policy.Static_partition density in
+      let taichi = point Policy.taichi_default density in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0fx" density;
+          Table.cell_f base;
+          Printf.sprintf "%.2fx" (base /. slo_ms);
+          Table.cell_f taichi;
+          Printf.sprintf "%.2fx" (taichi /. slo_ms);
+          Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
+        ])
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Table.print table;
+  Printf.printf "Paper shape: ~3.1x startup reduction at high density.\n"

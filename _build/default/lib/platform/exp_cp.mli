@@ -1,0 +1,10 @@
+(** Control-plane performance experiments: Fig 11 (§6.2) and Fig 17
+    (§6.6). *)
+
+val fig11 : seed:int -> scale:float -> unit
+(** Average synth_cp execution time vs concurrency, baseline vs Tai Chi,
+    with the data plane held at 30% utilization. *)
+
+val fig17 : seed:int -> scale:float -> unit
+(** Average VM startup time vs instance density, with and without
+    Tai Chi, normalized to the CP SLO. *)

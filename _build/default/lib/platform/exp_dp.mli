@@ -1,0 +1,25 @@
+(** Data-plane experiments: Figs 12-16, Table 5 (§6.3-§6.5) and the §8
+    dynamic-repartitioning proof of concept. *)
+
+val fig12 : seed:int -> scale:float -> unit
+(** netperf tcp_crr across baseline / Tai Chi / Tai Chi-vDP / type-2. *)
+
+val fig13 : seed:int -> scale:float -> unit
+(** fio 4 KiB IOPS across the same four systems. *)
+
+val table5 : seed:int -> scale:float -> unit
+(** ping RTT: baseline vs Tai Chi vs Tai Chi without the hardware
+    workload probe. *)
+
+val fig14 : seed:int -> scale:float -> unit
+(** Normalized netperf/sockperf performance under Tai Chi. *)
+
+val fig15 : seed:int -> scale:float -> unit
+(** MySQL (sysbench) throughput under Tai Chi vs baseline. *)
+
+val fig16 : seed:int -> scale:float -> unit
+(** Nginx (wrk) requests per second under Tai Chi vs baseline. *)
+
+val sec8 : seed:int -> scale:float -> unit
+(** Reallocate 50% of CP pCPUs to the data plane via Tai Chi's dynamic
+    partitioning: peak IOPS / CPS gains with unchanged CP performance. *)

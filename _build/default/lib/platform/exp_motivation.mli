@@ -1,0 +1,19 @@
+(** Motivation experiments: Figs 2, 3, 4, 5 and 6. *)
+
+val fig2 : seed:int -> scale:float -> unit
+(** VM startup and CP execution time vs instance density under the static
+    baseline (normalized to SLO / 1x density). *)
+
+val fig3 : seed:int -> scale:float -> unit
+(** CDF of data-plane CPU utilization: regenerated production population
+    plus a simulated validation point. *)
+
+val fig4 : seed:int -> scale:float -> unit
+(** Anatomy of a non-preemptible-routine latency spike: naive
+    co-scheduling vs Tai Chi on the same scenario. *)
+
+val fig5 : seed:int -> scale:float -> unit
+(** Histogram of long non-preemptible routine durations. *)
+
+val fig6 : seed:int -> scale:float -> unit
+(** Timing breakdown of one I/O descriptor through the accelerator. *)

@@ -1,0 +1,20 @@
+let all =
+  [
+    ("fig2", Exp_motivation.fig2);
+    ("fig3", Exp_motivation.fig3);
+    ("fig4", Exp_motivation.fig4);
+    ("fig5", Exp_motivation.fig5);
+    ("fig6", Exp_motivation.fig6);
+    ("fig11", Exp_cp.fig11);
+    ("fig12", Exp_dp.fig12);
+    ("fig13", Exp_dp.fig13);
+    ("table5", Exp_dp.table5);
+    ("fig14", Exp_dp.fig14);
+    ("fig15", Exp_dp.fig15);
+    ("fig16", Exp_dp.fig16);
+    ("fig17", Exp_cp.fig17);
+    ("table1", Exp_compare.table1);
+    ("table2", Exp_compare.table2);
+    ("sec8", Exp_dp.sec8);
+    ("ablations", Exp_ablations.ablations);
+  ]

@@ -1,0 +1,62 @@
+(** Scheduling policies: Tai Chi, its ablations, and the systems the paper
+    compares against (§6.1, §6.3). *)
+
+open Taichi_core
+
+type t =
+  | Static_partition
+      (** the production baseline: CPUs statically split between
+          data-plane services (8) and control-plane tasks (4) *)
+  | Taichi of Config.t
+      (** the full framework; ablations are expressed through the config *)
+  | Taichi_vdp of Config.t
+      (** §6.3 "Tai Chi-vDP": identical, but data-plane services execute
+          in vCPU contexts (type-1-like), paying the nested-page-table tax
+          and doubled switch latency *)
+  | Type2
+      (** traditional QEMU+KVM: a guest OS hosts the control plane; device
+          emulation and the guest permanently consume data-plane cores and
+          DP–CP IPC becomes RPC *)
+  | Naive_coschedule
+      (** §3.2 strawman: control-plane tasks schedule directly onto idle
+          data-plane cores through the OS scheduler, exposing data-plane
+          packets to non-preemptible routines *)
+  | Uintr_coschedule
+      (** user-interrupt-style co-scheduling (Skyloft/Vessel family): the
+          preemption {e notification} is nearly free, but the mechanism
+          still cannot break non-preemptible kernel routines (§3.3 point
+          1), so the ms-scale spikes remain *)
+  | Dedicated_core
+      (** Shenango/Caladan-style: a dedicated scheduler core polls queues
+          and reallocates cores; it permanently burns one data-plane core
+          (§3.3 point 2) and core reallocation still waits on
+          non-preemptible routines *)
+
+val name : t -> string
+
+val taichi_default : t
+(** [Taichi Config.default]. *)
+
+val taichi_no_hw_probe : t
+(** The §6.4 ablation. *)
+
+val dp_cores_lost : t -> int
+(** Physical data-plane cores consumed by the policy's infrastructure
+    (2 for type-2 device emulation + guest OS, 0 otherwise). *)
+
+val dp_speed_tax : t -> float
+(** Execution tax on data-plane packet processing (nested page tables for
+    vDP, virtio emulation residue for type-2). *)
+
+val cp_speed_tax : t -> float
+(** Execution tax on control-plane work (guest mode under type-2). *)
+
+val dpcp_roundtrip : t -> Taichi_engine.Time_ns.t
+(** Latency of one control-plane/data-plane coordination exchange: native
+    IPC (30 µs) everywhere except type-2, whose broken IPC semantics
+    require RPC (§3.4, Table 2). *)
+
+val reclaim_switch_cost : t -> Taichi_engine.Time_ns.t
+(** Data-plane resume cost after reclaiming a lent core: the OS
+    context-switch path (2 µs), or a near-free notification for
+    UINTR-style co-scheduling. *)

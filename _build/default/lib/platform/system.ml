@@ -1,0 +1,211 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_accel
+open Taichi_core
+open Taichi_dataplane
+open Taichi_workloads
+
+type layout = { n_net : int; n_storage : int; n_cp : int }
+
+let default_layout = { n_net = 5; n_storage = 3; n_cp = 4 }
+
+type t = {
+  sim : Sim.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  pipeline : Pipeline.t;
+  policy : Policy.t;
+  rng : Rng.t;
+  client : Client.t;
+  taichi : Taichi.t option;
+  net_cores : int list;
+  storage_cores : int list;
+  cp_cores : int list;
+  net_services : Dp_service.t list;
+  storage_services : Dp_service.t list;
+  mutable epoch : Time_ns.t;
+}
+
+let range lo n = List.init n (fun i -> lo + i)
+
+let create ?(seed = 42) ?(layout = default_layout) policy =
+  let sim = Sim.create () in
+  let total = layout.n_net + layout.n_storage + layout.n_cp in
+  let machine =
+    Machine.create ~config:{ Machine.default_config with physical_cores = total } sim
+  in
+  let kernel = Kernel.create machine in
+  let pipeline = Pipeline.create sim in
+  let rng = Rng.create ~seed in
+  (* Infrastructure cores consumed by the policy (type-2 emulation + guest
+     OS) come off the data-plane partitions, one per subsystem. *)
+  let lost = Policy.dp_cores_lost policy in
+  let lost_net = lost / 2 and lost_sto = lost - (lost / 2) in
+  let n_net = layout.n_net - lost_net
+  and n_storage = layout.n_storage - lost_sto in
+  let net_cores = range 0 n_net in
+  let storage_cores = range layout.n_net n_storage in
+  let cp_base = layout.n_net + layout.n_storage in
+  let cp_cores = range cp_base layout.n_cp in
+  (* Every physical core is a kernel logical CPU; data-plane-owned cores
+     are unavailable to the task scheduler. *)
+  List.iter
+    (fun id ->
+      let available = id >= cp_base in
+      let c = Kernel.add_physical_cpu kernel ~available ~id () in
+      Kernel.set_speed_tax c (if available then Policy.cp_speed_tax policy else 0.0))
+    (range 0 total);
+  (* Data-plane services. *)
+  let dp_tax = Policy.dp_speed_tax policy in
+  let make_net core =
+    let dp = Net_service.create machine pipeline ~core in
+    Dp_service.set_speed_tax dp dp_tax;
+    dp
+  in
+  let make_sto core =
+    let dp = Storage_service.create machine pipeline ~core in
+    Dp_service.set_speed_tax dp dp_tax;
+    dp
+  in
+  let net_services = List.map make_net net_cores in
+  let storage_services = List.map make_sto storage_cores in
+  let services = net_services @ storage_services in
+  (* Ring-delivery notifications. *)
+  let hook =
+    List.fold_left
+      (fun acc dp -> Dp_service.attach_delivery dp acc)
+      (fun ~core:_ -> ())
+      services
+  in
+  Pipeline.set_deliver_hook pipeline hook;
+  (* Policy machinery. *)
+  let taichi =
+    match policy with
+    | Policy.Taichi config | Policy.Taichi_vdp config ->
+        Some
+          (Taichi.install ~config ~machine ~kernel ~pipeline ~dps:services
+             ~cp_pcpus:cp_cores ())
+    | Policy.Static_partition | Policy.Type2 -> None
+    | Policy.Naive_coschedule | Policy.Uintr_coschedule | Policy.Dedicated_core
+      ->
+        (* Idle data-plane cores are lent to the kernel scheduler itself;
+           packets must wait for any non-preemptible routine to finish.
+           The variants differ in resume-notification cost (UINTR) and in
+           the dedicated scheduler core already removed from the
+           data-plane partition above. *)
+        let switch_cost = Policy.reclaim_switch_cost policy in
+        List.iter
+          (fun dp ->
+            let hooks = Dp_service.hooks dp in
+            let core = Dp_service.core dp in
+            hooks.Dp_service.idle_detected <-
+              (fun dp ->
+                if Dp_service.try_yield dp then
+                  Kernel.lend kernel (Kernel.cpu kernel core));
+            hooks.Dp_service.work_arrived_while_yielded <-
+              (fun dp ->
+                Kernel.reclaim kernel (Kernel.cpu kernel core)
+                  ~on_granted:(fun () -> Dp_service.resume dp ~switch_cost)))
+          services;
+        None
+  in
+  let client = Client.create sim pipeline ~services in
+  List.iter Dp_service.start services;
+  {
+    sim;
+    machine;
+    kernel;
+    pipeline;
+    policy;
+    rng;
+    client;
+    taichi;
+    net_cores;
+    storage_cores;
+    cp_cores;
+    net_services;
+    storage_services;
+    epoch = 0;
+  }
+
+let sim t = t.sim
+let machine t = t.machine
+let kernel t = t.kernel
+let pipeline t = t.pipeline
+let policy t = t.policy
+let rng t = t.rng
+let client t = t.client
+let taichi t = t.taichi
+let net_cores t = t.net_cores
+let storage_cores t = t.storage_cores
+let dp_cores t = t.net_cores @ t.storage_cores
+let cp_cores t = t.cp_cores
+
+let cp_affinity t =
+  match t.policy with
+  | Policy.Naive_coschedule | Policy.Uintr_coschedule | Policy.Dedicated_core ->
+      dp_cores t @ t.cp_cores
+  | Policy.Static_partition | Policy.Type2 -> t.cp_cores
+  | Policy.Taichi _ | Policy.Taichi_vdp _ -> (
+      match t.taichi with
+      | Some tc -> Taichi.cp_cpu_ids tc
+      | None -> t.cp_cores)
+
+let net_services t = t.net_services
+let storage_services t = t.storage_services
+let services t = t.net_services @ t.storage_services
+
+let spawn_cp t task =
+  (* Respect an explicit pin; otherwise bind to the policy's CP CPU set. *)
+  if task.Task.affinity = [] then task.Task.affinity <- cp_affinity t;
+  Kernel.spawn t.kernel task
+
+let advance t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
+
+let warmup t =
+  (match t.taichi with
+  | Some tc ->
+      let deadline = Sim.now t.sim + Time_ns.ms 100 in
+      while (not (Taichi.ready tc)) && Sim.now t.sim < deadline do
+        advance t (Time_ns.ms 1)
+      done;
+      if not (Taichi.ready tc) then failwith "System.warmup: vCPUs failed to boot"
+  | None -> advance t (Time_ns.ms 1));
+  t.epoch <- Sim.now t.sim
+
+let run_until_tasks_done t tasks ~limit =
+  let deadline = Sim.now t.sim + limit in
+  let all_done () = List.for_all Task.is_finished tasks in
+  while (not (all_done ())) && Sim.now t.sim < deadline do
+    advance t (Time_ns.ms 1)
+  done;
+  all_done ()
+
+let epoch t = t.epoch
+let elapsed t = Sim.now t.sim - t.epoch
+
+let dp_latency_hist t =
+  List.fold_left
+    (fun acc dp ->
+      Histogram.merge acc (Taichi_metrics.Recorder.histogram (Dp_service.latency dp)))
+    (Histogram.create ()) (services t)
+
+let dp_spikes t =
+  List.fold_left (fun acc dp -> acc + Dp_service.spikes dp) 0 (services t)
+
+let dp_work_utilization t =
+  let cores = dp_cores t in
+  let e = elapsed t in
+  if e <= 0 || cores = [] then 0.0
+  else begin
+    let acct = Machine.accounting t.machine in
+    let work =
+      List.fold_left
+        (fun acc core -> acc + Accounting.busy_class acct ~core Accounting.Dp_work)
+        0 cores
+    in
+    float_of_int work /. (float_of_int e *. float_of_int (List.length cores))
+  end
+
+let dpcp_roundtrip t = Policy.dpcp_roundtrip t.policy

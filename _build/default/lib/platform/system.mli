@@ -1,0 +1,83 @@
+(** Full simulated SmartNIC systems under a scheduling policy.
+
+    [create] assembles the Table 4 environment — a 12-core SmartNIC with
+    the accelerator pipeline, networking and storage data-plane services,
+    a kernel, and the policy's scheduling machinery — and wires every
+    hook. Experiments then attach workloads and control-plane tasks and
+    advance simulated time. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_accel
+open Taichi_core
+open Taichi_dataplane
+open Taichi_workloads
+
+type layout = {
+  n_net : int;  (** networking data-plane cores *)
+  n_storage : int;  (** storage data-plane cores *)
+  n_cp : int;  (** dedicated control-plane cores *)
+}
+
+val default_layout : layout
+(** 5 networking + 3 storage data-plane cores, 4 control-plane cores: the
+    paper's 8/4 static split on a 12-CPU SmartNIC (Table 4, §6.1). *)
+
+type t
+
+val create : ?seed:int -> ?layout:layout -> Policy.t -> t
+(** Build the system. For Tai Chi policies, vCPUs still need their hotplug
+    boot: call {!warmup}. *)
+
+val warmup : t -> unit
+(** Advance simulated time until the policy's infrastructure is ready
+    (vCPU hotplug etc.) and set the measurement epoch. *)
+
+val sim : t -> Sim.t
+val machine : t -> Machine.t
+val kernel : t -> Kernel.t
+val pipeline : t -> Pipeline.t
+val policy : t -> Policy.t
+val rng : t -> Rng.t
+val client : t -> Client.t
+val taichi : t -> Taichi.t option
+
+val net_cores : t -> int list
+val storage_cores : t -> int list
+val dp_cores : t -> int list
+val cp_cores : t -> int list  (** dedicated CP physical CPU ids *)
+
+val cp_affinity : t -> int list
+(** Kernel CPU ids control-plane tasks bind to under this policy. *)
+
+val net_services : t -> Dp_service.t list
+val storage_services : t -> Dp_service.t list
+val services : t -> Dp_service.t list
+
+val spawn_cp : t -> Task.t -> unit
+(** Spawn a control-plane task: tasks without an explicit affinity are
+    bound to {!cp_affinity}; an existing pin is respected. *)
+
+val advance : t -> Time_ns.t -> unit
+(** Run the simulation for a further duration. *)
+
+val run_until_tasks_done : t -> Task.t list -> limit:Time_ns.t -> bool
+(** Advance until every task finished (true) or the limit elapsed. *)
+
+val epoch : t -> Time_ns.t
+(** Start of the measurement window (set by {!warmup}). *)
+
+val elapsed : t -> Time_ns.t
+(** Simulated time since the epoch. *)
+
+val dp_latency_hist : t -> Histogram.t
+(** Merged per-packet latency across all data-plane services. *)
+
+val dp_spikes : t -> int
+(** Total tail-latency spikes observed by data-plane services. *)
+
+val dp_work_utilization : t -> float
+(** Useful data-plane processing time over (elapsed x data-plane cores). *)
+
+val dpcp_roundtrip : t -> Time_ns.t

@@ -1,0 +1,1 @@
+lib/virt/cost_model.mli: Taichi_engine Time_ns

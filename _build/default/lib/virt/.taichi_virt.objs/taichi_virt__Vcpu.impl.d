@@ -1,0 +1,1 @@
+lib/virt/vcpu.ml: Format List Printf Taichi_engine Time_ns Vmexit

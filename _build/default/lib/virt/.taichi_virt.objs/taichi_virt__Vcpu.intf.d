@@ -1,0 +1,1 @@
+lib/virt/vcpu.mli: Format Taichi_engine Time_ns Vmexit

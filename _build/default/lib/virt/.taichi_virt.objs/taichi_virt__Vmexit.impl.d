@@ -1,0 +1,1 @@
+lib/virt/vmexit.ml: Format

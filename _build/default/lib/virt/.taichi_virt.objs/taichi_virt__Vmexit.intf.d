@@ -1,0 +1,1 @@
+lib/virt/vmexit.mli: Format

@@ -1,0 +1,18 @@
+open Taichi_engine
+
+type t = {
+  world_switch : Time_ns.t;
+  light_exit : Time_ns.t;
+  posted_interrupt : Time_ns.t;
+  npt_tax : float;
+}
+
+let default =
+  {
+    world_switch = Time_ns.us 2;
+    light_exit = Time_ns.ns 600;
+    posted_interrupt = Time_ns.ns 400;
+    npt_tax = 0.05;
+  }
+
+let no_tax t = { t with npt_tax = 0.0 }

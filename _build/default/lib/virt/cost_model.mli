@@ -1,0 +1,31 @@
+(** Virtualization cost model.
+
+    Groups the timing constants of hardware-assisted virtualization that
+    the paper measures or relies on: the 2 µs vCPU context-switch
+    (de)scheduling latency (§3.4), lightweight exit handling, posted
+    interrupts, and the nested-page-table execution tax observed when
+    data-plane services run in guest mode (§6.3, ~7%). *)
+
+open Taichi_engine
+
+type t = {
+  world_switch : Time_ns.t;
+      (** full vCPU context switch: VM-exit, state save/restore, VM-entry
+          — the paper's 2 µs scheduling latency *)
+  light_exit : Time_ns.t;
+      (** VM-exit handled by the scheduler without leaving the core (e.g.
+          time-slice bookkeeping before resuming the same vCPU) *)
+  posted_interrupt : Time_ns.t;
+      (** delivering an interrupt into a running vCPU without an exit *)
+  npt_tax : float;
+      (** relative slowdown of guest-mode execution (nested page tables,
+          TLB behaviour); applied as a speed factor *)
+}
+
+val default : t
+(** world_switch = 2 µs, light_exit = 600 ns, posted_interrupt = 400 ns,
+    npt_tax = 0.05. *)
+
+val no_tax : t -> t
+(** Same timings with [npt_tax = 0], for control-plane-only vCPUs whose
+    workloads are syscall-bound rather than memory-bound. *)

@@ -1,0 +1,15 @@
+type t =
+  | Timeslice_expired
+  | Hw_probe_irq
+  | Ipi_send
+  | Halt
+  | External of string
+
+let to_string = function
+  | Timeslice_expired -> "timeslice_expired"
+  | Hw_probe_irq -> "hw_probe_irq"
+  | Ipi_send -> "ipi_send"
+  | Halt -> "halt"
+  | External s -> "external:" ^ s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/workloads/bgload.ml: Client Dist List Printf Rng Sim Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/bgload.mli: Client Rng Taichi_accel Taichi_engine Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/client.ml: Dp_service Hashtbl List Net_service Packet Pipeline Sim Taichi_accel Taichi_dataplane Taichi_engine

@@ -1,0 +1,1 @@
+lib/workloads/client.mli: Dp_service Packet Pipeline Sim Taichi_accel Taichi_dataplane Taichi_engine

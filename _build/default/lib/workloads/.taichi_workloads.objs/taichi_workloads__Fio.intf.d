@@ -1,0 +1,1 @@
+lib/workloads/fio.mli: Client Recorder Rng Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/mysql.ml: Array Client List Packet Recorder Rng Sim Taichi_accel Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Array Client Dist List Packet Recorder Rng Rr_engine Sim Taichi_accel Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: Client Recorder Rng Rr_engine Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/nginx.ml: Packet Rr_engine Taichi_accel Taichi_engine Time_ns

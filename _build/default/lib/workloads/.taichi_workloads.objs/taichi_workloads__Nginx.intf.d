@@ -1,0 +1,1 @@
+lib/workloads/nginx.mli: Client Rng Rr_engine Taichi_engine Time_ns

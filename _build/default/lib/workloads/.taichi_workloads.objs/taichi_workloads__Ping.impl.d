@@ -1,0 +1,1 @@
+lib/workloads/ping.ml: Client Dist Packet Recorder Sim Taichi_accel Taichi_engine Taichi_metrics Time_ns

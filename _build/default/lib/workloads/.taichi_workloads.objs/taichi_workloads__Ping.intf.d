@@ -1,0 +1,1 @@
+lib/workloads/ping.mli: Client Recorder Rng Taichi_engine Taichi_metrics Time_ns

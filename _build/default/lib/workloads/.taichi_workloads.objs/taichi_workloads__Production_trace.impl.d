@@ -1,0 +1,1 @@
+lib/workloads/production_trace.ml: Array Dist Float List Rng Taichi_engine

@@ -1,0 +1,1 @@
+lib/workloads/production_trace.mli: Rng Taichi_engine

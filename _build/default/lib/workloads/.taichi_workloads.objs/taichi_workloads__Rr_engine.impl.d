@@ -1,0 +1,1 @@
+lib/workloads/rr_engine.ml: Array Client Dist List Packet Recorder Rng Sim Taichi_accel Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/rr_engine.mli: Client Packet Recorder Rng Taichi_accel Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/sockperf.ml: Packet Rr_engine Taichi_accel Taichi_engine Taichi_metrics Time_ns

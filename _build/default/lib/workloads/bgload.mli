@@ -1,0 +1,31 @@
+(** Background data-plane load generator.
+
+    Drives a set of cores at a target {e useful} utilization with bursty
+    (two-state MMPP) traffic — the tool for pinning "data-plane CPU
+    utilization at 30%, consistent with the production p99 case" (§6.2)
+    while control-plane experiments run. *)
+
+open Taichi_engine
+
+type params = {
+  target_util : float;  (** average fraction of core time doing DP work *)
+  per_packet_est : Time_ns.t;  (** estimated processing cost per packet *)
+  burst_mean : float;  (** mean packets per burst *)
+  on_fraction : float;  (** fraction of time in the high-rate state *)
+  on_off_ratio : float;  (** high-state rate over low-state rate *)
+  phase_mean : Time_ns.t;  (** mean duration of each MMPP phase *)
+}
+
+val default_params : target_util:float -> params
+
+val start :
+  Client.t ->
+  Rng.t ->
+  params:params ->
+  cores:int list ->
+  kind:Taichi_accel.Packet.kind ->
+  size:int ->
+  until:Time_ns.t ->
+  unit
+(** Generate traffic on every core in [cores] until simulated time
+    [until]. Each core gets an independent MMPP stream. *)

@@ -1,0 +1,52 @@
+open Taichi_engine
+open Taichi_accel
+open Taichi_dataplane
+
+type t = {
+  sim : Sim.t;
+  pipeline : Pipeline.t;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable next_tag : int;
+}
+
+let conn_bit = Net_service.connection_tag_bit
+
+let create sim pipeline ~services =
+  let t = { sim; pipeline; handlers = Hashtbl.create 4096; next_tag = 1 } in
+  let route pkts =
+    List.iter
+      (fun pkt ->
+        let key = pkt.Packet.tag land lnot conn_bit in
+        match Hashtbl.find_opt t.handlers key with
+        | Some f ->
+            Hashtbl.remove t.handlers key;
+            f pkt
+        | None -> ())
+      pkts
+  in
+  List.iter
+    (fun dp ->
+      let hooks = Dp_service.hooks dp in
+      let previous = hooks.Dp_service.on_packets_done in
+      hooks.Dp_service.on_packets_done <-
+        (fun pkts ->
+          previous pkts;
+          route pkts))
+    services;
+  t
+
+let sim t = t.sim
+
+let submit t ~kind ~size ~core ?(conn_setup = false) ~on_done () =
+  let tag = t.next_tag in
+  t.next_tag <- t.next_tag + 1;
+  Hashtbl.replace t.handlers tag on_done;
+  let full_tag = if conn_setup then tag lor conn_bit else tag in
+  let pkt = Packet.create ~kind ~size ~dst_core:core ~tag:full_tag in
+  Pipeline.submit t.pipeline pkt
+
+let submit_background t ~kind ~size ~core =
+  let pkt = Packet.create ~kind ~size ~dst_core:core ~tag:0 in
+  Pipeline.submit t.pipeline pkt
+
+let outstanding t = Hashtbl.length t.handlers

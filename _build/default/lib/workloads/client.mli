@@ -1,0 +1,36 @@
+(** Tag-routed completion plumbing shared by all workload generators.
+
+    One client per simulated system: it owns the [on_packets_done] hook of
+    every data-plane service and routes each completed descriptor to the
+    one-shot handler registered under its tag. Untagged (background)
+    traffic falls through unhandled. *)
+
+open Taichi_engine
+open Taichi_accel
+open Taichi_dataplane
+
+type t
+
+val create : Sim.t -> Pipeline.t -> services:Dp_service.t list -> t
+(** Installs the completion hook on every service. *)
+
+val sim : t -> Sim.t
+
+val submit :
+  t ->
+  kind:Packet.kind ->
+  size:int ->
+  core:int ->
+  ?conn_setup:bool ->
+  on_done:(Packet.t -> unit) ->
+  unit ->
+  unit
+(** Submit one descriptor into the accelerator pipeline; [on_done] fires
+    when the data-plane service finishes processing it. [conn_setup] marks
+    the packet as carrying connection-establishment work. *)
+
+val submit_background : t -> kind:Packet.kind -> size:int -> core:int -> unit
+(** Fire-and-forget traffic used by load generators. *)
+
+val outstanding : t -> int
+(** Registered handlers not yet fired. *)

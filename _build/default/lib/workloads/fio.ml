@@ -1,0 +1,59 @@
+open Taichi_engine
+open Taichi_accel
+open Taichi_metrics
+
+type params = {
+  threads : int;
+  iodepth : int;
+  block_size : int;
+  read_fraction : float;
+  think : Time_ns.t;
+}
+
+let default_params =
+  {
+    threads = 16;
+    iodepth = 4;
+    block_size = 4096;
+    read_fraction = 0.7;
+    think = Time_ns.ns 800;
+  }
+
+type result = { io_latency : Recorder.t; mutable ios : int }
+
+let run client rng ~params ~cores ~until =
+  let sim = Client.sim client in
+  let result = { io_latency = Recorder.create "fio.lat"; ios = 0 } in
+  let n_cores = List.length cores in
+  if n_cores = 0 then invalid_arg "Fio.run: no cores";
+  let core_of = Array.of_list cores in
+  for thread = 0 to params.threads - 1 do
+    let core = core_of.(thread mod n_cores) in
+    let rec issue () =
+      if Sim.now sim < until then begin
+        let t0 = Sim.now sim in
+        let kind =
+          if Rng.bernoulli rng ~p:params.read_fraction then Packet.Storage_read
+          else Packet.Storage_write
+        in
+        Client.submit client ~kind ~size:params.block_size ~core
+          ~on_done:(fun _ ->
+            result.ios <- result.ios + 1;
+            Recorder.observe result.io_latency (Sim.now sim - t0);
+            ignore (Sim.after sim params.think issue))
+          ()
+      end
+    in
+    (* One stream per queue-depth slot. *)
+    for slot = 0 to params.iodepth - 1 do
+      ignore (Sim.after sim (slot * 300) issue)
+    done
+  done;
+  result
+
+let iops result ~duration =
+  if duration <= 0 then 0.0
+  else float_of_int result.ios /. Time_ns.to_sec_f duration
+
+let bandwidth_mb result ~params ~duration =
+  iops result ~duration *. float_of_int params.block_size /. 1048576.0

@@ -1,0 +1,26 @@
+(** The fio workload (Table 3, fio_rw case).
+
+    Sixteen libaio-style threads issuing 4 KiB block requests at a fixed
+    queue depth against the storage data-plane cores. Reports IOPS and
+    bandwidth, the Fig 13 metrics. *)
+
+open Taichi_engine
+open Taichi_metrics
+
+type params = {
+  threads : int;  (** paper: 16 *)
+  iodepth : int;  (** outstanding requests per thread *)
+  block_size : int;  (** paper: 4096 *)
+  read_fraction : float;
+  think : Time_ns.t;  (** host-side completion-to-resubmit cost *)
+}
+
+val default_params : params
+
+type result = { io_latency : Recorder.t; mutable ios : int }
+
+val run :
+  Client.t -> Rng.t -> params:params -> cores:int list -> until:Time_ns.t -> result
+
+val iops : result -> duration:Time_ns.t -> float
+val bandwidth_mb : result -> params:params -> duration:Time_ns.t -> float

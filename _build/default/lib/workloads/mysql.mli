@@ -1,0 +1,48 @@
+(** The MySQL + sysbench real-workload model (§6.1, Fig 15).
+
+    192 sysbench threads drive a database whose VM-visible I/O all flows
+    through the SmartNIC: each query costs two network exchanges and a few
+    block I/Os plus host-side compute; a transaction groups several
+    queries. Per-second completion windows give the paper's four metrics:
+    max/avg query throughput and max/avg transaction throughput. *)
+
+open Taichi_engine
+open Taichi_metrics
+
+type params = {
+  threads : int;  (** paper: 192 *)
+  queries_per_txn : int;
+  net_exchanges : int;  (** network round trips per query *)
+  storage_ios : int;  (** block I/Os per query *)
+  host_compute : Time_ns.t;  (** server-side CPU per query *)
+  io_size : int;
+}
+
+val default_params : params
+
+type result = {
+  query_windows : int array;  (** completed queries per simulated second *)
+  txn_windows : int array;
+  query_latency : Recorder.t;
+}
+
+val run :
+  Client.t ->
+  Rng.t ->
+  params:params ->
+  net_cores:int list ->
+  storage_cores:int list ->
+  duration:Time_ns.t ->
+  result
+(** Runs from now for [duration]. *)
+
+type metrics = {
+  max_query : float;
+  avg_query : float;
+  max_trans : float;
+  avg_trans : float;
+}
+
+val metrics : result -> metrics
+(** Per-second maxima and means over complete windows (first and last
+    windows excluded as ramp). *)

@@ -1,0 +1,44 @@
+open Taichi_engine
+open Taichi_accel
+
+(* 10k wrk connections scaled to 300 modeled connections: the offered
+   concurrency is far above what keeps the pipe latency-limited either
+   way, and 300 keeps simulator event counts tractable while preserving
+   where the bottleneck sits. *)
+let modeled_connections = 300
+
+let http client rng ~cores ~until =
+  let params =
+    {
+      Rr_engine.connections = modeled_connections;
+      stages =
+        [
+          Rr_engine.stage ~kind:Packet.Net_rx ~size:512
+            ~gap_after:(Time_ns.us 400) ();
+          Rr_engine.stage ~kind:Packet.Net_tx ~size:8192 ~rx:false ();
+        ];
+      think = Time_ns.us 100;
+      ramp = Time_ns.ms 2;
+    }
+  in
+  Rr_engine.run client rng ~params ~cores ~until
+
+let https_short client rng ~cores ~until =
+  let params =
+    {
+      Rr_engine.connections = modeled_connections;
+      stages =
+        [
+          Rr_engine.stage ~conn_setup:true ~kind:Packet.Net_rx ~size:256
+            ~gap_after:(Time_ns.us 800) ();
+          Rr_engine.stage ~kind:Packet.Net_rx ~size:512
+            ~gap_after:(Time_ns.us 400) ();
+          Rr_engine.stage ~kind:Packet.Net_tx ~size:8192 ~rx:false ();
+        ];
+      think = Time_ns.us 100;
+      ramp = Time_ns.ms 2;
+    }
+  in
+  Rr_engine.run client rng ~params ~cores ~until
+
+let requests_per_sec result ~duration = Rr_engine.tps result ~duration

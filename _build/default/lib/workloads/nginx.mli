@@ -1,0 +1,20 @@
+(** The Nginx + wrk real-workload model (§6.1, Fig 16).
+
+    wrk drives a web server behind the SmartNIC with 10 000 concurrent
+    connections; requests per second are measured for plain HTTP and for
+    HTTPS short connections (TLS handshake per request). Connection count
+    is scaled down with proportional think time, which preserves the
+    offered load while keeping event counts tractable. *)
+
+open Taichi_engine
+
+val http :
+  Client.t -> Rng.t -> cores:int list -> until:Time_ns.t -> Rr_engine.result
+(** Keep-alive HTTP: request in, response out, host compute between. *)
+
+val https_short :
+  Client.t -> Rng.t -> cores:int list -> until:Time_ns.t -> Rr_engine.result
+(** Short-lived HTTPS: TLS handshake (connection-setup work plus host
+    crypto) before each exchange. *)
+
+val requests_per_sec : Rr_engine.result -> duration:Time_ns.t -> float

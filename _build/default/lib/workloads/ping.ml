@@ -1,0 +1,69 @@
+open Taichi_engine
+open Taichi_accel
+open Taichi_metrics
+
+type params = {
+  interval : Time_ns.t;
+  count : int;
+  wire_oneway : Time_ns.t;
+  peer_turnaround : Time_ns.t;
+  client_overhead : Time_ns.t;
+  jitter_median : Time_ns.t;
+  jitter_sigma : float;
+  size : int;
+}
+
+let default_params =
+  {
+    interval = Time_ns.ms 10;
+    count = 1800;
+    wire_oneway = Time_ns.us 6;
+    peer_turnaround = Time_ns.ns 1500;
+    client_overhead = Time_ns.ns 1000;
+    jitter_median = Time_ns.ns 2600;
+    jitter_sigma = 0.5;
+    size = 64;
+  }
+
+let run client rng ~params ~core ~recorder =
+  let sim = Client.sim client in
+  let p = params in
+  let remaining = ref p.count in
+  let rec echo () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let t0 = Sim.now sim in
+      let jitter = Dist.lognormal_ns rng ~median:p.jitter_median ~sigma:p.jitter_sigma in
+      (* Outbound: VM -> accelerator -> DP -> wire. *)
+      Client.submit client ~kind:Packet.Net_tx ~size:p.size ~core
+        ~on_done:(fun _ ->
+          let to_peer_and_back =
+            (2 * p.wire_oneway) + p.peer_turnaround + jitter
+          in
+          ignore
+            (Sim.after sim to_peer_and_back (fun () ->
+                 (* Inbound reply through the data plane again. *)
+                 Client.submit client ~kind:Packet.Net_rx ~size:p.size ~core
+                   ~on_done:(fun _ ->
+                     ignore
+                       (Sim.after sim (2 * p.client_overhead) (fun () ->
+                            Recorder.observe recorder (Sim.now sim - t0))))
+                   ())))
+        ();
+      ignore (Sim.after sim p.interval echo)
+    end
+  in
+  echo ()
+
+type summary = { min_us : float; avg_us : float; max_us : float; mdev_us : float }
+
+let summarize recorder =
+  if Recorder.count recorder = 0 then
+    { min_us = 0.0; avg_us = 0.0; max_us = 0.0; mdev_us = 0.0 }
+  else
+    {
+      min_us = Time_ns.to_us_f (Recorder.min_value recorder);
+      avg_us = Recorder.mean recorder /. 1e3;
+      max_us = Time_ns.to_us_f (Recorder.max_value recorder);
+      mdev_us = Recorder.stddev recorder /. 1e3;
+    }

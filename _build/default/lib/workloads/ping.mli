@@ -1,0 +1,32 @@
+(** The ping workload (Table 3, §6.4).
+
+    One ICMP echo per interval through the data plane in each direction:
+    request processed by the SmartNIC, wire to the peer, reflection, and
+    the reply processed on the way back. RTT is recorded per echo; the
+    distribution (min/avg/max/mdev) is Table 5's metric and directly
+    exposes any latency the vCPU scheduler fails to hide. *)
+
+open Taichi_engine
+open Taichi_metrics
+
+type params = {
+  interval : Time_ns.t;  (** default 10 ms (accelerated vs. real ping 1 s) *)
+  count : int;  (** echoes to send *)
+  wire_oneway : Time_ns.t;
+  peer_turnaround : Time_ns.t;
+  client_overhead : Time_ns.t;  (** VM-side stack cost per direction *)
+  jitter_median : Time_ns.t;  (** lognormal network jitter per RTT *)
+  jitter_sigma : float;
+  size : int;
+}
+
+val default_params : params
+
+val run :
+  Client.t -> Rng.t -> params:params -> core:int -> recorder:Recorder.t -> unit
+(** Start pinging now; each completed echo records its RTT. *)
+
+type summary = { min_us : float; avg_us : float; max_us : float; mdev_us : float }
+
+val summarize : Recorder.t -> summary
+(** The four columns of Table 5. *)

@@ -1,0 +1,21 @@
+open Taichi_engine
+
+let sample_utilizations rng ~n =
+  Array.init n (fun _ ->
+      let base =
+        if Rng.bernoulli rng ~p:0.002 then
+          (* Burst second: provisioning headroom being consumed. *)
+          Dist.uniform rng ~lo:0.33 ~hi:0.95
+        else Dist.lognormal rng ~mu:(log 0.10) ~sigma:0.42
+      in
+      Float.max 0.004 (Float.min 1.0 base))
+
+let fraction_below samples x =
+  let below = Array.fold_left (fun acc v -> if v < x then acc + 1 else acc) 0 samples in
+  float_of_int below /. float_of_int (Array.length samples)
+
+let cdf_points samples ~xs =
+  List.map (fun x -> (x, fraction_below samples x)) xs
+
+let mean samples =
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)

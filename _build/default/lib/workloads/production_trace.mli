@@ -1,0 +1,22 @@
+(** Synthetic production telemetry (Figs 3 and 5 inputs).
+
+    The paper's motivation figures summarize fleet telemetry we cannot
+    access: 1.2 million per-second data-plane CPU utilization records
+    (99.68% below 32.5%) and 12 node-hours of non-preemptible routine
+    traces. This module regenerates statistically equivalent populations
+    from the published summary statistics, so the motivation figures can
+    be reproduced and the generators validated by property tests. *)
+
+open Taichi_engine
+
+val sample_utilizations : Rng.t -> n:int -> float array
+(** Per-core-second data-plane utilization samples: a lognormal body
+    (median ≈ 10%, σ ≈ 0.42) with rare burst seconds, calibrated so
+    ≈99.7% of samples fall below 32.5%. *)
+
+val fraction_below : float array -> float -> float
+
+val cdf_points : float array -> xs:float list -> (float * float) list
+(** [(x, fraction of samples <= x)] for each requested threshold. *)
+
+val mean : float array -> float

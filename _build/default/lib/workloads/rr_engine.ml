@@ -1,0 +1,92 @@
+open Taichi_engine
+open Taichi_accel
+open Taichi_metrics
+
+type stage = {
+  st_kind : Packet.kind;
+  st_size : int;
+  st_conn_setup : bool;
+  st_gap_after : Time_ns.t;
+  st_rx : bool;
+}
+
+let stage ?(conn_setup = false) ?(gap_after = 0) ?(rx = true) ~kind ~size () =
+  {
+    st_kind = kind;
+    st_size = size;
+    st_conn_setup = conn_setup;
+    st_gap_after = gap_after;
+    st_rx = rx;
+  }
+
+type params = {
+  connections : int;
+  stages : stage list;
+  think : Time_ns.t;
+  ramp : Time_ns.t;
+}
+
+type result = {
+  transactions : Recorder.t;
+  rx_packets : int ref;
+  tx_packets : int ref;
+}
+
+let run client rng ~params ~cores ~until =
+  let sim = Client.sim client in
+  let result =
+    {
+      transactions = Recorder.create "rr.transactions";
+      rx_packets = ref 0;
+      tx_packets = ref 0;
+    }
+  in
+  let n_cores = List.length cores in
+  if n_cores = 0 then invalid_arg "Rr_engine.run: no cores";
+  let core_of = Array.of_list cores in
+  for conn = 0 to params.connections - 1 do
+    let core = core_of.(conn mod n_cores) in
+    let rec transaction () =
+      if Sim.now sim < until then begin
+        let started = Sim.now sim in
+        run_stages params.stages started
+      end
+    and run_stages stages started =
+      match stages with
+      | [] ->
+          Recorder.observe result.transactions (Sim.now sim - started);
+          (* Exponential think time: real clients are bursty, and the
+             resulting idle windows are what expose any scheduling
+             overhead on the data-plane side. *)
+          let think =
+            if params.think <= 0 then 0
+            else Dist.exponential_ns rng ~mean:params.think
+          in
+          ignore (Sim.after sim think transaction)
+      | st :: rest ->
+          Client.submit client ~kind:st.st_kind ~size:st.st_size ~core
+            ~conn_setup:st.st_conn_setup
+            ~on_done:(fun _pkt ->
+              if st.st_rx then incr result.rx_packets
+              else incr result.tx_packets;
+              if st.st_gap_after > 0 then
+                ignore
+                  (Sim.after sim st.st_gap_after (fun () ->
+                       run_stages rest started))
+              else run_stages rest started)
+            ()
+    in
+    let start_delay =
+      if params.ramp > 0 then Rng.int rng params.ramp else 0
+    in
+    ignore (Sim.after sim start_delay transaction)
+  done;
+  result
+
+let per_sec count ~duration =
+  if duration <= 0 then 0.0
+  else float_of_int count /. Time_ns.to_sec_f duration
+
+let tps r ~duration = per_sec (Recorder.count r.transactions) ~duration
+let rx_pps r ~duration = per_sec !(r.rx_packets) ~duration
+let tx_pps r ~duration = per_sec !(r.tx_packets) ~duration

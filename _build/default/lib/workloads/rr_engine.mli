@@ -1,0 +1,55 @@
+(** Generic closed-loop request/response engine.
+
+    Drives N independent "connections", each cycling through a fixed list
+    of stages (packets through the data plane, separated by wire/client
+    delays) and a think time, until a deadline. netperf's tcp_rr/tcp_crr
+    and sockperf's tcp/udp cases are thin parameterizations. *)
+
+open Taichi_engine
+open Taichi_accel
+open Taichi_metrics
+
+type stage = {
+  st_kind : Packet.kind;
+  st_size : int;
+  st_conn_setup : bool;  (** connection-establishment work marker *)
+  st_gap_after : Time_ns.t;  (** wire/client delay before the next stage *)
+  st_rx : bool;  (** counts towards RX (true) or TX (false) pps *)
+}
+
+val stage :
+  ?conn_setup:bool ->
+  ?gap_after:Time_ns.t ->
+  ?rx:bool ->
+  kind:Packet.kind ->
+  size:int ->
+  unit ->
+  stage
+
+type params = {
+  connections : int;
+  stages : stage list;
+  think : Time_ns.t;  (** delay between transactions on one connection *)
+  ramp : Time_ns.t;  (** connection start times spread over this window *)
+}
+
+type result = {
+  transactions : Recorder.t;  (** one sample per completed transaction:
+                                  full transaction latency *)
+  rx_packets : int ref;
+  tx_packets : int ref;
+}
+
+val run :
+  Client.t ->
+  Rng.t ->
+  params:params ->
+  cores:int list ->
+  until:Time_ns.t ->
+  result
+(** Start the engine now; connections round-robin over [cores]. No new
+    transaction starts after [until]. *)
+
+val tps : result -> duration:Time_ns.t -> float
+val rx_pps : result -> duration:Time_ns.t -> float
+val tx_pps : result -> duration:Time_ns.t -> float

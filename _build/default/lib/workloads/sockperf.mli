@@ -1,0 +1,18 @@
+(** The sockperf workload (Table 3).
+
+    - [tcp]: 1024 short-lived connections (connect, one exchange, close);
+      reports CPS and RX/TX pps.
+    - [udp]: single-stream ping-pong latency; reports average, p99 and
+      p999 latency, the Fig 14 latency series. *)
+
+open Taichi_engine
+
+val tcp :
+  Client.t -> Rng.t -> cores:int list -> until:Time_ns.t -> Rr_engine.result
+
+val udp :
+  Client.t -> Rng.t -> cores:int list -> until:Time_ns.t -> Rr_engine.result
+
+type udp_latency = { avg_us : float; p99_us : float; p999_us : float }
+
+val udp_summary : Rr_engine.result -> udp_latency

@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Cost_model List Packet Pipeline Ring Sim State_table Taichi_accel Taichi_engine Taichi_virt Time_ns Vcpu Vmexit

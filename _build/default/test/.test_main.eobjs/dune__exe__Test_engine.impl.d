@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Dist Float Gen Histogram List Pheap Printf QCheck QCheck_alcotest Rng Sim Stats Taichi_engine Time_ns Trace

@@ -1,0 +1,1 @@
+test/test_hw.ml: Accounting Alcotest Cache_model Lapic List Machine Sim Taichi_engine Taichi_hw Time_ns

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List Recorder Slo String Table Taichi_engine Taichi_metrics Time_ns

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Kernel List Machine Program Sim Taichi_engine Taichi_hw Taichi_os Task Time_ns

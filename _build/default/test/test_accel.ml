@@ -1,0 +1,133 @@
+(* Tests for the accelerator substrate and virtualization types. *)
+
+open Taichi_engine
+open Taichi_accel
+open Taichi_virt
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Ring -------------------------------------------------------------- *)
+
+let pkt ?(core = 0) ?(tag = 0) () =
+  Packet.create ~kind:Packet.Net_rx ~size:64 ~dst_core:core ~tag
+
+let test_ring_fifo () =
+  let r = Ring.create ~name:"r" () in
+  let a = pkt () and b = pkt () in
+  checkb "push a" true (Ring.push r a);
+  checkb "push b" true (Ring.push r b);
+  checki "length" 2 (Ring.length r);
+  (match Ring.pop_burst r ~max:10 with
+  | [ x; y ] ->
+      checki "fifo first" a.Packet.pid x.Packet.pid;
+      checki "fifo second" b.Packet.pid y.Packet.pid
+  | _ -> Alcotest.fail "expected two");
+  checkb "empty" true (Ring.is_empty r)
+
+let test_ring_burst_cap () =
+  let r = Ring.create ~name:"r" () in
+  for _ = 1 to 50 do
+    ignore (Ring.push r (pkt ()))
+  done;
+  checki "burst capped" 32 (List.length (Ring.pop_burst r ~max:32));
+  checki "rest" 18 (Ring.length r)
+
+let test_ring_overflow_drops () =
+  let r = Ring.create ~capacity:2 ~name:"r" () in
+  checkb "1" true (Ring.push r (pkt ()));
+  checkb "2" true (Ring.push r (pkt ()));
+  checkb "3 dropped" false (Ring.push r (pkt ()));
+  checki "drop count" 1 (Ring.drops r);
+  checki "enqueued" 2 (Ring.total_enqueued r)
+
+(* --- State table --------------------------------------------------------- *)
+
+let test_state_table () =
+  let t = State_table.create ~cores:4 in
+  checkb "default P" true (State_table.get t ~core:2 = State_table.P_state);
+  State_table.set t ~core:2 State_table.V_state;
+  checkb "set V" true (State_table.get t ~core:2 = State_table.V_state);
+  checkb "others untouched" true (State_table.get t ~core:1 = State_table.P_state);
+  checki "updates counted" 1 (State_table.updates t)
+
+(* --- Pipeline -------------------------------------------------------------- *)
+
+let test_pipeline_window_timing () =
+  let sim = Sim.create () in
+  let p = Pipeline.create sim in
+  let ring = Ring.create ~name:"rx" () in
+  Pipeline.attach_ring p ~core:0 ring;
+  let delivered_at = ref (-1) in
+  Pipeline.set_deliver_hook p (fun ~core:_ -> delivered_at := Sim.now sim);
+  let pk = pkt () in
+  Pipeline.submit p pk;
+  Sim.run sim;
+  checki "window = 3.2us" 3200 !delivered_at;
+  checki "t_submit" 0 pk.Packet.t_submit;
+  checki "t_ring" 3200 pk.Packet.t_ring;
+  checki "in ring" 1 (Ring.length ring)
+
+let test_pipeline_probe_hook_fires_first () =
+  let sim = Sim.create () in
+  let p = Pipeline.create sim in
+  Pipeline.attach_ring p ~core:0 (Ring.create ~name:"rx" ());
+  let probe_at = ref (-1) in
+  Pipeline.set_probe_hook p (Some (fun _ -> probe_at := Sim.now sim));
+  Pipeline.submit p (pkt ());
+  Sim.run sim;
+  checki "probe at detection time" 0 !probe_at
+
+let test_pipeline_in_flight () =
+  let sim = Sim.create () in
+  let p = Pipeline.create sim in
+  Pipeline.attach_ring p ~core:0 (Ring.create ~name:"rx" ());
+  Pipeline.attach_ring p ~core:1 (Ring.create ~name:"rx1" ());
+  Pipeline.submit p (pkt ~core:0 ());
+  Pipeline.submit p (pkt ~core:0 ());
+  Pipeline.submit p (pkt ~core:1 ());
+  checki "core0 in flight" 2 (Pipeline.in_flight p ~core:0);
+  checki "core1 in flight" 1 (Pipeline.in_flight p ~core:1);
+  Sim.run sim;
+  checki "drained" 0 (Pipeline.in_flight p ~core:0);
+  checki "delivered" 3 (Pipeline.delivered p)
+
+(* --- Vcpu / Vmexit ------------------------------------------------------------ *)
+
+let test_vcpu_exit_histogram () =
+  let v = Vcpu.create ~vid:0 ~kcpu:12 ~initial_slice:(Time_ns.us 50) in
+  Vcpu.record_exit v Vmexit.Timeslice_expired;
+  Vcpu.record_exit v Vmexit.Timeslice_expired;
+  Vcpu.record_exit v Vmexit.Hw_probe_irq;
+  checki "timeslice" 2 (Vcpu.exit_count v Vmexit.Timeslice_expired);
+  checki "probe" 1 (Vcpu.exit_count v Vmexit.Hw_probe_irq);
+  checki "halt" 0 (Vcpu.exit_count v Vmexit.Halt);
+  checki "total" 3 (Vcpu.total_exits v)
+
+let test_vcpu_placement () =
+  let v = Vcpu.create ~vid:1 ~kcpu:13 ~initial_slice:(Time_ns.us 50) in
+  checkb "unplaced" false (Vcpu.is_placed v);
+  v.Vcpu.placement <- Vcpu.On_core 3;
+  checkb "placed" true (Vcpu.is_placed v);
+  Alcotest.(check (option int)) "core" (Some 3) (Vcpu.core v)
+
+let test_cost_model_defaults () =
+  let c = Cost_model.default in
+  checki "world switch 2us" (Time_ns.us 2) c.Cost_model.world_switch;
+  checkb "npt tax positive" true (c.Cost_model.npt_tax > 0.0);
+  let nt = Cost_model.no_tax c in
+  Alcotest.(check (float 0.0)) "no tax" 0.0 nt.Cost_model.npt_tax
+
+let suite =
+  [
+    ("ring FIFO", `Quick, test_ring_fifo);
+    ("ring burst cap", `Quick, test_ring_burst_cap);
+    ("ring overflow drops", `Quick, test_ring_overflow_drops);
+    ("state table", `Quick, test_state_table);
+    ("pipeline window timing", `Quick, test_pipeline_window_timing);
+    ("pipeline probe hook first", `Quick, test_pipeline_probe_hook_fires_first);
+    ("pipeline in-flight tracking", `Quick, test_pipeline_in_flight);
+    ("vcpu exit histogram", `Quick, test_vcpu_exit_histogram);
+    ("vcpu placement", `Quick, test_vcpu_placement);
+    ("cost model defaults", `Quick, test_cost_model_defaults);
+  ]

@@ -1,0 +1,221 @@
+(* Tests for the control-plane task library. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_metrics
+open Taichi_controlplane
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rng () = Rng.create ~seed:5
+
+(* --- Nonpreempt ------------------------------------------------------------- *)
+
+let test_nonpreempt_long_range () =
+  let s = Nonpreempt.create (rng ()) in
+  for _ = 1 to 5_000 do
+    let d = Nonpreempt.sample_long s in
+    checkb "in [1ms, 67ms]" true (d >= Time_ns.ms 1 && d <= Time_ns.ms 67)
+  done
+
+let test_nonpreempt_fig5_shape () =
+  let s = Nonpreempt.create (rng ()) in
+  let n = 50_000 in
+  let below_5ms = ref 0 in
+  for _ = 1 to n do
+    if Nonpreempt.sample_long s < Time_ns.ms 5 then incr below_5ms
+  done;
+  let frac = float_of_int !below_5ms /. float_of_int n in
+  (* Paper: 94.5% of >1ms routines are 1-5ms. *)
+  checkb "about 94.5% below 5ms" true (frac > 0.92 && frac < 0.97)
+
+let test_nonpreempt_mixture () =
+  let s = Nonpreempt.create (rng ()) in
+  let n = 20_000 in
+  let long = ref 0 in
+  for _ = 1 to n do
+    if Nonpreempt.sample s >= Time_ns.ms 1 then incr long
+  done;
+  let frac = float_of_int !long /. float_of_int n in
+  checkb "long fraction near p_long" true (frac > 0.025 && frac < 0.055)
+
+let test_fig5_buckets_cover () =
+  let lo_first =
+    match Nonpreempt.fig5_buckets with (_, lo, _) :: _ -> lo | [] -> 0
+  in
+  checki "starts at 1ms" (Time_ns.ms 1) lo_first;
+  let _, _, hi_last = List.nth Nonpreempt.fig5_buckets 4 in
+  checki "ends at 67ms" (Time_ns.ms 67) hi_last
+
+(* --- Synth_cp ----------------------------------------------------------------- *)
+
+let run_kernel_with tasks =
+  let sim = Sim.create () in
+  let machine =
+    Machine.create ~config:{ Machine.default_config with physical_cores = 4 } sim
+  in
+  let kernel = Kernel.create machine in
+  for id = 0 to 3 do
+    ignore (Kernel.add_physical_cpu kernel ~id ())
+  done;
+  List.iter (Kernel.spawn kernel) tasks;
+  Sim.run sim;
+  (sim, kernel)
+
+let test_synth_cp_total_work () =
+  let params = { Synth_cp.default_params with io_wait = 0 } in
+  let task =
+    Synth_cp.make ~rng:(rng ()) ~params ~locks:[] ~affinity:[] ~name:"s" ()
+  in
+  let _ = run_kernel_with [ task ] in
+  checkb "finished" true (Task.is_finished task);
+  (* Jittered split preserves the 50ms total within rounding. *)
+  checkb "work preserved" true
+    (abs (task.Task.cpu_time - Time_ns.ms 50) < Time_ns.us 50)
+
+let test_synth_cp_batch_independent () =
+  let tasks =
+    Synth_cp.make_batch ~rng:(rng ()) ~params:Synth_cp.default_params ~locks:[]
+      ~affinity:[] ~count:3
+  in
+  checki "count" 3 (List.length tasks);
+  let names = List.map (fun t -> t.Task.tname) tasks in
+  checki "unique names" 3 (List.length (List.sort_uniq compare names))
+
+let test_synth_cp_lock_contention () =
+  let lock = Task.spinlock "shared" in
+  let params =
+    { Synth_cp.default_params with
+      total_work = Time_ns.ms 10;
+      locked_fraction = 1.0;
+      io_wait = 0 }
+  in
+  let tasks =
+    Synth_cp.make_batch ~rng:(rng ()) ~params ~locks:[ lock ] ~affinity:[]
+      ~count:4
+  in
+  let _ = run_kernel_with tasks in
+  List.iter (fun t -> checkb "done" true (Task.is_finished t)) tasks;
+  checkb "lock was used" true (lock.Task.acquisitions > 10);
+  checkb "contention occurred" true (lock.Task.contentions > 0)
+
+(* --- Device management / VM lifecycle --------------------------------------------- *)
+
+let test_device_init_task () =
+  let r = rng () in
+  let params = Device_mgmt.default_params ~rng:r in
+  let lock = Task.spinlock "dev" in
+  let task =
+    Device_mgmt.init_task ~rng:r ~params ~locks:[ lock ] ~devices:3 ~affinity:[]
+      ~name:"init"
+  in
+  let sim, _ = run_kernel_with [ task ] in
+  checkb "finished" true (Task.is_finished task);
+  (* 3 devices x (parse + configure + roundtrip + bookkeeping): at least
+     3 x (150us + 0.5ms-ish + 30us + 200us). *)
+  checkb "took plausible time" true (Sim.now sim > Time_ns.ms 1);
+  checki "three critical sections" 3 lock.Task.acquisitions
+
+let test_deinit_cheaper_than_init () =
+  let r = rng () in
+  let params = Device_mgmt.default_params ~rng:r in
+  let li = Task.spinlock "a" and ld = Task.spinlock "b" in
+  let init =
+    Device_mgmt.init_task ~rng:r ~params ~locks:[ li ] ~devices:5 ~affinity:[]
+      ~name:"i"
+  in
+  let deinit =
+    Device_mgmt.deinit_task ~rng:r ~params ~locks:[ ld ] ~devices:5 ~affinity:[]
+      ~name:"d"
+  in
+  let _ = run_kernel_with [ init; deinit ] in
+  checkb "deinit cheaper" true (deinit.Task.cpu_time < init.Task.cpu_time)
+
+let test_vm_startup_records () =
+  let sim = Sim.create () in
+  let machine =
+    Machine.create ~config:{ Machine.default_config with physical_cores = 4 } sim
+  in
+  let kernel = Kernel.create machine in
+  for id = 0 to 3 do
+    ignore (Kernel.add_physical_cpu kernel ~id ())
+  done;
+  let r = rng () in
+  let params = Vm_lifecycle.default_params ~rng:r in
+  let recorder = Recorder.create "startup" in
+  let task =
+    Vm_lifecycle.startup_task ~sim ~rng:r ~params ~locks:[ Task.spinlock "dev" ]
+      ~affinity:[] ~name:"vm0" ~recorder
+  in
+  Kernel.spawn kernel task;
+  Sim.run sim;
+  checkb "finished" true (Task.is_finished task);
+  checki "one startup recorded" 1 (Recorder.count recorder);
+  (* Startup includes the fixed host boot. *)
+  checkb "includes host boot" true
+    (Recorder.min_value recorder >= params.Vm_lifecycle.host_boot)
+
+let test_vm_density_scaling () =
+  let r = rng () in
+  let base = Vm_lifecycle.default_params ~rng:r in
+  let dense = Vm_lifecycle.at_density ~base 4.0 in
+  checki "4x devices" (base.Vm_lifecycle.devices_per_vm * 4)
+    dense.Vm_lifecycle.devices_per_vm
+
+(* --- Monitors ------------------------------------------------------------------- *)
+
+let test_monitor_runs_forever () =
+  let sim = Sim.create () in
+  let machine = Machine.create sim in
+  let kernel = Kernel.create machine in
+  ignore (Kernel.add_physical_cpu kernel ~id:0 ());
+  let m =
+    Monitor.metrics_collector ~rng:(rng ()) ~period:(Time_ns.ms 5) ~affinity:[]
+      ~name:"mon"
+  in
+  Kernel.spawn kernel m;
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  checkb "still alive" false (Task.is_finished m);
+  (* ~20 periods of >=230us work each. *)
+  checkb "periodic work done" true (m.Task.cpu_time > Time_ns.ms 3)
+
+let test_production_ecosystem_util () =
+  let sim = Sim.create () in
+  let machine =
+    Machine.create ~config:{ Machine.default_config with physical_cores = 4 } sim
+  in
+  let kernel = Kernel.create machine in
+  for id = 0 to 3 do
+    ignore (Kernel.add_physical_cpu kernel ~id ())
+  done;
+  let eco =
+    Monitor.production_ecosystem ~rng:(rng ()) ~affinity:[] ~tasks:40
+      ~target_util:1.5 ()
+  in
+  checki "task count" 40 (List.length eco);
+  List.iter (Kernel.spawn kernel) eco;
+  let horizon = Time_ns.ms 500 in
+  Sim.run ~until:horizon sim;
+  let total_work = List.fold_left (fun acc t -> acc + t.Task.cpu_time) 0 eco in
+  let util = float_of_int total_work /. float_of_int horizon in
+  (* Aggregate demand ~1.5 cores (loose: routine tails add noise). *)
+  checkb "utilization near target" true (util > 0.9 && util < 2.6)
+
+let suite =
+  [
+    ("nonpreempt long range", `Quick, test_nonpreempt_long_range);
+    ("nonpreempt fig5 shape", `Quick, test_nonpreempt_fig5_shape);
+    ("nonpreempt mixture", `Quick, test_nonpreempt_mixture);
+    ("fig5 buckets cover", `Quick, test_fig5_buckets_cover);
+    ("synth_cp total work", `Quick, test_synth_cp_total_work);
+    ("synth_cp batch", `Quick, test_synth_cp_batch_independent);
+    ("synth_cp lock contention", `Quick, test_synth_cp_lock_contention);
+    ("device init task", `Quick, test_device_init_task);
+    ("deinit cheaper than init", `Quick, test_deinit_cheaper_than_init);
+    ("vm startup records", `Quick, test_vm_startup_records);
+    ("vm density scaling", `Quick, test_vm_density_scaling);
+    ("monitor runs forever", `Quick, test_monitor_runs_forever);
+    ("production ecosystem utilization", `Quick, test_production_ecosystem_util);
+  ]

@@ -1,0 +1,394 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Taichi_engine
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Time_ns -------------------------------------------------------------- *)
+
+let test_time_units () =
+  checki "us" 1_000 (Time_ns.us 1);
+  checki "ms" 1_000_000 (Time_ns.ms 1);
+  checki "sec" 1_000_000_000 (Time_ns.sec 1);
+  checki "minutes" 60_000_000_000 (Time_ns.minutes 1);
+  checki "of_us_f rounds" 1_500 (Time_ns.of_us_f 1.5);
+  check (Alcotest.float 1e-9) "to_ms_f" 2.5 (Time_ns.to_ms_f 2_500_000)
+
+let test_time_pp () =
+  check Alcotest.string "ns" "999ns" (Time_ns.to_string 999);
+  check Alcotest.string "us" "1.50us" (Time_ns.to_string 1_500);
+  check Alcotest.string "ms" "2.00ms" (Time_ns.to_string 2_000_000);
+  check Alcotest.string "s" "1.000s" (Time_ns.to_string 1_000_000_000)
+
+(* --- Pheap ----------------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Pheap.create () in
+  List.iteri (fun i k -> Pheap.push h ~key:k ~seq:i i) [ 5; 1; 9; 3; 1; 7 ];
+  let keys = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | Some (k, _, _) ->
+        keys := k :: !keys;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 9; 7; 5; 3; 1; 1 ] !keys
+
+let test_heap_fifo_ties () =
+  let h = Pheap.create () in
+  Pheap.push h ~key:4 ~seq:0 "a";
+  Pheap.push h ~key:4 ~seq:1 "b";
+  Pheap.push h ~key:4 ~seq:2 "c";
+  let pop () = match Pheap.pop h with Some (_, _, v) -> v | None -> "?" in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ())
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Pheap.create () in
+      List.iteri (fun i k -> Pheap.push h ~key:k ~seq:i k) keys;
+      let rec drain acc =
+        match Pheap.pop h with Some (k, _, _) -> drain (k :: acc) | None -> acc
+      in
+      let popped = List.rev (drain []) in
+      popped = List.sort compare keys)
+
+(* --- Sim -------------------------------------------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim 30 (fun () -> log := 3 :: !log));
+  ignore (Sim.at sim 10 (fun () -> log := 1 :: !log));
+  ignore (Sim.at sim 20 (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  checki "clock at last event" 30 (Sim.now sim)
+
+let test_sim_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.at sim 5 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.at sim 10 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  checkb "not fired" false !fired;
+  checkb "not pending" false (Sim.is_pending h)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.at sim 10 (fun () -> incr fired));
+  ignore (Sim.at sim 100 (fun () -> incr fired));
+  Sim.run ~until:50 sim;
+  checki "one fired" 1 !fired;
+  checki "clock stops at until" 50 (Sim.now sim);
+  Sim.run sim;
+  checki "rest fired" 2 !fired
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim 10 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past scheduling"
+    (Invalid_argument "Sim.at: time 5 is before now 10") (fun () ->
+      ignore (Sim.at sim 5 (fun () -> ())))
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.at sim 10 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.after sim 5 (fun () -> log := "inner" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  checki "clock" 15 (Sim.now sim)
+
+let test_sim_immediate () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.at sim 10 (fun () ->
+         log := 1 :: !log;
+         ignore (Sim.immediate sim (fun () -> log := 2 :: !log))));
+  ignore (Sim.at sim 10 (fun () -> log := 3 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "immediate runs after queued" [ 1; 3; 2 ]
+    (List.rev !log)
+
+let test_sim_counters () =
+  let sim = Sim.create () in
+  let h1 = Sim.at sim 1 (fun () -> ()) in
+  let _h2 = Sim.at sim 2 (fun () -> ()) in
+  checki "pending 2" 2 (Sim.pending_events sim);
+  Sim.cancel h1;
+  checki "pending 1 after cancel" 1 (Sim.pending_events sim);
+  Sim.run sim;
+  checki "pending 0" 0 (Sim.pending_events sim);
+  checki "fired 1" 1 (Sim.events_processed sim)
+
+(* --- Rng / Dist -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let root = Rng.create ~seed:7 in
+  let a = Rng.split root "alpha" and b = Rng.split root "beta" in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  checkb "different streams" true (va <> vb)
+
+let test_rng_split_stable () =
+  (* Splitting is insensitive to how much the sibling stream was used. *)
+  let r1 = Rng.create ~seed:9 in
+  let _ = Rng.split r1 "x" in
+  let a = Rng.split r1 "y" in
+  let r2 = Rng.create ~seed:9 in
+  let b = Rng.split r2 "y" in
+  Alcotest.(check int64) "stable derivation" (Rng.bits64 a) (Rng.bits64 b)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int in range" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    checkb "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+    checkb "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+  done
+
+let test_dist_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Dist.exponential rng ~mean:5.0)
+  done;
+  checkb "mean within 5%" true (Float.abs (Stats.mean s -. 5.0) < 0.25)
+
+let test_dist_normal_moments () =
+  let rng = Rng.create ~seed:12 in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Dist.normal rng ~mu:10.0 ~sigma:2.0)
+  done;
+  checkb "mean" true (Float.abs (Stats.mean s -. 10.0) < 0.1);
+  checkb "sd" true (Float.abs (Stats.stddev s -. 2.0) < 0.1)
+
+let test_dist_bounded_pareto_bounds () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 5_000 do
+    let v = Dist.bounded_pareto rng ~lo:1.0 ~hi:67.0 ~shape:1.8 in
+    checkb "within bounds" true (v >= 1.0 && v <= 67.0)
+  done
+
+let test_dist_poisson_mean () =
+  let rng = Rng.create ~seed:14 in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add_int s (Dist.poisson rng ~lambda:7.5)
+  done;
+  checkb "poisson mean" true (Float.abs (Stats.mean s -. 7.5) < 0.15)
+
+let test_dist_empirical () =
+  let e = Dist.empirical_of_weighted [ (1.0, 1.0); (10.0, 1.0) ] in
+  let rng = Rng.create ~seed:15 in
+  let lo = ref 0 and hi = ref 0 in
+  for _ = 1 to 2_000 do
+    let v = Dist.empirical_sample e rng in
+    checkb "range" true (v >= 0.5 && v <= 10.0);
+    if v <= 5.0 then incr lo else incr hi
+  done;
+  checkb "both sides sampled" true (!lo > 200 && !hi > 200)
+
+let test_dist_lognormal_ns_median () =
+  let rng = Rng.create ~seed:16 in
+  let values = Array.init 9_999 (fun _ -> Dist.lognormal_ns rng ~median:1000 ~sigma:0.5) in
+  Array.sort compare values;
+  let median = values.(Array.length values / 2) in
+  checkb "median near 1000" true (abs (median - 1000) < 100)
+
+(* --- Stats -------------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max s);
+  check (Alcotest.float 1e-6) "var" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  List.iter
+    (fun x ->
+      Stats.add whole x;
+      if x < 3.0 then Stats.add a x else Stats.add b x)
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  let m = Stats.merge a b in
+  check (Alcotest.float 1e-9) "merged mean" (Stats.mean whole) (Stats.mean m);
+  check (Alcotest.float 1e-6) "merged var" (Stats.variance whole) (Stats.variance m);
+  checki "merged count" (Stats.count whole) (Stats.count m)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.0) "mean empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.min: empty")
+    (fun () -> ignore (Stats.min s))
+
+(* --- Histogram ------------------------------------------------------------------ *)
+
+let test_histogram_exact_small () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  checki "count" 5 (Histogram.count h);
+  checki "min" 1 (Histogram.min_value h);
+  checki "max" 5 (Histogram.max_value h);
+  checki "p50" 3 (Histogram.percentile h 50.0);
+  checki "p100" 5 (Histogram.percentile h 100.0)
+
+let test_histogram_relative_error () =
+  let h = Histogram.create () in
+  let values = [ 100; 1_000; 10_000; 100_000; 1_000_000; 50_000_000 ] in
+  List.iter (Histogram.add h) values;
+  List.iteri
+    (fun i v ->
+      let p = (float_of_int (i + 1) /. 6.0 *. 100.0) -. 0.01 in
+      let q = Histogram.percentile h p in
+      let err = Float.abs (float_of_int (q - v)) /. float_of_int v in
+      checkb (Printf.sprintf "p%.0f within 4%%" p) true (err < 0.04))
+    values
+
+let test_histogram_cdf () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h i
+  done;
+  let below = Histogram.fraction_below h 51 in
+  checkb "about half below 51" true (Float.abs (below -. 0.5) < 0.05);
+  let points = Histogram.cdf_points h in
+  let _, last = List.nth points (List.length points - 1) in
+  check (Alcotest.float 1e-9) "cdf reaches 1" 1.0 last
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1; 2; 3 ];
+  List.iter (Histogram.add b) [ 1_000_000; 2_000_000 ];
+  let m = Histogram.merge a b in
+  checki "merged count" 5 (Histogram.count m);
+  checki "merged min" 1 (Histogram.min_value m);
+  checki "merged max" 2_000_000 (Histogram.max_value m)
+
+let prop_histogram_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      List.for_all
+        (fun p ->
+          let q = Histogram.percentile h p in
+          q >= Histogram.min_value h && q <= Histogram.max_value h)
+        [ 0.1; 25.0; 50.0; 90.0; 99.0; 100.0 ])
+
+let prop_histogram_mean_exact =
+  QCheck.Test.make ~name:"histogram mean is exact" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      let expected =
+        float_of_int (List.fold_left ( + ) 0 values)
+        /. float_of_int (List.length values)
+      in
+      Float.abs (Histogram.mean h -. expected) < 1e-6)
+
+(* --- Trace -------------------------------------------------------------------- *)
+
+let test_trace_disabled_by_default () =
+  let t = Trace.create () in
+  Trace.emit t ~time:5 ~category:"x" "hello";
+  checki "no records" 0 (Trace.length t)
+
+let test_trace_enabled () =
+  let t = Trace.create ~enabled:true () in
+  Trace.emit t ~time:5 ~category:"sched" "switch";
+  Trace.emitf t ~time:6 ~category:"sched" "cpu %d" 3;
+  Trace.emit t ~time:7 ~category:"io" "packet";
+  checki "records" 3 (Trace.length t);
+  checki "by category" 2 (List.length (Trace.by_category t "sched"));
+  let r = List.hd (Trace.records t) in
+  check Alcotest.string "message" "switch" r.Trace.message
+
+let test_trace_limit () =
+  let t = Trace.create ~enabled:true ~limit:3 () in
+  for i = 1 to 10 do
+    Trace.emit t ~time:i ~category:"c" (string_of_int i)
+  done;
+  checki "bounded" 3 (Trace.length t);
+  let first = List.hd (Trace.records t) in
+  check Alcotest.string "oldest dropped" "8" first.Trace.message
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("time pretty-printing", `Quick, test_time_pp);
+    ("heap ordering", `Quick, test_heap_order);
+    ("heap FIFO tie-break", `Quick, test_heap_fifo_ties);
+    ("sim event ordering", `Quick, test_sim_ordering);
+    ("sim same-time FIFO", `Quick, test_sim_same_time_fifo);
+    ("sim cancellation", `Quick, test_sim_cancel);
+    ("sim run until", `Quick, test_sim_until);
+    ("sim rejects past", `Quick, test_sim_past_raises);
+    ("sim nested scheduling", `Quick, test_sim_nested_schedule);
+    ("sim immediate ordering", `Quick, test_sim_immediate);
+    ("sim counters", `Quick, test_sim_counters);
+    ("rng determinism", `Quick, test_rng_deterministic);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng split stability", `Quick, test_rng_split_stable);
+    ("rng bernoulli extremes", `Quick, test_rng_bernoulli_extremes);
+    ("dist exponential mean", `Quick, test_dist_exponential_mean);
+    ("dist normal moments", `Quick, test_dist_normal_moments);
+    ("dist bounded pareto bounds", `Quick, test_dist_bounded_pareto_bounds);
+    ("dist poisson mean", `Quick, test_dist_poisson_mean);
+    ("dist empirical", `Quick, test_dist_empirical);
+    ("dist lognormal_ns median", `Quick, test_dist_lognormal_ns_median);
+    ("stats basics", `Quick, test_stats_basic);
+    ("stats merge", `Quick, test_stats_merge);
+    ("stats empty", `Quick, test_stats_empty);
+    ("histogram exact small values", `Quick, test_histogram_exact_small);
+    ("histogram relative error", `Quick, test_histogram_relative_error);
+    ("histogram cdf", `Quick, test_histogram_cdf);
+    ("histogram merge", `Quick, test_histogram_merge);
+    ("trace disabled", `Quick, test_trace_disabled_by_default);
+    ("trace enabled", `Quick, test_trace_enabled);
+    ("trace bounded", `Quick, test_trace_limit);
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_rng_int_range;
+    QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
+    QCheck_alcotest.to_alcotest prop_histogram_mean_exact;
+  ]

@@ -1,0 +1,168 @@
+(* Unit tests for the hardware model: LAPICs, IPI fabric, accounting and
+   the cache pollution model. *)
+
+open Taichi_engine
+open Taichi_hw
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Lapic -------------------------------------------------------------- *)
+
+let test_lapic_deliver () =
+  let l = Lapic.create ~apic_id:3 in
+  let hits = ref 0 in
+  Lapic.register_handler l 0x20 (fun () -> incr hits);
+  Lapic.inject l 0x20;
+  Lapic.inject l 0x20;
+  checki "delivered" 2 !hits;
+  checki "counter" 2 (Lapic.delivered_count l)
+
+let test_lapic_mask_queue () =
+  let l = Lapic.create ~apic_id:1 in
+  let log = ref [] in
+  Lapic.register_handler l 1 (fun () -> log := 1 :: !log);
+  Lapic.register_handler l 2 (fun () -> log := 2 :: !log);
+  Lapic.set_masked l true;
+  Lapic.inject l 1;
+  Lapic.inject l 2;
+  Lapic.inject l 1;
+  checki "pending while masked" 3 (Lapic.pending_count l);
+  Alcotest.(check (list int)) "nothing delivered" [] !log;
+  Lapic.set_masked l false;
+  Alcotest.(check (list int)) "drained FIFO" [ 1; 2; 1 ] (List.rev !log);
+  checki "pending empty" 0 (Lapic.pending_count l)
+
+let test_lapic_spurious () =
+  let l = Lapic.create ~apic_id:2 in
+  Lapic.inject l 0x99;
+  checki "spurious" 1 (Lapic.spurious_count l)
+
+(* --- Machine / IPIs -------------------------------------------------------- *)
+
+let machine () =
+  let sim = Sim.create () in
+  let m = Machine.create sim in
+  (sim, m)
+
+let test_ipi_delivery_latency () =
+  let sim, m = machine () in
+  let l = Lapic.create ~apic_id:5 in
+  Machine.register_lapic m l;
+  let at = ref (-1) in
+  Lapic.register_handler l 7 (fun () -> at := Sim.now sim);
+  Machine.send_ipi m ~src:0 ~dst:5 ~vector:7;
+  Sim.run sim;
+  checki "fabric latency" (Machine.default_config.Machine.ipi_latency) !at
+
+let test_ipi_dropped () =
+  let sim, m = machine () in
+  Machine.send_ipi m ~src:0 ~dst:42 ~vector:1;
+  Sim.run sim;
+  checki "dropped" 1 (Machine.ipis_dropped m);
+  checki "sent" 1 (Machine.ipis_sent m)
+
+let test_ipi_interceptor_consumes () =
+  let sim, m = machine () in
+  let l = Lapic.create ~apic_id:5 in
+  Machine.register_lapic m l;
+  let hits = ref 0 in
+  Lapic.register_handler l 7 (fun () -> incr hits);
+  let seen = ref [] in
+  Machine.set_ipi_interceptor m
+    (Some
+       (fun ~src ~dst ~vector ->
+         seen := (src, dst, vector) :: !seen;
+         Machine.Consumed));
+  Machine.send_ipi m ~src:1 ~dst:5 ~vector:7;
+  Sim.run sim;
+  checki "handler bypassed" 0 !hits;
+  Alcotest.(check (list (triple int int int))) "interceptor saw it"
+    [ (1, 5, 7) ] !seen
+
+let test_ipi_interceptor_deliver () =
+  let sim, m = machine () in
+  let l = Lapic.create ~apic_id:5 in
+  Machine.register_lapic m l;
+  let hits = ref 0 in
+  Lapic.register_handler l 7 (fun () -> incr hits);
+  Machine.set_ipi_interceptor m (Some (fun ~src:_ ~dst:_ ~vector:_ -> Machine.Deliver));
+  Machine.send_ipi m ~src:1 ~dst:5 ~vector:7;
+  Sim.run sim;
+  checki "delivered through" 1 !hits
+
+let test_duplicate_lapic () =
+  let _, m = machine () in
+  Machine.register_lapic m (Lapic.create ~apic_id:9);
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Machine.register_lapic: duplicate id 9") (fun () ->
+      Machine.register_lapic m (Lapic.create ~apic_id:9))
+
+(* --- Accounting -------------------------------------------------------------- *)
+
+let test_accounting_basic () =
+  let a = Accounting.create ~cores:2 in
+  Accounting.charge a ~core:0 Accounting.Dp_work 100;
+  Accounting.charge a ~core:0 Accounting.Switch 20;
+  Accounting.charge a ~core:1 Accounting.Cp_work 50;
+  checki "busy core0" 120 (Accounting.busy a ~core:0);
+  checki "class" 100 (Accounting.busy_class a ~core:0 Accounting.Dp_work);
+  checki "total class" 50 (Accounting.total_class a Accounting.Cp_work);
+  Alcotest.(check (float 1e-9)) "util" 0.12 (Accounting.utilization a ~core:0 ~elapsed:1000)
+
+let test_accounting_negative () =
+  let a = Accounting.create ~cores:1 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Accounting.charge: negative duration") (fun () ->
+      Accounting.charge a ~core:0 Accounting.Os (-1))
+
+(* --- Cache model --------------------------------------------------------------- *)
+
+let test_cache_clean_is_free () =
+  let c = Cache_model.create ~cores:1 () in
+  checki "no surcharge when clean" 1000 (Cache_model.charge_work c ~core:0 1000)
+
+let test_cache_pollution_surcharge () =
+  let c = Cache_model.create ~cores:1 () in
+  Cache_model.occupy_foreign c ~core:0 (Time_ns.ms 10);
+  checkb "level high" true (Cache_model.level c ~core:0 > 0.9);
+  let wall = Cache_model.charge_work c ~core:0 (Time_ns.us 10) in
+  checkb "surcharge applied" true (wall > Time_ns.us 10);
+  checkb "surcharge bounded" true
+    (wall <= Time_ns.us 10 + int_of_float (0.21 *. float_of_int (Time_ns.us 10)))
+
+let test_cache_decay () =
+  let c = Cache_model.create ~cores:1 () in
+  Cache_model.occupy_foreign c ~core:0 (Time_ns.ms 10);
+  ignore (Cache_model.charge_work c ~core:0 (Time_ns.us 200));
+  checkb "washed out" true (Cache_model.level c ~core:0 < 0.01)
+
+let test_cache_reset () =
+  let c = Cache_model.create ~cores:1 () in
+  Cache_model.occupy_foreign c ~core:0 (Time_ns.ms 1);
+  Cache_model.reset c ~core:0;
+  Alcotest.(check (float 1e-12)) "reset" 0.0 (Cache_model.level c ~core:0)
+
+let test_cache_per_core_isolation () =
+  let c = Cache_model.create ~cores:2 () in
+  Cache_model.occupy_foreign c ~core:0 (Time_ns.ms 1);
+  Alcotest.(check (float 1e-12)) "other core clean" 0.0 (Cache_model.level c ~core:1)
+
+let suite =
+  [
+    ("lapic delivery", `Quick, test_lapic_deliver);
+    ("lapic mask & FIFO drain", `Quick, test_lapic_mask_queue);
+    ("lapic spurious", `Quick, test_lapic_spurious);
+    ("ipi fabric latency", `Quick, test_ipi_delivery_latency);
+    ("ipi to unknown dropped", `Quick, test_ipi_dropped);
+    ("ipi interceptor consumes", `Quick, test_ipi_interceptor_consumes);
+    ("ipi interceptor passthrough", `Quick, test_ipi_interceptor_deliver);
+    ("duplicate lapic rejected", `Quick, test_duplicate_lapic);
+    ("accounting basics", `Quick, test_accounting_basic);
+    ("accounting rejects negative", `Quick, test_accounting_negative);
+    ("cache clean free", `Quick, test_cache_clean_is_free);
+    ("cache pollution surcharge", `Quick, test_cache_pollution_surcharge);
+    ("cache decay", `Quick, test_cache_decay);
+    ("cache reset", `Quick, test_cache_reset);
+    ("cache per-core isolation", `Quick, test_cache_per_core_isolation);
+  ]

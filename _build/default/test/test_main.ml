@@ -1,0 +1,17 @@
+(* Alcotest entry point aggregating all suites. *)
+
+let () =
+  Alcotest.run "taichi"
+    [
+      ("engine", Test_engine.suite);
+      ("hw", Test_hw.suite);
+      ("os", Test_os.suite);
+      ("accel", Test_accel.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("metrics", Test_metrics.suite);
+      ("controlplane", Test_controlplane.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("platform", Test_platform.suite);
+      ("extensions", Test_extensions.suite);
+    ]

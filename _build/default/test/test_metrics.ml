@@ -1,0 +1,114 @@
+(* Tests for recorders, SLOs and table rendering. *)
+
+open Taichi_engine
+open Taichi_metrics
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_recorder_observe () =
+  let r = Recorder.create "lat" in
+  List.iter (Recorder.observe r) [ 10; 20; 30 ];
+  checki "count" 3 (Recorder.count r);
+  checki "min" 10 (Recorder.min_value r);
+  checki "max" 30 (Recorder.max_value r);
+  Alcotest.(check (float 1e-9)) "mean" 20.0 (Recorder.mean r);
+  checki "p50" 20 (Recorder.percentile r 50.0)
+
+let test_recorder_counters () =
+  let r = Recorder.create "c" in
+  Recorder.incr r "spikes";
+  Recorder.incr r ~by:4 "spikes";
+  Recorder.incr r "yields";
+  checki "spikes" 5 (Recorder.counter r "spikes");
+  checki "missing" 0 (Recorder.counter r "nope");
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("spikes", 5); ("yields", 1) ]
+    (Recorder.counters r)
+
+let test_recorder_throughput () =
+  let r = Recorder.create "t" in
+  for _ = 1 to 500 do
+    Recorder.observe r 1
+  done;
+  Alcotest.(check (float 1e-6)) "per sec" 1000.0
+    (Recorder.throughput_per_sec r ~duration:(Time_ns.ms 500))
+
+let test_recorder_clear () =
+  let r = Recorder.create "x" in
+  Recorder.observe r 5;
+  Recorder.incr r "k";
+  Recorder.clear r;
+  checki "count reset" 0 (Recorder.count r);
+  checki "counter reset" 0 (Recorder.counter r "k")
+
+let test_slo_latency () =
+  let r = Recorder.create "lat" in
+  for i = 1 to 100 do
+    Recorder.observe r (i * 1000)
+  done;
+  let ok = Slo.latency_p "p99" ~percentile:99.0 ~bound:(Time_ns.us 150) in
+  let bad = Slo.latency_p "p99-tight" ~percentile:99.0 ~bound:(Time_ns.us 50) in
+  let v1 = Slo.check ok r ~duration:(Time_ns.sec 1) in
+  let v2 = Slo.check bad r ~duration:(Time_ns.sec 1) in
+  checkb "satisfied" true v1.Slo.satisfied;
+  checkb "violated" false v2.Slo.satisfied
+
+let test_slo_throughput () =
+  let r = Recorder.create "tput" in
+  for _ = 1 to 1000 do
+    Recorder.observe r 1
+  done;
+  let slo = Slo.min_throughput "tput" ~per_sec:900.0 in
+  let v = Slo.check slo r ~duration:(Time_ns.sec 1) in
+  checkb "satisfied" true v.Slo.satisfied;
+  let slo2 = Slo.min_throughput "tput" ~per_sec:1100.0 in
+  checkb "violated" false (Slo.check slo2 r ~duration:(Time_ns.sec 1)).Slo.satisfied
+
+let test_slo_empty_recorder () =
+  let r = Recorder.create "empty" in
+  let slo = Slo.mean_latency "m" (Time_ns.us 10) in
+  checkb "empty unsatisfied" false (Slo.check slo r ~duration:(Time_ns.sec 1)).Slo.satisfied
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  checkb "contains header" true (contains s "name");
+  checkb "contains row" true (contains s "alpha");
+  checkb "right-aligned value" true (contains s " 1");
+  (* Rows render in insertion order. *)
+  let lines = String.split_on_char '\n' s in
+  checki "line count (header + rule + 2 rows + trailing)" 5 (List.length lines)
+
+let test_table_mismatch () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "1.53%" (Table.cell_pct 0.0153);
+  Alcotest.(check string) "big" "12346" (Table.cell_f 12345.6);
+  Alcotest.(check string) "small" "1.234" (Table.cell_f 1.2341)
+
+let suite =
+  [
+    ("recorder observe", `Quick, test_recorder_observe);
+    ("recorder counters", `Quick, test_recorder_counters);
+    ("recorder throughput", `Quick, test_recorder_throughput);
+    ("recorder clear", `Quick, test_recorder_clear);
+    ("slo latency", `Quick, test_slo_latency);
+    ("slo throughput", `Quick, test_slo_throughput);
+    ("slo empty recorder", `Quick, test_slo_empty_recorder);
+    ("table render", `Quick, test_table_render);
+    ("table mismatch", `Quick, test_table_mismatch);
+    ("table cell formatting", `Quick, test_table_cells);
+  ]

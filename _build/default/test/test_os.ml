@@ -1,0 +1,480 @@
+(* Unit and integration tests for the simulated kernel: scheduling,
+   spinlocks, non-preemptible sections, lend/reclaim, backing and
+   hotplug. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let make_kernel ?(cpus = 2) () =
+  let sim = Sim.create () in
+  let machine =
+    Machine.create ~config:{ Machine.default_config with physical_cores = cpus } sim
+  in
+  let kernel = Kernel.create machine in
+  let cs = List.init cpus (fun id -> Kernel.add_physical_cpu kernel ~id ()) in
+  (sim, kernel, cs)
+
+let compute_task ?(affinity = []) ?(name = "t") work =
+  Task.create ~affinity ~name
+    ~step:(Program.to_step [ Program.compute work ])
+    ()
+
+(* --- program combinators ---------------------------------------------------- *)
+
+let test_program_sequence () =
+  let instrs = [ Program.compute 10; Program.compute 20 ] in
+  let step = Program.to_step instrs in
+  let dummy = Task.create ~name:"d" ~step:(fun _ -> Task.Exit) () in
+  (match step dummy with
+  | Task.Run { duration = 10; _ } -> ()
+  | _ -> Alcotest.fail "expected first run");
+  (match step dummy with
+  | Task.Run { duration = 20; _ } -> ()
+  | _ -> Alcotest.fail "expected second run");
+  checkb "then exit" true (step dummy = Task.Exit)
+
+let test_program_repeat () =
+  let step = Program.to_step [ Program.Repeat (3, [ Program.compute 5 ]) ] in
+  let dummy = Task.create ~name:"d" ~step:(fun _ -> Task.Exit) () in
+  let count = ref 0 in
+  let rec drain () =
+    match step dummy with
+    | Task.Run _ ->
+        incr count;
+        drain ()
+    | Task.Exit -> ()
+    | _ -> Alcotest.fail "unexpected op"
+  in
+  drain ();
+  checki "three iterations" 3 !count
+
+let test_program_repeat_zero () =
+  let step = Program.to_step [ Program.Repeat (0, [ Program.compute 5 ]) ] in
+  let dummy = Task.create ~name:"d" ~step:(fun _ -> Task.Exit) () in
+  checkb "skips body" true (step dummy = Task.Exit)
+
+let test_program_gen () =
+  let expanded = ref false in
+  let step =
+    Program.to_step
+      [
+        Program.Gen
+          (fun () ->
+            expanded := true;
+            [ Program.compute 7 ]);
+      ]
+  in
+  let dummy = Task.create ~name:"d" ~step:(fun _ -> Task.Exit) () in
+  (match step dummy with
+  | Task.Run { duration = 7; _ } -> checkb "expanded" true !expanded
+  | _ -> Alcotest.fail "expected generated run")
+
+let test_program_forever () =
+  let step = Program.to_step [ Program.Forever [ Program.compute 1 ] ] in
+  let dummy = Task.create ~name:"d" ~step:(fun _ -> Task.Exit) () in
+  for _ = 1 to 100 do
+    match step dummy with
+    | Task.Run _ -> ()
+    | _ -> Alcotest.fail "forever should keep producing"
+  done
+
+(* --- basic execution --------------------------------------------------------- *)
+
+let test_run_to_completion () =
+  let sim, kernel, _ = make_kernel () in
+  let t = compute_task (Time_ns.ms 5) in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "finished" true (Task.is_finished t);
+  checki "cpu_time" (Time_ns.ms 5) t.Task.cpu_time;
+  match Task.turnaround t with
+  | Some d -> checkb "turnaround >= work" true (d >= Time_ns.ms 5)
+  | None -> Alcotest.fail "no turnaround"
+
+let test_parallel_tasks () =
+  let sim, kernel, _ = make_kernel ~cpus:2 () in
+  let a = compute_task ~name:"a" (Time_ns.ms 10) in
+  let b = compute_task ~name:"b" (Time_ns.ms 10) in
+  Kernel.spawn kernel a;
+  Kernel.spawn kernel b;
+  Sim.run sim;
+  (* Two CPUs: both finish in ~10ms, not 20. *)
+  (match (Task.turnaround a, Task.turnaround b) with
+  | Some da, Some db ->
+      checkb "parallel" true (da < Time_ns.ms 12 && db < Time_ns.ms 12)
+  | _ -> Alcotest.fail "unfinished");
+  ()
+
+let test_affinity_respected () =
+  let sim, kernel, _ = make_kernel ~cpus:2 () in
+  let a = compute_task ~affinity:[ 1 ] ~name:"pinned" (Time_ns.ms 1) in
+  Kernel.spawn kernel a;
+  Sim.run sim;
+  checkb "done" true (Task.is_finished a)
+
+let test_round_robin_fairness () =
+  let sim, kernel, _ = make_kernel ~cpus:1 () in
+  let a = compute_task ~name:"a" (Time_ns.ms 30) in
+  let b = compute_task ~name:"b" (Time_ns.ms 30) in
+  Kernel.spawn kernel a;
+  Kernel.spawn kernel b;
+  Sim.run ~until:(Time_ns.ms 31) sim;
+  (* With a 3ms slice both should have made comparable progress. *)
+  let diff = abs (a.Task.cpu_time - b.Task.cpu_time) in
+  checkb "fair sharing" true (diff <= Time_ns.ms 4)
+
+let test_sleep_wake () =
+  let sim, kernel, _ = make_kernel () in
+  let t =
+    Task.create ~name:"sleeper"
+      ~step:
+        (Program.to_step
+           [ Program.compute (Time_ns.us 10); Program.sleep (Time_ns.ms 2);
+             Program.compute (Time_ns.us 10) ])
+      ()
+  in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "finished after sleep" true (Task.is_finished t);
+  (match Task.turnaround t with
+  | Some d -> checkb "slept" true (d >= Time_ns.ms 2)
+  | None -> Alcotest.fail "unfinished");
+  ()
+
+let test_waitq_block_signal () =
+  let sim, kernel, _ = make_kernel () in
+  let wq = Task.waitq "q" in
+  let waiter =
+    Task.create ~name:"waiter" ~step:(Program.to_step [ Program.block wq ]) ()
+  in
+  Kernel.spawn kernel waiter;
+  ignore (Sim.at sim (Time_ns.ms 1) (fun () -> Kernel.signal kernel wq));
+  Sim.run sim;
+  checkb "woken and exited" true (Task.is_finished waiter)
+
+let test_waitq_credit_semantics () =
+  let sim, kernel, _ = make_kernel () in
+  let wq = Task.waitq "q" in
+  (* Signal before the block: the credit must be banked. *)
+  Kernel.signal kernel wq;
+  checki "credit banked" 1 (Kernel.credits wq);
+  let t =
+    Task.create ~name:"late-blocker"
+      ~step:(Program.to_step [ Program.block wq ])
+      ()
+  in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "consumed credit, no hang" true (Task.is_finished t);
+  checki "credit gone" 0 (Kernel.credits wq)
+
+let test_signal_op_wakes_blocker () =
+  let sim, kernel, _ = make_kernel ~cpus:2 () in
+  let wq = Task.waitq "q" in
+  let blocker =
+    Task.create ~name:"blocker" ~step:(Program.to_step [ Program.block wq ]) ()
+  in
+  let signaler =
+    Task.create ~name:"signaler"
+      ~step:
+        (Program.to_step [ Program.compute (Time_ns.ms 1); Program.signal wq ])
+      ()
+  in
+  Kernel.spawn kernel blocker;
+  Kernel.spawn kernel signaler;
+  Sim.run sim;
+  checkb "both finished" true
+    (Task.is_finished blocker && Task.is_finished signaler)
+
+(* --- spinlocks ----------------------------------------------------------------- *)
+
+let test_spinlock_serializes () =
+  let sim, kernel, _ = make_kernel ~cpus:2 () in
+  let lock = Task.spinlock "l" in
+  let cs_task name =
+    Task.create ~name
+      ~step:
+        (Program.to_step
+           (Program.critical_section lock
+              [ Program.kernel_routine (Time_ns.ms 5) ]))
+      ()
+  in
+  let a = cs_task "a" and b = cs_task "b" in
+  Kernel.spawn kernel a;
+  Kernel.spawn kernel b;
+  Sim.run sim;
+  checkb "both finished" true (Task.is_finished a && Task.is_finished b);
+  checki "two acquisitions" 2 lock.Task.acquisitions;
+  checki "one contention" 1 lock.Task.contentions;
+  (* The loser spun for the winner's critical section. *)
+  let spin = a.Task.spin_time + b.Task.spin_time in
+  checkb "spin time about one section" true
+    (spin > Time_ns.ms 4 && spin < Time_ns.ms 7)
+
+let test_spinlock_fifo_grant () =
+  let sim, kernel, _ = make_kernel ~cpus:3 () in
+  let lock = Task.spinlock "l" in
+  let order = ref [] in
+  let cs_task name =
+    Task.create ~name
+      ~step:
+        (Program.to_step
+           [
+             Program.Op (Task.Acquire lock);
+             Program.Gen
+               (fun () ->
+                 order := name :: !order;
+                 [ Program.kernel_routine (Time_ns.ms 1) ]);
+             Program.Op (Task.Release lock);
+           ])
+      ()
+  in
+  (* Stagger spawns so the wait queue order is deterministic. *)
+  let names = [ "a"; "b"; "c" ] in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Sim.at sim (i * Time_ns.us 100) (fun () ->
+             Kernel.spawn kernel (cs_task name))))
+    names;
+  Sim.run sim;
+  Alcotest.(check (list string)) "FIFO" names (List.rev !order)
+
+let test_release_unowned_fails () =
+  let sim, kernel, _ = make_kernel () in
+  let lock = Task.spinlock "l" in
+  let t =
+    Task.create ~name:"bad"
+      ~step:(Program.to_step [ Program.Op (Task.Release lock) ])
+      ()
+  in
+  Kernel.spawn kernel t;
+  checkb "raises" true
+    (try
+       Sim.run sim;
+       false
+     with Failure _ -> true)
+
+(* --- non-preemptible sections & reclaim ------------------------------------------ *)
+
+let test_np_defers_reclaim () =
+  let sim, kernel, cs = make_kernel ~cpus:2 () in
+  let c0 = List.nth cs 0 in
+  (* CPU 0 starts unavailable (data-plane owned), CPU 1 normal. *)
+  let sim2 = sim in
+  ignore sim2;
+  let t =
+    Task.create ~name:"np"
+      ~step:
+        (Program.to_step
+           [ Program.kernel_routine (Time_ns.ms 4); Program.compute (Time_ns.us 1) ])
+      ()
+  in
+  (* Force the task onto CPU 0 initially but allow migration afterwards. *)
+  t.Task.affinity <- [];
+  Kernel.spawn kernel t;
+  (* Lend CPU 0 implicitly: physical CPUs start available, so the task is
+     already running there. Reclaim mid-routine. *)
+  let granted_at = ref (-1) in
+  ignore
+    (Sim.at sim (Time_ns.ms 1) (fun () ->
+         Kernel.reclaim kernel c0 ~on_granted:(fun () ->
+             granted_at := Sim.now sim)));
+  Sim.run sim;
+  checkb "grant waited for routine end" true (!granted_at >= Time_ns.ms 4);
+  checkb "task migrated and finished" true (Task.is_finished t);
+  checkb "max deferred recorded" true
+    (Kernel.max_deferred_wait kernel >= Time_ns.ms 2)
+
+let test_reclaim_immediate_when_idle () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  let granted = ref false in
+  Kernel.reclaim kernel c0 ~on_granted:(fun () -> granted := true);
+  checkb "instant" true !granted;
+  Sim.run sim;
+  checkb "unavailable" false (Kernel.is_available c0)
+
+let test_lend_runs_queued () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  Kernel.reclaim kernel c0 ~on_granted:(fun () -> ());
+  let t = compute_task ~affinity:[ 0 ] (Time_ns.ms 1) in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "stuck while reclaimed" false (Task.is_finished t);
+  Kernel.lend kernel c0;
+  Sim.run sim;
+  checkb "ran after lend" true (Task.is_finished t)
+
+let test_preemptible_reclaim_migrates () =
+  let sim, kernel, cs = make_kernel ~cpus:2 () in
+  let c0 = List.nth cs 0 in
+  let t = compute_task ~name:"mig" (Time_ns.ms 10) in
+  Kernel.spawn kernel t;
+  (* The task starts on CPU 0 (first idle); reclaim should migrate it. *)
+  ignore
+    (Sim.at sim (Time_ns.ms 1) (fun () ->
+         Kernel.reclaim kernel c0 ~on_granted:(fun () -> ())));
+  Sim.run sim;
+  checkb "finished elsewhere" true (Task.is_finished t)
+
+(* --- backing (vCPU freeze/thaw) --------------------------------------------------- *)
+
+let test_unback_pauses_execution () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  let t = compute_task (Time_ns.ms 10) in
+  Kernel.spawn kernel t;
+  ignore (Sim.at sim (Time_ns.ms 2) (fun () -> Kernel.set_backed kernel c0 false));
+  Sim.run ~until:(Time_ns.ms 50) sim;
+  checkb "frozen mid-run" false (Task.is_finished t);
+  Kernel.set_backed kernel c0 true;
+  Sim.run sim;
+  checkb "resumed to completion" true (Task.is_finished t);
+  checki "full work executed" (Time_ns.ms 10) t.Task.cpu_time
+
+let test_unback_pauses_np_routine () =
+  (* The hybrid-virtualization property: unbacking interrupts even a
+     non-preemptible routine. *)
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  let t =
+    Task.create ~name:"np"
+      ~step:(Program.to_step [ Program.kernel_routine (Time_ns.ms 10) ])
+      ()
+  in
+  Kernel.spawn kernel t;
+  ignore (Sim.at sim (Time_ns.ms 2) (fun () -> Kernel.set_backed kernel c0 false));
+  Sim.run ~until:(Time_ns.ms 30) sim;
+  checkb "np frozen" false (Task.is_finished t);
+  Kernel.set_backed kernel c0 true;
+  Sim.run sim;
+  checkb "np completed after thaw" true (Task.is_finished t)
+
+let test_requeue_if_preemptible () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  let t = compute_task (Time_ns.ms 10) in
+  Kernel.spawn kernel t;
+  ignore
+    (Sim.at sim (Time_ns.ms 2) (fun () ->
+         Kernel.requeue_if_preemptible kernel c0));
+  Sim.run sim;
+  checkb "still completes" true (Task.is_finished t);
+  checki "work conserved" (Time_ns.ms 10) t.Task.cpu_time
+
+let test_requeue_skips_np () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  let c0 = List.hd cs in
+  let t =
+    Task.create ~name:"np"
+      ~step:(Program.to_step [ Program.kernel_routine (Time_ns.ms 5) ])
+      ()
+  in
+  Kernel.spawn kernel t;
+  ignore
+    (Sim.at sim (Time_ns.ms 2) (fun () ->
+         Kernel.requeue_if_preemptible kernel c0;
+         checkb "np stays current" true (Kernel.current c0 == Some t |> ignore;
+           match Kernel.current c0 with Some x -> x == t | None -> false)));
+  Sim.run sim;
+  checkb "finished" true (Task.is_finished t)
+
+(* --- stealing ------------------------------------------------------------------- *)
+
+let test_idle_steal () =
+  let sim, kernel, _ = make_kernel ~cpus:2 () in
+  (* Overload CPU 0 with pinned-then-unpinned work: spawn 4 unpinned tasks
+     at the same instant; both CPUs should end up busy. *)
+  let tasks = List.init 4 (fun i -> compute_task ~name:(string_of_int i) (Time_ns.ms 5)) in
+  List.iter (Kernel.spawn kernel) tasks;
+  Sim.run sim;
+  List.iter (fun t -> checkb "finished" true (Task.is_finished t)) tasks;
+  (* Total elapsed should be ~10ms (2 CPUs), not 20. *)
+  checkb "parallelized" true (Sim.now sim < Time_ns.ms 15)
+
+(* --- hotplug -------------------------------------------------------------------- *)
+
+let test_hotplug_boot () =
+  let sim, kernel, _ = make_kernel ~cpus:1 () in
+  let v = Kernel.add_virtual_cpu kernel ~id:10 in
+  checkb "offline" false (Kernel.is_online v);
+  let onlined = ref false in
+  Kernel.boot kernel v ~src:0 ~on_online:(fun () -> onlined := true) ();
+  Sim.run sim;
+  checkb "online after boot" true (Kernel.is_online v);
+  checkb "callback" true !onlined
+
+let test_vcpu_task_waits_for_backing () =
+  let sim, kernel, _ = make_kernel ~cpus:1 () in
+  let v = Kernel.add_virtual_cpu kernel ~id:10 in
+  Kernel.boot kernel v ~src:0 ();
+  Sim.run sim;
+  let work_seen = ref [] in
+  Kernel.set_work_available_hook kernel (fun id -> work_seen := id :: !work_seen);
+  let t = compute_task ~affinity:[ 10 ] (Time_ns.ms 1) in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "not run while unbacked" false (Task.is_finished t);
+  Alcotest.(check (list int)) "hook fired" [ 10 ] !work_seen;
+  Kernel.set_backing_core kernel v (Some 0);
+  Kernel.set_backed kernel v true;
+  Sim.run sim;
+  checkb "ran once backed" true (Task.is_finished t)
+
+let test_speed_tax () =
+  let sim, kernel, cs = make_kernel ~cpus:1 () in
+  Kernel.set_speed_tax (List.hd cs) 0.5;
+  let t = compute_task (Time_ns.ms 10) in
+  Kernel.spawn kernel t;
+  Sim.run sim;
+  checkb "taxed wall time" true (Sim.now sim >= Time_ns.ms 15)
+
+let test_stats_populated () =
+  let sim, kernel, _ = make_kernel ~cpus:1 () in
+  let a = compute_task ~name:"a" (Time_ns.ms 10) in
+  let b = compute_task ~name:"b" (Time_ns.ms 10) in
+  Kernel.spawn kernel a;
+  Kernel.spawn kernel b;
+  Sim.run sim;
+  let s = Kernel.stats kernel in
+  checkb "context switches" true (s.Kernel.context_switches >= 2);
+  checkb "slice expiries" true (s.Kernel.slice_expiries >= 1)
+
+let suite =
+  [
+    ("program sequence", `Quick, test_program_sequence);
+    ("program repeat", `Quick, test_program_repeat);
+    ("program repeat zero", `Quick, test_program_repeat_zero);
+    ("program gen", `Quick, test_program_gen);
+    ("program forever", `Quick, test_program_forever);
+    ("run to completion", `Quick, test_run_to_completion);
+    ("parallel tasks", `Quick, test_parallel_tasks);
+    ("affinity respected", `Quick, test_affinity_respected);
+    ("round-robin fairness", `Quick, test_round_robin_fairness);
+    ("sleep and wake", `Quick, test_sleep_wake);
+    ("waitq block/signal", `Quick, test_waitq_block_signal);
+    ("waitq credit semantics", `Quick, test_waitq_credit_semantics);
+    ("signal op wakes blocker", `Quick, test_signal_op_wakes_blocker);
+    ("spinlock serializes", `Quick, test_spinlock_serializes);
+    ("spinlock FIFO grant", `Quick, test_spinlock_fifo_grant);
+    ("release unowned fails", `Quick, test_release_unowned_fails);
+    ("np defers reclaim", `Quick, test_np_defers_reclaim);
+    ("reclaim immediate when idle", `Quick, test_reclaim_immediate_when_idle);
+    ("lend runs queued work", `Quick, test_lend_runs_queued);
+    ("preemptible reclaim migrates", `Quick, test_preemptible_reclaim_migrates);
+    ("unback pauses execution", `Quick, test_unback_pauses_execution);
+    ("unback pauses np routine", `Quick, test_unback_pauses_np_routine);
+    ("requeue if preemptible", `Quick, test_requeue_if_preemptible);
+    ("requeue skips np", `Quick, test_requeue_skips_np);
+    ("idle steal parallelizes", `Quick, test_idle_steal);
+    ("hotplug boot", `Quick, test_hotplug_boot);
+    ("vcpu task waits for backing", `Quick, test_vcpu_task_waits_for_backing);
+    ("speed tax", `Quick, test_speed_tax);
+    ("kernel stats populated", `Quick, test_stats_populated);
+  ]

@@ -1,0 +1,233 @@
+(* Tests for the workload generators. *)
+
+open Taichi_engine
+open Taichi_accel
+open Taichi_metrics
+open Taichi_workloads
+open Taichi_platform
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let baseline_system ?(seed = 3) () =
+  let sys = System.create ~seed Policy.Static_partition in
+  System.warmup sys;
+  sys
+
+(* --- Client ------------------------------------------------------------------ *)
+
+let test_client_routes_by_tag () =
+  let sys = baseline_system () in
+  let done_tags = ref [] in
+  let core = List.hd (System.net_cores sys) in
+  for i = 1 to 5 do
+    Client.submit (System.client sys) ~kind:Packet.Net_rx ~size:64 ~core
+      ~on_done:(fun _ -> done_tags := i :: !done_tags)
+      ()
+  done;
+  System.advance sys (Time_ns.ms 1);
+  checki "all completions routed" 5 (List.length !done_tags);
+  checki "no leaks" 0 (Client.outstanding (System.client sys))
+
+let test_client_background_untracked () =
+  let sys = baseline_system () in
+  let core = List.hd (System.net_cores sys) in
+  Client.submit_background (System.client sys) ~kind:Packet.Net_rx ~size:64 ~core;
+  System.advance sys (Time_ns.ms 1);
+  checki "nothing outstanding" 0 (Client.outstanding (System.client sys));
+  checki "still processed" 1
+    (Taichi_dataplane.Dp_service.packets_processed
+       (List.hd (System.net_services sys)))
+
+(* --- Bgload -------------------------------------------------------------------- *)
+
+let test_bgload_hits_target () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "t" in
+  let d = Time_ns.sec 1 in
+  let until = Sim.now (System.sim sys) + d in
+  Bgload.start (System.client sys) rng
+    ~params:(Bgload.default_params ~target_util:0.3)
+    ~cores:(System.net_cores sys) ~kind:Packet.Net_rx ~size:1400 ~until;
+  System.advance sys d;
+  let util = System.dp_work_utilization sys in
+  (* Net cores at 30%, storage cores idle: overall 5/8 x 0.3 = 18.75%. *)
+  checkb "near target" true (util > 0.13 && util < 0.25)
+
+(* --- Ping ---------------------------------------------------------------------- *)
+
+let test_ping_baseline_rtt () =
+  let sys = baseline_system () in
+  let recorder = Recorder.create "rtt" in
+  let rng = Rng.split (System.rng sys) "ping" in
+  Ping.run (System.client sys) rng
+    ~params:{ Ping.default_params with count = 100; interval = Time_ns.us 500 }
+    ~core:(List.hd (System.net_cores sys))
+    ~recorder;
+  System.advance sys (Time_ns.ms 100);
+  checki "all echoes" 100 (Recorder.count recorder);
+  let s = Ping.summarize recorder in
+  (* Table 5 baseline: min 26, avg 30, max 38. *)
+  checkb "min plausible" true (s.Ping.min_us > 23.0 && s.Ping.min_us < 29.0);
+  checkb "avg plausible" true (s.Ping.avg_us > 26.0 && s.Ping.avg_us < 33.0);
+  checkb "max plausible" true (s.Ping.max_us < 60.0)
+
+(* --- Fio ----------------------------------------------------------------------- *)
+
+let test_fio_saturates_storage () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "fio" in
+  let d = Time_ns.ms 200 in
+  let until = Sim.now (System.sim sys) + d in
+  let r =
+    Fio.run (System.client sys) rng ~params:Fio.default_params
+      ~cores:(System.storage_cores sys) ~until
+  in
+  System.advance sys (d + Time_ns.ms 5);
+  let iops = Fio.iops r ~duration:d in
+  (* 3 storage cores at ~180-200k IOPS each. *)
+  checkb "saturation range" true (iops > 350_000.0 && iops < 700_000.0);
+  checkb "bandwidth consistent" true
+    (Fio.bandwidth_mb r ~params:Fio.default_params ~duration:d
+    > iops *. 4096.0 /. 1048576.0 *. 0.99)
+
+(* --- Rr engine ------------------------------------------------------------------- *)
+
+let test_rr_engine_closed_loop () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "rr" in
+  let d = Time_ns.ms 100 in
+  let until = Sim.now (System.sim sys) + d in
+  let params =
+    {
+      Rr_engine.connections = 4;
+      stages =
+        [
+          Rr_engine.stage ~kind:Packet.Net_rx ~size:128 ~gap_after:(Time_ns.us 2) ();
+          Rr_engine.stage ~kind:Packet.Net_tx ~size:128 ~rx:false ();
+        ];
+      think = Time_ns.us 50;
+      ramp = 0;
+    }
+  in
+  let r = Rr_engine.run (System.client sys) rng ~params ~cores:(System.net_cores sys) ~until in
+  System.advance sys (d + Time_ns.ms 5);
+  let txns = Recorder.count r.Rr_engine.transactions in
+  checkb "transactions completed" true (txns > 100);
+  checki "rx = txns" txns !(r.Rr_engine.rx_packets);
+  checki "tx = txns" txns !(r.Rr_engine.tx_packets);
+  (* Closed loop: per-connection concurrency of 1 bounds the rate. *)
+  let per_conn_max = float_of_int d /. 60_000.0 in
+  checkb "closed-loop bound" true (float_of_int txns <= 4.0 *. per_conn_max)
+
+let test_netperf_crr_counts () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "crr" in
+  let d = Time_ns.ms 100 in
+  let until = Sim.now (System.sim sys) + d in
+  let r = Netperf.tcp_crr (System.client sys) rng ~cores:(System.net_cores sys) ~until in
+  System.advance sys (d + Time_ns.ms 10);
+  let cps = Rr_engine.tps r ~duration:d in
+  checkb "cps positive" true (cps > 10_000.0);
+  (* 3 rx + 1 tx stages per transaction. *)
+  let txns = Recorder.count r.Rr_engine.transactions in
+  checkb "rx about 3x txns" true (!(r.Rr_engine.rx_packets) >= 3 * txns)
+
+let test_stream_with_acks () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "st" in
+  let d = Time_ns.ms 50 in
+  let until = Sim.now (System.sim sys) + d in
+  let r =
+    Netperf.stream (System.client sys) rng ~connections:4 ~window:2 ~size:1460
+      ~with_acks:true ~cores:(System.net_cores sys) ~until
+  in
+  System.advance sys (d + Time_ns.ms 5);
+  checkb "data flowed" true (!(r.Netperf.rx_done) > 100);
+  (* One ack per two data packets. *)
+  let ratio = float_of_int !(r.Netperf.tx_done) /. float_of_int !(r.Netperf.rx_done) in
+  checkb "ack ratio ~0.5" true (ratio > 0.4 && ratio < 0.6)
+
+(* --- Sockperf / Mysql / Nginx ------------------------------------------------------- *)
+
+let test_sockperf_udp_latency () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "sp" in
+  let d = Time_ns.ms 200 in
+  let until = Sim.now (System.sim sys) + d in
+  let r = Sockperf.udp (System.client sys) rng ~cores:(System.net_cores sys) ~until in
+  System.advance sys (d + Time_ns.ms 5);
+  let s = Sockperf.udp_summary r in
+  checkb "avg latency sane" true (s.Sockperf.avg_us > 5.0 && s.Sockperf.avg_us < 50.0);
+  checkb "p999 >= p99 >= avg" true
+    (s.Sockperf.p999_us >= s.Sockperf.p99_us && s.Sockperf.p99_us >= s.Sockperf.avg_us *. 0.8)
+
+let test_mysql_windows () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "my" in
+  let d = Time_ns.sec 3 in
+  let r =
+    Mysql.run (System.client sys) rng
+      ~params:{ Mysql.default_params with threads = 32 }
+      ~net_cores:(System.net_cores sys)
+      ~storage_cores:(System.storage_cores sys)
+      ~duration:d
+  in
+  System.advance sys (d + Time_ns.ms 20);
+  let m = Mysql.metrics r in
+  checkb "queries flowed" true (m.Mysql.avg_query > 1000.0);
+  checkb "max >= avg" true (m.Mysql.max_query >= m.Mysql.avg_query);
+  checkb "trans ~ queries/5" true
+    (m.Mysql.avg_trans < m.Mysql.avg_query /. 4.0
+    && m.Mysql.avg_trans > m.Mysql.avg_query /. 6.5)
+
+let test_nginx_http_vs_https () =
+  let sys = baseline_system () in
+  let rng = Rng.split (System.rng sys) "ng" in
+  let d = Time_ns.ms 500 in
+  let until = Sim.now (System.sim sys) + d in
+  let http = Nginx.http (System.client sys) rng ~cores:(System.net_cores sys) ~until in
+  System.advance sys (d + Time_ns.ms 10);
+  let sys2 = baseline_system ~seed:4 () in
+  let rng2 = Rng.split (System.rng sys2) "ng" in
+  let until2 = Sim.now (System.sim sys2) + d in
+  let https = Nginx.https_short (System.client sys2) rng2 ~cores:(System.net_cores sys2) ~until:until2 in
+  System.advance sys2 (d + Time_ns.ms 10);
+  let rps_http = Nginx.requests_per_sec http ~duration:d in
+  let rps_https = Nginx.requests_per_sec https ~duration:d in
+  checkb "http flowed" true (rps_http > 50_000.0);
+  checkb "https slower (handshake)" true (rps_https < rps_http)
+
+(* --- Production trace ---------------------------------------------------------------- *)
+
+let test_production_trace_cdf () =
+  let rng = Rng.create ~seed:11 in
+  let samples = Production_trace.sample_utilizations rng ~n:200_000 in
+  let below = Production_trace.fraction_below samples 0.325 in
+  (* Paper: 99.68% below 32.5%. *)
+  checkb "matches paper fraction" true (below > 0.993 && below < 0.999);
+  let m = Production_trace.mean samples in
+  checkb "mean near 11%" true (m > 0.08 && m < 0.15);
+  let pts = Production_trace.cdf_points samples ~xs:[ 0.1; 0.5; 1.0 ] in
+  (match pts with
+  | [ (_, a); (_, b); (_, c) ] ->
+      checkb "monotone" true (a <= b && b <= c);
+      checkb "cdf complete" true (c > 0.9999)
+  | _ -> Alcotest.fail "cdf points");
+  ()
+
+let suite =
+  [
+    ("client routes by tag", `Quick, test_client_routes_by_tag);
+    ("client background untracked", `Quick, test_client_background_untracked);
+    ("bgload hits target", `Slow, test_bgload_hits_target);
+    ("ping baseline rtt", `Quick, test_ping_baseline_rtt);
+    ("fio saturates storage", `Quick, test_fio_saturates_storage);
+    ("rr engine closed loop", `Quick, test_rr_engine_closed_loop);
+    ("netperf crr counts", `Quick, test_netperf_crr_counts);
+    ("stream with acks", `Quick, test_stream_with_acks);
+    ("sockperf udp latency", `Quick, test_sockperf_udp_latency);
+    ("mysql windows", `Slow, test_mysql_windows);
+    ("nginx http vs https", `Slow, test_nginx_http_vs_https);
+    ("production trace cdf", `Quick, test_production_trace_cdf);
+  ]
