@@ -1,0 +1,22 @@
+.PHONY: all build test smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Fast end-to-end check for CI: full build + unit/property suites, then a
+# small traced bench run whose JSON export must parse and satisfy the
+# occupancy invariant (trace_lint exits non-zero otherwise).
+smoke: test
+	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_TRACE_JSON=_build/smoke-trace.json \
+		dune exec bench/main.exe
+	dune exec bin/trace_lint.exe -- _build/smoke-trace.json
+
+ci: smoke
+
+clean:
+	dune clean

@@ -3,9 +3,11 @@
    microbenchmarks of the simulator primitives the experiments stand on.
 
    Environment:
-     BENCH_SCALE  duration scale factor (default 0.25; 1.0 = full length)
-     BENCH_SEED   root seed (default 42)
-     BENCH_ONLY   comma-separated experiment ids to run (default: all)
+     BENCH_SCALE       duration scale factor (default 0.25; 1.0 = full length)
+     BENCH_SEED        root seed (default 42)
+     BENCH_ONLY        comma-separated experiment ids to run (default: all)
+     BENCH_TRACE_JSON  collect scheduler traces and write the JSON export
+                       (schema taichi-trace-v1) to this path
 *)
 
 open Taichi_engine
@@ -27,6 +29,8 @@ let wanted =
 
 (* --- paper experiments -------------------------------------------------- *)
 
+let trace_json = Sys.getenv_opt "BENCH_TRACE_JSON"
+
 let run_experiments () =
   let scale = getenv_f "BENCH_SCALE" 0.25 in
   let seed = getenv_i "BENCH_SEED" 42 in
@@ -34,6 +38,7 @@ let run_experiments () =
     "Tai Chi evaluation harness: seed=%d scale=%.2f (set BENCH_SCALE=1.0 \
      for full-length runs)\n"
     seed scale;
+  if trace_json <> None then Taichi_platform.Exp_common.set_tracing true;
   List.iter
     (fun (name, f) ->
       let skip =
@@ -41,11 +46,19 @@ let run_experiments () =
       in
       if not skip then begin
         let t0 = Unix.gettimeofday () in
+        Taichi_platform.Exp_common.set_experiment name;
         f ~seed ~scale;
         Printf.printf "[%s completed in %.1fs wall]\n" name
           (Unix.gettimeofday () -. t0)
       end)
-    Taichi_platform.Experiments.all
+    Taichi_platform.Experiments.all;
+  match trace_json with
+  | Some path ->
+      let runs = Taichi_platform.Exp_common.trace_runs () in
+      Taichi_metrics.Export.write_file path runs;
+      Printf.printf "trace export: %d run(s) written to %s\n"
+        (List.length runs) path
+  | None -> ()
 
 (* --- bechamel microbenchmarks -------------------------------------------- *)
 

@@ -7,6 +7,7 @@ let experiment_names = List.map fst Taichi_platform.Experiments.all
 let run_experiment name seed scale =
   match List.assoc_opt name Taichi_platform.Experiments.all with
   | Some f ->
+      Taichi_platform.Exp_common.set_experiment name;
       f ~seed ~scale;
       0
   | None ->
@@ -31,16 +32,70 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
 
-let run name seed scale =
-  if name = "all" then begin
-    List.iter (fun (_, f) -> f ~seed ~scale) Taichi_platform.Experiments.all;
-    0
+let trace_arg =
+  let doc =
+    "Collect the scheduler-wide trace and print per-run occupancy \
+     timelines and counters after the experiment."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_json_arg =
+  let doc =
+    "Collect the scheduler-wide trace and export every run as JSON \
+     (schema taichi-trace-v1) to $(docv). Deterministic for a fixed seed."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let print_trace_report runs =
+  List.iter
+    (fun (run : Taichi_metrics.Export.run) ->
+      Format.printf "@.trace: %s / %s (seed %d)@." run.experiment run.policy
+        run.seed;
+      Format.printf "%a@." Taichi_metrics.Timeline.pp run.timeline;
+      Format.printf "counters:@.";
+      List.iter
+        (fun (name, v) -> Format.printf "  %-32s %d@." name v)
+        run.counters)
+    runs
+
+let run name seed scale trace trace_json =
+  let tracing = trace || trace_json <> None in
+  if tracing then Taichi_platform.Exp_common.set_tracing true;
+  let status =
+    if name = "all" then begin
+      List.iter
+        (fun (ename, f) ->
+          Taichi_platform.Exp_common.set_experiment ename;
+          f ~seed ~scale)
+        Taichi_platform.Experiments.all;
+      0
+    end
+    else run_experiment name seed scale
+  in
+  if status = 0 && tracing then begin
+    let runs = Taichi_platform.Exp_common.trace_runs () in
+    if trace then print_trace_report runs;
+    (* Export failures must not look like a successful run: report and
+       fail cleanly rather than dying on an uncaught Sys_error. *)
+    match trace_json with
+    | Some path -> (
+        try
+          Taichi_metrics.Export.write_file path runs;
+          Printf.printf "trace export: %d run(s) written to %s\n"
+            (List.length runs) path;
+          status
+        with Sys_error msg ->
+          Printf.eprintf "cannot write trace export: %s\n" msg;
+          1)
+    | None -> status
   end
-  else run_experiment name seed scale
+  else status
 
 let cmd =
   let doc = "Reproduce the Tai Chi (SOSP'25) evaluation on the simulator" in
   let info = Cmd.info "taichi_sim" ~doc in
-  Cmd.v info Term.(const run $ name_arg $ seed_arg $ scale_arg)
+  Cmd.v info
+    Term.(
+      const run $ name_arg $ seed_arg $ scale_arg $ trace_arg $ trace_json_arg)
 
 let main () = exit (Cmd.eval' cmd)

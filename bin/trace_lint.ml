@@ -1,0 +1,30 @@
+(* Validate a taichi-trace-v1 JSON export: parses the file, checks the
+   schema marker and the per-core occupancy invariant (dp + vcpu + switch
+   + idle = total = duration). Exit 0 on success so CI can gate on it. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      let contents =
+        try read_file path
+        with Sys_error msg ->
+          Printf.eprintf "trace_lint: %s\n" msg;
+          exit 2
+      in
+      match Taichi_metrics.Export.validate_string contents with
+      | Ok () ->
+          Printf.printf "trace_lint: %s OK\n" path;
+          exit 0
+      | Error msg ->
+          Printf.eprintf "trace_lint: %s: %s\n" path msg;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: trace_lint FILE.json\n";
+      exit 2

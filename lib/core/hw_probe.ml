@@ -1,8 +1,10 @@
 open Taichi_engine
+open Taichi_hw
 open Taichi_accel
 
 type t = {
   config : Config.t;
+  machine : Machine.t;
   sim : Sim.t;
   table : State_table.t;
   sched : Vcpu_sched.t;
@@ -11,11 +13,12 @@ type t = {
   mutable suppressed : int;
 }
 
-let install config sim table pipeline sched =
+let install config machine table pipeline sched =
   let t =
     {
       config;
-      sim;
+      machine;
+      sim = Machine.sim machine;
       table;
       sched;
       pending = Hashtbl.create 16;
@@ -31,11 +34,17 @@ let install config sim table pipeline sched =
            match State_table.get t.table ~core with
            | State_table.P_state -> ()
            | State_table.V_state ->
-               if Hashtbl.mem t.pending core then
-                 t.suppressed <- t.suppressed + 1
+               if Hashtbl.mem t.pending core then begin
+                 t.suppressed <- t.suppressed + 1;
+                 Counters.incr (Machine.counters t.machine) "probe.hw.suppressed"
+               end
                else begin
                  Hashtbl.replace t.pending core ();
                  t.triggers <- t.triggers + 1;
+                 Counters.incr (Machine.counters t.machine) "probe.hw.triggers";
+                 Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim)
+                   ~core ~category:Trace.Cat.probe_hw "irq scheduled in %dns"
+                   t.config.Config.irq_latency;
                  ignore
                    (Sim.after t.sim t.config.Config.irq_latency (fun () ->
                         Hashtbl.remove t.pending core;

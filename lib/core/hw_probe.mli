@@ -8,16 +8,17 @@
     (interrupts effectively masked), so a busy data-plane service is never
     disturbed. *)
 
-open Taichi_engine
+open Taichi_hw
 open Taichi_accel
 
 type t
 
 val install :
-  Config.t -> Sim.t -> State_table.t -> Pipeline.t -> Vcpu_sched.t -> t
+  Config.t -> Machine.t -> State_table.t -> Pipeline.t -> Vcpu_sched.t -> t
 (** Hooks the pipeline's detection point. The probe only acts when
     [config.hw_probe] is true, so installing it unconditionally and
-    toggling via config keeps wiring uniform. *)
+    toggling via config keeps wiring uniform. Trigger/suppression events go
+    to the machine trace ([probe.hw]) and counter registry. *)
 
 val triggers : t -> int
 (** IRQs fired (V-state hits). *)

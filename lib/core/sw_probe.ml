@@ -1,13 +1,18 @@
+open Taichi_engine
+open Taichi_hw
+
 type t = {
   config : Config.t;
+  machine : Machine.t option;
   thresholds : int array;
   fps : int array;
   mutable adjustments : int;
 }
 
-let create config ~cores =
+let create ?machine config ~cores =
   {
     config;
+    machine;
     thresholds = Array.make cores config.Config.threshold_init;
     fps = Array.make cores 0;
     adjustments = 0;
@@ -15,11 +20,20 @@ let create config ~cores =
 
 let threshold t ~core = t.thresholds.(core)
 
+let note t ~core event =
+  match t.machine with
+  | None -> ()
+  | Some m ->
+      Counters.incr (Machine.counters m) ("probe.sw." ^ event);
+      Trace.emitf (Machine.trace m) ~time:(Sim.now (Machine.sim m)) ~core
+        ~category:Trace.Cat.probe_sw "%s threshold=%d" event t.thresholds.(core)
+
 let on_sustained_idle t ~core =
   if t.config.Config.adaptive_threshold then begin
     let n = t.thresholds.(core) - t.config.Config.threshold_dec in
     t.thresholds.(core) <- max t.config.Config.threshold_min n;
-    t.adjustments <- t.adjustments + 1
+    t.adjustments <- t.adjustments + 1;
+    note t ~core "sustained_idle"
   end
 
 let on_false_positive t ~core =
@@ -28,7 +42,8 @@ let on_false_positive t ~core =
     let n = t.thresholds.(core) * 2 in
     t.thresholds.(core) <- min t.config.Config.threshold_max n;
     t.adjustments <- t.adjustments + 1
-  end
+  end;
+  note t ~core "false_positive"
 
 let false_positives t ~core = t.fps.(core)
 let adjustments t = t.adjustments

@@ -6,9 +6,14 @@
     N shrinks (yield sooner, donate more cycles); a hardware-probe exit
     means the yield was a false positive, so N doubles (filter harder). *)
 
+open Taichi_hw
+
 type t
 
-val create : Config.t -> cores:int -> t
+val create : ?machine:Machine.t -> Config.t -> cores:int -> t
+(** [create ?machine config ~cores]. When [machine] is given, threshold
+    adjustments are emitted into the machine trace ([probe.sw] category)
+    and counted in the machine's counter registry. *)
 
 val threshold : t -> core:int -> int
 (** Current N for [core]. *)

@@ -21,7 +21,7 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     ~cp_pcpus () =
   let cores = Machine.physical_cores machine in
   let table = State_table.create ~cores in
-  let sw = Sw_probe.create config ~cores in
+  let sw = Sw_probe.create ~machine config ~cores in
   let softirq = Softirq.create machine in
   let sched = Vcpu_sched.create config machine kernel softirq sw table in
   List.iter (fun dp -> Vcpu_sched.register_dp sched dp) dps;
@@ -31,7 +31,7 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     Ipi_orchestrator.register_vcpus orch ~first_kcpu:cores
       ~count:config.Config.n_vcpus
   in
-  let probe = Hw_probe.install config (Machine.sim machine) table pipeline sched in
+  let probe = Hw_probe.install config machine table pipeline sched in
   { config; machine; kernel; table; sw; softirq; sched; orch; probe; vcpus; cp_pcpus }
 
 let config t = t.config

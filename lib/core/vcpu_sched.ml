@@ -25,7 +25,7 @@ type t = {
   sw : Sw_probe.t;
   table : State_table.t;
   pending_place : (int, Vcpu.t) Hashtbl.t;  (* core -> vcpu awaiting softirq *)
-  mutable vcpu_list : Vcpu.t list;
+  mutable vcpu_list : Vcpu.t list;  (* reverse registration order *)
   by_kcpu : (int, Vcpu.t) Hashtbl.t;
   dps : (int, Dp_service.t) Hashtbl.t;  (* physical core -> service *)
   placed : (int, Vcpu.t) Hashtbl.t;  (* physical core -> vcpu *)
@@ -60,6 +60,17 @@ let kcpu_of t v = Kernel.cpu t.kernel v.Vcpu.kcpu
 
 let has_work t v = Kernel.cpu_has_work (kcpu_of t v)
 
+(* --- observability ------------------------------------------------------- *)
+
+let count t name = Counters.incr (Machine.counters t.machine) name
+
+let emitf t ~core ~category fmt =
+  Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core ~category fmt
+
+let emit_state t ~core st =
+  Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
+    ~category:Trace.Cat.core_state st
+
 (* --- runnable queue ----------------------------------------------------- *)
 
 let rec pop_runnable t =
@@ -93,6 +104,18 @@ let runnable_waiting t =
       && has_work t v)
     false t.runq
 
+(* First data-plane core currently parked, if any: the preferred landing
+   spot for a vCPU with fresh work and the §4.1 rescue target. *)
+let find_parked_dp t =
+  Hashtbl.fold
+    (fun _ dp acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Dp_service.state dp = Dp_service.Idle_parked then Some dp
+          else None)
+    t.dps None
+
 (* --- placement ----------------------------------------------------------- *)
 
 let cancel_slice t core =
@@ -117,12 +140,17 @@ and back_on_core t v core =
   v.Vcpu.last_placed <- Sim.now t.sim;
   Kernel.set_backing_core t.kernel (kcpu_of t v) (Some core);
   t.s_placements <- t.s_placements + 1;
+  count t "sched.placements";
+  emitf t ~core ~category:Trace.Cat.sched_place "vid=%d kcpu=%d" v.Vcpu.vid
+    v.Vcpu.kcpu;
+  emit_state t ~core Trace.Cat.state_switch;
   charge_core t core (world_switch t);
   ignore
     (Sim.after t.sim (world_switch t) (fun () ->
          match Hashtbl.find_opt t.placed core with
          | Some v' when v' == v ->
              Kernel.set_backed t.kernel (kcpu_of t v) true;
+             emit_state t ~core Trace.Cat.state_vcpu;
              arm_slice t v core
          | Some _ | None -> ()))
 
@@ -140,6 +168,8 @@ and try_place_on_dp t v dp =
     v.Vcpu.placement <- Vcpu.On_core core;
     v.Vcpu.last_placed <- Sim.now t.sim;
     State_table.set t.table ~core State_table.V_state;
+    (* The softirq dispatch window already belongs to the switch. *)
+    emit_state t ~core Trace.Cat.state_switch;
     Softirq.raise_softirq t.softirq ~cpu:core ~vector:Softirq.vector_taichi;
     true
   end
@@ -165,17 +195,7 @@ and on_dp_idle t dp =
 (* Work appeared for an unplaced vCPU: grab a parked core if one exists. *)
 and try_place_parked t v =
   if (not (Vcpu.is_placed v)) && not (Hashtbl.mem t.borrowing v.Vcpu.vid) then begin
-    let parked =
-      Hashtbl.fold
-        (fun _ dp acc ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-              if Dp_service.state dp = Dp_service.Idle_parked then Some dp
-              else None)
-        t.dps None
-    in
-    match parked with
+    match find_parked_dp t with
     | Some dp when try_place_on_dp t v dp -> ()
     | Some _ | None -> mark_runnable t v
   end
@@ -192,8 +212,11 @@ and unback t v core =
   Hashtbl.remove t.placed core;
   v.Vcpu.placement <- Vcpu.Unplaced
 
-(* Full eviction back to the data-plane service. *)
-and evict_to_dp t v core =
+(* Full eviction back to the data-plane service. [kind] is the stable
+   eviction label exported with the trace: "probe", "pending" or "halt". *)
+and evict_to_dp t v core ~kind =
+  count t ("sched.evictions." ^ kind);
+  emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=%s" v.Vcpu.vid kind;
   unback t v core;
   State_table.set t.table ~core State_table.P_state;
   let dp = Hashtbl.find t.dps core in
@@ -202,7 +225,10 @@ and evict_to_dp t v core =
   let lock_bound = match cur with Some task -> Task.nonpreemptible task | None -> false in
   if lock_bound && t.config.Config.lock_safe_resched then rescue t v
   else begin
-    if lock_bound then t.s_unsafe <- t.s_unsafe + 1;
+    if lock_bound then begin
+      t.s_unsafe <- t.s_unsafe + 1;
+      count t "sched.unsafe_suspensions"
+    end;
     (* The VM-exit acts as a scheduling tick inside the guest context: a
        preemptible current task returns to the runqueue, where idle CP
        pCPUs can steal it instead of waiting for the vCPU's next slot. *)
@@ -218,6 +244,9 @@ and evict_to_dp t v core =
 and switch_vcpu t ~from_v ~to_v core =
   unback t from_v core;
   t.s_rotations <- t.s_rotations + 1;
+  count t "sched.rotations";
+  emitf t ~core ~category:Trace.Cat.sched_rotate "from=%d to=%d" from_v.Vcpu.vid
+    to_v.Vcpu.vid;
   mark_runnable t from_v;
   back_on_core t to_v core
 
@@ -228,7 +257,11 @@ and on_slice_expiry t core =
   | Some v ->
       Vcpu.record_exit v Vmexit.Timeslice_expired;
       let dp = Hashtbl.find t.dps core in
-      if Dp_service.pending_work dp then begin
+      let pending = Dp_service.pending_work dp in
+      count t "sched.slice_expiries";
+      emitf t ~core ~category:Trace.Cat.sched_slice "vid=%d pending=%b"
+        v.Vcpu.vid pending;
+      if pending then begin
         t.s_pending_evictions <- t.s_pending_evictions + 1;
         v.Vcpu.slice <- t.config.Config.initial_slice;
         (* Only a yield evicted almost immediately was a false positive;
@@ -237,7 +270,7 @@ and on_slice_expiry t core =
         if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
           Sw_probe.on_false_positive t.sw ~core
         else Sw_probe.on_sustained_idle t.sw ~core;
-        evict_to_dp t v core
+        evict_to_dp t v core ~kind:"pending"
       end
       else begin
         Sw_probe.on_sustained_idle t.sw ~core;
@@ -246,22 +279,11 @@ and on_slice_expiry t core =
         charge_core t core (light_exit t);
         if runnable_waiting t then begin
           match pop_runnable t with
-          | Some v' ->
+          | Some v' -> (
               (* Prefer spreading onto a parked core over rotating here:
                  rotation costs two world switches for zero extra
                  capacity. *)
-              let parked =
-                Hashtbl.fold
-                  (fun _ dp acc ->
-                    match acc with
-                    | Some _ -> acc
-                    | None ->
-                        if Dp_service.state dp = Dp_service.Idle_parked then
-                          Some dp
-                        else None)
-                  t.dps None
-              in
-              (match parked with
+              match find_parked_dp t with
               | Some dp when try_place_on_dp t v' dp ->
                   continue_or_halt t v core
               | Some _ | None -> switch_vcpu t ~from_v:v ~to_v:v' core)
@@ -277,25 +299,26 @@ and continue_or_halt t v core =
 and halt_exit t v core =
   Vcpu.record_exit v Vmexit.Halt;
   t.s_halt_exits <- t.s_halt_exits + 1;
+  count t "sched.halt_exits";
+  emitf t ~core ~category:Trace.Cat.sched_halt "vid=%d" v.Vcpu.vid;
   match pop_runnable t with
   | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core
-  | None -> evict_to_dp t v core
+  | None -> evict_to_dp t v core ~kind:"halt"
 
 (* --- §4.1 lock-context rescue ------------------------------------------- *)
 
+(* [rescue] is the counted entry point: one lock-context rescue event per
+   eviction, however many placement retries it takes. The retry timer loops
+   through [do_rescue] so re-entries do not inflate [s_lock_rescues]. *)
 and rescue t v =
   t.s_lock_rescues <- t.s_lock_rescues + 1;
-  let parked =
-    Hashtbl.fold
-      (fun _ dp acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-            if Dp_service.state dp = Dp_service.Idle_parked then Some dp
-            else None)
-      t.dps None
-  in
-  match parked with
+  count t "sched.rescues";
+  emitf t ~core:Trace.no_core ~category:Trace.Cat.sched_rescue "vid=%d"
+    v.Vcpu.vid;
+  do_rescue t v
+
+and do_rescue t v =
+  match find_parked_dp t with
   | Some dp when try_place_on_dp t v dp -> ()
   | Some _ | None -> borrow_cp_pcpu t v
 
@@ -322,23 +345,30 @@ and borrow_cp_pcpu t v =
   | [] ->
       if t.cp_pcpus = [] then begin
         t.s_unsafe <- t.s_unsafe + 1;
+        count t "sched.unsafe_suspensions";
         mark_runnable t v
       end
-      else
+      else begin
         (* All CP pCPUs carry borrows; retry shortly. *)
+        count t "sched.borrow_retries";
         ignore
           (Sim.after t.sim t.config.Config.borrow_slice (fun () ->
                if
                  (not (Vcpu.is_placed v))
                  && not (Hashtbl.mem t.borrowing v.Vcpu.vid)
-               then rescue t v))
+               then do_rescue t v))
+      end
   | cp_list ->
       t.s_borrows <- t.s_borrows + 1;
+      count t "sched.borrows";
       Hashtbl.replace t.borrowing v.Vcpu.vid ();
       let n = List.length cp_list in
       let cp_id = List.nth cp_list (t.next_borrow mod n) in
       t.next_borrow <- t.next_borrow + 1;
       Hashtbl.replace t.borrowed_cores cp_id ();
+      emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow "start vid=%d cp=%d"
+        v.Vcpu.vid cp_id;
+      emit_state t ~core:cp_id Trace.Cat.state_switch;
       let cp = Kernel.cpu t.kernel cp_id in
       Kernel.set_backed t.kernel cp false;
       let kc = kcpu_of t v in
@@ -349,6 +379,7 @@ and borrow_cp_pcpu t v =
       ignore
         (Sim.after t.sim (world_switch t) (fun () ->
              Kernel.set_backed t.kernel kc true;
+             emit_state t ~core:cp_id Trace.Cat.state_vcpu;
              borrow_check t v cp_id))
 
 and borrow_check t v cp_id =
@@ -371,6 +402,9 @@ and borrow_check t v cp_id =
            v.Vcpu.placement <- Vcpu.Unplaced;
            Hashtbl.remove t.borrowing v.Vcpu.vid;
            Hashtbl.remove t.borrowed_cores cp_id;
+           emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow
+             "end vid=%d cp=%d" v.Vcpu.vid cp_id;
+           emit_state t ~core:cp_id Trace.Cat.state_idle;
            Kernel.set_backed t.kernel (Kernel.cpu t.kernel cp_id) true;
            mark_runnable t v;
            try_place_parked t v
@@ -388,7 +422,7 @@ let on_probe_irq t ~core =
       if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
         Sw_probe.on_false_positive t.sw ~core
       else Sw_probe.on_sustained_idle t.sw ~core;
-      evict_to_dp t v core
+      evict_to_dp t v core ~kind:"probe"
 
 (* --- kernel hooks --------------------------------------------------------- *)
 
@@ -453,11 +487,14 @@ let create config machine kernel softirq sw table =
   Kernel.set_cpu_idle_hook kernel (fun kcpu_id -> on_cpu_idle t kcpu_id);
   t
 
+(* Registration is O(1): the list is kept newest-first and reversed on
+   read, so registering n vCPUs is linear overall instead of the quadratic
+   append-per-add it used to be. *)
 let add_vcpu t v =
-  t.vcpu_list <- t.vcpu_list @ [ v ];
+  t.vcpu_list <- v :: t.vcpu_list;
   Hashtbl.replace t.by_kcpu v.Vcpu.kcpu v
 
-let vcpus t = t.vcpu_list
+let vcpus t = List.rev t.vcpu_list
 
 let register_dp t dp =
   let core = Dp_service.core dp in

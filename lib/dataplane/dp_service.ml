@@ -57,6 +57,16 @@ let charge t cls d =
   if d > 0 then
     Accounting.charge (Machine.accounting t.machine) ~core:t.config.core cls d
 
+let count t name = Counters.incr (Machine.counters t.machine) name
+
+let emit t ~category message =
+  Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core:t.config.core
+    ~category message
+
+(* Occupancy transition for the timeline fold: this core is now polling /
+   processing ([state_dp]), parked ([state_idle]), or in a switch. *)
+let emit_state t st = emit t ~category:Trace.Cat.core_state st
+
 (* Close out the running empty-poll / parked span as poll time. *)
 let settle_poll_time t =
   let d = Sim.now t.sim - t.poll_since in
@@ -75,6 +85,9 @@ let rec enter_counting t =
            settle_poll_time t;
            t.state <- Idle_parked;
            t.poll_since <- Sim.now t.sim;
+           count t "dp.parks";
+           emit t ~category:Trace.Cat.dp_park (Printf.sprintf "n=%d" n);
+           emit_state t Trace.Cat.state_idle;
            t.hooks.idle_detected t))
 
 and start_processing t ~discovery =
@@ -123,6 +136,9 @@ let on_ring_activity t =
         start_processing t ~discovery:t.config.poll_iter
     | Idle_parked ->
         settle_poll_time t;
+        count t "dp.wakes";
+        emit t ~category:Trace.Cat.dp_wake "work arrived";
+        emit_state t Trace.Cat.state_dp;
         start_processing t ~discovery:t.config.poll_iter
     | Yielded -> t.hooks.work_arrived_while_yielded t
 
@@ -152,6 +168,7 @@ let create machine pipeline config =
 let start t =
   if not t.started then begin
     t.started <- true;
+    emit_state t Trace.Cat.state_dp;
     if Ring.is_empty t.ring then enter_counting t
     else start_processing t ~discovery:t.config.poll_iter
   end
@@ -175,6 +192,12 @@ let try_yield t =
       settle_poll_time t;
       t.state <- Yielded;
       Recorder.incr t.latency "yields";
+      count t "dp.yields";
+      emit t ~category:Trace.Cat.dp_yield "core given up";
+      (* The core leaves data-plane occupancy here; whoever takes it over
+         (the vCPU scheduler, or the kernel under co-schedule policies)
+         emits the next transition. *)
+      emit_state t Trace.Cat.state_idle;
       true
   | Counting | Idle_parked | Processing | Yielded -> false
 
@@ -182,10 +205,15 @@ let resume t ~switch_cost =
   if t.state = Yielded && not t.resuming then begin
     t.resuming <- true;
     Recorder.incr t.latency "resumes";
+    count t "dp.resumes";
+    emit t ~category:Trace.Cat.dp_resume
+      (Printf.sprintf "switch_cost=%d" switch_cost);
+    emit_state t Trace.Cat.state_switch;
     ignore
       (Sim.after t.sim switch_cost (fun () ->
            charge t Accounting.Switch switch_cost;
            t.resuming <- false;
+           emit_state t Trace.Cat.state_dp;
            if Ring.is_empty t.ring then enter_counting t
            else start_processing t ~discovery:t.config.poll_iter))
   end

@@ -1,0 +1,20 @@
+type t = { cells : (string, int ref) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 32 }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.cells name with
+  | Some cell -> cell := !cell + by
+  | None -> Hashtbl.replace t.cells name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.cells name with Some c -> !c | None -> 0
+
+let dump t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let clear t = Hashtbl.reset t.cells
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s=%d@." k v) (dump t)

@@ -1,0 +1,25 @@
+(** A named-counter registry.
+
+    One flat namespace of monotonically increasing integer counters,
+    shared by every subsystem of a machine (the scheduler, data-plane
+    services, probes, the kernel). Dotted names give a stable hierarchy,
+    e.g. ["sched.placements"] or ["dp.yields"]. {!dump} is sorted by name
+    so exports are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** [incr t ?by name] adds [by] (default 1) to counter [name], creating it
+    at zero first if needed. *)
+
+val get : t -> string -> int
+(** [get t name] is the counter's value, 0 if never incremented. *)
+
+val dump : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

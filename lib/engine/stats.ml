@@ -10,6 +10,14 @@ type t = {
 let create () =
   { n = 0; mean = 0.0; m2 = 0.0; total = 0.0; lo = infinity; hi = neg_infinity }
 
+let clear s =
+  s.n <- 0;
+  s.mean <- 0.0;
+  s.m2 <- 0.0;
+  s.total <- 0.0;
+  s.lo <- infinity;
+  s.hi <- neg_infinity
+
 let add s x =
   s.n <- s.n + 1;
   s.total <- s.total +. x;

@@ -4,6 +4,10 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** [clear s] resets the summary to the freshly-created state: count, sum,
+    mean, variance and extrema all forget every prior observation. *)
+
 val add : t -> float -> unit
 (** [add s x] folds one observation into the summary. *)
 

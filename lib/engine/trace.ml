@@ -1,39 +1,98 @@
-type record = { time : Time_ns.t; category : string; message : string }
+type record = {
+  time : Time_ns.t;
+  core : int;
+  category : string;
+  message : string;
+}
+
+let no_core = -1
+
+(* Stable category names; DESIGN.md §Observability documents the payloads. *)
+module Cat = struct
+  let core_state = "core.state"
+  let state_dp = "dp"
+  let state_vcpu = "vcpu"
+  let state_switch = "switch"
+  let state_idle = "idle"
+
+  let sched_place = "sched.place"
+  let sched_evict = "sched.evict"
+  let sched_slice = "sched.slice"
+  let sched_rotate = "sched.rotate"
+  let sched_halt = "sched.halt"
+  let sched_rescue = "sched.rescue"
+  let sched_borrow = "sched.borrow"
+
+  let dp_yield = "dp.yield"
+  let dp_resume = "dp.resume"
+  let dp_park = "dp.park"
+  let dp_wake = "dp.wake"
+
+  let probe_hw = "probe.hw"
+  let probe_sw = "probe.sw"
+
+  let softirq = "softirq"
+
+  let kernel_steal = "kernel.steal"
+  let kernel_migrate = "kernel.migrate"
+  let kernel_reclaim = "kernel.reclaim"
+end
 
 type t = {
   mutable on : bool;
   limit : int;
   buf : record Queue.t;
+  mutable dropped : int;
 }
 
 let create ?(limit = 100_000) ?(enabled = false) () =
-  { on = enabled; limit; buf = Queue.create () }
+  { on = enabled; limit; buf = Queue.create (); dropped = 0 }
 
 let enabled t = t.on
 let set_enabled t v = t.on <- v
 
-let emit t ~time ~category message =
+let emit t ~time ?(core = no_core) ~category message =
   if t.on then begin
-    Queue.push { time; category; message } t.buf;
-    if Queue.length t.buf > t.limit then ignore (Queue.pop t.buf)
+    Queue.push { time; core; category; message } t.buf;
+    if Queue.length t.buf > t.limit then begin
+      ignore (Queue.pop t.buf);
+      t.dropped <- t.dropped + 1
+    end
   end
 
-let emitf t ~time ~category fmt =
+(* A sink that swallows everything: the disabled branch of [emitf] must not
+   share mutable formatter state with anyone (in particular not
+   [Format.str_formatter], whose buffer is global). *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let emitf t ~time ?core ~category fmt =
   if t.on then
-    Format.kasprintf (fun message -> emit t ~time ~category message) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+    Format.kasprintf (fun message -> emit t ~time ?core ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
 let records t = List.of_seq (Queue.to_seq t.buf)
+
+let iter t f = Queue.iter f t.buf
 
 let by_category t category =
   List.filter (fun r -> r.category = category) (records t)
 
+let by_core t core = List.filter (fun r -> r.core = core) (records t)
+
 let length t = Queue.length t.buf
-let clear t = Queue.clear t.buf
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.buf;
+  t.dropped <- 0
 
 let pp fmt t =
   List.iter
     (fun r ->
-      Format.fprintf fmt "%12s [%s] %s@." (Time_ns.to_string r.time) r.category
-        r.message)
+      if r.core = no_core then
+        Format.fprintf fmt "%12s [%s] %s@." (Time_ns.to_string r.time)
+          r.category r.message
+      else
+        Format.fprintf fmt "%12s core%-2d [%s] %s@." (Time_ns.to_string r.time)
+          r.core r.category r.message)
     (records t)

@@ -11,18 +11,27 @@ type t = {
   config : config;
   accounting : Accounting.t;
   cache : Cache_model.t;
+  trace : Trace.t;
+  counters : Counters.t;
   lapics : (int, Lapic.t) Hashtbl.t;
   mutable interceptor : (src:int -> dst:int -> vector:Lapic.vector -> route) option;
   mutable sent : int;
   mutable dropped : int;
 }
 
-let create ?(config = default_config) sim =
+let create ?(config = default_config) ?trace sim =
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Trace.create ~limit:2_000_000 ~enabled:false ()
+  in
   {
     sim;
     config;
     accounting = Accounting.create ~cores:config.physical_cores;
     cache = Cache_model.create ~cores:config.physical_cores ();
+    trace;
+    counters = Counters.create ();
     lapics = Hashtbl.create 32;
     interceptor = None;
     sent = 0;
@@ -34,6 +43,8 @@ let config t = t.config
 let physical_cores t = t.config.physical_cores
 let accounting t = t.accounting
 let cache t = t.cache
+let trace t = t.trace
+let counters t = t.counters
 
 let register_lapic t lapic =
   let id = Lapic.apic_id lapic in

@@ -17,13 +17,23 @@ type config = {
 val default_config : config
 (** 12 cores (Table 4), 500 ns IPI delivery. *)
 
-val create : ?config:config -> Sim.t -> t
+val create : ?config:config -> ?trace:Trace.t -> Sim.t -> t
+(** [create ?config ?trace sim] assembles a machine. When [trace] is
+    omitted, a disabled 2M-record trace is created — callers flip it on via
+    [Trace.set_enabled (Machine.trace m) true] to start collecting events. *)
 
 val sim : t -> Sim.t
 val config : t -> config
 val physical_cores : t -> int
 val accounting : t -> Accounting.t
 val cache : t -> Cache_model.t
+
+val trace : t -> Trace.t
+(** The machine-wide event trace every subsystem emits into (stable
+    categories documented in DESIGN.md §Observability). *)
+
+val counters : t -> Counters.t
+(** The machine-wide named-counter registry. *)
 
 val register_lapic : t -> Lapic.t -> unit
 (** [register_lapic t lapic] makes the LAPIC addressable by its APIC id.

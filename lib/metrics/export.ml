@@ -1,0 +1,136 @@
+open Taichi_engine
+
+let schema = "taichi-trace-v1"
+
+type run = {
+  experiment : string;
+  policy : string;
+  seed : int;
+  duration : Time_ns.t;
+  cores : int;
+  counters : (string * int) list;
+  timeline : Timeline.t;
+  events : Trace.record list;
+}
+
+let make_run ~experiment ~policy ~seed ~duration ~cores ~counters trace =
+  {
+    experiment;
+    policy;
+    seed;
+    duration;
+    cores;
+    counters = List.sort (fun (a, _) (b, _) -> compare a b) counters;
+    timeline = Timeline.of_trace ~cores ~duration trace;
+    events = Trace.records trace;
+  }
+
+let occupancy_to_json core (o : Timeline.occupancy) =
+  Json.Obj
+    [
+      ("core", Json.Int core);
+      ("dp_ns", Json.Int o.Timeline.dp);
+      ("vcpu_ns", Json.Int o.Timeline.vcpu);
+      ("switch_ns", Json.Int o.Timeline.switch);
+      ("idle_ns", Json.Int o.Timeline.idle);
+      ("total_ns", Json.Int (Timeline.total o));
+    ]
+
+let event_to_json (r : Trace.record) =
+  Json.Obj
+    [
+      ("t_ns", Json.Int r.Trace.time);
+      ("core", Json.Int r.Trace.core);
+      ("cat", Json.Str r.Trace.category);
+      ("msg", Json.Str r.Trace.message);
+    ]
+
+let run_to_json r =
+  let tl = r.timeline in
+  Json.Obj
+    [
+      ("experiment", Json.Str r.experiment);
+      ("policy", Json.Str r.policy);
+      ("seed", Json.Int r.seed);
+      ("duration_ns", Json.Int r.duration);
+      ("cores", Json.Int r.cores);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
+      ( "timeline",
+        Json.Arr
+          (List.init r.cores (fun core ->
+               occupancy_to_json core (Timeline.occupancy tl ~core))) );
+      ( "event_counts",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Timeline.event_counts tl))
+      );
+      ("events_dropped", Json.Int (Timeline.dropped tl));
+      ("events", Json.Arr (List.map event_to_json r.events));
+    ]
+
+let to_json runs =
+  Json.Obj
+    [
+      ("schema", Json.Str schema); ("runs", Json.Arr (List.map run_to_json runs));
+    ]
+
+let to_string runs = Json.to_string (to_json runs)
+
+let write_file path runs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (to_json runs);
+      output_char oc '\n')
+
+(* --- validation (used by trace_lint and tests) --------------------------- *)
+
+let validate_json j =
+  let ( let* ) x f = match x with Ok v -> f v | Error _ as e -> e in
+  let require msg = function Some v -> Ok v | None -> Error msg in
+  let* s = require "missing schema" (Json.member "schema" j) in
+  let* s = require "schema not a string" (Json.to_str s) in
+  let* () = if s = schema then Ok () else Error ("unknown schema " ^ s) in
+  let* runs = require "missing runs" (Json.member "runs" j) in
+  let* runs = require "runs not an array" (Json.to_list runs) in
+  let check_run r =
+    let* dur = require "missing duration_ns" (Json.member "duration_ns" r) in
+    let* dur = require "duration_ns not an int" (Json.to_int dur) in
+    let* tl = require "missing timeline" (Json.member "timeline" r) in
+    let* tl = require "timeline not an array" (Json.to_list tl) in
+    let* cores = require "missing cores" (Json.member "cores" r) in
+    let* cores = require "cores not an int" (Json.to_int cores) in
+    let* () =
+      if List.length tl = cores then Ok ()
+      else Error "timeline row count does not match cores"
+    in
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        let field name =
+          let* v = require ("missing " ^ name) (Json.member name row) in
+          require (name ^ " not an int") (Json.to_int v)
+        in
+        let* dp = field "dp_ns" in
+        let* vcpu = field "vcpu_ns" in
+        let* switch = field "switch_ns" in
+        let* idle = field "idle_ns" in
+        let* total = field "total_ns" in
+        if dp + vcpu + switch + idle <> total then
+          Error "occupancy buckets do not sum to total_ns"
+        else if total <> dur then
+          Error "core occupancy total does not equal duration_ns"
+        else Ok ())
+      (Ok ()) tl
+  in
+  List.fold_left
+    (fun acc r ->
+      let* () = acc in
+      check_run r)
+    (Ok ()) runs
+
+let validate_string s =
+  match Json.parse_opt s with
+  | None -> Error "not valid JSON"
+  | Some j -> validate_json j

@@ -1,0 +1,51 @@
+(** JSON export of traces, timelines and counters.
+
+    One export file holds a list of runs (an experiment may build several
+    systems — one per policy); each run carries its counters, the folded
+    per-core occupancy timeline and the raw event log. The writer is
+    deterministic: same seed, same trace, byte-identical output, so exports
+    diff cleanly across PRs. Schema documented in DESIGN.md
+    §Observability. *)
+
+open Taichi_engine
+
+val schema : string
+(** Schema identifier written into every export ("taichi-trace-v1"). *)
+
+type run = {
+  experiment : string;
+  policy : string;
+  seed : int;
+  duration : Time_ns.t;
+  cores : int;
+  counters : (string * int) list;
+  timeline : Timeline.t;
+  events : Trace.record list;
+}
+
+val make_run :
+  experiment:string ->
+  policy:string ->
+  seed:int ->
+  duration:Time_ns.t ->
+  cores:int ->
+  counters:(string * int) list ->
+  Trace.t ->
+  run
+(** Snapshot a machine trace into a run record: folds the timeline, sorts
+    the counters and captures the retained events. *)
+
+val run_to_json : run -> Json.t
+val to_json : run list -> Json.t
+val to_string : run list -> string
+
+val write_file : string -> run list -> unit
+(** [write_file path runs] writes the export plus a trailing newline. *)
+
+val validate_json : Json.t -> (unit, string) result
+(** Structural check used by [trace_lint] and the tests: schema marker
+    present, timeline rows match the core count, and every core's
+    [dp + vcpu + switch + idle] equals both its [total_ns] and the run's
+    [duration_ns]. *)
+
+val validate_string : string -> (unit, string) result

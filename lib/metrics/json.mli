@@ -1,0 +1,33 @@
+(** Minimal self-contained JSON tree, writer and parser.
+
+    The exporter ({!Export}) writes through this module; the parser exists
+    so tests and the [trace_lint] tool can validate exports without adding a
+    JSON dependency to the toolchain. Writing is deterministic: object
+    fields print in the order given, floats in a canonical form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** [parse s] parses one JSON document. Raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val parse_opt : string -> t option
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the field's value, if present. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option
+val to_str : t -> string option

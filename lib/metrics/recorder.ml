@@ -43,6 +43,7 @@ let histogram r = r.hist
 
 let clear r =
   Histogram.clear r.hist;
+  Stats.clear r.stats;
   Hashtbl.reset r.counters
 
 let throughput_per_sec r ~duration =

@@ -1,0 +1,41 @@
+(** Per-core occupancy accounting folded from a machine trace.
+
+    The scheduler-wide observability layer emits a [Trace.Cat.core_state]
+    record whenever a physical core changes occupancy (data-plane polling /
+    work, vCPU backing, world-switch overhead, idle/parked). Folding those
+    transition events over [0, duration] yields, per core, how the wall
+    time divides among the four occupancy classes — and the four buckets
+    sum to [duration] exactly, by construction. *)
+
+open Taichi_engine
+
+type occupancy = {
+  dp : Time_ns.t;  (** data-plane polling and packet/IO processing *)
+  vcpu : Time_ns.t;  (** backing a vCPU (control-plane execution) *)
+  switch : Time_ns.t;  (** world-switch / yield-resume overhead *)
+  idle : Time_ns.t;  (** parked, or (on CP cores) not traced *)
+}
+
+val total : occupancy -> Time_ns.t
+(** [total o] is the sum of the four buckets, i.e. the fold duration. *)
+
+type t
+
+val of_trace : cores:int -> duration:Time_ns.t -> Trace.t -> t
+(** [of_trace ~cores ~duration trace] folds the retained records. Each core
+    starts [idle] at time 0; records outside [Trace.Cat.core_state] only
+    contribute to {!event_counts}. *)
+
+val duration : t -> Time_ns.t
+val n_cores : t -> int
+val occupancy : t -> core:int -> occupancy
+
+val event_counts : t -> (string * int) list
+(** Number of retained trace records per category, sorted by category. *)
+
+val dropped : t -> int
+(** Records lost to the trace ring-buffer limit; a non-zero value means the
+    occupancy attribution (though not the summation invariant) may be
+    skewed at the start of the window. *)
+
+val pp : Format.formatter -> t -> unit

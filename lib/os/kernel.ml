@@ -132,6 +132,16 @@ let stats t =
 
 let max_deferred_wait t = t.s_max_deferred_wait
 
+(* --- observability ------------------------------------------------------ *)
+
+let trace t = Machine.trace t.machine
+let count t name = Counters.incr (Machine.counters t.machine) name
+
+(* For trace attribution a kernel CPU maps to the physical core currently
+   backing it; unbacked vCPUs produce global (core-less) records. *)
+let trace_core c =
+  match c.backing_core with Some core -> core | None -> Trace.no_core
+
 (* --- accounting ------------------------------------------------------- *)
 
 let charge t c cls d =
@@ -195,6 +205,7 @@ let rec dispatch t c =
         t.cpu_idle_hook c.cid
     | Some task ->
         t.s_context_switches <- t.s_context_switches + 1;
+        count t "kernel.context_switches";
         c.cur <- Some task;
         task.Task.state <- Task.Running;
         task.Task.cpu <- Some c.cid;
@@ -276,6 +287,10 @@ and try_steal t c =
       (match found with
       | Some task ->
           t.s_steals <- t.s_steals + 1;
+          count t "kernel.steals";
+          Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
+            ~category:Trace.Cat.kernel_steal "cpu=%d task=%s from=%d" c.cid
+            task.Task.tname victim.cid;
           task.Task.cpu <- Some c.cid
       | None -> ());
       found
@@ -444,6 +459,9 @@ and after_np_boundary t c task guard =
 
 and migrate_out t c task =
   t.s_migrations <- t.s_migrations + 1;
+  count t "kernel.migrations";
+  Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
+    ~category:Trace.Cat.kernel_migrate "cpu=%d task=%s" c.cid task.Task.tname;
   pause_run t c;
   task.Task.state <- Task.Runnable;
   task.Task.cpu <- None;
@@ -475,6 +493,9 @@ and grant_reclaims t c =
   c.reclaimers <- [];
   let waited = Sim.now t.sim - c.reclaim_requested_at in
   if waited > t.s_max_deferred_wait then t.s_max_deferred_wait <- waited;
+  count t "kernel.reclaims";
+  Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
+    ~category:Trace.Cat.kernel_reclaim "cpu=%d waited=%d" c.cid waited;
   List.iter (fun cb -> cb ()) cbs
 
 and grant_lock t lock w =

@@ -30,6 +30,10 @@ let register t ~cpu ~vector f = Hashtbl.replace t.handlers (cpu, vector) f
 
 let raise_softirq t ~cpu ~vector =
   t.raised <- t.raised + 1;
+  Counters.incr (Machine.counters t.machine) "softirq.raised";
+  (let core = if cpu < Machine.physical_cores t.machine then cpu else Trace.no_core in
+   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
+     ~category:Trace.Cat.softirq "raise cpu=%d vec=%d" cpu vector);
   let key = (cpu, vector) in
   if Hashtbl.mem t.pending key then t.coalesced <- t.coalesced + 1
   else begin

@@ -1,4 +1,5 @@
 open Taichi_engine
+open Taichi_hw
 open Taichi_os
 open Taichi_accel
 open Taichi_workloads
@@ -6,10 +7,42 @@ open Taichi_controlplane
 
 let scaled s d = max (Time_ns.ms 10) (int_of_float (float_of_int d *. s))
 
+(* --- trace export -------------------------------------------------------- *)
+
+(* The experiment drivers build their systems internally, so [with_system]
+   is the one chokepoint where tracing can be switched on and the finished
+   run harvested. The CLI and the bench harness set the flag and the
+   current experiment id, then collect the accumulated runs at the end. *)
+
+let tracing = ref false
+let experiment_name = ref "unnamed"
+let collected : Taichi_metrics.Export.run list ref = ref []
+
+let set_tracing on = tracing := on
+let set_experiment name = experiment_name := name
+let reset_trace_runs () = collected := []
+let trace_runs () = List.rev !collected
+
+let harvest_run ~seed sys =
+  let machine = System.machine sys in
+  let run =
+    Taichi_metrics.Export.make_run ~experiment:!experiment_name
+      ~policy:(Policy.name (System.policy sys))
+      ~seed
+      ~duration:(Sim.now (System.sim sys))
+      ~cores:(Machine.physical_cores machine)
+      ~counters:(Counters.dump (Machine.counters machine))
+      (Machine.trace machine)
+  in
+  collected := run :: !collected
+
 let with_system ?layout ~seed policy f =
   let sys = System.create ~seed ?layout policy in
+  if !tracing then Trace.set_enabled (Machine.trace (System.machine sys)) true;
   System.warmup sys;
-  f sys
+  let result = f sys in
+  if !tracing then harvest_run ~seed sys;
+  result
 
 let start_bg_dp sys ~target ~until =
   let client = System.client sys in

@@ -8,7 +8,21 @@ val scaled : float -> Time_ns.t -> Time_ns.t
 
 val with_system :
   ?layout:System.layout -> seed:int -> Policy.t -> (System.t -> 'a) -> 'a
-(** Create, warm up, run the body. *)
+(** Create, warm up, run the body. When tracing is on (see {!set_tracing})
+    the machine trace is enabled before warmup and an {!Taichi_metrics.Export.run}
+    snapshot is harvested after the body returns. *)
+
+val set_tracing : bool -> unit
+(** Globally enable trace collection for every system subsequently built
+    through {!with_system}. *)
+
+val set_experiment : string -> unit
+(** Label harvested runs with the experiment id currently executing. *)
+
+val trace_runs : unit -> Taichi_metrics.Export.run list
+(** Harvested runs, in completion order. *)
+
+val reset_trace_runs : unit -> unit
 
 val start_bg_dp : System.t -> target:float -> until:Time_ns.t -> unit
 (** Bursty background traffic pinning every data-plane core at [target]

@@ -351,7 +351,63 @@ let test_trace_limit () =
   done;
   checki "bounded" 3 (Trace.length t);
   let first = List.hd (Trace.records t) in
-  check Alcotest.string "oldest dropped" "8" first.Trace.message
+  check Alcotest.string "oldest dropped" "8" first.Trace.message;
+  checki "evictions counted" 7 (Trace.dropped t);
+  (* Retained records stay chronological after wraparound. *)
+  let times = List.map (fun r -> r.Trace.time) (Trace.records t) in
+  checkb "ordered" true (times = List.sort compare times);
+  Trace.clear t;
+  checki "clear resets dropped" 0 (Trace.dropped t)
+
+(* The disabled branch of emitf must not touch any global formatter:
+   it used to drain [Format.str_formatter], corrupting whatever a
+   concurrent caller had staged there. *)
+let test_trace_disabled_emitf_pure () =
+  let t = Trace.create () in
+  Format.fprintf Format.str_formatter "sentinel";
+  Trace.emitf t ~time:1 ~category:"c" "cpu %d did %s" 3 "things";
+  check Alcotest.string "str_formatter untouched" "sentinel"
+    (Format.flush_str_formatter ());
+  checki "no records" 0 (Trace.length t)
+
+let test_trace_core_field () =
+  let t = Trace.create ~enabled:true () in
+  Trace.emit t ~time:1 ~core:4 ~category:"c" "a";
+  Trace.emit t ~time:2 ~category:"c" "b";
+  (match Trace.records t with
+  | [ r1; r2 ] ->
+      checki "explicit core" 4 r1.Trace.core;
+      checki "default is no_core" Trace.no_core r2.Trace.core
+  | _ -> Alcotest.fail "expected two records");
+  checki "by_core" 1 (List.length (Trace.by_core t 4))
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.incr c "b.two";
+  Counters.incr c ~by:4 "a.one";
+  Counters.incr c "b.two";
+  checki "get" 2 (Counters.get c "b.two");
+  checki "missing is zero" 0 (Counters.get c "nope");
+  Alcotest.(check (list (pair string int)))
+    "dump sorted by name"
+    [ ("a.one", 4); ("b.two", 2) ]
+    (Counters.dump c);
+  Counters.clear c;
+  checki "cleared" 0 (Counters.get c "a.one")
+
+let test_stats_clear () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 100.0; 200.0; 400.0 ];
+  Stats.clear s;
+  checki "count reset" 0 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean reset" 0.0 (Stats.mean s);
+  (* Post-clear observations must not blend with pre-clear ones. *)
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0 ];
+  checki "fresh count" 3 (Stats.count s);
+  check (Alcotest.float 1e-9) "fresh mean" 20.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "fresh stddev" 10.0 (Stats.stddev s);
+  check (Alcotest.float 1e-9) "fresh min" 10.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "fresh max" 30.0 (Stats.max s)
 
 let suite =
   [
@@ -387,6 +443,10 @@ let suite =
     ("trace disabled", `Quick, test_trace_disabled_by_default);
     ("trace enabled", `Quick, test_trace_enabled);
     ("trace bounded", `Quick, test_trace_limit);
+    ("trace disabled emitf is pure", `Quick, test_trace_disabled_emitf_pure);
+    ("trace core field", `Quick, test_trace_core_field);
+    ("counters registry", `Quick, test_counters);
+    ("stats clear", `Quick, test_stats_clear);
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_rng_int_range;
     QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;

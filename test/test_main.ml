@@ -9,6 +9,7 @@ let () =
       ("accel", Test_accel.suite);
       ("dataplane", Test_dataplane.suite);
       ("metrics", Test_metrics.suite);
+      ("observability", Test_observability.suite);
       ("controlplane", Test_controlplane.suite);
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);

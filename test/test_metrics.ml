@@ -43,6 +43,22 @@ let test_recorder_clear () =
   checki "count reset" 0 (Recorder.count r);
   checki "counter reset" 0 (Recorder.counter r "k")
 
+(* Regression: [clear] used to reset the histogram and counters but not the
+   Welford summary, so post-clear means and stddevs still blended in every
+   pre-clear sample. *)
+let test_recorder_clear_then_observe () =
+  let r = Recorder.create "w" in
+  List.iter (Recorder.observe r) [ 1000; 2000; 4000 ];
+  Recorder.clear r;
+  List.iter (Recorder.observe r) [ 10; 20; 30 ];
+  checki "count" 3 (Recorder.count r);
+  Alcotest.(check (float 1e-9)) "mean reflects only post-clear" 20.0
+    (Recorder.mean r);
+  Alcotest.(check (float 1e-9)) "stddev reflects only post-clear" 10.0
+    (Recorder.stddev r);
+  checki "min" 10 (Recorder.min_value r);
+  checki "max" 30 (Recorder.max_value r)
+
 let test_slo_latency () =
   let r = Recorder.create "lat" in
   for i = 1 to 100 do
@@ -99,12 +115,97 @@ let test_table_cells () =
   Alcotest.(check string) "big" "12346" (Table.cell_f 12345.6);
   Alcotest.(check string) "small" "1.234" (Table.cell_f 1.2341)
 
+(* --- Json ----------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Json in
+  let v =
+    Obj
+      [
+        ("a", Int 1);
+        ("b", Arr [ Null; Bool true; Str "x\"y\n\t\\z" ]);
+        ("c", Float 1.5);
+        ("d", Obj []);
+        ("e", Int (-42));
+      ]
+  in
+  let s = to_string v in
+  checkb "roundtrip" true (parse s = v);
+  checkb "whitespace tolerated" true
+    (parse " { \"k\" : [ 1 , 2 ] } " = Obj [ ("k", Arr [ Int 1; Int 2 ]) ])
+
+let test_json_rejects_malformed () =
+  checkb "unterminated" true (Json.parse_opt "{\"a\":" = None);
+  checkb "trailing garbage" true (Json.parse_opt "1 2" = None);
+  checkb "bare word" true (Json.parse_opt "nope" = None);
+  checkb "dangling comma" true (Json.parse_opt "[1,]" = None)
+
+(* --- Timeline -------------------------------------------------------------- *)
+
+let test_timeline_occupancy () =
+  let tr = Trace.create ~enabled:true () in
+  let st core time msg =
+    Trace.emit tr ~time ~core ~category:Trace.Cat.core_state msg
+  in
+  st 0 100 Trace.Cat.state_dp;
+  st 0 400 Trace.Cat.state_switch;
+  st 0 450 Trace.Cat.state_vcpu;
+  st 1 200 Trace.Cat.state_dp;
+  (* Non-state records only feed the per-category counts. *)
+  Trace.emit tr ~time:300 ~category:Trace.Cat.sched_place "noise";
+  let tl = Timeline.of_trace ~cores:2 ~duration:1000 tr in
+  let o0 = Timeline.occupancy tl ~core:0 in
+  checki "core0 idle" 100 o0.Timeline.idle;
+  checki "core0 dp" 300 o0.Timeline.dp;
+  checki "core0 switch" 50 o0.Timeline.switch;
+  checki "core0 vcpu" 550 o0.Timeline.vcpu;
+  checki "core0 sums to duration" 1000 (Timeline.total o0);
+  let o1 = Timeline.occupancy tl ~core:1 in
+  checki "core1 idle" 200 o1.Timeline.idle;
+  checki "core1 dp" 800 o1.Timeline.dp;
+  checki "core1 sums to duration" 1000 (Timeline.total o1);
+  checki "dropped" 0 (Timeline.dropped tl);
+  Alcotest.(check (list (pair string int)))
+    "event counts"
+    [ (Trace.Cat.core_state, 4); (Trace.Cat.sched_place, 1) ]
+    (Timeline.event_counts tl)
+
+(* Random state transitions: whatever the trace says, the four buckets of
+   every core partition [0, duration]. *)
+let prop_timeline_partitions =
+  QCheck.Test.make ~name:"timeline buckets sum to duration" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 0 60)
+        (pair (int_range 0 3) (pair (int_range 0 5000) (int_range 0 3))))
+    (fun events ->
+      let tr = Trace.create ~enabled:true () in
+      let states =
+        [|
+          Trace.Cat.state_dp; Trace.Cat.state_vcpu;
+          Trace.Cat.state_switch; Trace.Cat.state_idle;
+        |]
+      in
+      List.iter
+        (fun (core, (time, st)) ->
+          Trace.emit tr ~time ~core ~category:Trace.Cat.core_state states.(st))
+        (List.sort compare events);
+      let duration = 5000 in
+      let tl = Timeline.of_trace ~cores:4 ~duration tr in
+      List.for_all
+        (fun core -> Timeline.total (Timeline.occupancy tl ~core) = duration)
+        [ 0; 1; 2; 3 ])
+
 let suite =
   [
     ("recorder observe", `Quick, test_recorder_observe);
     ("recorder counters", `Quick, test_recorder_counters);
     ("recorder throughput", `Quick, test_recorder_throughput);
     ("recorder clear", `Quick, test_recorder_clear);
+    ("recorder clear then observe", `Quick, test_recorder_clear_then_observe);
+    ("json roundtrip", `Quick, test_json_roundtrip);
+    ("json rejects malformed", `Quick, test_json_rejects_malformed);
+    ("timeline occupancy fold", `Quick, test_timeline_occupancy);
+    QCheck_alcotest.to_alcotest prop_timeline_partitions;
     ("slo latency", `Quick, test_slo_latency);
     ("slo throughput", `Quick, test_slo_throughput);
     ("slo empty recorder", `Quick, test_slo_empty_recorder);

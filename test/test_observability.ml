@@ -1,0 +1,96 @@
+(* End-to-end tests of the scheduler-wide tracing/export layer: a real
+   system run produces a timeline whose occupancy partitions wall time, the
+   JSON export validates and parses, and same-seed runs are byte-identical. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_platform
+open Taichi_metrics
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A small but busy scenario: background data-plane traffic plus enough
+   control-plane churn that Tai Chi actually places vCPUs on data-plane
+   cores (so the timeline has non-trivial vcpu/switch spans). *)
+let traced_run ~seed =
+  let sys = System.create ~seed Policy.taichi_default in
+  let machine = System.machine sys in
+  Trace.set_enabled (Machine.trace machine) true;
+  System.warmup sys;
+  let until = Sim.now (System.sim sys) + Time_ns.ms 80 in
+  Exp_common.start_bg_dp sys ~target:0.3 ~until;
+  (* Offer well above the 4 dedicated CP cores so the overflow lands on
+     vCPUs and the scheduler actually places them on data-plane cores. *)
+  Exp_common.start_cp_churn sys ~period:(Time_ns.ms 1) ~work:(Time_ns.ms 8)
+    ~until;
+  System.advance sys (Time_ns.ms 100);
+  let duration = Sim.now (System.sim sys) in
+  Export.make_run ~experiment:"test" ~policy:"taichi" ~seed ~duration
+    ~cores:(Machine.physical_cores machine)
+    ~counters:(Counters.dump (Machine.counters machine))
+    (Machine.trace machine)
+
+let test_timeline_partitions_wall_time () =
+  let run = traced_run ~seed:5 in
+  let tl = run.Export.timeline in
+  let cores = Timeline.n_cores tl in
+  checki "12 cores" 12 cores;
+  for core = 0 to cores - 1 do
+    checki
+      (Printf.sprintf "core %d occupancy sums to duration" core)
+      run.Export.duration
+      (Timeline.total (Timeline.occupancy tl ~core))
+  done;
+  (* The scenario must actually exercise the scheduler: some core spent
+     time backing a vCPU and paying world switches. *)
+  let spent f =
+    let acc = ref 0 in
+    for core = 0 to cores - 1 do
+      acc := !acc + f (Timeline.occupancy tl ~core)
+    done;
+    !acc
+  in
+  checkb "some dp time" true (spent (fun o -> o.Timeline.dp) > 0);
+  checkb "some vcpu time" true (spent (fun o -> o.Timeline.vcpu) > 0);
+  checkb "some switch time" true (spent (fun o -> o.Timeline.switch) > 0)
+
+let test_counters_populated () =
+  let run = traced_run ~seed:6 in
+  let get name = try List.assoc name run.Export.counters with Not_found -> 0 in
+  checkb "placements counted" true (get "sched.placements" > 0);
+  checkb "yields counted" true (get "dp.yields" > 0);
+  checkb "softirqs counted" true (get "softirq.raised" > 0);
+  (* Every placement either followed a data-plane yield (softirq path) or
+     was a direct vCPU-to-vCPU rotation on an already-yielded core. *)
+  checkb "placements <= yields + rotations" true
+    (get "sched.placements" <= get "dp.yields" + get "sched.rotations")
+
+let test_export_validates () =
+  let run = traced_run ~seed:7 in
+  let s = Export.to_string [ run ] in
+  (match Export.validate_string s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("export failed validation: " ^ msg));
+  (* And the parsed document structurally matches what we exported. *)
+  let j = Json.parse s in
+  let runs = Option.get (Json.to_list (Option.get (Json.member "runs" j))) in
+  checki "one run" 1 (List.length runs);
+  let r = List.hd runs in
+  checki "duration field" run.Export.duration
+    (Option.get (Json.to_int (Option.get (Json.member "duration_ns" r))))
+
+let test_export_deterministic () =
+  let a = Export.to_string [ traced_run ~seed:9 ] in
+  let b = Export.to_string [ traced_run ~seed:9 ] in
+  checkb "same seed, byte-identical export" true (String.equal a b);
+  let c = Export.to_string [ traced_run ~seed:10 ] in
+  checkb "different seed, different trace" true (not (String.equal a c))
+
+let suite =
+  [
+    ("timeline partitions wall time", `Slow, test_timeline_partitions_wall_time);
+    ("counters populated", `Slow, test_counters_populated);
+    ("export validates and parses", `Slow, test_export_validates);
+    ("export deterministic per seed", `Slow, test_export_deterministic);
+  ]
