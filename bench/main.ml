@@ -12,14 +12,31 @@
 
 open Taichi_engine
 
+(* A malformed value (BENCH_SCALE=0,25 and friends) falls back to the
+   default, but loudly: silently benchmarking the wrong configuration is
+   worse than failing to parse. *)
 let getenv_f name default =
   match Sys.getenv_opt name with
-  | Some s -> ( try float_of_string s with _ -> default)
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "bench: ignoring malformed %s=%S (expected a float); using %g\n%!"
+            name s default;
+          default)
   | None -> default
 
 let getenv_i name default =
   match Sys.getenv_opt name with
-  | Some s -> ( try int_of_string s with _ -> default)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "bench: ignoring malformed %s=%S (expected an int); using %d\n%!"
+            name s default;
+          default)
   | None -> default
 
 let wanted =
@@ -125,6 +142,24 @@ let run_microbenches () =
       | Some _ | None -> Printf.printf "  %-22s (no estimate)\n" name)
     results
 
+(* --- sim heap tombstone report ------------------------------------------ *)
+
+(* Exercise the cancellation-heavy pattern the scheduler produces (slice
+   timers armed and cancelled far more often than they fire) and report the
+   tombstone counters: compaction must keep dead entries bounded by roughly
+   twice the live count instead of accumulating forever. *)
+let report_tombstones () =
+  let sim = Sim.create () in
+  let n = 100_000 in
+  let handles = Array.init n (fun i -> Sim.after sim (i + 1) (fun () -> ())) in
+  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel h) handles;
+  Printf.printf
+    "\nSim event-heap tombstones (%d events, 90%% cancelled): live=%d \
+     dead=%d compactions=%d\n"
+    n (Sim.pending_events sim) (Sim.dead_events sim) (Sim.compactions sim);
+  Sim.run sim
+
 let () =
   run_experiments ();
-  run_microbenches ()
+  run_microbenches ();
+  report_tombstones ()

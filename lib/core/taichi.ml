@@ -21,6 +21,25 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     ~cp_pcpus () =
   let cores = Machine.physical_cores machine in
   let table = State_table.create ~cores in
+  (* The accelerator's P/V table is the eventually-consistent mirror of
+     the authoritative per-core state machine: refreshed by subscription
+     (synchronously, modelling the fast MMIO write that accompanies each
+     transition) rather than written by scattered call sites. A core is
+     V-state from the instant a switch away from the data plane begins —
+     the hardware probe must evict a racing packet cleanly — until the
+     moment an eviction back towards it starts. *)
+  let cs = Machine.core_state machine in
+  Core_state.subscribe cs (fun ev ->
+      let mirror =
+        match ev.Core_state.to_state with
+        | Core_state.Vcpu_running _ | Core_state.Switching Core_state.From_dp
+          ->
+            State_table.V_state
+        | _ -> State_table.P_state
+      in
+      let core = ev.Core_state.core in
+      if State_table.get table ~core <> mirror then
+        State_table.set table ~core mirror);
   let sw = Sw_probe.create ~machine config ~cores in
   let softirq = Softirq.create machine in
   let sched = Vcpu_sched.create config machine kernel softirq sw table in

@@ -20,6 +20,7 @@ type t = {
   config : Config.t;
   sim : Sim.t;
   machine : Machine.t;
+  cs : Core_state.t;  (* authoritative occupancy, owned by the machine *)
   kernel : Kernel.t;
   softirq : Softirq.t;
   sw : Sw_probe.t;
@@ -67,9 +68,9 @@ let count t name = Counters.incr (Machine.counters t.machine) name
 let emitf t ~core ~category fmt =
   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core ~category fmt
 
-let emit_state t ~core st =
-  Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
-    ~category:Trace.Cat.core_state st
+(* All occupancy changes go through the machine's state machine; the trace
+   [core.state] records and the accelerator mirror derive from it. *)
+let transition t ~core ~cause st = Core_state.transition t.cs ~core ~cause st
 
 (* --- runnable queue ----------------------------------------------------- *)
 
@@ -132,9 +133,11 @@ let rec arm_slice t v core =
   v.Vcpu.slice_started <- Sim.now t.sim
 
 (* Bring [v] up on [core]; the core must already be committed (yielded DP
-   or direct vCPU switch). *)
-and back_on_core t v core =
-  State_table.set t.table ~core State_table.V_state;
+   or direct vCPU switch). The transition into [Switching From_dp] is a
+   self-transition on the softirq placement path (the yield already moved
+   the core there) and a fresh switch on the rotation path. *)
+and back_on_core t v core ~cause =
+  transition t ~core ~cause (Core_state.Switching Core_state.From_dp);
   Hashtbl.replace t.placed core v;
   v.Vcpu.placement <- Vcpu.On_core core;
   v.Vcpu.last_placed <- Sim.now t.sim;
@@ -143,14 +146,13 @@ and back_on_core t v core =
   count t "sched.placements";
   emitf t ~core ~category:Trace.Cat.sched_place "vid=%d kcpu=%d" v.Vcpu.vid
     v.Vcpu.kcpu;
-  emit_state t ~core Trace.Cat.state_switch;
   charge_core t core (world_switch t);
   ignore
     (Sim.after t.sim (world_switch t) (fun () ->
          match Hashtbl.find_opt t.placed core with
          | Some v' when v' == v ->
              Kernel.set_backed t.kernel (kcpu_of t v) true;
-             emit_state t ~core Trace.Cat.state_vcpu;
+             transition t ~core ~cause (Core_state.Vcpu_running v.Vcpu.vid);
              arm_slice t v core
          | Some _ | None -> ()))
 
@@ -160,16 +162,15 @@ and back_on_core t v core =
 and try_place_on_dp t v dp =
   if Dp_service.try_yield dp then begin
     let core = Dp_service.core dp in
-    (* Reserve the core and flip the state table immediately: the hardware
-       probe must already treat it as V-state while the softirq is in
-       flight, so a racing packet evicts cleanly. *)
+    (* Reserve the core. The yield itself moved the core to [Switching
+       From_dp], which the accelerator mirror reflects as V-state at the
+       same instant: the hardware probe already treats the core as
+       vCPU-bound while the softirq is in flight, so a racing packet
+       evicts cleanly. *)
     Hashtbl.replace t.pending_place core v;
     Hashtbl.replace t.placed core v;
     v.Vcpu.placement <- Vcpu.On_core core;
     v.Vcpu.last_placed <- Sim.now t.sim;
-    State_table.set t.table ~core State_table.V_state;
-    (* The softirq dispatch window already belongs to the switch. *)
-    emit_state t ~core Trace.Cat.state_switch;
     Softirq.raise_softirq t.softirq ~cpu:core ~vector:Softirq.vector_taichi;
     true
   end
@@ -183,7 +184,7 @@ and on_place_softirq t core =
       (* The yield may have been revoked (an eviction raced the softirq). *)
       match Hashtbl.find_opt t.placed core with
       | Some v' when v' == v && v.Vcpu.placement = Vcpu.On_core core ->
-          back_on_core t v core
+          back_on_core t v core ~cause:Core_state.Place
       | Some _ | None -> ())
 
 (* A data-plane core crossed its empty-poll threshold. *)
@@ -212,13 +213,24 @@ and unback t v core =
   Hashtbl.remove t.placed core;
   v.Vcpu.placement <- Vcpu.Unplaced
 
-(* Full eviction back to the data-plane service. [kind] is the stable
-   eviction label exported with the trace: "probe", "pending" or "halt". *)
-and evict_to_dp t v core ~kind =
+(* Full eviction back to the data-plane service. The transition cause maps
+   onto the stable eviction label exported with the trace: "probe",
+   "pending" or "halt". *)
+and evict_to_dp t v core ~cause =
+  let kind =
+    match (cause : Core_state.cause) with
+    | Core_state.Probe -> "probe"
+    | Core_state.Slice_expiry -> "pending"
+    | Core_state.Halt -> "halt"
+    | c -> Core_state.cause_label c
+  in
   count t ("sched.evictions." ^ kind);
   emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=%s" v.Vcpu.vid kind;
   unback t v core;
-  State_table.set t.table ~core State_table.P_state;
+  (* Entering [Switching To_dp] flips the accelerator mirror back to
+     P-state at this same instant, exactly where the direct table write
+     used to sit. *)
+  transition t ~core ~cause (Core_state.Switching Core_state.To_dp);
   let dp = Hashtbl.find t.dps core in
   (* §4.1 safe scheduling in lock context. *)
   let cur = Kernel.current (kcpu_of t v) in
@@ -241,14 +253,14 @@ and evict_to_dp t v core ~kind =
   Dp_service.resume dp ~switch_cost:(world_switch t)
 
 (* Direct vCPU-to-vCPU switch: the core stays in V-state. *)
-and switch_vcpu t ~from_v ~to_v core =
+and switch_vcpu t ~from_v ~to_v core ~cause =
   unback t from_v core;
   t.s_rotations <- t.s_rotations + 1;
   count t "sched.rotations";
   emitf t ~core ~category:Trace.Cat.sched_rotate "from=%d to=%d" from_v.Vcpu.vid
     to_v.Vcpu.vid;
   mark_runnable t from_v;
-  back_on_core t to_v core
+  back_on_core t to_v core ~cause
 
 and on_slice_expiry t core =
   Hashtbl.remove t.slice_timers core;
@@ -270,7 +282,7 @@ and on_slice_expiry t core =
         if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
           Sw_probe.on_false_positive t.sw ~core
         else Sw_probe.on_sustained_idle t.sw ~core;
-        evict_to_dp t v core ~kind:"pending"
+        evict_to_dp t v core ~cause:Core_state.Slice_expiry
       end
       else begin
         Sw_probe.on_sustained_idle t.sw ~core;
@@ -286,7 +298,9 @@ and on_slice_expiry t core =
               match find_parked_dp t with
               | Some dp when try_place_on_dp t v' dp ->
                   continue_or_halt t v core
-              | Some _ | None -> switch_vcpu t ~from_v:v ~to_v:v' core)
+              | Some _ | None ->
+                  switch_vcpu t ~from_v:v ~to_v:v' core
+                    ~cause:Core_state.Slice_expiry)
           | None -> continue_or_halt t v core
         end
         else continue_or_halt t v core
@@ -302,8 +316,8 @@ and halt_exit t v core =
   count t "sched.halt_exits";
   emitf t ~core ~category:Trace.Cat.sched_halt "vid=%d" v.Vcpu.vid;
   match pop_runnable t with
-  | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core
-  | None -> evict_to_dp t v core ~kind:"halt"
+  | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core ~cause:Core_state.Halt
+  | None -> evict_to_dp t v core ~cause:Core_state.Halt
 
 (* --- §4.1 lock-context rescue ------------------------------------------- *)
 
@@ -368,7 +382,10 @@ and borrow_cp_pcpu t v =
       Hashtbl.replace t.borrowed_cores cp_id ();
       emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow "start vid=%d cp=%d"
         v.Vcpu.vid cp_id;
-      emit_state t ~core:cp_id Trace.Cat.state_switch;
+      (* The rescue freezes the pCPU beneath the OS: a world switch away
+         from CP occupancy, then the vCPU runs on the physical core. *)
+      transition t ~core:cp_id ~cause:Core_state.Lock_rescue
+        (Core_state.Switching Core_state.From_dp);
       let cp = Kernel.cpu t.kernel cp_id in
       Kernel.set_backed t.kernel cp false;
       let kc = kcpu_of t v in
@@ -379,7 +396,8 @@ and borrow_cp_pcpu t v =
       ignore
         (Sim.after t.sim (world_switch t) (fun () ->
              Kernel.set_backed t.kernel kc true;
-             emit_state t ~core:cp_id Trace.Cat.state_vcpu;
+             transition t ~core:cp_id ~cause:Core_state.Borrow
+               (Core_state.Vcpu_running v.Vcpu.vid);
              borrow_check t v cp_id))
 
 and borrow_check t v cp_id =
@@ -404,7 +422,8 @@ and borrow_check t v cp_id =
            Hashtbl.remove t.borrowed_cores cp_id;
            emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow
              "end vid=%d cp=%d" v.Vcpu.vid cp_id;
-           emit_state t ~core:cp_id Trace.Cat.state_idle;
+           transition t ~core:cp_id ~cause:Core_state.Borrow
+             Core_state.Cp_dedicated;
            Kernel.set_backed t.kernel (Kernel.cpu t.kernel cp_id) true;
            mark_runnable t v;
            try_place_parked t v
@@ -422,7 +441,7 @@ let on_probe_irq t ~core =
       if Sim.now t.sim - v.Vcpu.last_placed < short_yield t then
         Sw_probe.on_false_positive t.sw ~core
       else Sw_probe.on_sustained_idle t.sw ~core;
-      evict_to_dp t v core ~kind:"probe"
+      evict_to_dp t v core ~cause:Core_state.Probe
 
 (* --- kernel hooks --------------------------------------------------------- *)
 
@@ -451,12 +470,116 @@ let on_cpu_idle t kcpu_id =
 
 (* --- construction --------------------------------------------------------- *)
 
+(* Cross-module agreement checks registered on the authoritative state
+   machine and run by [Core_state.audit] after every experiment:
+
+   - kernel-backing: a backed virtual kCPU ⇔ its core is [Vcpu_running]
+     with the matching vid (placement map or borrow bookkeeping agrees);
+   - dp-view: the service's derived state is the 1:1 image of the core's
+     [Dp_*] state — yielded exactly when the core is not data-plane owned
+     (guards against anyone reintroducing a cached occupancy copy);
+   - state-table-mirror: the accelerator's eventually-consistent P/V mirror
+     matches the authoritative state, with lag bounded by the IPI latency. *)
+let install_invariants t =
+  Core_state.add_invariant t.cs ~name:"kernel-backing" (fun () ->
+      List.concat_map
+        (fun v ->
+          if not (Kernel.is_backed (kcpu_of t v)) then []
+          else
+            match v.Vcpu.placement with
+            | Vcpu.Unplaced ->
+                [ Printf.sprintf "vid %d is backed but unplaced" v.Vcpu.vid ]
+            | Vcpu.On_core core -> (
+                match Core_state.get t.cs ~core with
+                | Core_state.Vcpu_running vid when vid = v.Vcpu.vid -> []
+                | st ->
+                    [
+                      Printf.sprintf "vid %d is backed on core %d but core is %s"
+                        v.Vcpu.vid core
+                        (Core_state.state_label st);
+                    ]))
+        t.vcpu_list);
+  Core_state.add_invariant t.cs ~name:"occupancy" (fun () ->
+      let out = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+      for core = 0 to Core_state.cores t.cs - 1 do
+        match Core_state.get t.cs ~core with
+        | Core_state.Vcpu_running vid -> (
+            match Hashtbl.find_opt t.placed core with
+            | Some v when v.Vcpu.vid = vid ->
+                if not (Kernel.is_backed (kcpu_of t v)) then
+                  add "core %d runs vid %d but its kcpu is not backed" core vid
+            | Some v ->
+                add "core %d runs vid %d but placed map says vid %d" core vid
+                  v.Vcpu.vid
+            | None ->
+                let borrowed =
+                  Hashtbl.mem t.borrowed_cores core
+                  && List.exists
+                       (fun v ->
+                         v.Vcpu.vid = vid
+                         && v.Vcpu.placement = Vcpu.On_core core)
+                       t.vcpu_list
+                in
+                if not borrowed then
+                  add "core %d runs vid %d but no placement records it" core vid)
+        | Core_state.Dp_running | Core_state.Dp_counting | Core_state.Dp_parked
+          ->
+            if Hashtbl.mem t.placed core then
+              add "data-plane core %d still has a placed vCPU" core
+        | Core_state.Offline | Core_state.Switching _ | Core_state.Cp_dedicated
+          ->
+            ()
+      done;
+      List.rev !out);
+  Core_state.add_invariant t.cs ~name:"dp-view" (fun () ->
+      Hashtbl.fold
+        (fun core dp acc ->
+          let coherent =
+            match (Core_state.get t.cs ~core, Dp_service.state dp) with
+            | Core_state.Dp_running, Dp_service.Processing
+            | Core_state.Dp_counting, Dp_service.Counting
+            | Core_state.Dp_parked, Dp_service.Idle_parked
+            | ( ( Core_state.Offline | Core_state.Vcpu_running _
+                | Core_state.Switching _ | Core_state.Cp_dedicated ),
+                Dp_service.Yielded ) ->
+                true
+            | _, _ -> false
+          in
+          if coherent then acc
+          else
+            Printf.sprintf "service on core %d disagrees with the core state"
+              core
+            :: acc)
+        t.dps []);
+  Core_state.add_invariant t.cs ~name:"state-table-mirror" (fun () ->
+      let ipi = (Machine.config t.machine).Machine.ipi_latency in
+      let out = ref [] in
+      for core = 0 to Core_state.cores t.cs - 1 do
+        let expected =
+          match Core_state.get t.cs ~core with
+          | Core_state.Vcpu_running _
+          | Core_state.Switching Core_state.From_dp ->
+              State_table.V_state
+          | _ -> State_table.P_state
+        in
+        if
+          State_table.get t.table ~core <> expected
+          && Sim.now t.sim - Core_state.since t.cs ~core > ipi
+        then
+          out :=
+            Printf.sprintf "core %d mirror lags beyond the IPI latency" core
+            :: !out
+      done;
+      List.rev !out)
+
 let create config machine kernel softirq sw table =
   let t =
     {
       config;
       sim = Machine.sim machine;
       machine;
+      cs = Machine.core_state machine;
       kernel;
       softirq;
       sw;
@@ -485,6 +608,7 @@ let create config machine kernel softirq sw table =
   in
   Kernel.set_work_available_hook kernel (fun kcpu_id -> on_work_available t kcpu_id);
   Kernel.set_cpu_idle_hook kernel (fun kcpu_id -> on_cpu_idle t kcpu_id);
+  install_invariants t;
   t
 
 (* Registration is O(1): the list is kept newest-first and reversed on
@@ -505,7 +629,20 @@ let register_dp t dp =
   hooks.Dp_service.idle_threshold <- (fun () -> Sw_probe.threshold t.sw ~core);
   hooks.Dp_service.idle_detected <- (fun dp -> on_dp_idle t dp)
 
-let set_cp_pcpus t ids = t.cp_pcpus <- ids
+let set_cp_pcpus t ids =
+  t.cp_pcpus <- ids;
+  (* Dedicated CP pCPUs that nothing brought up yet become CP-occupied on
+     the authoritative state machine, so a later borrow transitions from a
+     truthful state. The platform may already have done this. *)
+  List.iter
+    (fun id ->
+      if
+        id >= 0
+        && id < Core_state.cores t.cs
+        && Core_state.get t.cs ~core:id = Core_state.Offline
+      then
+        transition t ~core:id ~cause:Core_state.Hotplug Core_state.Cp_dedicated)
+    ids
 
 let placed_vcpu t ~core = Hashtbl.find_opt t.placed core
 

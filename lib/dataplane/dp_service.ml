@@ -25,16 +25,19 @@ type state = Processing | Counting | Idle_parked | Yielded
 type t = {
   sim : Sim.t;
   machine : Machine.t;
+  cs : Core_state.t;
   pipeline : Pipeline.t;
   config : config;
   ring : Ring.t;
   hooks : hooks;
   latency : Recorder.t;
-  mutable state : state;
   mutable started : bool;
   mutable speed_tax : float;
   mutable idle_event : Sim.handle option;
-  mutable poll_since : Time_ns.t;  (** start of the current poll/park span *)
+  mutable poll_since : Time_ns.t;  (** start of the current empty-poll span *)
+  mutable park_since : Time_ns.t;  (** start of the current parked span *)
+  mutable poll_dwell : Time_ns.t;  (** cumulative empty-poll (Counting) time *)
+  mutable park_dwell : Time_ns.t;  (** cumulative parked (Idle_parked) time *)
   mutable resuming : bool;
 }
 
@@ -63,18 +66,43 @@ let emit t ~category message =
   Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core:t.config.core
     ~category message
 
-(* Occupancy transition for the timeline fold: this core is now polling /
-   processing ([state_dp]), parked ([state_idle]), or in a switch. *)
-let emit_state t st = emit t ~category:Trace.Cat.core_state st
+(* The service's externally visible state is derived from the authoritative
+   per-core machine — it holds no occupancy word of its own. Anything other
+   than the three data-plane states means the core is lent out (or not yet
+   started). *)
+let state t =
+  match Core_state.get t.cs ~core:t.config.core with
+  | Core_state.Dp_running -> Processing
+  | Core_state.Dp_counting -> Counting
+  | Core_state.Dp_parked -> Idle_parked
+  | Core_state.Offline | Core_state.Vcpu_running _ | Core_state.Switching _
+  | Core_state.Cp_dedicated ->
+      Yielded
 
-(* Close out the running empty-poll / parked span as poll time. *)
+let transition t ~cause st = Core_state.transition t.cs ~core:t.config.core ~cause st
+
+(* Close out the running empty-poll span. Both empty polling and parking
+   are charged to the [Dp_poll] accounting class (the core is burning
+   cycles without doing packet work either way), but their dwell times are
+   tracked separately so per-state stats are unambiguous. *)
 let settle_poll_time t =
   let d = Sim.now t.sim - t.poll_since in
-  charge t Accounting.Dp_poll d;
+  if d > 0 then begin
+    charge t Accounting.Dp_poll d;
+    t.poll_dwell <- t.poll_dwell + d
+  end;
   t.poll_since <- Sim.now t.sim
 
-let rec enter_counting t =
-  t.state <- Counting;
+let settle_park_time t =
+  let d = Sim.now t.sim - t.park_since in
+  if d > 0 then begin
+    charge t Accounting.Dp_poll d;
+    t.park_dwell <- t.park_dwell + d
+  end;
+  t.park_since <- Sim.now t.sim
+
+let rec enter_counting t ~cause =
+  transition t ~cause Core_state.Dp_counting;
   t.poll_since <- Sim.now t.sim;
   let n = t.hooks.idle_threshold () in
   let span = n * t.config.poll_iter in
@@ -83,21 +111,20 @@ let rec enter_counting t =
       (Sim.after t.sim span (fun () ->
            t.idle_event <- None;
            settle_poll_time t;
-           t.state <- Idle_parked;
-           t.poll_since <- Sim.now t.sim;
+           transition t ~cause:Core_state.Park Core_state.Dp_parked;
+           t.park_since <- Sim.now t.sim;
            count t "dp.parks";
            emit t ~category:Trace.Cat.dp_park (Printf.sprintf "n=%d" n);
-           emit_state t Trace.Cat.state_idle;
            t.hooks.idle_detected t))
 
-and start_processing t ~discovery =
-  t.state <- Processing;
+and start_processing t ~cause ~discovery =
+  transition t ~cause Core_state.Dp_running;
   if discovery > 0 then charge t Accounting.Dp_poll discovery;
   ignore (Sim.after t.sim discovery (fun () -> process_loop t))
 
 and process_loop t =
   match Ring.pop_burst t.ring ~max:t.config.burst with
-  | [] -> enter_counting t
+  | [] -> enter_counting t ~cause:Core_state.Drain
   | pkts ->
       Recorder.incr t.latency "bursts";
       let work =
@@ -127,19 +154,18 @@ and process_loop t =
 
 let on_ring_activity t =
   if t.started then
-    match t.state with
+    match state t with
     | Processing -> ()
     | Counting ->
         (match t.idle_event with Some h -> Sim.cancel h | None -> ());
         t.idle_event <- None;
         settle_poll_time t;
-        start_processing t ~discovery:t.config.poll_iter
+        start_processing t ~cause:Core_state.Wake ~discovery:t.config.poll_iter
     | Idle_parked ->
-        settle_poll_time t;
+        settle_park_time t;
         count t "dp.wakes";
         emit t ~category:Trace.Cat.dp_wake "work arrived";
-        emit_state t Trace.Cat.state_dp;
-        start_processing t ~discovery:t.config.poll_iter
+        start_processing t ~cause:Core_state.Wake ~discovery:t.config.poll_iter
     | Yielded -> t.hooks.work_arrived_while_yielded t
 
 let create machine pipeline config =
@@ -150,16 +176,19 @@ let create machine pipeline config =
     {
       sim;
       machine;
+      cs = Machine.core_state machine;
       pipeline;
       config;
       ring;
       hooks = default_hooks ();
       latency = Recorder.create (Printf.sprintf "dp%d.latency" config.core);
-      state = Counting;
       started = false;
       speed_tax = 0.0;
       idle_event = None;
       poll_since = 0;
+      park_since = 0;
+      poll_dwell = 0;
+      park_dwell = 0;
       resuming = false;
     }
   in
@@ -168,13 +197,13 @@ let create machine pipeline config =
 let start t =
   if not t.started then begin
     t.started <- true;
-    emit_state t Trace.Cat.state_dp;
-    if Ring.is_empty t.ring then enter_counting t
-    else start_processing t ~discovery:t.config.poll_iter
+    if Ring.is_empty t.ring then enter_counting t ~cause:Core_state.Hotplug
+    else
+      start_processing t ~cause:Core_state.Hotplug
+        ~discovery:t.config.poll_iter
   end
 
 let hooks t = t.hooks
-let state t = t.state
 let core t = t.config.core
 let config t = t.config
 let ring t = t.ring
@@ -185,43 +214,55 @@ let pending_work t =
   || Pipeline.in_flight t.pipeline ~core:t.config.core > 0
 
 let try_yield t =
-  match t.state with
-  | (Counting | Idle_parked) when not (pending_work t) ->
+  match state t with
+  | (Counting | Idle_parked) as st when not (pending_work t) ->
       (match t.idle_event with Some h -> Sim.cancel h | None -> ());
       t.idle_event <- None;
-      settle_poll_time t;
-      t.state <- Yielded;
+      (match st with
+      | Counting -> settle_poll_time t
+      | _ -> settle_park_time t);
+      (* The core leaves data-plane occupancy here; whoever takes it over
+         (the vCPU scheduler, or the kernel under co-schedule policies)
+         performs the next transition. *)
+      transition t ~cause:Core_state.Yield (Core_state.Switching Core_state.From_dp);
       Recorder.incr t.latency "yields";
       count t "dp.yields";
       emit t ~category:Trace.Cat.dp_yield "core given up";
-      (* The core leaves data-plane occupancy here; whoever takes it over
-         (the vCPU scheduler, or the kernel under co-schedule policies)
-         emits the next transition. *)
-      emit_state t Trace.Cat.state_idle;
       true
   | Counting | Idle_parked | Processing | Yielded -> false
 
 let resume t ~switch_cost =
-  if t.state = Yielded && not t.resuming then begin
+  if t.started && state t = Yielded && not t.resuming then begin
     t.resuming <- true;
     Recorder.incr t.latency "resumes";
     count t "dp.resumes";
     emit t ~category:Trace.Cat.dp_resume
       (Printf.sprintf "switch_cost=%d" switch_cost);
-    emit_state t Trace.Cat.state_switch;
+    (* The evictor (vCPU scheduler) may already have moved the core into
+       [Switching To_dp] as part of the eviction; only transition here when
+       the give-back originates elsewhere (kernel reclaim under
+       co-schedule, or a revoked yield nobody claimed). *)
+    (match Core_state.get t.cs ~core:t.config.core with
+    | Core_state.Switching Core_state.To_dp -> ()
+    | _ ->
+        transition t ~cause:Core_state.Resume
+          (Core_state.Switching Core_state.To_dp));
     ignore
       (Sim.after t.sim switch_cost (fun () ->
            charge t Accounting.Switch switch_cost;
            t.resuming <- false;
-           emit_state t Trace.Cat.state_dp;
-           if Ring.is_empty t.ring then enter_counting t
-           else start_processing t ~discovery:t.config.poll_iter))
+           if Ring.is_empty t.ring then enter_counting t ~cause:Core_state.Resume
+           else
+             start_processing t ~cause:Core_state.Resume
+               ~discovery:t.config.poll_iter))
   end
 
 let latency t = t.latency
 let packets_processed t = Recorder.count t.latency
 let yields t = Recorder.counter t.latency "yields"
 let spikes t = Recorder.counter t.latency "spikes"
+let empty_poll_time t = t.poll_dwell
+let parked_time t = t.park_dwell
 
 let busy_fraction t ~elapsed =
   if elapsed <= 0 then 0.0

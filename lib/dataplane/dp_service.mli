@@ -31,6 +31,11 @@ type config = {
 val default_config : core:int -> per_packet:(Packet.t -> Time_ns.t) -> config
 (** burst 32, poll_iter 100 ns, spike threshold 100 µs. *)
 
+(** The service's view of its core, derived from the authoritative
+    {!Taichi_hw.Core_state} machine rather than stored here: [Processing],
+    [Counting] and [Idle_parked] map 1:1 onto [Dp_running], [Dp_counting]
+    and [Dp_parked]; every other core state (including [Offline] before
+    {!start}) reads as [Yielded]. *)
 type state =
   | Processing  (** executing a burst *)
   | Counting  (** empty-polling towards the idleness threshold *)
@@ -90,6 +95,14 @@ val latency : t -> Recorder.t
 val packets_processed : t -> int
 val yields : t -> int
 val spikes : t -> int
+
+val empty_poll_time : t -> Time_ns.t
+(** Cumulative time spent empty-polling in [Counting]. Both this and
+    {!parked_time} are charged to the [Dp_poll] accounting class; the
+    split accessors disambiguate the per-state dwell. *)
+
+val parked_time : t -> Time_ns.t
+(** Cumulative time spent parked in [Idle_parked]. *)
 
 val busy_fraction : t -> elapsed:Time_ns.t -> float
 (** Fraction of [elapsed] spent doing useful packet processing — the

@@ -37,8 +37,8 @@ let push h ~key ~seq value =
     else continue := false
   done
 
-let sift_down h =
-  let i = ref 0 in
+let sift_down_from h start =
+  let i = ref start in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
@@ -53,6 +53,8 @@ let sift_down h =
     end
     else continue := false
   done
+
+let sift_down h = sift_down_from h 0
 
 let pop h =
   if h.size = 0 then None
@@ -73,3 +75,20 @@ let peek h =
     Some (top.key, top.seq, top.value)
 
 let clear h = h.size <- 0
+
+let compact h ~keep =
+  (* In-place filter: surviving entries keep their original (key, seq), so
+     relative ordering of live events is unchanged after the rebuild. *)
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    let e = h.arr.(i) in
+    if keep e.value then begin
+      h.arr.(!j) <- e;
+      incr j
+    end
+  done;
+  h.size <- !j;
+  (* Floyd's bottom-up heapify: O(n), cheaper than re-pushing each entry. *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down_from h i
+  done

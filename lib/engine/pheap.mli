@@ -26,3 +26,9 @@ val peek : 'a t -> (int * int * 'a) option
 (** [peek h] is the minimum element without removing it. *)
 
 val clear : 'a t -> unit
+
+val compact : 'a t -> keep:('a -> bool) -> unit
+(** [compact h ~keep] removes every element whose value fails [keep] and
+    restores the heap invariant in O(n). Surviving elements retain their
+    original [(key, seq)] pair, so deterministic same-key ordering is
+    preserved. *)

@@ -53,3 +53,12 @@ val pending_events : t -> int
 val events_processed : t -> int
 (** [events_processed sim] counts events fired since creation, a useful
     progress and complexity metric. *)
+
+val dead_events : t -> int
+(** [dead_events sim] is the number of cancelled tombstones currently
+    sitting in the event heap. Cancellation is lazy; tombstones are swept
+    either on pop or by compaction when they exceed ~2x the live count. *)
+
+val compactions : t -> int
+(** [compactions sim] counts in-place heap rebuilds triggered by tombstone
+    accumulation since creation. *)

@@ -1,0 +1,198 @@
+open Taichi_engine
+
+type direction = From_dp | To_dp
+
+type state =
+  | Offline
+  | Dp_running
+  | Dp_counting
+  | Dp_parked
+  | Vcpu_running of int
+  | Switching of direction
+  | Cp_dedicated
+
+type cause =
+  | Hotplug
+  | Yield
+  | Place
+  | Probe
+  | Slice_expiry
+  | Halt
+  | Lock_rescue
+  | Borrow
+  | Park
+  | Wake
+  | Drain
+  | Resume
+  | Lend
+
+type event = {
+  core : int;
+  from_state : state;
+  to_state : state;
+  cause : cause;
+  at : Time_ns.t;
+  legal : bool;
+}
+
+type mode = Strict | Permissive
+
+exception Illegal_transition of string
+
+type t = {
+  now : unit -> Time_ns.t;
+  states : state array;
+  since : Time_ns.t array;
+  (* Cumulative dwell per (core, state label); the open span of the current
+     state is added on read so [dwell] is always consistent with [now]. *)
+  dwell : (string, Time_ns.t) Hashtbl.t array;
+  mutable mode : mode;
+  mutable subscribers : (event -> unit) list;
+  mutable invariants : (string * (unit -> string list)) list;
+  mutable transitions : int;
+  mutable illegal : int;
+}
+
+let create ~cores ~now =
+  if cores <= 0 then invalid_arg "Core_state.create: cores must be positive";
+  {
+    now;
+    states = Array.make cores Offline;
+    since = Array.make cores (now ());
+    dwell = Array.init cores (fun _ -> Hashtbl.create 8);
+    mode = Strict;
+    subscribers = [];
+    invariants = [];
+    transitions = 0;
+    illegal = 0;
+  }
+
+let cores t = Array.length t.states
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+
+let check_core t core =
+  if core < 0 || core >= Array.length t.states then
+    invalid_arg (Printf.sprintf "Core_state: core %d out of range" core)
+
+let get t ~core =
+  check_core t core;
+  t.states.(core)
+
+let since t ~core =
+  check_core t core;
+  t.since.(core)
+
+let state_label = function
+  | Offline -> "offline"
+  | Dp_running -> "dp_running"
+  | Dp_counting -> "dp_counting"
+  | Dp_parked -> "dp_parked"
+  | Vcpu_running _ -> "vcpu"
+  | Switching _ -> "switching"
+  | Cp_dedicated -> "cp"
+
+let trace_state = function
+  | Dp_running | Dp_counting -> Trace.Cat.state_dp
+  | Vcpu_running _ -> Trace.Cat.state_vcpu
+  | Switching _ -> Trace.Cat.state_switch
+  | Dp_parked | Cp_dedicated | Offline -> Trace.Cat.state_idle
+
+let cause_label = function
+  | Hotplug -> "hotplug"
+  | Yield -> "yield"
+  | Place -> "place"
+  | Probe -> "probe"
+  | Slice_expiry -> "slice_expiry"
+  | Halt -> "halt"
+  | Lock_rescue -> "lock_rescue"
+  | Borrow -> "borrow"
+  | Park -> "park"
+  | Wake -> "wake"
+  | Drain -> "drain"
+  | Resume -> "resume"
+  | Lend -> "lend"
+
+(* The legality matrix (DESIGN.md §8). Any state may go [Offline]
+   (hot-unplug); everything else follows the paper's switch discipline:
+   occupancy only changes through an explicit [Switching] phase, and the
+   data-plane's internal running/counting/parked cycle never skips steps. *)
+let legal ~from ~to_ =
+  match (from, to_) with
+  | _, Offline -> true
+  | Offline, (Dp_running | Dp_counting | Cp_dedicated) -> true
+  | Dp_running, Dp_counting -> true
+  | Dp_counting, (Dp_running | Dp_parked | Switching From_dp) -> true
+  | Dp_parked, (Dp_running | Switching From_dp) -> true
+  | ( Switching From_dp,
+      (Switching From_dp | Switching To_dp | Vcpu_running _ | Cp_dedicated) )
+    ->
+      (* [Switching From_dp] may self-transition: a vCPU-to-vCPU rotation
+         restarts the world switch without the core ever landing. It may
+         also revert [To_dp] when the yield is revoked before anyone
+         arrives (work came back mid-switch). *)
+      true
+  | Switching To_dp, (Dp_running | Dp_counting) -> true
+  | Vcpu_running _, (Switching From_dp | Switching To_dp | Cp_dedicated) ->
+      true
+  | Cp_dedicated, (Switching From_dp | Switching To_dp) -> true
+  | _, _ -> false
+
+let describe core from to_ cause =
+  Printf.sprintf "core %d: %s -> %s (cause %s)" core (state_label from)
+    (state_label to_) (cause_label cause)
+
+let add_dwell t core st span =
+  if span > 0 then begin
+    let tbl = t.dwell.(core) in
+    let label = state_label st in
+    let prev = try Hashtbl.find tbl label with Not_found -> 0 in
+    Hashtbl.replace tbl label (prev + span)
+  end
+
+let transition t ~core ~cause to_ =
+  check_core t core;
+  let from = t.states.(core) in
+  let at = t.now () in
+  let is_legal = legal ~from ~to_ in
+  if not is_legal then begin
+    if t.mode = Strict then
+      raise (Illegal_transition (describe core from to_ cause));
+    t.illegal <- t.illegal + 1
+  end;
+  add_dwell t core from (at - t.since.(core));
+  t.states.(core) <- to_;
+  t.since.(core) <- at;
+  t.transitions <- t.transitions + 1;
+  let ev = { core; from_state = from; to_state = to_; cause; at; legal = is_legal }
+  in
+  List.iter (fun f -> f ev) t.subscribers
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let transitions t = t.transitions
+let illegal_transitions t = t.illegal
+
+let dwell t ~core =
+  check_core t core;
+  let tbl = Hashtbl.copy t.dwell.(core) in
+  (* Fold the still-open span of the current state in. *)
+  let label = state_label t.states.(core) in
+  let open_span = t.now () - t.since.(core) in
+  if open_span > 0 then
+    Hashtbl.replace tbl label
+      ((try Hashtbl.find tbl label with Not_found -> 0) + open_span);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let add_invariant t ~name f = t.invariants <- t.invariants @ [ (name, f) ]
+
+let audit t =
+  let base =
+    if t.illegal > 0 then
+      [ Printf.sprintf "%d illegal transition(s) recorded" t.illegal ]
+    else []
+  in
+  base
+  @ List.concat_map
+      (fun (name, f) -> List.map (fun v -> name ^ ": " ^ v) (f ()))
+      t.invariants

@@ -13,6 +13,7 @@ type t = {
   cache : Cache_model.t;
   trace : Trace.t;
   counters : Counters.t;
+  core_state : Core_state.t;
   lapics : (int, Lapic.t) Hashtbl.t;
   mutable interceptor : (src:int -> dst:int -> vector:Lapic.vector -> route) option;
   mutable sent : int;
@@ -25,13 +26,35 @@ let create ?(config = default_config) ?trace sim =
     | Some tr -> tr
     | None -> Trace.create ~limit:2_000_000 ~enabled:false ()
   in
+  let counters = Counters.create () in
+  let core_state =
+    Core_state.create ~cores:config.physical_cores ~now:(fun () -> Sim.now sim)
+  in
+  (* The machine's own subscriber is where [core.state] trace records come
+     from: occupancy is derived from authoritative transitions, never
+     hand-emitted by the modules that cause them. Several fine-grained
+     states map onto one coarse occupancy bucket (e.g. running/counting are
+     both "dp"), so emissions are deduplicated per core to keep the trace —
+     and the timeline fold over it — free of zero-information records. *)
+  let last_emitted = Array.make config.physical_cores Trace.Cat.state_idle in
+  Core_state.subscribe core_state (fun ev ->
+      Counters.incr counters "core_state.transitions";
+      if not ev.Core_state.legal then Counters.incr counters "core_state.illegal";
+      let bucket = Core_state.trace_state ev.Core_state.to_state in
+      let core = ev.Core_state.core in
+      if not (String.equal bucket last_emitted.(core)) then begin
+        last_emitted.(core) <- bucket;
+        Trace.emit trace ~time:ev.Core_state.at ~core
+          ~category:Trace.Cat.core_state bucket
+      end);
   {
     sim;
     config;
     accounting = Accounting.create ~cores:config.physical_cores;
     cache = Cache_model.create ~cores:config.physical_cores ();
     trace;
-    counters = Counters.create ();
+    counters;
+    core_state;
     lapics = Hashtbl.create 32;
     interceptor = None;
     sent = 0;
@@ -45,6 +68,7 @@ let accounting t = t.accounting
 let cache t = t.cache
 let trace t = t.trace
 let counters t = t.counters
+let core_state t = t.core_state
 
 let register_lapic t lapic =
   let id = Lapic.apic_id lapic in

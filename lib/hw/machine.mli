@@ -35,6 +35,14 @@ val trace : t -> Trace.t
 val counters : t -> Counters.t
 (** The machine-wide named-counter registry. *)
 
+val core_state : t -> Core_state.t
+(** The authoritative per-core occupancy state machine. All occupancy
+    changes anywhere in the stack go through
+    [Core_state.transition (Machine.core_state m)]; the machine's built-in
+    subscriber derives the [core.state] trace events (deduplicated per
+    occupancy bucket) and the [core_state.transitions] /
+    [core_state.illegal] counters from it. *)
+
 val register_lapic : t -> Lapic.t -> unit
 (** [register_lapic t lapic] makes the LAPIC addressable by its APIC id.
     Raises [Invalid_argument] on a duplicate id. *)

@@ -105,6 +105,23 @@ let validate_json j =
       if List.length tl = cores then Ok ()
       else Error "timeline row count does not match cores"
     in
+    (* A run that recorded illegal core-state transitions (Permissive-mode
+       degradation) is not a clean export, even if its timeline is
+       well-formed. Counters only materialise once incremented, so an
+       absent counter means zero. *)
+    let* () =
+      match Json.member "counters" r with
+      | None -> Ok ()
+      | Some cs -> (
+          match Json.member "core_state.illegal" cs with
+          | None -> Ok ()
+          | Some v -> (
+              match Json.to_int v with
+              | Some n when n > 0 ->
+                  Error "core_state.illegal counter is non-zero"
+              | Some _ -> Ok ()
+              | None -> Error "core_state.illegal not an int"))
+    in
     List.fold_left
       (fun acc row ->
         let* () = acc in

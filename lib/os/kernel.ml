@@ -675,6 +675,20 @@ let set_backed t c backed =
 let lend t c =
   if not c.available then begin
     c.available <- true;
+    (* A lent physical core is control-plane occupied from the machine's
+       point of view: record it on the authoritative state machine (the
+       data-plane service moved the core to [Switching From_dp] when it
+       yielded, just before the co-schedule policy called us). Lending a
+       core the machine already sees as CP-occupied — a reclaim/lend cycle
+       with no data-plane resume in between — changes nothing. *)
+    if c.kind = `Physical && c.cid < Machine.physical_cores t.machine then begin
+      let cs = Machine.core_state t.machine in
+      match Core_state.get cs ~core:c.cid with
+      | Core_state.Cp_dedicated -> ()
+      | _ ->
+          Core_state.transition cs ~core:c.cid ~cause:Core_state.Lend
+            Core_state.Cp_dedicated
+    end;
     dispatch t c
   end
 

@@ -41,6 +41,16 @@ let with_system ?layout ~seed policy f =
   if !tracing then Trace.set_enabled (Machine.trace (System.machine sys)) true;
   System.warmup sys;
   let result = f sys in
+  (* Every experiment run ends with a machine-wide coherence check: the
+     authoritative core states, the kernel's backing view, the scheduler's
+     placement maps and the accelerator mirror must all agree. *)
+  (match System.audit sys with
+  | [] -> ()
+  | violations ->
+      failwith
+        (Printf.sprintf "Core_state.audit failed after %s (seed %d): %s"
+           !experiment_name seed
+           (String.concat "; " violations)));
   if !tracing then harvest_run ~seed sys;
   result
 

@@ -56,6 +56,14 @@ let create ?(seed = 42) ?(layout = default_layout) policy =
       let c = Kernel.add_physical_cpu kernel ~available ~id () in
       Kernel.set_speed_tax c (if available then Policy.cp_speed_tax policy else 0.0))
     (range 0 total);
+  (* Dedicated CP cores are control-plane occupied from bring-up on the
+     authoritative state machine; data-plane cores transition when their
+     service starts, and cores lost to infrastructure stay [Offline]. *)
+  List.iter
+    (fun id ->
+      Core_state.transition (Machine.core_state machine) ~core:id
+        ~cause:Core_state.Hotplug Core_state.Cp_dedicated)
+    cp_cores;
   (* Data-plane services. *)
   let dp_tax = Policy.dp_speed_tax policy in
   let make_net core =
@@ -184,6 +192,8 @@ let run_until_tasks_done t tasks ~limit =
 
 let epoch t = t.epoch
 let elapsed t = Sim.now t.sim - t.epoch
+
+let audit t = Core_state.audit (Machine.core_state t.machine)
 
 let dp_latency_hist t =
   List.fold_left

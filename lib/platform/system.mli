@@ -71,6 +71,14 @@ val epoch : t -> Time_ns.t
 val elapsed : t -> Time_ns.t
 (** Simulated time since the epoch. *)
 
+val audit : t -> string list
+(** Machine-wide coherence check: runs every invariant registered on the
+    authoritative {!Taichi_hw.Core_state} machine (kernel backing ⇔
+    [Vcpu_running], service yielded ⇔ not data-plane owned, accelerator
+    mirror lag bounded by the IPI latency) plus the illegal-transition
+    count. Empty means coherent; [Exp_common.with_system] fails the run on
+    any violation. *)
+
 val dp_latency_hist : t -> Histogram.t
 (** Merged per-packet latency across all data-plane services. *)
 

@@ -143,6 +143,26 @@ let test_sim_counters () =
   checki "pending 0" 0 (Sim.pending_events sim);
   checki "fired 1" 1 (Sim.events_processed sim)
 
+let test_sim_tombstone_compaction () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  let handles =
+    Array.init 10_000 (fun i ->
+        Sim.after sim (i + 1) (fun () -> order := i :: !order))
+  in
+  (* Cancel 90%: tombstones vastly outnumber live events, so the heap must
+     have been rebuilt rather than retaining every dead entry. *)
+  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel h) handles;
+  checki "live preserved" 1000 (Sim.pending_events sim);
+  checkb "compacted at least once" true (Sim.compactions sim > 0);
+  checkb "dead entries bounded by ~2x live" true
+    (Sim.dead_events sim <= (2 * Sim.pending_events sim) + 64);
+  Sim.run sim;
+  let fired = List.rev !order in
+  checki "all survivors fired" 1000 (List.length fired);
+  checkb "fired in schedule order" true
+    (fired = List.init 1000 (fun k -> k * 10))
+
 (* --- Rng / Dist -------------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -423,6 +443,7 @@ let suite =
     ("sim nested scheduling", `Quick, test_sim_nested_schedule);
     ("sim immediate ordering", `Quick, test_sim_immediate);
     ("sim counters", `Quick, test_sim_counters);
+    ("sim tombstone compaction", `Quick, test_sim_tombstone_compaction);
     ("rng determinism", `Quick, test_rng_deterministic);
     ("rng split independence", `Quick, test_rng_split_independent);
     ("rng split stability", `Quick, test_rng_split_stable);

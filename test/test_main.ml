@@ -5,6 +5,7 @@ let () =
     [
       ("engine", Test_engine.suite);
       ("hw", Test_hw.suite);
+      ("core_state", Test_core_state.suite);
       ("os", Test_os.suite);
       ("accel", Test_accel.suite);
       ("dataplane", Test_dataplane.suite);
