@@ -10,11 +10,16 @@ test: build
 
 # Fast end-to-end check for CI: full build + unit/property suites, then a
 # small traced bench run whose JSON export must parse and satisfy the
-# occupancy invariant (trace_lint exits non-zero otherwise).
+# occupancy invariant (trace_lint exits non-zero otherwise), then a short
+# chaos run — the seeded fault matrix with the Core_state audit, the
+# hung-vCPU watchdog oracle and trace_lint as pass/fail gates.
 smoke: test
 	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_TRACE_JSON=_build/smoke-trace.json \
 		dune exec bench/main.exe
 	dune exec bin/trace_lint.exe -- _build/smoke-trace.json
+	dune exec bin/taichi_sim.exe -- chaos --seed 42 --scale 0.1 \
+		--trace-json _build/chaos-trace.json
+	dune exec bin/trace_lint.exe -- _build/chaos-trace.json
 
 ci: smoke
 

@@ -46,6 +46,18 @@ let trace_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
+let chaos_profile_arg =
+  let doc =
+    "Restrict the chaos experiment to one fault profile ("
+    ^ String.concat ", "
+        (List.map fst Taichi_faults.Injector.profiles)
+    ^ "). Defaults to the full matrix (or $(b,CHAOS_PROFILE))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
+
 let print_trace_report runs =
   List.iter
     (fun (run : Taichi_metrics.Export.run) ->
@@ -58,7 +70,30 @@ let print_trace_report runs =
         run.counters)
     runs
 
-let run name seed scale trace trace_json =
+(* Exit codes: 0 success, 1 usage / export error, 2 uncaught experiment
+   failure (Cmdliner), 3 post-experiment audit violation — a run that
+   produced output but left the machine in an incoherent state must be
+   distinguishable from an infrastructure error in CI. *)
+let audit_exit_code = 3
+
+let report_audit_failures failures =
+  List.iter
+    (fun (f : Taichi_platform.Exp_common.audit_failure) ->
+      Printf.eprintf "AUDIT FAILURE: %s (seed %d):\n" f.experiment f.seed;
+      List.iter (Printf.eprintf "  - %s\n") f.violations)
+    failures;
+  Printf.eprintf "%d run(s) failed the post-experiment audit\n"
+    (List.length failures)
+
+let run name seed scale trace trace_json chaos_profile =
+  (match chaos_profile with
+  | Some p -> Taichi_platform.Exp_chaos.set_profile_filter (Some p)
+  | None -> ());
+  (* Collect audit violations instead of aborting mid-batch: every
+     experiment still runs, then the process exits with the distinct
+     audit status below. *)
+  Taichi_platform.Exp_common.set_audit_collect true;
+  Taichi_platform.Exp_common.reset_audit_failures ();
   let tracing = trace || trace_json <> None in
   if tracing then Taichi_platform.Exp_common.set_tracing true;
   let status =
@@ -72,30 +107,38 @@ let run name seed scale trace trace_json =
     end
     else run_experiment name seed scale
   in
-  if status = 0 && tracing then begin
-    let runs = Taichi_platform.Exp_common.trace_runs () in
-    if trace then print_trace_report runs;
-    (* Export failures must not look like a successful run: report and
-       fail cleanly rather than dying on an uncaught Sys_error. *)
-    match trace_json with
-    | Some path -> (
-        try
-          Taichi_metrics.Export.write_file path runs;
-          Printf.printf "trace export: %d run(s) written to %s\n"
-            (List.length runs) path;
-          status
-        with Sys_error msg ->
-          Printf.eprintf "cannot write trace export: %s\n" msg;
-          1)
-    | None -> status
-  end
-  else status
+  let status =
+    if status = 0 && tracing then begin
+      let runs = Taichi_platform.Exp_common.trace_runs () in
+      if trace then print_trace_report runs;
+      (* Export failures must not look like a successful run: report and
+         fail cleanly rather than dying on an uncaught Sys_error. *)
+      match trace_json with
+      | Some path -> (
+          try
+            Taichi_metrics.Export.write_file path runs;
+            Printf.printf "trace export: %d run(s) written to %s\n"
+              (List.length runs) path;
+            status
+          with Sys_error msg ->
+            Printf.eprintf "cannot write trace export: %s\n" msg;
+            1)
+      | None -> status
+    end
+    else status
+  in
+  match Taichi_platform.Exp_common.audit_failures () with
+  | [] -> status
+  | failures ->
+      report_audit_failures failures;
+      audit_exit_code
 
 let cmd =
   let doc = "Reproduce the Tai Chi (SOSP'25) evaluation on the simulator" in
   let info = Cmd.info "taichi_sim" ~doc in
   Cmd.v info
     Term.(
-      const run $ name_arg $ seed_arg $ scale_arg $ trace_arg $ trace_json_arg)
+      const run $ name_arg $ seed_arg $ scale_arg $ trace_arg $ trace_json_arg
+      $ chaos_profile_arg)
 
 let main () = exit (Cmd.eval' cmd)

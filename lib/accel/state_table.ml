@@ -1,13 +1,41 @@
 type cpu_state = P_state | V_state
 
-type t = { states : cpu_state array; mutable updates : int }
+type t = {
+  states : cpu_state array;
+  frozen : bool array;
+  mutable updates : int;
+  mutable stalled : int;
+}
 
-let create ~cores = { states = Array.make cores P_state; updates = 0 }
+let create ~cores =
+  {
+    states = Array.make cores P_state;
+    frozen = Array.make cores false;
+    updates = 0;
+    stalled = 0;
+  }
+
 let get t ~core = t.states.(core)
 
+(* A frozen record models the accelerator losing table-update writes for
+   one CPU: ordinary [set]s are dropped (and counted) so the mirror goes
+   stale, exactly the divergence the resync detector must catch. *)
 let set t ~core s =
+  if t.frozen.(core) then t.stalled <- t.stalled + 1
+  else begin
+    t.states.(core) <- s;
+    t.updates <- t.updates + 1
+  end
+
+let freeze t ~core = t.frozen.(core) <- true
+let thaw t ~core = t.frozen.(core) <- false
+let frozen t ~core = t.frozen.(core)
+
+let force t ~core s =
+  t.frozen.(core) <- false;
   t.states.(core) <- s;
   t.updates <- t.updates + 1
 
 let state_name = function P_state -> "P" | V_state -> "V"
 let updates t = t.updates
+let stalled_updates t = t.stalled

@@ -16,5 +16,23 @@ val set : t -> core:int -> cpu_state -> unit
 val state_name : cpu_state -> string
 
 val updates : t -> int
-(** Number of [set] calls — the table-update traffic between the vCPU
-    scheduler and the accelerator. *)
+(** Number of applied [set]/[force] calls — the table-update traffic
+    between the vCPU scheduler and the accelerator. *)
+
+(** {2 Fault injection}
+
+    A per-core record can be frozen to model the accelerator losing
+    table-update writes: while frozen, {!set} drops the write (counted in
+    {!stalled_updates}) and the record goes stale. Recovery resyncs with
+    {!force}, which always applies and un-freezes the record. *)
+
+val freeze : t -> core:int -> unit
+val thaw : t -> core:int -> unit
+val frozen : t -> core:int -> bool
+
+val force : t -> core:int -> cpu_state -> unit
+(** [force t ~core s] writes [s] regardless of the frozen bit and thaws
+    the record — the divergence detector's resync primitive. *)
+
+val stalled_updates : t -> int
+(** Writes dropped because the target record was frozen. *)

@@ -17,6 +17,17 @@ type t = {
   adaptive_slice : bool;
   adaptive_threshold : bool;
   cost : Cost_model.t;
+  resilience : bool;
+  watchdog_period : Time_ns.t;
+  watchdog_bound : Time_ns.t;
+  boot_retry_timeout : Time_ns.t;
+  boot_retry_max : int;
+  ipi_retry_timeout : Time_ns.t;
+  ipi_retry_max : int;
+  mirror_resync_period : Time_ns.t;
+  degraded_window : Time_ns.t;
+  degraded_threshold : int;
+  degraded_quiet : Time_ns.t;
 }
 
 let default =
@@ -36,9 +47,21 @@ let default =
     adaptive_slice = true;
     adaptive_threshold = true;
     cost = Cost_model.default;
+    resilience = false;
+    watchdog_period = Time_ns.us 100;
+    watchdog_bound = Time_ns.ms 1;
+    boot_retry_timeout = Time_ns.ms 12;
+    boot_retry_max = 10;
+    ipi_retry_timeout = Time_ns.us 10;
+    ipi_retry_max = 3;
+    mirror_resync_period = Time_ns.us 50;
+    degraded_window = Time_ns.ms 2;
+    degraded_threshold = 12;
+    degraded_quiet = Time_ns.ms 4;
   }
 
 let no_hw_probe t = { t with hw_probe = false }
 let fixed_slice t = { t with adaptive_slice = false }
 let fixed_threshold t = { t with adaptive_threshold = false }
 let unsafe_locks t = { t with lock_safe_resched = false }
+let resilient t = { t with resilience = true }

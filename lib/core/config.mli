@@ -32,6 +32,30 @@ type t = {
   adaptive_slice : bool;  (** double the slice on expiry exits *)
   adaptive_threshold : bool;  (** adapt N from VM-exit reasons *)
   cost : Cost_model.t;
+  resilience : bool;
+      (** arm the recovery machinery (watchdogs, retries, mirror resync,
+          degraded mode). Off by default: the timers it schedules would
+          perturb the deterministic event order of happy-path runs. *)
+  watchdog_period : Time_ns.t;  (** hung-vCPU watchdog scan cadence *)
+  watchdog_bound : Time_ns.t;
+      (** max time a vCPU may stay placed with eviction pressure (pending
+          DP work, lock-bound, or borrowing) before the watchdog escalates *)
+  boot_retry_timeout : Time_ns.t;
+      (** hotplug boot watchdog: re-issue the boot IPI if the vCPU is not
+          online after this long (doubles per retry) *)
+  boot_retry_max : int;
+  ipi_retry_timeout : Time_ns.t;
+      (** wakeup-IPI delivery watchdog: re-poke an unplaced vCPU with
+          pending work after this long (doubles per retry) *)
+  ipi_retry_max : int;
+  mirror_resync_period : Time_ns.t;
+      (** state-table divergence detector cadence *)
+  degraded_window : Time_ns.t;
+      (** sliding window over recovery events for the degraded trigger *)
+  degraded_threshold : int;
+      (** recovery events within [degraded_window] that trip degraded mode *)
+  degraded_quiet : Time_ns.t;
+      (** recovery-quiet time before co-scheduling re-arms *)
 }
 
 val default : t
@@ -48,3 +72,8 @@ val fixed_threshold : t -> t
 
 val unsafe_locks : t -> t
 (** Ablation: disable lock-context safe rescheduling. *)
+
+val resilient : t -> t
+(** Arm the recovery machinery (see [resilience]). Used by the [chaos]
+    experiment; plain experiments keep it off so their event schedules
+    stay bit-for-bit identical to earlier releases. *)

@@ -11,7 +11,20 @@ type t = {
   pending : (int, unit) Hashtbl.t;
   mutable triggers : int;
   mutable suppressed : int;
+  mutable suppressor : (core:int -> bool) option;
 }
+
+let fire t ~core =
+  Hashtbl.replace t.pending core ();
+  t.triggers <- t.triggers + 1;
+  Counters.incr (Machine.counters t.machine) "probe.hw.triggers";
+  Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
+    ~category:Trace.Cat.probe_hw "irq scheduled in %dns"
+    t.config.Config.irq_latency;
+  ignore
+    (Sim.after t.sim t.config.Config.irq_latency (fun () ->
+         Hashtbl.remove t.pending core;
+         Vcpu_sched.on_probe_irq t.sched ~core))
 
 let install config machine table pipeline sched =
   let t =
@@ -24,6 +37,7 @@ let install config machine table pipeline sched =
       pending = Hashtbl.create 16;
       triggers = 0;
       suppressed = 0;
+      suppressor = None;
     }
   in
   if config.Config.hw_probe then
@@ -38,19 +52,26 @@ let install config machine table pipeline sched =
                  t.suppressed <- t.suppressed + 1;
                  Counters.incr (Machine.counters t.machine) "probe.hw.suppressed"
                end
-               else begin
-                 Hashtbl.replace t.pending core ();
-                 t.triggers <- t.triggers + 1;
-                 Counters.incr (Machine.counters t.machine) "probe.hw.triggers";
-                 Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim)
-                   ~core ~category:Trace.Cat.probe_hw "irq scheduled in %dns"
-                   t.config.Config.irq_latency;
-                 ignore
-                   (Sim.after t.sim t.config.Config.irq_latency (fun () ->
-                        Hashtbl.remove t.pending core;
-                        Vcpu_sched.on_probe_irq t.sched ~core))
-               end));
+               else
+                 (* The injected suppressor models the accelerator failing
+                    to raise the IRQ it should have: the packet simply goes
+                    undetected and the software probe / slice expiry must
+                    cover for it. *)
+                 let suppressed_by_fault =
+                   match t.suppressor with
+                   | Some f -> f ~core
+                   | None -> false
+                 in
+                 if not suppressed_by_fault then fire t ~core));
   t
+
+let set_suppressor t f = t.suppressor <- f
+
+(* A misfire is a spurious probe IRQ: the accelerator interrupts a core the
+   scheduler believes needs no eviction. The normal pending dedup still
+   applies so at most one IRQ per core is in flight. *)
+let misfire t ~core =
+  if not (Hashtbl.mem t.pending core) then fire t ~core
 
 let triggers t = t.triggers
 let suppressed t = t.suppressed

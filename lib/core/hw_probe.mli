@@ -20,6 +20,18 @@ val install :
     toggling via config keeps wiring uniform. Trigger/suppression events go
     to the machine trace ([probe.hw]) and counter registry. *)
 
+val set_suppressor : t -> (core:int -> bool) option -> unit
+(** [set_suppressor t f] installs (or removes) a fault-injection predicate
+    consulted when a V-state hit is about to fire an IRQ: [true] means the
+    accelerator fails to raise it and the packet goes undetected. [None]
+    (the default) suppresses nothing. *)
+
+val misfire : t -> core:int -> unit
+(** [misfire t ~core] injects a spurious probe IRQ at [core] through the
+    normal delivery path (latency and pending dedup included), regardless
+    of the core's table state — the false-positive case the scheduler's
+    probe handler must tolerate. *)
+
 val triggers : t -> int
 (** IRQs fired (V-state hits). *)
 

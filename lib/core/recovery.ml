@@ -1,0 +1,95 @@
+open Taichi_engine
+open Taichi_hw
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  sim : Sim.t;
+  latency : Histogram.t;
+  window : Time_ns.t Queue.t;
+  mutable total : int;
+  mutable degraded : bool;
+  mutable last_event : Time_ns.t;
+  mutable engaged : int;
+  mutable rearmed : int;
+  mutable engage_cbs : (unit -> unit) list;
+  mutable rearm_cbs : (unit -> unit) list;
+}
+
+let create config machine =
+  {
+    config;
+    machine;
+    sim = Machine.sim machine;
+    latency = Histogram.create ();
+    window = Queue.create ();
+    total = 0;
+    degraded = false;
+    last_event = Time_ns.zero;
+    engaged = 0;
+    rearmed = 0;
+    engage_cbs = [];
+    rearm_cbs = [];
+  }
+
+let degraded t = t.degraded
+let on_engage t f = t.engage_cbs <- t.engage_cbs @ [ f ]
+let on_rearm t f = t.rearm_cbs <- t.rearm_cbs @ [ f ]
+let engaged_count t = t.engaged
+let rearmed_count t = t.rearmed
+let events t = t.total
+let latency_hist t = t.latency
+
+let rearm t =
+  t.degraded <- false;
+  Queue.clear t.window;
+  t.rearmed <- t.rearmed + 1;
+  Counters.incr (Machine.counters t.machine) "recovery.degraded.rearmed";
+  Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim)
+    ~category:Trace.Cat.degraded "rearm";
+  List.iter (fun f -> f ()) t.rearm_cbs
+
+(* While degraded, poll for the quiet period: every recovery event pushes
+   [last_event] forward, so the check reschedules itself until a full
+   [degraded_quiet] passes with no recovery activity at all. *)
+let rec schedule_quiet_check t =
+  let due = t.last_event + t.config.Config.degraded_quiet in
+  ignore
+    (Sim.at t.sim (max due (Sim.now t.sim)) (fun () ->
+         if t.degraded then
+           if Sim.now t.sim - t.last_event >= t.config.Config.degraded_quiet
+           then rearm t
+           else schedule_quiet_check t))
+
+let engage t =
+  t.degraded <- true;
+  t.engaged <- t.engaged + 1;
+  Counters.incr (Machine.counters t.machine) "recovery.degraded.engaged";
+  Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim)
+    ~category:Trace.Cat.degraded "engage events_in_window=%d"
+    (Queue.length t.window);
+  List.iter (fun f -> f ()) t.engage_cbs;
+  schedule_quiet_check t
+
+let note t ~cls ~action ~latency =
+  Counters.incr (Machine.counters t.machine)
+    (Printf.sprintf "recovery.%s.%s" cls action);
+  Histogram.add t.latency latency;
+  t.total <- t.total + 1;
+  let now = Sim.now t.sim in
+  Trace.emitf (Machine.trace t.machine) ~time:now
+    ~category:Trace.Cat.recovery "%s.%s latency=%d" cls action latency;
+  t.last_event <- now;
+  if t.config.Config.resilience then begin
+    Queue.push now t.window;
+    let horizon = now - t.config.Config.degraded_window in
+    while
+      (not (Queue.is_empty t.window)) && Queue.peek t.window < horizon
+    do
+      ignore (Queue.pop t.window)
+    done;
+    if
+      (not t.degraded)
+      && Queue.length t.window >= t.config.Config.degraded_threshold
+    then engage t
+  end

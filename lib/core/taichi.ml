@@ -1,3 +1,4 @@
+open Taichi_engine
 open Taichi_hw
 open Taichi_os
 open Taichi_virt
@@ -13,9 +14,42 @@ type t = {
   sched : Vcpu_sched.t;
   orch : Ipi_orchestrator.t;
   probe : Hw_probe.t;
+  recovery : Recovery.t;
   vcpus : Vcpu.t list;
   cp_pcpus : int list;
 }
+
+(* State-table divergence detector: periodically compare the accelerator
+   mirror against the authoritative state machine and force-resync any
+   record that has been wrong for longer than the IPI latency (the bound
+   the mirror invariant tolerates). Catches stalled and corrupted records
+   that the subscription path can no longer fix — a frozen record drops
+   the subscriber's writes, so only [State_table.force] repairs it. *)
+let mirror_resync machine table recovery =
+  let sim = Machine.sim machine in
+  let cs = Machine.core_state machine in
+  let ipi = (Machine.config machine).Machine.ipi_latency in
+  for core = 0 to Machine.physical_cores machine - 1 do
+    let expected =
+      match Core_state.get cs ~core with
+      | Core_state.Vcpu_running _ | Core_state.Switching Core_state.From_dp ->
+          State_table.V_state
+      | _ -> State_table.P_state
+    in
+    let diverged_for = Sim.now sim - Core_state.since cs ~core in
+    if State_table.get table ~core <> expected && diverged_for > ipi then begin
+      State_table.force table ~core expected;
+      Recovery.note recovery ~cls:"mirror" ~action:"resync"
+        ~latency:diverged_for
+    end
+  done
+
+let rec mirror_resync_loop config machine table recovery =
+  ignore
+    (Sim.after (Machine.sim machine) config.Config.mirror_resync_period
+       (fun () ->
+         mirror_resync machine table recovery;
+         mirror_resync_loop config machine table recovery))
 
 let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     ~cp_pcpus () =
@@ -42,16 +76,32 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
         State_table.set table ~core mirror);
   let sw = Sw_probe.create ~machine config ~cores in
   let softirq = Softirq.create machine in
-  let sched = Vcpu_sched.create config machine kernel softirq sw table in
+  let recovery = Recovery.create config machine in
+  let sched = Vcpu_sched.create config machine kernel softirq sw table recovery in
   List.iter (fun dp -> Vcpu_sched.register_dp sched dp) dps;
   Vcpu_sched.set_cp_pcpus sched cp_pcpus;
-  let orch = Ipi_orchestrator.install config machine kernel sched in
+  let orch = Ipi_orchestrator.install config machine kernel sched recovery in
   let vcpus =
     Ipi_orchestrator.register_vcpus orch ~first_kcpu:cores
       ~count:config.Config.n_vcpus
   in
   let probe = Hw_probe.install config machine table pipeline sched in
-  { config; machine; kernel; table; sw; softirq; sched; orch; probe; vcpus; cp_pcpus }
+  if config.Config.resilience then
+    mirror_resync_loop config machine table recovery;
+  {
+    config;
+    machine;
+    kernel;
+    table;
+    sw;
+    softirq;
+    sched;
+    orch;
+    probe;
+    recovery;
+    vcpus;
+    cp_pcpus;
+  }
 
 let config t = t.config
 let machine t = t.machine
@@ -62,6 +112,7 @@ let hw_probe t = t.probe
 let sw_probe t = t.sw
 let softirq t = t.softirq
 let state_table t = t.table
+let recovery t = t.recovery
 let vcpus t = t.vcpus
 
 let cp_cpu_ids t =

@@ -50,6 +50,12 @@ val softirq : t -> Softirq.t
 (** The softirq layer carrying the dedicated context-switch vector. *)
 
 val state_table : t -> State_table.t
+
+val recovery : t -> Recovery.t
+(** The recovery tracker shared by the watchdog, the orchestrator retries
+    and the mirror divergence detector; also the degraded-mode switch.
+    Inert (counters only) unless [config.resilience] is set. *)
+
 val vcpus : t -> Vcpu.t list
 
 val cp_cpu_ids : t -> int list

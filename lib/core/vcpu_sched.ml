@@ -25,6 +25,7 @@ type t = {
   softirq : Softirq.t;
   sw : Sw_probe.t;
   table : State_table.t;
+  recovery : Recovery.t;
   pending_place : (int, Vcpu.t) Hashtbl.t;  (* core -> vcpu awaiting softirq *)
   mutable vcpu_list : Vcpu.t list;  (* reverse registration order *)
   by_kcpu : (int, Vcpu.t) Hashtbl.t;
@@ -74,8 +75,14 @@ let transition t ~core ~cause st = Core_state.transition t.cs ~core ~cause st
 
 (* --- runnable queue ----------------------------------------------------- *)
 
+(* Degraded mode is static partitioning: data-plane cores stay data-plane,
+   so the placement entry points act as if the runqueue were empty. The
+   queue itself is preserved — re-arming picks the waiters straight up. *)
+let is_degraded t = Recovery.degraded t.recovery
+
 let rec pop_runnable t =
-  if Queue.is_empty t.runq then None
+  if is_degraded t then None
+  else if Queue.is_empty t.runq then None
   else
     let v = Queue.pop t.runq in
     Hashtbl.remove t.in_runq v.Vcpu.vid;
@@ -96,7 +103,8 @@ let mark_runnable t v =
   end
 
 let runnable_waiting t =
-  Queue.fold
+  (not (is_degraded t))
+  && Queue.fold
     (fun acc v ->
       acc
       ||
@@ -195,11 +203,12 @@ and on_dp_idle t dp =
 
 (* Work appeared for an unplaced vCPU: grab a parked core if one exists. *)
 and try_place_parked t v =
-  if (not (Vcpu.is_placed v)) && not (Hashtbl.mem t.borrowing v.Vcpu.vid) then begin
-    match find_parked_dp t with
-    | Some dp when try_place_on_dp t v dp -> ()
-    | Some _ | None -> mark_runnable t v
-  end
+  if (not (Vcpu.is_placed v)) && not (Hashtbl.mem t.borrowing v.Vcpu.vid) then
+    if is_degraded t then mark_runnable t v
+    else
+      match find_parked_dp t with
+      | Some dp when try_place_on_dp t v dp -> ()
+      | Some _ | None -> mark_runnable t v
 
 (* Tear [v] down from [core]; pollution and backed-time bookkeeping. The
    core's next owner is decided by the caller. *)
@@ -403,14 +412,20 @@ and borrow_cp_pcpu t v =
 and borrow_check t v cp_id =
   ignore
     (Sim.after t.sim t.config.Config.borrow_slice (fun () ->
-         let kc = kcpu_of t v in
-         let still_locked =
-           match Kernel.current kc with
-           | Some task -> Task.nonpreemptible task
-           | None -> false
-         in
-         if still_locked then borrow_check t v cp_id
-         else begin
+         if
+           (* The watchdog may have force-ended this borrow between two
+              checks; a stale timer must not end it a second time. *)
+           Hashtbl.mem t.borrowing v.Vcpu.vid
+           && v.Vcpu.placement = Vcpu.On_core cp_id
+         then
+           let kc = kcpu_of t v in
+           let still_locked =
+             match Kernel.current kc with
+             | Some task -> Task.nonpreemptible task
+             | None -> false
+           in
+           if still_locked then borrow_check t v cp_id
+           else begin
            (* End the borrow: thaw the pCPU. *)
            let occupancy = Sim.now t.sim - v.Vcpu.last_placed in
            v.Vcpu.total_backed <- v.Vcpu.total_backed + occupancy;
@@ -467,6 +482,106 @@ let on_cpu_idle t kcpu_id =
                    | Some v' when v' == v && not (has_work t v) ->
                        halt_exit t v core
                    | Some _ | None -> ())))
+
+(* --- hung-vCPU / stuck-lock-holder watchdog ------------------------------ *)
+
+let lockbound t v =
+  match Kernel.current (kcpu_of t v) with
+  | Some task -> Task.nonpreemptible task
+  | None -> false
+
+let overdue t v =
+  Sim.now t.sim - v.Vcpu.last_placed > t.config.Config.watchdog_bound
+
+(* A long-placed vCPU is only "hung" under eviction pressure: pending
+   data-plane work the normal eviction paths should have acted on, a
+   non-preemptible current task, or degraded mode reclaiming the core. A
+   vCPU computing on a genuinely idle core may keep it. *)
+let watchdog_pressure t v core =
+  (match Hashtbl.find_opt t.dps core with
+  | Some dp -> Dp_service.pending_work dp
+  | None -> false)
+  || lockbound t v || is_degraded t
+
+(* Rung 3 of the escalation: a borrow exceeded the watchdog bound — the
+   holder never left its lock context. Force the borrow to end: the vCPU
+   is suspended unbacked (counted as an unsafe suspension) and the CP pCPU
+   returns to the kernel. The guest task keeps its lock state and resumes
+   the next time the vCPU is placed — graceful degradation, not repair. *)
+let force_end_borrow t v cp_id =
+  let kc = kcpu_of t v in
+  let stuck_for = Sim.now t.sim - v.Vcpu.last_placed in
+  v.Vcpu.total_backed <- v.Vcpu.total_backed + stuck_for;
+  Kernel.set_backed t.kernel kc false;
+  Kernel.set_backing_core t.kernel kc None;
+  v.Vcpu.placement <- Vcpu.Unplaced;
+  Hashtbl.remove t.borrowing v.Vcpu.vid;
+  Hashtbl.remove t.borrowed_cores cp_id;
+  t.s_unsafe <- t.s_unsafe + 1;
+  count t "sched.unsafe_suspensions";
+  emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow "forced-end vid=%d cp=%d"
+    v.Vcpu.vid cp_id;
+  transition t ~core:cp_id ~cause:Core_state.Watchdog Core_state.Cp_dedicated;
+  Kernel.set_backed t.kernel (Kernel.cpu t.kernel cp_id) true;
+  mark_runnable t v;
+  Recovery.note t.recovery ~cls:"watchdog" ~action:"forced" ~latency:stuck_for
+
+let watchdog_check t =
+  (* Snapshot both maps: every action below mutates them. *)
+  let placed = Hashtbl.fold (fun core v acc -> (core, v) :: acc) t.placed [] in
+  List.iter
+    (fun (core, v) ->
+      if
+        overdue t v
+        && (not (Hashtbl.mem t.pending_place core))
+        && Core_state.get t.cs ~core = Core_state.Vcpu_running v.Vcpu.vid
+        && watchdog_pressure t v core
+      then begin
+        let stuck_for = Sim.now t.sim - v.Vcpu.last_placed in
+        (* Rung 1: plain reschedule. Rung 2: the holder is lock-bound, so
+           the eviction funnels into the §4.1 rescue (parked core or
+           borrowed CP pCPU). *)
+        let action =
+          if lockbound t v && t.config.Config.lock_safe_resched then "rescue"
+          else "resched"
+        in
+        evict_to_dp t v core ~cause:Core_state.Watchdog;
+        Recovery.note t.recovery ~cls:"watchdog" ~action ~latency:stuck_for
+      end)
+    placed;
+  let borrows = Hashtbl.fold (fun vid () acc -> vid :: acc) t.borrowing [] in
+  List.iter
+    (fun vid ->
+      match List.find_opt (fun v -> v.Vcpu.vid = vid) t.vcpu_list with
+      | None -> ()
+      | Some v -> (
+          match v.Vcpu.placement with
+          | Vcpu.On_core cp_id
+            when overdue t v
+                 && Core_state.get t.cs ~core:cp_id
+                    = Core_state.Vcpu_running vid ->
+              force_end_borrow t v cp_id
+          | Vcpu.On_core _ | Vcpu.Unplaced -> ()))
+    borrows
+
+let rec watchdog_loop t =
+  ignore
+    (Sim.after t.sim t.config.Config.watchdog_period (fun () ->
+         watchdog_check t;
+         watchdog_loop t))
+
+let watchdog_stuck t =
+  let stuck = ref 0 in
+  Hashtbl.iter
+    (fun core v -> if overdue t v && watchdog_pressure t v core then incr stuck)
+    t.placed;
+  Hashtbl.iter
+    (fun vid () ->
+      match List.find_opt (fun v -> v.Vcpu.vid = vid) t.vcpu_list with
+      | Some v when overdue t v -> incr stuck
+      | Some _ | None -> ())
+    t.borrowing;
+  !stuck
 
 (* --- construction --------------------------------------------------------- *)
 
@@ -573,7 +688,7 @@ let install_invariants t =
       done;
       List.rev !out)
 
-let create config machine kernel softirq sw table =
+let create config machine kernel softirq sw table recovery =
   let t =
     {
       config;
@@ -584,6 +699,7 @@ let create config machine kernel softirq sw table =
       softirq;
       sw;
       table;
+      recovery;
       pending_place = Hashtbl.create 16;
       vcpu_list = [];
       by_kcpu = Hashtbl.create 16;
@@ -609,6 +725,28 @@ let create config machine kernel softirq sw table =
   Kernel.set_work_available_hook kernel (fun kcpu_id -> on_work_available t kcpu_id);
   Kernel.set_cpu_idle_hook kernel (fun kcpu_id -> on_cpu_idle t kcpu_id);
   install_invariants t;
+  if config.Config.resilience then begin
+    (* Degraded mode = static partitioning: on engage, return every
+       co-scheduled data-plane core to its service. Lock-bound vCPUs are
+       left for the watchdog's rescue rung — lock safety trumps
+       partitioning. On re-arm, the preserved runqueue repopulates parked
+       cores immediately. *)
+    Recovery.on_engage recovery (fun () ->
+        let placed =
+          Hashtbl.fold (fun core v acc -> (core, v) :: acc) t.placed []
+        in
+        List.iter
+          (fun (core, v) ->
+            if
+              (not (Hashtbl.mem t.pending_place core))
+              && Core_state.get t.cs ~core = Core_state.Vcpu_running v.Vcpu.vid
+              && not (lockbound t v)
+            then evict_to_dp t v core ~cause:Core_state.Watchdog)
+          placed);
+    Recovery.on_rearm recovery (fun () ->
+        List.iter (fun v -> try_place_parked t v) t.vcpu_list);
+    watchdog_loop t
+  end;
   t
 
 (* Registration is O(1): the list is kept newest-first and reversed on

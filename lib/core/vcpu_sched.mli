@@ -36,10 +36,20 @@ val create :
   Softirq.t ->
   Sw_probe.t ->
   State_table.t ->
+  Recovery.t ->
   t
 (** Installs the kernel work-available and cpu-idle hooks. DP-to-CP
     context switches enter guest context through the dedicated softirq
-    (§4.1), registered per data-plane core by {!register_dp}. *)
+    (§4.1), registered per data-plane core by {!register_dp}.
+
+    With [config.resilience] the scheduler also arms the hung-vCPU
+    watchdog (scan every [watchdog_period]; a vCPU placed past
+    [watchdog_bound] under eviction pressure escalates reschedule →
+    lock-rescue → forced borrow eviction, one [recovery.watchdog.*]
+    counter per rung) and registers the degraded-mode callbacks: on
+    engage every non-lock-bound placement is returned to its data-plane
+    service and new placements stop; on re-arm the preserved runqueue
+    repopulates parked cores. *)
 
 val add_vcpu : t -> Vcpu.t -> unit
 val vcpus : t -> Vcpu.t list
@@ -57,6 +67,12 @@ val on_probe_irq : t -> core:int -> unit
     and restore the data-plane service. *)
 
 val placed_vcpu : t -> core:int -> Vcpu.t option
+
+val watchdog_stuck : t -> int
+(** Number of vCPUs currently hung past the watchdog bound (placed under
+    eviction pressure, or borrowing a CP pCPU, for longer than
+    [watchdog_bound]). The chaos oracle asserts this is 0 after the
+    post-injection grace period. *)
 
 val poke : t -> kcpu:int -> unit
 (** Awaken the vCPU backing kernel CPU [kcpu] if it has work — the

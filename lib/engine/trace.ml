@@ -31,6 +31,10 @@ module Cat = struct
   let probe_hw = "probe.hw"
   let probe_sw = "probe.sw"
 
+  let fault = "fault"
+  let recovery = "recovery"
+  let degraded = "degraded"
+
   let softirq = "softirq"
 
   let kernel_steal = "kernel.steal"

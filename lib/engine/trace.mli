@@ -47,6 +47,16 @@ module Cat : sig
   val probe_hw : string
   val probe_sw : string
 
+  val fault : string
+  (** An injected fault firing (payload names the fault class). *)
+
+  val recovery : string
+  (** A recovery mechanism acting: watchdog escalation, boot/IPI retry,
+      mirror resync. *)
+
+  val degraded : string
+  (** Degraded-mode engage/re-arm events of the system-wide fallback. *)
+
   val softirq : string
 
   val kernel_steal : string

@@ -1,0 +1,276 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_accel
+
+type profile = {
+  pname : string;
+  ipi_drop_p : float;
+  ipi_delay_p : float;
+  ipi_delay_max : Time_ns.t;
+  boot_drop_p : float;
+  boot_drop_max : int;
+  lapic_loss_p : float;
+  mirror_period : Time_ns.t;
+  mirror_stall : Time_ns.t;
+  mirror_corrupt_p : float;
+  probe_suppress_p : float;
+  probe_misfire_period : Time_ns.t;
+  cp_hang_period : Time_ns.t;
+  cp_hang_hold : Time_ns.t;
+  dp_burst_period : Time_ns.t;
+  dp_burst_size : int;
+}
+
+let none =
+  {
+    pname = "none";
+    ipi_drop_p = 0.;
+    ipi_delay_p = 0.;
+    ipi_delay_max = Time_ns.zero;
+    boot_drop_p = 0.;
+    boot_drop_max = 0;
+    lapic_loss_p = 0.;
+    mirror_period = Time_ns.zero;
+    mirror_stall = Time_ns.zero;
+    mirror_corrupt_p = 0.;
+    probe_suppress_p = 0.;
+    probe_misfire_period = Time_ns.zero;
+    cp_hang_period = Time_ns.zero;
+    cp_hang_hold = Time_ns.zero;
+    dp_burst_period = Time_ns.zero;
+    dp_burst_size = 0;
+  }
+
+let flaky =
+  {
+    pname = "flaky";
+    ipi_drop_p = 0.02;
+    ipi_delay_p = 0.05;
+    ipi_delay_max = Time_ns.us 5;
+    boot_drop_p = 0.25;
+    boot_drop_max = 4;
+    lapic_loss_p = 0.01;
+    mirror_period = Time_ns.us 500;
+    mirror_stall = Time_ns.us 100;
+    mirror_corrupt_p = 0.3;
+    probe_suppress_p = 0.05;
+    probe_misfire_period = Time_ns.us 400;
+    cp_hang_period = Time_ns.ms 2;
+    cp_hang_hold = Time_ns.us 300;
+    dp_burst_period = Time_ns.ms 1;
+    dp_burst_size = 256;
+  }
+
+let storm =
+  {
+    pname = "storm";
+    ipi_drop_p = 0.15;
+    ipi_delay_p = 0.2;
+    ipi_delay_max = Time_ns.us 50;
+    boot_drop_p = 0.5;
+    boot_drop_max = 8;
+    lapic_loss_p = 0.05;
+    mirror_period = Time_ns.us 100;
+    mirror_stall = Time_ns.us 300;
+    mirror_corrupt_p = 0.6;
+    probe_suppress_p = 0.2;
+    probe_misfire_period = Time_ns.us 150;
+    cp_hang_period = Time_ns.us 600;
+    cp_hang_hold = Time_ns.of_us_f 1500.;
+    dp_burst_period = Time_ns.us 400;
+    dp_burst_size = 512;
+  }
+
+let profiles = [ ("none", none); ("flaky", flaky); ("storm", storm) ]
+let of_name n = List.assoc_opt n profiles
+
+type t = {
+  machine : Machine.t;
+  profile : profile;
+  boot_vector : int;
+  (* One independent stream per fault class (see .mli). *)
+  ipi_rng : Rng.t;
+  boot_rng : Rng.t;
+  lapic_rng : Rng.t;
+  mirror_rng : Rng.t;
+  probe_rng : Rng.t;
+  cp_rng : Rng.t;
+  dp_rng : Rng.t;
+  mutable table : State_table.t option;
+  mutable probe_misfire : (core:int -> unit) option;
+  mutable cp_hang : (hold:Time_ns.t -> unit) option;
+  mutable dp_burst : (size:int -> unit) option;
+  mutable boot_dropped : int;
+  mutable until : Time_ns.t;
+  mutable stopped : bool;
+}
+
+let sim t = Machine.sim t.machine
+let counters t = Machine.counters t.machine
+
+let tracef t fmt =
+  Trace.emitf (Machine.trace t.machine)
+    ~time:(Sim.now (sim t))
+    ~category:Trace.Cat.fault fmt
+
+let fabric_fault t ~dst ~vector =
+  if t.stopped then Machine.Pass
+  else if vector = t.boot_vector then
+    (* Boot drops come out of a bounded budget so a retrying hotplug is
+       guaranteed to converge — unbounded 50% loss could (rarely but
+       measurably) outlast any finite retry schedule. *)
+    if
+      t.boot_dropped < t.profile.boot_drop_max
+      && Rng.bernoulli t.boot_rng ~p:t.profile.boot_drop_p
+    then begin
+      t.boot_dropped <- t.boot_dropped + 1;
+      Counters.incr (counters t) "fault.boot.dropped";
+      Machine.Drop
+    end
+    else Machine.Pass
+  else if Rng.bernoulli t.ipi_rng ~p:t.profile.ipi_drop_p then Machine.Drop
+  else if Rng.bernoulli t.ipi_rng ~p:t.profile.ipi_delay_p then
+    Machine.Delay
+      (Rng.int_range t.ipi_rng ~lo:1 ~hi:(max 1 t.profile.ipi_delay_max))
+  else (ignore dst; Machine.Pass)
+
+let create ~rng ~machine ~boot_vector profile =
+  let t =
+    {
+      machine;
+      profile;
+      boot_vector;
+      ipi_rng = Rng.split rng "fault.ipi";
+      boot_rng = Rng.split rng "fault.boot";
+      lapic_rng = Rng.split rng "fault.lapic";
+      mirror_rng = Rng.split rng "fault.mirror";
+      probe_rng = Rng.split rng "fault.probe";
+      cp_rng = Rng.split rng "fault.cp";
+      dp_rng = Rng.split rng "fault.dp";
+      table = None;
+      probe_misfire = None;
+      cp_hang = None;
+      dp_burst = None;
+      boot_dropped = 0;
+      until = max_int;
+      stopped = false;
+    }
+  in
+  Machine.set_fault_hook machine
+    (Some (fun ~dst ~vector -> fabric_fault t ~dst ~vector));
+  t
+
+let profile t = t.profile
+let attach_table t table = t.table <- Some table
+let set_probe_misfire t f = t.probe_misfire <- Some f
+let set_cp_hang t f = t.cp_hang <- Some f
+let set_dp_burst t f = t.dp_burst <- Some f
+let active t = not t.stopped
+
+let probe_suppress t ~core =
+  (not t.stopped)
+  && t.profile.probe_suppress_p > 0.
+  && Rng.bernoulli t.probe_rng ~p:t.profile.probe_suppress_p
+  &&
+  (Counters.incr (counters t) "fault.probe.suppressed";
+   tracef t "probe suppress core=%d" core;
+   true)
+
+(* Each periodic stream reschedules itself with a per-class jitter draw so
+   streams never phase-lock; the self-reschedule stops once the horizon
+   passes, which keeps the post-[until] grace window fault-free. *)
+let rec periodic t rng period f =
+  if period > 0 then begin
+    let jitter = Rng.int_range rng ~lo:0 ~hi:(max 1 (period / 4)) in
+    ignore
+      (Sim.after (sim t) (period + jitter) (fun () ->
+           if (not t.stopped) && Sim.now (sim t) < t.until then begin
+             f ();
+             periodic t rng period f
+           end))
+  end
+
+let mirror_fault t =
+  match t.table with
+  | None -> ()
+  | Some table ->
+      let core = Rng.int t.mirror_rng (Machine.physical_cores t.machine) in
+      if Rng.bernoulli t.mirror_rng ~p:t.profile.mirror_corrupt_p then begin
+        let wrong =
+          match State_table.get table ~core with
+          | State_table.P_state -> State_table.V_state
+          | State_table.V_state -> State_table.P_state
+        in
+        State_table.force table ~core wrong;
+        State_table.freeze table ~core;
+        Counters.incr (counters t) "fault.mirror.corruptions";
+        tracef t "mirror corrupt core=%d now=%s" core
+          (State_table.state_name wrong)
+      end
+      else begin
+        State_table.freeze table ~core;
+        Counters.incr (counters t) "fault.mirror.stalls";
+        tracef t "mirror stall core=%d" core
+      end;
+      (* Thaw later; a corrupted record stays wrong after the thaw until
+         the scheduler writes it again or the resync detector forces it. *)
+      ignore
+        (Sim.after (sim t) t.profile.mirror_stall (fun () ->
+             State_table.thaw table ~core))
+
+let probe_misfire_fault t =
+  match t.probe_misfire with
+  | None -> ()
+  | Some f ->
+      let core = Rng.int t.probe_rng (Machine.physical_cores t.machine) in
+      Counters.incr (counters t) "fault.probe.misfires";
+      tracef t "probe misfire core=%d" core;
+      f ~core
+
+let cp_hang_fault t =
+  match t.cp_hang with
+  | None -> ()
+  | Some f ->
+      Counters.incr (counters t) "fault.cp.hangs";
+      tracef t "cp hang hold=%d" t.profile.cp_hang_hold;
+      f ~hold:t.profile.cp_hang_hold
+
+let dp_burst_fault t =
+  match t.dp_burst with
+  | None -> ()
+  | Some f ->
+      Counters.incr (counters t) "fault.dp.bursts";
+      tracef t "dp burst size=%d" t.profile.dp_burst_size;
+      f ~size:t.profile.dp_burst_size
+
+let stop t =
+  t.stopped <- true;
+  Machine.iter_lapics t.machine (fun lapic -> Lapic.set_loss_filter lapic None);
+  (match t.table with
+  | None -> ()
+  | Some table ->
+      for core = 0 to Machine.physical_cores t.machine - 1 do
+        State_table.thaw table ~core
+      done);
+  tracef t "injector stopped"
+
+let arm t ~until =
+  t.until <- until;
+  if t.profile.lapic_loss_p > 0. then
+    Machine.iter_lapics t.machine (fun lapic ->
+        Lapic.set_loss_filter lapic
+          (Some
+             (fun v ->
+               (not t.stopped)
+               && v <> t.boot_vector
+               && Rng.bernoulli t.lapic_rng ~p:t.profile.lapic_loss_p
+               &&
+               (Counters.incr (counters t) "fault.lapic.lost";
+                tracef t "lapic loss apic=%d vec=%d" (Lapic.apic_id lapic) v;
+                true))));
+  periodic t t.mirror_rng t.profile.mirror_period (fun () -> mirror_fault t);
+  periodic t t.probe_rng t.profile.probe_misfire_period (fun () ->
+      probe_misfire_fault t);
+  periodic t t.cp_rng t.profile.cp_hang_period (fun () -> cp_hang_fault t);
+  periodic t t.dp_rng t.profile.dp_burst_period (fun () -> dp_burst_fault t);
+  ignore (Sim.at (sim t) until (fun () -> stop t))

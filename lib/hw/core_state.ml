@@ -25,6 +25,7 @@ type cause =
   | Drain
   | Resume
   | Lend
+  | Watchdog
 
 type event = {
   core : int;
@@ -112,6 +113,7 @@ let cause_label = function
   | Drain -> "drain"
   | Resume -> "resume"
   | Lend -> "lend"
+  | Watchdog -> "watchdog"
 
 (* The legality matrix (DESIGN.md §8). Any state may go [Offline]
    (hot-unplug); everything else follows the paper's switch discipline:

@@ -55,6 +55,7 @@ type cause =
   | Drain  (** service drained its ring and resumed counting *)
   | Resume  (** yielded service got its core back *)
   | Lend  (** kernel lent the idle core to CP work (co-schedule) *)
+  | Watchdog  (** hung-vCPU / stuck-borrow watchdog forced the change *)
 
 type event = {
   core : int;

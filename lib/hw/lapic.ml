@@ -7,6 +7,8 @@ type t = {
   mutable masked : bool;
   mutable delivered : int;
   mutable spurious : int;
+  mutable loss_filter : (vector -> bool) option;
+  mutable lost : int;
 }
 
 let create ~apic_id =
@@ -17,6 +19,8 @@ let create ~apic_id =
     masked = false;
     delivered = 0;
     spurious = 0;
+    loss_filter = None;
+    lost = 0;
   }
 
 let apic_id t = t.apic_id
@@ -30,7 +34,17 @@ let deliver t v =
       f ()
   | None -> t.spurious <- t.spurious + 1
 
-let inject t v = if t.masked then Queue.push v t.pending else deliver t v
+(* The loss filter models a vector evaporating at the controller itself —
+   after fabric delivery, before masking — so even a queued-while-masked
+   vector can be lost, which is the adversarial case for the probe path. *)
+let inject t v =
+  let lose = match t.loss_filter with None -> false | Some f -> f v in
+  if lose then t.lost <- t.lost + 1
+  else if t.masked then Queue.push v t.pending
+  else deliver t v
+
+let set_loss_filter t f = t.loss_filter <- f
+let lost_count t = t.lost
 
 let masked t = t.masked
 

@@ -28,6 +28,15 @@ val masked : t -> bool
 val set_masked : t -> bool -> unit
 (** [set_masked t false] drains pending vectors in arrival order. *)
 
+val set_loss_filter : t -> (vector -> bool) option -> unit
+(** [set_loss_filter t f] installs (or removes) a fault-injection predicate
+    consulted on every {!inject}: when [f v] is [true] the vector is lost —
+    neither delivered nor queued — and counted in {!lost_count}. [None]
+    (the default) loses nothing. *)
+
 val pending_count : t -> int
 val delivered_count : t -> int
 val spurious_count : t -> int
+
+val lost_count : t -> int
+(** Vectors discarded by the loss filter since creation. *)

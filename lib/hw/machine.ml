@@ -6,6 +6,8 @@ let default_config = { physical_cores = 12; ipi_latency = Time_ns.ns 500 }
 
 type route = Deliver | Consumed
 
+type fault = Pass | Drop | Delay of Time_ns.t
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -16,8 +18,11 @@ type t = {
   core_state : Core_state.t;
   lapics : (int, Lapic.t) Hashtbl.t;
   mutable interceptor : (src:int -> dst:int -> vector:Lapic.vector -> route) option;
+  mutable fault_hook : (dst:int -> vector:Lapic.vector -> fault) option;
   mutable sent : int;
   mutable dropped : int;
+  mutable fault_dropped : int;
+  mutable fault_delayed : int;
 }
 
 let create ?(config = default_config) ?trace sim =
@@ -57,8 +62,11 @@ let create ?(config = default_config) ?trace sim =
     core_state;
     lapics = Hashtbl.create 32;
     interceptor = None;
+    fault_hook = None;
     sent = 0;
     dropped = 0;
+    fault_dropped = 0;
+    fault_delayed = 0;
   }
 
 let sim t = t.sim
@@ -80,12 +88,39 @@ let lapic t ~apic_id = Hashtbl.find t.lapics apic_id
 let lapic_opt t ~apic_id = Hashtbl.find_opt t.lapics apic_id
 
 let set_ipi_interceptor t hook = t.interceptor <- hook
+let set_fault_hook t hook = t.fault_hook <- hook
+let fault_injection_active t = t.fault_hook <> None
+let iter_lapics t f = Hashtbl.iter (fun _ lapic -> f lapic) t.lapics
 
+(* The fabric fault hook sits between routing and delivery: the send (and
+   any interceptor bookkeeping) already happened, so a [Drop] models the
+   message dying in the interconnect and a [Delay] models congestion —
+   exactly the window the recovery timers in the orchestrator guard. *)
 let deliver_raw t ~dst ~vector =
   match Hashtbl.find_opt t.lapics dst with
-  | Some lapic ->
-      ignore
-        (Sim.after t.sim t.config.ipi_latency (fun () -> Lapic.inject lapic vector))
+  | Some lapic -> (
+      let deliver_after extra =
+        ignore
+          (Sim.after t.sim
+             (t.config.ipi_latency + extra)
+             (fun () -> Lapic.inject lapic vector))
+      in
+      match t.fault_hook with
+      | None -> deliver_after 0
+      | Some hook -> (
+          match hook ~dst ~vector with
+          | Pass -> deliver_after 0
+          | Drop ->
+              t.fault_dropped <- t.fault_dropped + 1;
+              Counters.incr t.counters "fault.ipi.dropped";
+              Trace.emitf t.trace ~time:(Sim.now t.sim) ~category:Trace.Cat.fault
+                "ipi drop dst=%d vec=%d" dst vector
+          | Delay extra ->
+              t.fault_delayed <- t.fault_delayed + 1;
+              Counters.incr t.counters "fault.ipi.delayed";
+              Trace.emitf t.trace ~time:(Sim.now t.sim) ~category:Trace.Cat.fault
+                "ipi delay dst=%d vec=%d extra=%d" dst vector extra;
+              deliver_after extra))
   | None -> t.dropped <- t.dropped + 1
 
 let send_ipi t ~src ~dst ~vector =
@@ -99,3 +134,5 @@ let send_ipi t ~src ~dst ~vector =
 
 let ipis_sent t = t.sent
 let ipis_dropped t = t.dropped
+let ipis_fault_dropped t = t.fault_dropped
+let ipis_fault_delayed t = t.fault_delayed

@@ -61,6 +61,28 @@ val set_ipi_interceptor :
 (** Installs (or removes) the hook consulted on the send side of every IPI
     before fabric delivery. *)
 
+type fault = Pass | Drop | Delay of Time_ns.t
+(** Fabric fault verdict for one in-flight IPI: [Pass] delivers normally,
+    [Drop] loses the message in the interconnect (counted as
+    [fault.ipi.dropped]), [Delay d] adds [d] on top of the configured
+    fabric latency (counted as [fault.ipi.delayed]). *)
+
+val set_fault_hook :
+  t -> (dst:int -> vector:Lapic.vector -> fault) option -> unit
+(** Installs (or removes) the fault-injection hook consulted on the
+    delivery side of every routed IPI, after the interceptor. [None]
+    (the default) leaves the fabric fault-free and adds no per-IPI cost
+    beyond one branch. *)
+
+val fault_injection_active : t -> bool
+(** Whether a fabric fault hook is currently installed. Recovery timers
+    that would otherwise perturb deterministic happy-path runs key off
+    this. *)
+
+val iter_lapics : t -> (Lapic.t -> unit) -> unit
+(** [iter_lapics t f] applies [f] to every registered LAPIC (arbitrary
+    order). *)
+
 val send_ipi : t -> src:int -> dst:int -> vector:Lapic.vector -> unit
 (** [send_ipi t ~src ~dst ~vector] consults the interceptor, then delivers
     to the destination LAPIC after the configured fabric latency. An IPI to
@@ -68,3 +90,9 @@ val send_ipi : t -> src:int -> dst:int -> vector:Lapic.vector -> unit
 
 val ipis_sent : t -> int
 val ipis_dropped : t -> int
+
+val ipis_fault_dropped : t -> int
+(** IPIs lost to the injected-fault hook (distinct from {!ipis_dropped},
+    which counts sends to unregistered destinations). *)
+
+val ipis_fault_delayed : t -> int

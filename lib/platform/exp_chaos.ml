@@ -1,0 +1,187 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_accel
+open Taichi_core
+open Taichi_faults
+open Taichi_workloads
+
+(* The CI jobs pin one profile per matrix cell through the environment;
+   the CLI flag overrides either way. *)
+let profile_filter = ref (Sys.getenv_opt "CHAOS_PROFILE")
+let set_profile_filter f = profile_filter := f
+
+(* A control-plane task that grabs a device lock and sits in a
+   non-preemptible kernel routine for [hold] — the §3.2 pathology the
+   CP-hang stream injects on demand. *)
+let hang_task ~lock ~hold ~n =
+  let stage = ref 0 in
+  Task.create
+    ~name:(Printf.sprintf "chaos-hang-%d" n)
+    ~step:(fun _ ->
+      let s = !stage in
+      incr stage;
+      match s with
+      | 0 -> Task.Acquire lock
+      | 1 -> Task.Run { duration = hold; mode = Task.Kernel_nonpreemptible }
+      | 2 -> Task.Release lock
+      | _ -> Task.Exit)
+    ()
+
+(* Per-fault-class report rows: which injection counters feed the class
+   and which recovery counters answer it. "Detected" is the detector
+   firing (a retry timer, the resync scan, a watchdog rung); "recovered"
+   the repair actions taken. For IPI/boot/mirror the detector IS the
+   repair, so the two columns read the same counters. *)
+let classes =
+  [
+    ( "ipi",
+      [ "fault.ipi.dropped"; "fault.ipi.delayed"; "fault.lapic.lost" ],
+      [ "recovery.ipi.retry" ],
+      [ "recovery.ipi.retry" ] );
+    ( "boot",
+      [ "fault.boot.dropped" ],
+      [ "recovery.boot.retry" ],
+      [ "recovery.boot.retry" ] );
+    ( "mirror",
+      [ "fault.mirror.stalls"; "fault.mirror.corruptions" ],
+      [ "recovery.mirror.resync" ],
+      [ "recovery.mirror.resync" ] );
+    ( "probe",
+      [ "fault.probe.suppressed"; "fault.probe.misfires" ],
+      [ "recovery.watchdog.resched" ],
+      [ "recovery.watchdog.resched" ] );
+    ( "cp-hang",
+      [ "fault.cp.hangs" ],
+      [ "recovery.watchdog.rescue"; "recovery.watchdog.forced" ],
+      [ "recovery.watchdog.rescue"; "recovery.watchdog.forced" ] );
+    ( "dp-burst",
+      [ "fault.dp.bursts" ],
+      [ "probe.hw.triggers" ],
+      [ "sched.evictions.probe" ] );
+  ]
+
+let sum counters names =
+  List.fold_left (fun acc n -> acc + Counters.get counters n) 0 names
+
+let report_scenario sys tc =
+  let counters = Machine.counters (System.machine sys) in
+  Printf.printf "  %-10s %9s %9s %9s\n" "class" "injected" "detected"
+    "recovered";
+  List.iter
+    (fun (cls, injected, detected, recovered) ->
+      Printf.printf "  %-10s %9d %9d %9d\n" cls (sum counters injected)
+        (sum counters detected) (sum counters recovered))
+    classes;
+  let rcv = Taichi.recovery tc in
+  let hist = Recovery.latency_hist rcv in
+  if Histogram.count hist > 0 then
+    Printf.printf
+      "  recovery latency: n=%d p50=%.1fus p99=%.1fus max=%.1fus\n"
+      (Histogram.count hist)
+      (float_of_int (Histogram.percentile hist 50.0) /. 1000.0)
+      (float_of_int (Histogram.percentile hist 99.0) /. 1000.0)
+      (float_of_int (Histogram.max_value hist) /. 1000.0);
+  Printf.printf "  degraded: engaged=%d rearmed=%d (events=%d)\n"
+    (Recovery.engaged_count rcv)
+    (Recovery.rearmed_count rcv)
+    (Recovery.events rcv)
+
+let run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed =
+  let pname = profile.Injector.pname in
+  Printf.printf "\n-- profile %s x policy %s (seed %d)\n" pname
+    (Policy.name policy) seed;
+  let injector = ref None in
+  let prepare machine =
+    let rng = Rng.split (Rng.create ~seed) ("chaos-" ^ pname) in
+    let inj =
+      Injector.create ~rng ~machine
+        ~boot_vector:Kernel.default_config.Kernel.boot_vector profile
+    in
+    injector := Some inj
+  in
+  Exp_common.with_system ~prepare ~seed policy (fun sys ->
+      let inj = Option.get !injector in
+      let tc = Option.get (System.taichi sys) in
+      let sim = System.sim sys in
+      (* Wire the fault classes that need stack or workload cooperation. *)
+      Injector.attach_table inj (Taichi.state_table tc);
+      let probe = Taichi.hw_probe tc in
+      Hw_probe.set_suppressor probe
+        (Some (fun ~core -> Injector.probe_suppress inj ~core));
+      Injector.set_probe_misfire inj (fun ~core -> Hw_probe.misfire probe ~core);
+      let hang_lock = Task.spinlock "chaos-dev" in
+      let hangs = ref 0 in
+      Injector.set_cp_hang inj (fun ~hold ->
+          incr hangs;
+          System.spawn_cp sys (hang_task ~lock:hang_lock ~hold ~n:!hangs));
+      let client = System.client sys in
+      let dp_cores = Array.of_list (System.dp_cores sys) in
+      let burst_rng = Rng.split (System.rng sys) "chaos-burst" in
+      Injector.set_dp_burst inj (fun ~size ->
+          for _ = 1 to size do
+            let core = dp_cores.(Rng.int burst_rng (Array.length dp_cores)) in
+            Client.submit_background client ~kind:Packet.Net_rx ~size:1400
+              ~core
+          done);
+      (* Measurement window: faults live for [dur], then a fault-free
+         grace long enough for the watchdog, the mirror resync scan and
+         the degraded-mode quiet period to finish their work. *)
+      let dur = Exp_common.scaled scale (Time_ns.ms 40) in
+      let grace = Time_ns.ms 8 in
+      let until = Sim.now sim + dur in
+      Injector.arm inj ~until;
+      Exp_common.start_bg_dp sys ~target:0.55 ~until;
+      Exp_common.start_bg_cp sys;
+      Exp_common.start_cp_churn sys ~period:(Time_ns.us 400)
+        ~work:(Time_ns.us 150) ~until;
+      System.advance sys (dur + grace);
+      (* Oracles beyond the with_system audit. *)
+      let stuck = Vcpu_sched.watchdog_stuck (Taichi.scheduler tc) in
+      if stuck > 0 then
+        failwith
+          (Printf.sprintf
+             "chaos %s/%s seed %d: %d vCPU(s) still hung past the watchdog \
+              bound"
+             pname (Policy.name policy) seed stuck);
+      let rcv = Taichi.recovery tc in
+      engaged := !engaged + Recovery.engaged_count rcv;
+      rearmed := !rearmed + Recovery.rearmed_count rcv;
+      report_scenario sys tc)
+
+let chaos ~seed ~scale =
+  Exp_common.banner
+    "CHAOS: seeded fault matrix x resilient Tai Chi (audit + watchdog oracles)";
+  let profiles =
+    match !profile_filter with
+    | None -> [ Injector.flaky; Injector.storm ]
+    | Some n -> (
+        match Injector.of_name n with
+        | Some p -> [ p ]
+        | None -> failwith (Printf.sprintf "chaos: unknown fault profile %s" n))
+  in
+  let policies =
+    [
+      Policy.Taichi (Config.resilient Config.default);
+      Policy.Taichi (Config.resilient (Config.no_hw_probe Config.default));
+    ]
+  in
+  let engaged = ref 0 and rearmed = ref 0 in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun policy ->
+          run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed)
+        policies)
+    profiles;
+  Printf.printf "\nmatrix total: degraded engaged=%d rearmed=%d\n" !engaged
+    !rearmed;
+  (* The storm profile is calibrated to push the recovery-event rate over
+     the degraded threshold; when it ran, the fallback must have both
+     engaged and re-armed somewhere in the matrix. *)
+  if List.exists (fun p -> p.Injector.pname = "storm") profiles then begin
+    if !engaged = 0 then
+      failwith "chaos: degraded mode never engaged under the storm profile";
+    if !rearmed = 0 then
+      failwith "chaos: degraded mode engaged but never re-armed"
+  end

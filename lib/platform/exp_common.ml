@@ -36,21 +36,54 @@ let harvest_run ~seed sys =
   in
   collected := run :: !collected
 
-let with_system ?layout ~seed policy f =
-  let sys = System.create ~seed ?layout policy in
+(* --- post-run audit ------------------------------------------------------ *)
+
+(* By default an audit violation aborts the process (the behaviour tests
+   and the bench harness rely on). The CLI instead switches to collect
+   mode so it can run several experiments, report every failure and exit
+   with a distinct status code. *)
+
+type audit_failure = { experiment : string; seed : int; violations : string list }
+
+let audit_collect = ref false
+let audit_failed : audit_failure list ref = ref []
+
+let set_audit_collect on = audit_collect := on
+let reset_audit_failures () = audit_failed := []
+let audit_failures () = List.rev !audit_failed
+
+let check_audit ~seed sys =
+  let illegal =
+    Counters.get (Machine.counters (System.machine sys)) "core_state.illegal"
+  in
+  let violations =
+    System.audit sys
+    @
+    if illegal > 0 then
+      [ Printf.sprintf "core_state.illegal counter is %d" illegal ]
+    else []
+  in
+  match violations with
+  | [] -> ()
+  | violations ->
+      if !audit_collect then
+        audit_failed :=
+          { experiment = !experiment_name; seed; violations } :: !audit_failed
+      else
+        failwith
+          (Printf.sprintf "Core_state.audit failed after %s (seed %d): %s"
+             !experiment_name seed
+             (String.concat "; " violations))
+
+let with_system ?layout ?prepare ~seed policy f =
+  let sys = System.create ~seed ?layout ?prepare policy in
   if !tracing then Trace.set_enabled (Machine.trace (System.machine sys)) true;
   System.warmup sys;
   let result = f sys in
   (* Every experiment run ends with a machine-wide coherence check: the
      authoritative core states, the kernel's backing view, the scheduler's
      placement maps and the accelerator mirror must all agree. *)
-  (match System.audit sys with
-  | [] -> ()
-  | violations ->
-      failwith
-        (Printf.sprintf "Core_state.audit failed after %s (seed %d): %s"
-           !experiment_name seed
-           (String.concat "; " violations)));
+  check_audit ~seed sys;
   if !tracing then harvest_run ~seed sys;
   result
 

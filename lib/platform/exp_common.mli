@@ -7,10 +7,35 @@ val scaled : float -> Time_ns.t -> Time_ns.t
 (** [scaled s d] shrinks duration [d] by scale [s], floored at 10 ms. *)
 
 val with_system :
-  ?layout:System.layout -> seed:int -> Policy.t -> (System.t -> 'a) -> 'a
+  ?layout:System.layout ->
+  ?prepare:(Taichi_hw.Machine.t -> unit) ->
+  seed:int ->
+  Policy.t ->
+  (System.t -> 'a) ->
+  'a
 (** Create, warm up, run the body. When tracing is on (see {!set_tracing})
     the machine trace is enabled before warmup and an {!Taichi_metrics.Export.run}
-    snapshot is harvested after the body returns. *)
+    snapshot is harvested after the body returns. [prepare] is forwarded
+    to {!System.create}. After the body, the machine-wide audit runs: a
+    violation (or a non-zero [core_state.illegal] counter) either aborts
+    the run or, in collect mode, is recorded for the CLI to report. *)
+
+type audit_failure = {
+  experiment : string;
+  seed : int;
+  violations : string list;
+}
+
+val set_audit_collect : bool -> unit
+(** In collect mode (used by the CLI), post-run audit violations are
+    accumulated instead of raising, so a batch of experiments completes
+    and the process can exit with a distinct non-zero status. Default:
+    off — violations raise [Failure]. *)
+
+val reset_audit_failures : unit -> unit
+
+val audit_failures : unit -> audit_failure list
+(** Failures collected since the last reset, in completion order. *)
 
 val set_tracing : bool -> unit
 (** Globally enable trace collection for every system subsequently built

@@ -17,4 +17,5 @@ let all =
     ("table2", Exp_compare.table2);
     ("sec8", Exp_dp.sec8);
     ("ablations", Exp_ablations.ablations);
+    ("chaos", Exp_chaos.chaos);
   ]

@@ -29,12 +29,16 @@ type t = {
 
 let range lo n = List.init n (fun i -> lo + i)
 
-let create ?(seed = 42) ?(layout = default_layout) policy =
+let create ?(seed = 42) ?(layout = default_layout) ?prepare policy =
   let sim = Sim.create () in
   let total = layout.n_net + layout.n_storage + layout.n_cp in
   let machine =
     Machine.create ~config:{ Machine.default_config with physical_cores = total } sim
   in
+  (* The prepare hook runs before the kernel or any scheduler exists, so a
+     fault injector installed here already covers the vCPU hotplug boot
+     IPIs issued during system assembly and warm-up. *)
+  (match prepare with Some f -> f machine | None -> ());
   let kernel = Kernel.create machine in
   let pipeline = Pipeline.create sim in
   let rng = Rng.create ~seed in
@@ -174,7 +178,14 @@ let advance t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
 let warmup t =
   (match t.taichi with
   | Some tc ->
-      let deadline = Sim.now t.sim + Time_ns.ms 100 in
+      (* Boot IPIs can be dropped under fault injection; the boot watchdog
+         re-issues them with backoff, so give a resilient system a longer
+         leash before declaring the hotplug failed. *)
+      let budget =
+        if (Taichi.config tc).Config.resilience then Time_ns.ms 500
+        else Time_ns.ms 100
+      in
+      let deadline = Sim.now t.sim + budget in
       while (not (Taichi.ready tc)) && Sim.now t.sim < deadline do
         advance t (Time_ns.ms 1)
       done;

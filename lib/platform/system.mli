@@ -26,9 +26,13 @@ val default_layout : layout
 
 type t
 
-val create : ?seed:int -> ?layout:layout -> Policy.t -> t
+val create :
+  ?seed:int -> ?layout:layout -> ?prepare:(Machine.t -> unit) -> Policy.t -> t
 (** Build the system. For Tai Chi policies, vCPUs still need their hotplug
-    boot: call {!warmup}. *)
+    boot: call {!warmup}. [prepare] runs right after the machine is
+    assembled and before the kernel, services or scheduler exist — the
+    chaos harness uses it to install a fault injector that must already
+    cover the boot IPIs. *)
 
 val warmup : t -> unit
 (** Advance simulated time until the policy's infrastructure is ready

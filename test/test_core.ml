@@ -322,6 +322,90 @@ let test_lock_holder_rescued () =
   (* Forward progress: the holder kept executing critical sections. *)
   checkb "holder progressed" true (t.Task.cpu_time > Time_ns.ms 10)
 
+(* The §4.1 fallback ladder: when every data-plane core is busy, a rescued
+   lock holder cannot migrate DP-to-DP and must borrow a dedicated CP
+   pCPU instead. *)
+let test_rescue_borrows_cp_pcpu_when_dp_busy () =
+  let sys = taichi_system ~seed:9 () in
+  let tc = get_taichi sys in
+  let lock = Task.spinlock "drv2" in
+  let holder =
+    Task.create ~name:"holder"
+      ~step:
+        (Taichi_os.Program.to_step
+           [
+             Taichi_os.Program.Forever
+               (Taichi_os.Program.critical_section lock
+                  [ Taichi_os.Program.kernel_routine (Time_ns.ms 3) ]);
+           ])
+      ()
+  in
+  holder.Task.affinity <-
+    List.map (fun v -> v.Taichi_virt.Vcpu.kcpu) (Taichi.vcpus tc);
+  System.spawn_cp sys holder;
+  System.advance sys (Time_ns.ms 5);
+  (* Saturate every data-plane core so no parked core exists; the packet
+     backlog also keeps evicting whichever core hosts the holder. *)
+  for _ = 1 to 12 do
+    List.iter
+      (fun core ->
+        for _ = 1 to 8 do
+          Client.submit_background (System.client sys) ~kind:Packet.Net_rx
+            ~size:1400 ~core
+        done)
+      (System.dp_cores sys);
+    System.advance sys (Time_ns.ms 2)
+  done;
+  let s = Vcpu_sched.stats (Taichi.scheduler tc) in
+  checkb "rescues happened" true (s.Vcpu_sched.lock_rescues > 0);
+  checkb "borrowed a dedicated CP pCPU" true (s.Vcpu_sched.borrows > 0);
+  checki "no unsafe suspensions" 0 s.Vcpu_sched.unsafe_suspensions;
+  (* Forward progress despite the busy data plane. *)
+  checkb "holder progressed" true (holder.Task.cpu_time > Time_ns.ms 8)
+
+(* A holder that never releases its lock exhausts the rescue ladder: the
+   watchdog's last rung forcibly ends the CP borrow (one counted unsafe
+   suspension) rather than letting the borrowed core wedge forever. *)
+let test_watchdog_escalates_never_releasing_holder () =
+  let sys =
+    taichi_system ~config:(Config.resilient Config.default) ~seed:10 ()
+  in
+  let tc = get_taichi sys in
+  let lock = Task.spinlock "wedged" in
+  let stage = ref 0 in
+  let holder =
+    Task.create ~name:"wedged"
+      ~step:(fun _ ->
+        let s = !stage in
+        incr stage;
+        if s = 0 then Task.Acquire lock
+        else
+          Task.Run
+            { duration = Time_ns.ms 50; mode = Task.Kernel_nonpreemptible })
+      ()
+  in
+  holder.Task.affinity <-
+    List.map (fun v -> v.Taichi_virt.Vcpu.kcpu) (Taichi.vcpus tc);
+  System.spawn_cp sys holder;
+  System.advance sys (Time_ns.ms 5);
+  for _ = 1 to 15 do
+    List.iter
+      (fun core ->
+        for _ = 1 to 8 do
+          Client.submit_background (System.client sys) ~kind:Packet.Net_rx
+            ~size:1400 ~core
+        done)
+      (System.dp_cores sys);
+    System.advance sys (Time_ns.ms 2)
+  done;
+  let c = Counters.dump (Taichi_hw.Machine.counters (System.machine sys)) in
+  let get name = try List.assoc name c with Not_found -> 0 in
+  checkb "watchdog forced the borrow to end" true
+    (get "recovery.watchdog.forced" > 0);
+  let s = Vcpu_sched.stats (Taichi.scheduler tc) in
+  checkb "forced end counted as unsafe suspension" true
+    (s.Vcpu_sched.unsafe_suspensions > 0)
+
 let suite =
   [
     ("config ablations", `Quick, test_config_ablations);
@@ -338,4 +422,10 @@ let suite =
     ("orchestrator routes and counts", `Quick, test_orchestrator_routes_and_counts);
     ("orchestrator wakes sleeping vcpu", `Quick, test_orchestrator_wakes_sleeping_vcpu);
     ("lock holder rescued", `Quick, test_lock_holder_rescued);
+    ( "rescue borrows CP pCPU when DP busy",
+      `Quick,
+      test_rescue_borrows_cp_pcpu_when_dp_busy );
+    ( "watchdog escalates never-releasing holder",
+      `Quick,
+      test_watchdog_escalates_never_releasing_holder );
   ]

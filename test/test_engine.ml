@@ -60,6 +60,51 @@ let prop_heap_sorted =
       let popped = List.rev (drain []) in
       popped = List.sort compare keys)
 
+(* Cancellation is modelled the way [Sim] uses the heap: dead elements
+   stay as tombstones until a [compact] sweeps them. Two rounds of
+   insert / cancel / compact must leave exactly the live elements, popped
+   in (key, seq) order — i.e. compaction preserves both the live-event
+   set and the deterministic FIFO tie-break. *)
+let prop_heap_compact_live_set =
+  QCheck.Test.make ~name:"heap compact preserves live set and order"
+    ~count:200
+    QCheck.(
+      pair
+        (small_list (pair small_int bool))
+        (small_list (pair small_int bool)))
+    (fun (round1, round2) ->
+      let h = Pheap.create () in
+      let seq = ref 0 in
+      let push_round ops =
+        List.map
+          (fun (key, alive) ->
+            let s = !seq in
+            incr seq;
+            Pheap.push h ~key ~seq:s (s, alive);
+            (key, s, alive))
+          ops
+      in
+      let keep (_, alive) = alive in
+      let r1 = push_round round1 in
+      Pheap.compact h ~keep;
+      let r2 = push_round round2 in
+      Pheap.compact h ~keep;
+      let expected =
+        List.filter (fun (_, _, alive) -> alive) (r1 @ r2)
+        |> List.map (fun (key, s, _) -> (key, s))
+        |> List.sort compare
+      in
+      let rec drain acc =
+        match Pheap.pop h with
+        | Some (k, s, (s', alive)) ->
+            if s <> s' || not alive then raise Exit;
+            drain ((k, s) :: acc)
+        | None -> List.rev acc
+      in
+      match drain [] with
+      | popped -> popped = expected
+      | exception Exit -> false)
+
 (* --- Sim -------------------------------------------------------------------- *)
 
 let test_sim_ordering () =
@@ -469,6 +514,7 @@ let suite =
     ("counters registry", `Quick, test_counters);
     ("stats clear", `Quick, test_stats_clear);
     QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_compact_live_set;
     QCheck_alcotest.to_alcotest prop_rng_int_range;
     QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
     QCheck_alcotest.to_alcotest prop_histogram_mean_exact;
