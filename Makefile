@@ -12,7 +12,9 @@ test: build
 # small traced bench run whose JSON export must parse and satisfy the
 # occupancy invariant (trace_lint exits non-zero otherwise), then a short
 # chaos run — the seeded fault matrix with the Core_state audit, the
-# hung-vCPU watchdog oracle and trace_lint as pass/fail gates.
+# hung-vCPU watchdog oracle and trace_lint as pass/fail gates — then the
+# overload storm, whose export additionally exercises trace_lint's ladder
+# checks (transition sequence, one rung at a time, minimum dwell).
 smoke: test
 	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_TRACE_JSON=_build/smoke-trace.json \
 		dune exec bench/main.exe
@@ -20,6 +22,9 @@ smoke: test
 	dune exec bin/taichi_sim.exe -- chaos --seed 42 --scale 0.1 \
 		--trace-json _build/chaos-trace.json
 	dune exec bin/trace_lint.exe -- _build/chaos-trace.json
+	dune exec bin/taichi_sim.exe -- overload --seed 42 --scale 0.25 \
+		--trace-json _build/overload-trace.json
+	dune exec bin/trace_lint.exe -- _build/overload-trace.json
 
 ci: smoke
 

@@ -107,6 +107,19 @@ let bench_dist () =
   Bechamel.Staged.stage (fun () ->
       ignore (Dist.exponential rng ~mean:100.0))
 
+(* The overload governor observes every DP packet and reads a quantile
+   every sampling period (~1 read per ~3000 observes at default rates);
+   the sketch has to keep up with the packet path. *)
+let bench_quantile () =
+  let q = Taichi_metrics.Quantile.create ~slices:8 ~slice:200_000 () in
+  let rng = Rng.create ~seed:4 in
+  let now = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      now := !now + 70;
+      Taichi_metrics.Quantile.observe q ~now:!now (Rng.int rng 1_000_000);
+      if !now mod 210_000 = 0 then
+        ignore (Taichi_metrics.Quantile.quantile q ~now:!now 99.0))
+
 let run_microbenches () =
   print_newline ();
   print_endline "Simulator-primitive microbenchmarks (bechamel)";
@@ -120,6 +133,7 @@ let run_microbenches () =
         Test.make ~name:"rng bits64" (bench_rng ());
         Test.make ~name:"histogram add" (bench_histogram ());
         Test.make ~name:"dist exponential" (bench_dist ());
+        Test.make ~name:"quantile observe" (bench_quantile ());
       ]
   in
   let benchmark () =

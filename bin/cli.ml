@@ -58,6 +58,16 @@ let chaos_profile_arg =
     & opt (some string) None
     & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
 
+let overload_governor_arg =
+  let doc =
+    "Restrict the overload experiment to one governor setting ($(b,on) or \
+     $(b,off)). Defaults to both (or $(b,OVERLOAD_GOVERNOR))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "overload" ] ~docv:"GOVERNOR" ~doc)
+
 let print_trace_report runs =
   List.iter
     (fun (run : Taichi_metrics.Export.run) ->
@@ -85,9 +95,12 @@ let report_audit_failures failures =
   Printf.eprintf "%d run(s) failed the post-experiment audit\n"
     (List.length failures)
 
-let run name seed scale trace trace_json chaos_profile =
+let run name seed scale trace trace_json chaos_profile overload_governor =
   (match chaos_profile with
   | Some p -> Taichi_platform.Exp_chaos.set_profile_filter (Some p)
+  | None -> ());
+  (match overload_governor with
+  | Some g -> Taichi_platform.Exp_overload.set_governor_filter (Some g)
   | None -> ());
   (* Collect audit violations instead of aborting mid-batch: every
      experiment still runs, then the process exits with the distinct
@@ -139,6 +152,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ name_arg $ seed_arg $ scale_arg $ trace_arg $ trace_json_arg
-      $ chaos_profile_arg)
+      $ chaos_profile_arg $ overload_governor_arg)
 
 let main () = exit (Cmd.eval' cmd)

@@ -28,6 +28,17 @@ type t = {
   degraded_window : Time_ns.t;
   degraded_threshold : int;
   degraded_quiet : Time_ns.t;
+  overload : bool;
+  overload_period : Time_ns.t;
+  overload_min_dwell : Time_ns.t;
+  overload_quiet : Time_ns.t;
+  overload_p99_bound : Time_ns.t;
+  overload_busy_high : float;
+  overload_busy_low : float;
+  overload_runq_high : int;
+  overload_runq_low : int;
+  overload_tokens_per_period : int;
+  overload_token_burst : int;
 }
 
 let default =
@@ -58,6 +69,17 @@ let default =
     degraded_window = Time_ns.ms 2;
     degraded_threshold = 12;
     degraded_quiet = Time_ns.ms 4;
+    overload = false;
+    overload_period = Time_ns.us 200;
+    overload_min_dwell = Time_ns.us 400;
+    overload_quiet = Time_ns.ms 1;
+    overload_p99_bound = Time_ns.us 150;
+    overload_busy_high = 0.85;
+    overload_busy_low = 0.50;
+    overload_runq_high = 6;
+    overload_runq_low = 2;
+    overload_tokens_per_period = 4;
+    overload_token_burst = 8;
   }
 
 let no_hw_probe t = { t with hw_probe = false }
@@ -65,3 +87,4 @@ let fixed_slice t = { t with adaptive_slice = false }
 let fixed_threshold t = { t with adaptive_threshold = false }
 let unsafe_locks t = { t with lock_safe_resched = false }
 let resilient t = { t with resilience = true }
+let with_overload t = { t with overload = true }

@@ -56,6 +56,29 @@ type t = {
       (** recovery events within [degraded_window] that trip degraded mode *)
   degraded_quiet : Time_ns.t;
       (** recovery-quiet time before co-scheduling re-arms *)
+  overload : bool;
+      (** arm the overload governor (live brownout ladder). Off by
+          default for the same reason as [resilience]: its sampling timer
+          would perturb the event order of existing runs. *)
+  overload_period : Time_ns.t;  (** governor sampling cadence *)
+  overload_min_dwell : Time_ns.t;
+      (** minimum time at a ladder level before the next transition *)
+  overload_quiet : Time_ns.t;
+      (** how long every signal must stay below its low watermark before
+          the ladder relaxes one rung *)
+  overload_p99_bound : Time_ns.t;
+      (** sliding-window DP p99 latency guardrail (escalation signal) *)
+  overload_busy_high : float;
+      (** DP-core busy fraction above which the occupancy signal trips *)
+  overload_busy_low : float;  (** busy fraction below which it clears *)
+  overload_runq_high : int;
+      (** summed vCPU-host runqueue depth above which the queue signal
+          trips *)
+  overload_runq_low : int;  (** runqueue depth below which it clears *)
+  overload_tokens_per_period : int;
+      (** CP placement/admission tokens refilled per [overload_period] at
+          the Throttle rung (deeper rungs halve this) *)
+  overload_token_burst : int;  (** token-bucket capacity *)
 }
 
 val default : t
@@ -77,3 +100,7 @@ val resilient : t -> t
 (** Arm the recovery machinery (see [resilience]). Used by the [chaos]
     experiment; plain experiments keep it off so their event schedules
     stay bit-for-bit identical to earlier releases. *)
+
+val with_overload : t -> t
+(** Arm the overload governor (see [overload]). Like [resilient], an
+    explicit opt-in so default runs schedule no governor timer. *)

@@ -1,0 +1,321 @@
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+open Taichi_metrics
+
+type level = Normal | Throttle | Defer | Shed | Static_partition
+type cls = Critical | Standard | Deferrable
+
+let level_label = function
+  | Normal -> "normal"
+  | Throttle -> "throttle"
+  | Defer -> "defer"
+  | Shed -> "shed"
+  | Static_partition -> "static_partition"
+
+let rank = function
+  | Normal -> 0
+  | Throttle -> 1
+  | Defer -> 2
+  | Shed -> 3
+  | Static_partition -> 4
+
+let cls_label = function
+  | Critical -> "critical"
+  | Standard -> "standard"
+  | Deferrable -> "deferrable"
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  recovery : Recovery.t;
+  sim : Sim.t;
+  cs : Core_state.t;
+  sketch : Quantile.t;
+  mutable dp_cores : int list;  (* reverse registration order *)
+  mutable kcpus : int list;
+  prev_dwell : (int, Time_ns.t) Hashtbl.t;  (* core -> last dp_running dwell *)
+  deferred : (cls * (unit -> unit)) Queue.t;
+  mutable level : level;
+  mutable entered : Time_ns.t;  (* when the current rung was entered *)
+  mutable calm_since : Time_ns.t option;  (* all signals under low marks since *)
+  mutable seq : int;  (* transition sequence number, 1-based *)
+  mutable started : bool;
+  (* Token buckets, refilled every sampling period at a per-rung rate. *)
+  mutable place_tokens : int;
+  mutable std_tokens : int;
+  mutable def_tokens : int;
+  mutable s_transitions : int;
+  mutable s_escalations : int;
+  mutable s_relaxes : int;
+  shed_counts : (cls, int) Hashtbl.t;
+  mutable transition_cbs : (level -> level -> unit) list;
+}
+
+let count t name = Counters.incr (Machine.counters t.machine) name
+
+let create config machine kernel recovery =
+  let sim = Machine.sim machine in
+  (* The sketch window spans a handful of sampling periods, so the p99
+     signal reflects the recent regime, not the whole run. *)
+  let slice = Stdlib.max 1 config.Config.overload_period in
+  {
+    config;
+    machine;
+    kernel;
+    recovery;
+    sim;
+    cs = Machine.core_state machine;
+    sketch = Quantile.create ~slices:8 ~slice ();
+    dp_cores = [];
+    kcpus = [];
+    prev_dwell = Hashtbl.create 8;
+    deferred = Queue.create ();
+    level = Normal;
+    entered = Time_ns.zero;
+    calm_since = None;
+    seq = 0;
+    started = false;
+    place_tokens = config.Config.overload_token_burst;
+    std_tokens = config.Config.overload_token_burst;
+    def_tokens = config.Config.overload_token_burst;
+    s_transitions = 0;
+    s_escalations = 0;
+    s_relaxes = 0;
+    shed_counts = Hashtbl.create 4;
+    transition_cbs = [];
+  }
+
+let watch_dp t ~core = t.dp_cores <- core :: t.dp_cores
+let watch_kcpu t kcpu = t.kcpus <- kcpu :: t.kcpus
+let observe_latency t lat = Quantile.observe t.sketch ~now:(Sim.now t.sim) lat
+let level t = t.level
+let backpressure t = rank t.level >= rank Defer
+let on_transition t f = t.transition_cbs <- t.transition_cbs @ [ f ]
+let transitions t = t.s_transitions
+let escalations t = t.s_escalations
+let relaxes t = t.s_relaxes
+let shed t cls = Option.value ~default:0 (Hashtbl.find_opt t.shed_counts cls)
+let deferred_pending t = Queue.length t.deferred
+
+(* --- token buckets -------------------------------------------------------- *)
+
+(* Each rung below Throttle halves the refill rate: admission pressure
+   degrades monotonically with ladder depth. *)
+let refill_rate t =
+  let base = t.config.Config.overload_tokens_per_period in
+  match t.level with
+  | Normal | Throttle -> base
+  | Defer -> Stdlib.max 1 (base / 2)
+  | Shed | Static_partition -> Stdlib.max 1 (base / 4)
+
+let refill t =
+  let burst = t.config.Config.overload_token_burst in
+  let rate = refill_rate t in
+  t.place_tokens <- Stdlib.min burst (t.place_tokens + rate);
+  t.std_tokens <- Stdlib.min burst (t.std_tokens + rate);
+  t.def_tokens <- Stdlib.min burst (t.def_tokens + rate)
+
+let take_cls_token t cls =
+  match cls with
+  | Critical -> true
+  | Standard ->
+      if t.std_tokens > 0 then begin
+        t.std_tokens <- t.std_tokens - 1;
+        true
+      end
+      else false
+  | Deferrable ->
+      if t.def_tokens > 0 then begin
+        t.def_tokens <- t.def_tokens - 1;
+        true
+      end
+      else false
+
+let place_allowed t () =
+  match t.level with
+  | Normal -> true
+  | Static_partition -> false (* degraded: static partitioning *)
+  | Throttle | Defer | Shed ->
+      if t.place_tokens > 0 then begin
+        t.place_tokens <- t.place_tokens - 1;
+        true
+      end
+      else begin
+        count t "overload.place_denied";
+        false
+      end
+
+(* --- admission ------------------------------------------------------------ *)
+
+let run_now t cls run =
+  count t (Printf.sprintf "overload.admitted.%s" (cls_label cls));
+  run ();
+  `Admitted
+
+let park t cls run =
+  count t (Printf.sprintf "overload.deferred.%s" (cls_label cls));
+  Queue.push (cls, run) t.deferred;
+  `Deferred
+
+let drop t cls =
+  Hashtbl.replace t.shed_counts cls (shed t cls + 1);
+  count t (Printf.sprintf "overload.shed.%s" (cls_label cls));
+  `Shed
+
+let admit t ~cls run =
+  match (t.level, cls) with
+  | Normal, _ | _, Critical -> run_now t cls run
+  | Throttle, (Standard | Deferrable) ->
+      if take_cls_token t cls then run_now t cls run else park t cls run
+  | Defer, Standard ->
+      if take_cls_token t cls then run_now t cls run else park t cls run
+  | Defer, Deferrable -> park t cls run
+  | (Shed | Static_partition), Standard -> park t cls run
+  | (Shed | Static_partition), Deferrable -> drop t cls
+
+(* Re-route every parked admission through the (now shallower) ladder;
+   whatever is still inadmissible parks again. *)
+let drain_deferred t =
+  let pending = Queue.create () in
+  Queue.transfer t.deferred pending;
+  Queue.iter (fun (cls, run) -> ignore (admit t ~cls run)) pending
+
+(* --- ladder --------------------------------------------------------------- *)
+
+let goto t to_ =
+  let from = t.level in
+  let now = Sim.now t.sim in
+  let held = now - t.entered in
+  t.seq <- t.seq + 1;
+  t.level <- to_;
+  t.entered <- now;
+  t.calm_since <- None;
+  t.s_transitions <- t.s_transitions + 1;
+  count t "overload.transitions";
+  count t (Printf.sprintf "overload.enter.%s" (level_label to_));
+  if rank to_ > rank from then begin
+    t.s_escalations <- t.s_escalations + 1;
+    count t "overload.escalations"
+  end
+  else begin
+    t.s_relaxes <- t.s_relaxes + 1;
+    count t "overload.relaxes"
+  end;
+  Trace.emitf (Machine.trace t.machine) ~time:now ~category:Trace.Cat.overload
+    "seq=%d from=%s to=%s held=%d min=%d" t.seq (level_label from)
+    (level_label to_) held t.config.Config.overload_min_dwell;
+  (* The final rung converges on PR 3's degraded fallback: load-driven
+     static partitioning pins the same mechanism fault bursts engage. *)
+  if to_ = Static_partition then Recovery.force_engage t.recovery;
+  if from = Static_partition then Recovery.force_release t.recovery;
+  if rank to_ < rank from then drain_deferred t;
+  List.iter (fun f -> f from to_) t.transition_cbs
+
+let next_up = function
+  | Normal -> Throttle
+  | Throttle -> Defer
+  | Defer -> Shed
+  | Shed | Static_partition -> Static_partition
+
+let next_down = function
+  | Static_partition -> Shed
+  | Shed -> Defer
+  | Defer -> Throttle
+  | Throttle | Normal -> Normal
+
+(* --- signals -------------------------------------------------------------- *)
+
+let dp_running_dwell t ~core =
+  match List.assoc_opt "dp_running" (Core_state.dwell t.cs ~core) with
+  | Some d -> d
+  | None -> Time_ns.zero
+
+(* Fraction of the last sampling period the watched DP cores spent
+   actually processing packets (dwell delta of the authoritative state
+   machine's [Dp_running] label). *)
+let sample_busy t =
+  match t.dp_cores with
+  | [] -> 0.0
+  | cores ->
+      let period = t.config.Config.overload_period in
+      let total =
+        List.fold_left
+          (fun acc core ->
+            let d = dp_running_dwell t ~core in
+            let prev =
+              Option.value ~default:Time_ns.zero
+                (Hashtbl.find_opt t.prev_dwell core)
+            in
+            Hashtbl.replace t.prev_dwell core d;
+            acc + Stdlib.max 0 (d - prev))
+          0 cores
+      in
+      float_of_int total /. float_of_int (period * List.length cores)
+
+let sample_runq t =
+  List.fold_left
+    (fun acc k -> acc + Kernel.runqueue_length (Kernel.cpu t.kernel k))
+    0 t.kcpus
+
+let sample_p99 t = Quantile.quantile t.sketch ~now:(Sim.now t.sim) 99.0
+
+let sample_and_step t =
+  let c = t.config in
+  let now = Sim.now t.sim in
+  let busy = sample_busy t in
+  let runq = sample_runq t in
+  let p99 = sample_p99 t in
+  count t "overload.samples";
+  let bound = c.Config.overload_p99_bound in
+  let p99_over = match p99 with Some p -> p >= bound | None -> false in
+  let p99_under = match p99 with Some p -> p <= bound / 2 | None -> true in
+  let over_votes =
+    (if busy >= c.Config.overload_busy_high then 1 else 0)
+    + (if runq >= c.Config.overload_runq_high then 1 else 0)
+    + if p99_over then 1 else 0
+  in
+  let under =
+    busy <= c.Config.overload_busy_low
+    && runq <= c.Config.overload_runq_low
+    && p99_under
+  in
+  let held = now - t.entered in
+  if over_votes >= 2 then begin
+    t.calm_since <- None;
+    if held >= c.Config.overload_min_dwell && t.level <> Static_partition then
+      goto t (next_up t.level)
+  end
+  else if under then begin
+    (match t.calm_since with
+    | None -> t.calm_since <- Some now
+    | Some _ -> ());
+    match t.calm_since with
+    | Some calm
+      when t.level <> Normal
+           && now - calm >= c.Config.overload_quiet
+           && held >= c.Config.overload_min_dwell ->
+        goto t (next_down t.level)
+    | _ -> ()
+  end
+  else t.calm_since <- None
+
+let rec tick t =
+  ignore
+    (Sim.after t.sim t.config.Config.overload_period (fun () ->
+         refill t;
+         sample_and_step t;
+         tick t))
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    t.entered <- Sim.now t.sim;
+    (* Baseline the dwell deltas so the first sample covers one period,
+       not the whole history before [start]. *)
+    List.iter
+      (fun core -> Hashtbl.replace t.prev_dwell core (dp_running_dwell t ~core))
+      t.dp_cores;
+    tick t
+  end

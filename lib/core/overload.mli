@@ -1,0 +1,106 @@
+(** The overload governor: a live brownout ladder for CP/DP co-scheduling.
+
+    The paper's motivating failure is load, not faults: at 4x VM density
+    CP execution time degrades ~8x and VM startup blows through its SLO
+    while the data plane's tail latency collapses. PR 3's recovery
+    machinery only reacts to fault events; this module closes the loop on
+    *load*. Every [overload_period] it samples three signals:
+
+    + data-plane core occupancy — the delta of [Core_state] "dp_running"
+      dwell across the watched DP cores over the sampling period;
+    + vCPU-host runqueue depth — summed [Kernel.runqueue_length] over the
+      watched kernel CPUs (the backlog of CP work behind the vCPUs);
+    + sliding-window DP p99 latency — a {!Taichi_metrics.Quantile} sketch
+      fed per-packet by [Dp_service.set_latency_sink].
+
+    When at least two signals sit above their high watermarks the ladder
+    escalates one rung; when all of them stay below their low watermarks
+    for [overload_quiet] it relaxes one rung. Both directions require
+    [overload_min_dwell] at the current rung first — hysteresis against
+    flapping. The rungs:
+
+    - {b Normal}: everything admitted, placements ungated.
+    - {b Throttle}: [Standard]/[Deferrable] CP admissions and vCPU
+      placements (the wakeup-IPI path) pass through per-class token
+      buckets refilled at [overload_tokens_per_period].
+    - {b Defer}: [Deferrable] admissions are parked on a deferred queue;
+      {!backpressure} turns on for workload clients.
+    - {b Shed}: [Deferrable] admissions are rejected outright (counted);
+      [Standard] is deferred. Only the lowest class is ever shed.
+    - {b Static_partition}: additionally pins PR 3's degraded fallback via
+      [Recovery.force_engage] — load-driven and fault-driven degradation
+      converge on the same static-partitioning mechanism. Relaxing off
+      this rung releases the hold.
+
+    Transitions emit [Trace.Cat.overload] events whose payload
+    ([seq=N from=a to=b held=H min=M]) lets [trace_lint] re-verify the
+    ladder offline, plus [overload.*] counters. Like [Config.resilience],
+    the governor is an explicit opt-in ([Config.overload]); nothing is
+    scheduled otherwise, keeping default runs bit-identical. *)
+
+open Taichi_engine
+open Taichi_hw
+open Taichi_os
+
+type t
+
+type level = Normal | Throttle | Defer | Shed | Static_partition
+
+(** CP admission priority classes, highest first. [Critical] is never
+    throttled (monitors, health checks); [Standard] is ordinary tenant
+    work (VM lifecycle); [Deferrable] is batch/housekeeping — the only
+    class the ladder will ever shed. *)
+type cls = Critical | Standard | Deferrable
+
+val level_label : level -> string
+
+val rank : level -> int
+(** Ladder depth, [Normal] = 0 … [Static_partition] = 4. *)
+
+val cls_label : cls -> string
+
+val create : Config.t -> Machine.t -> Kernel.t -> Recovery.t -> t
+
+val watch_dp : t -> core:int -> unit
+(** Add a data-plane core to the occupancy sample set. *)
+
+val watch_kcpu : t -> int -> unit
+(** Add a kernel CPU (vCPU host) to the runqueue-depth sample set. *)
+
+val observe_latency : t -> Time_ns.t -> unit
+(** Per-packet DP latency feed (wired to [Dp_service.set_latency_sink]). *)
+
+val start : t -> unit
+(** Begin the sampling loop. Call once, after the watch sets are final. *)
+
+val level : t -> level
+
+val backpressure : t -> bool
+(** True at [Defer] and above — workload clients should stop submitting
+    deferrable work. *)
+
+val admit : t -> cls:cls -> (unit -> unit) -> [ `Admitted | `Deferred | `Shed ]
+(** [admit t ~cls run] routes one CP admission through the ladder: runs
+    [run] now ([`Admitted]), parks it on the deferred queue until the
+    ladder relaxes ([`Deferred]), or drops it ([`Shed], counted in
+    [overload.shed.<cls>]). *)
+
+val place_allowed : t -> unit -> bool
+(** The vCPU placement gate (consumed by [Vcpu_sched.set_place_gate]):
+    unlimited at [Normal], token-bucket-limited at deeper rungs (each rung
+    halves the refill rate). Consumes a token when it allows. *)
+
+val on_transition : t -> (level -> level -> unit) -> unit
+(** [on_transition t f] runs [f old_level new_level] after every ladder
+    transition (in registration order, after the governor's own side
+    effects — forced degraded engage/release, deferred-queue drain). *)
+
+val transitions : t -> int
+val escalations : t -> int
+val relaxes : t -> int
+
+val shed : t -> cls -> int
+(** Admissions dropped for [cls] so far. *)
+
+val deferred_pending : t -> int
+(** Admissions currently parked on the deferred queue. *)

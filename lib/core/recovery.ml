@@ -9,6 +9,7 @@ type t = {
   window : Time_ns.t Queue.t;
   mutable total : int;
   mutable degraded : bool;
+  mutable forced : bool;
   mutable last_event : Time_ns.t;
   mutable engaged : int;
   mutable rearmed : int;
@@ -25,6 +26,7 @@ let create config machine =
     window = Queue.create ();
     total = 0;
     degraded = false;
+    forced = false;
     last_event = Time_ns.zero;
     engaged = 0;
     rearmed = 0;
@@ -33,6 +35,7 @@ let create config machine =
   }
 
 let degraded t = t.degraded
+let forced t = t.forced
 let on_engage t f = t.engage_cbs <- t.engage_cbs @ [ f ]
 let on_rearm t f = t.rearm_cbs <- t.rearm_cbs @ [ f ]
 let engaged_count t = t.engaged
@@ -51,13 +54,21 @@ let rearm t =
 
 (* While degraded, poll for the quiet period: every recovery event pushes
    [last_event] forward, so the check reschedules itself until a full
-   [degraded_quiet] passes with no recovery activity at all. *)
+   [degraded_quiet] passes with no recovery activity at all. The check
+   fires one tick *after* the deadline and requires strictly more than the
+   quiet period: the simulator runs same-timestamp events FIFO, so a fault
+   burst landing exactly at the deadline would otherwise be processed
+   after a rearm it should have suppressed — a spurious rearm/re-engage
+   flap at the boundary. *)
 let rec schedule_quiet_check t =
-  let due = t.last_event + t.config.Config.degraded_quiet in
+  let due = t.last_event + t.config.Config.degraded_quiet + 1 in
   ignore
     (Sim.at t.sim (max due (Sim.now t.sim)) (fun () ->
-         if t.degraded then
-           if Sim.now t.sim - t.last_event >= t.config.Config.degraded_quiet
+         (* A forced (load-driven) hold pins degraded mode: the quiet
+            check stops polling and the eventual [force_release] re-arms
+            directly. *)
+         if t.degraded && not t.forced then
+           if Sim.now t.sim - t.last_event > t.config.Config.degraded_quiet
            then rearm t
            else schedule_quiet_check t))
 
@@ -70,6 +81,35 @@ let engage t =
     (Queue.length t.window);
   List.iter (fun f -> f ()) t.engage_cbs;
   schedule_quiet_check t
+
+(* Load-driven degradation (the overload governor's Static_partition
+   rung) converges on the same mechanism as fault-driven degradation:
+   the same engage callbacks evict placements, but the hold is pinned
+   until the governor explicitly releases it — the fault-side quiet
+   period must not re-arm underneath a still-overloaded system. *)
+let force_engage t =
+  if not t.forced then begin
+    t.forced <- true;
+    Counters.incr (Machine.counters t.machine) "recovery.degraded.forced";
+    if not t.degraded then begin
+      t.degraded <- true;
+      t.engaged <- t.engaged + 1;
+      Counters.incr (Machine.counters t.machine) "recovery.degraded.engaged";
+      Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim)
+        ~category:Trace.Cat.degraded "engage forced=overload";
+      List.iter (fun f -> f ()) t.engage_cbs
+    end
+    else
+      Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim)
+        ~category:Trace.Cat.degraded "hold forced=overload"
+  end
+
+let force_release t =
+  if t.forced then begin
+    t.forced <- false;
+    Counters.incr (Machine.counters t.machine) "recovery.degraded.released";
+    if t.degraded then rearm t
+  end
 
 let note t ~cls ~action ~latency =
   Counters.incr (Machine.counters t.machine)

@@ -35,6 +35,22 @@ val note :
 
 val degraded : t -> bool
 
+val forced : t -> bool
+(** Whether degraded mode is currently pinned by {!force_engage}. *)
+
+val force_engage : t -> unit
+(** Load-driven entry into static partitioning (the overload governor's
+    final rung). Engages degraded mode if it is not already engaged
+    (running the {!on_engage} callbacks exactly once) and pins it: the
+    fault-side quiet period will not re-arm while the hold is in place.
+    Idempotent. Works regardless of [Config.resilience] — the governor
+    carries its own opt-in flag. *)
+
+val force_release : t -> unit
+(** Releases a {!force_engage} hold and re-arms immediately (running the
+    {!on_rearm} callbacks) if degraded mode was engaged. No-op when not
+    forced. *)
+
 val on_engage : t -> (unit -> unit) -> unit
 (** Registers a callback run (in registration order) when degraded mode
     engages. *)

@@ -3,6 +3,7 @@ open Taichi_hw
 open Taichi_os
 open Taichi_virt
 open Taichi_accel
+open Taichi_dataplane
 
 type t = {
   config : Config.t;
@@ -15,6 +16,7 @@ type t = {
   orch : Ipi_orchestrator.t;
   probe : Hw_probe.t;
   recovery : Recovery.t;
+  overload : Overload.t option;
   vcpus : Vcpu.t list;
   cp_pcpus : int list;
 }
@@ -88,6 +90,30 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
   let probe = Hw_probe.install config machine table pipeline sched in
   if config.Config.resilience then
     mirror_resync_loop config machine table recovery;
+  let overload =
+    if not config.Config.overload then None
+    else begin
+      (* The governor watches the DP cores' dwell (occupancy), the vCPU
+         host CPUs' runqueues (CP backlog) and a live per-packet latency
+         feed; it throttles the placement path through the scheduler's
+         gate, and a ladder relax immediately retries the work the gate
+         held back. *)
+      let ov = Overload.create config machine kernel recovery in
+      List.iter
+        (fun dp ->
+          Overload.watch_dp ov ~core:(Dp_service.core dp);
+          Dp_service.set_latency_sink dp
+            (Some (fun lat -> Overload.observe_latency ov lat)))
+        dps;
+      List.iter (fun v -> Overload.watch_kcpu ov v.Vcpu.kcpu) vcpus;
+      Vcpu_sched.set_place_gate sched (Some (Overload.place_allowed ov));
+      Overload.on_transition ov (fun from to_ ->
+          if Overload.rank to_ < Overload.rank from then
+            Vcpu_sched.kick_runnable sched);
+      Overload.start ov;
+      Some ov
+    end
+  in
   {
     config;
     machine;
@@ -99,6 +125,7 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     orch;
     probe;
     recovery;
+    overload;
     vcpus;
     cp_pcpus;
   }
@@ -113,6 +140,7 @@ let sw_probe t = t.sw
 let softirq t = t.softirq
 let state_table t = t.table
 let recovery t = t.recovery
+let overload t = t.overload
 let vcpus t = t.vcpus
 
 let cp_cpu_ids t =

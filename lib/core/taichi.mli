@@ -56,6 +56,11 @@ val recovery : t -> Recovery.t
     and the mirror divergence detector; also the degraded-mode switch.
     Inert (counters only) unless [config.resilience] is set. *)
 
+val overload : t -> Overload.t option
+(** The overload governor, present when [config.overload] is set. Route
+    CP admissions through [Overload.admit] and consult
+    [Overload.backpressure] in workload clients. *)
+
 val vcpus : t -> Vcpu.t list
 
 val cp_cpu_ids : t -> int list

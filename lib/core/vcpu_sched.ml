@@ -38,6 +38,8 @@ type t = {
   borrowed_cores : (int, unit) Hashtbl.t;  (* CP pCPUs currently frozen *)
   mutable cp_pcpus : int list;
   mutable next_borrow : int;
+  mutable place_gate : (unit -> bool) option;
+      (* overload governor's admission gate for placements; [None] = open *)
   mutable s_placements : int;
   mutable s_probe_evictions : int;
   mutable s_pending_evictions : int;
@@ -80,9 +82,18 @@ let transition t ~core ~cause st = Core_state.transition t.cs ~core ~cause st
    queue itself is preserved — re-arming picks the waiters straight up. *)
 let is_degraded t = Recovery.degraded t.recovery
 
+(* The overload governor's placement gate sits next to the degraded
+   check: a denial leaves the vCPU queued (the core parks), exactly like
+   an empty runqueue, so a later kick or idle notification retries. The
+   gate is only consulted when there is something to place — a token
+   bucket behind it must not be drained by empty polls. *)
+let gate_open t =
+  match t.place_gate with None -> true | Some allowed -> allowed ()
+
 let rec pop_runnable t =
   if is_degraded t then None
   else if Queue.is_empty t.runq then None
+  else if not (gate_open t) then None
   else
     let v = Queue.pop t.runq in
     Hashtbl.remove t.in_runq v.Vcpu.vid;
@@ -207,7 +218,7 @@ and try_place_parked t v =
     if is_degraded t then mark_runnable t v
     else
       match find_parked_dp t with
-      | Some dp when try_place_on_dp t v dp -> ()
+      | Some dp when gate_open t && try_place_on_dp t v dp -> ()
       | Some _ | None -> mark_runnable t v
 
 (* Tear [v] down from [core]; pollution and backed-time bookkeeping. The
@@ -355,7 +366,9 @@ and do_rescue t v =
 and borrow_cp_pcpu t v =
   (* Never freeze a pCPU whose current task is inside a lock or other
      non-preemptible routine: suspending a lock holder beneath the OS
-     could recreate the very circular wait the rescue exists to break. *)
+     could recreate the very circular wait the rescue exists to break.
+     That includes spinners — the lock's FIFO handoff can make a frozen
+     waiter the next owner, freezing the lock itself. *)
   let safe_target id =
     (not (Hashtbl.mem t.borrowed_cores id))
     &&
@@ -562,7 +575,25 @@ let watchdog_check t =
                     = Core_state.Vcpu_running vid ->
               force_end_borrow t v cp_id
           | Vcpu.On_core _ | Vcpu.Unplaced -> ()))
-    borrows
+    borrows;
+  (* A lock holder suspended unbacked (an unsafe suspension, or a borrow
+     the rung above forced to end) normally waits in the runqueue for the
+     next [pop_runnable] — which degraded mode blocks indefinitely. Left
+     alone it would freeze with its spinners burning every CP pCPU, so
+     re-rescue it here; lock safety trumps partitioning. *)
+  if is_degraded t then
+    List.iter
+      (fun v ->
+        if
+          (not (Vcpu.is_placed v))
+          && not (Hashtbl.mem t.borrowing v.Vcpu.vid)
+        then
+          match Kernel.current (kcpu_of t v) with
+          | Some task
+            when task.Task.locks_held > 0 || task.Task.np_depth > 0 ->
+              rescue t v
+          | Some _ | None -> ())
+      t.vcpu_list
 
 let rec watchdog_loop t =
   ignore
@@ -712,6 +743,7 @@ let create config machine kernel softirq sw table recovery =
       borrowed_cores = Hashtbl.create 16;
       cp_pcpus = [];
       next_borrow = 0;
+      place_gate = None;
       s_placements = 0;
       s_probe_evictions = 0;
       s_pending_evictions = 0;
@@ -725,28 +757,35 @@ let create config machine kernel softirq sw table recovery =
   Kernel.set_work_available_hook kernel (fun kcpu_id -> on_work_available t kcpu_id);
   Kernel.set_cpu_idle_hook kernel (fun kcpu_id -> on_cpu_idle t kcpu_id);
   install_invariants t;
-  if config.Config.resilience then begin
-    (* Degraded mode = static partitioning: on engage, return every
-       co-scheduled data-plane core to its service. Lock-bound vCPUs are
-       left for the watchdog's rescue rung — lock safety trumps
-       partitioning. On re-arm, the preserved runqueue repopulates parked
-       cores immediately. *)
-    Recovery.on_engage recovery (fun () ->
-        let placed =
-          Hashtbl.fold (fun core v acc -> (core, v) :: acc) t.placed []
-        in
-        List.iter
-          (fun (core, v) ->
-            if
-              (not (Hashtbl.mem t.pending_place core))
-              && Core_state.get t.cs ~core = Core_state.Vcpu_running v.Vcpu.vid
-              && not (lockbound t v)
-            then evict_to_dp t v core ~cause:Core_state.Watchdog)
-          placed);
-    Recovery.on_rearm recovery (fun () ->
-        List.iter (fun v -> try_place_parked t v) t.vcpu_list);
-    watchdog_loop t
-  end;
+  (* Degraded mode = static partitioning: on engage, return every
+     co-scheduled data-plane core to its service. Lock-bound vCPUs are
+     left for the watchdog's rescue rung — lock safety trumps
+     partitioning. On re-arm, the preserved runqueue repopulates parked
+     cores immediately. Registered unconditionally (it schedules
+     nothing): degraded mode can now be entered two ways — the fault
+     window under [resilience], or the overload governor's forced hold —
+     and both must statically partition. *)
+  Recovery.on_engage recovery (fun () ->
+      let placed =
+        Hashtbl.fold (fun core v acc -> (core, v) :: acc) t.placed []
+      in
+      List.iter
+        (fun (core, v) ->
+          if
+            (not (Hashtbl.mem t.pending_place core))
+            && Core_state.get t.cs ~core = Core_state.Vcpu_running v.Vcpu.vid
+            && not (lockbound t v)
+          then evict_to_dp t v core ~cause:Core_state.Watchdog)
+        placed);
+  Recovery.on_rearm recovery (fun () ->
+      List.iter (fun v -> try_place_parked t v) t.vcpu_list);
+  (* The watchdog is the safety net that unsticks lock-bound vCPUs once
+     degraded mode has evicted everything else. The overload governor's
+     forced Static_partition depends on it exactly like the fault window
+     does: without it, a suspended lock holder leaves its spinners
+     burning every CP pCPU and the ladder can never drain the backlog it
+     is waiting on. *)
+  if config.Config.resilience || config.Config.overload then watchdog_loop t;
   t
 
 (* Registration is O(1): the list is kept newest-first and reversed on
@@ -783,6 +822,11 @@ let set_cp_pcpus t ids =
     ids
 
 let placed_vcpu t ~core = Hashtbl.find_opt t.placed core
+let set_place_gate t gate = t.place_gate <- gate
+
+(* Retry placement of every vCPU with pending work — the overload
+   governor's path after a ladder relax reopens the gate. *)
+let kick_runnable t = List.iter (fun v -> try_place_parked t v) t.vcpu_list
 
 let stats t =
   {

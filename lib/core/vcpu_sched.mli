@@ -68,6 +68,18 @@ val on_probe_irq : t -> core:int -> unit
 
 val placed_vcpu : t -> core:int -> Vcpu.t option
 
+val set_place_gate : t -> (unit -> bool) option -> unit
+(** [set_place_gate t (Some allowed)] installs the overload governor's
+    placement gate: every DP-to-CP placement attempt first asks
+    [allowed ()] (which may consume a rate-limit token). A denial leaves
+    the vCPU on the runqueue, like a parked core with no waiter. [None]
+    (the default) removes the gate. *)
+
+val kick_runnable : t -> unit
+(** Retry placement for every vCPU with pending work — called after the
+    governor's ladder relaxes so work blocked by the gate doesn't wait
+    for the next idle notification. *)
+
 val watchdog_stuck : t -> int
 (** Number of vCPUs currently hung past the watchdog bound (placed under
     eviction pressure, or borrowing a CP pCPU, for longer than

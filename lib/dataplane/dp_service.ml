@@ -39,6 +39,7 @@ type t = {
   mutable poll_dwell : Time_ns.t;  (** cumulative empty-poll (Counting) time *)
   mutable park_dwell : Time_ns.t;  (** cumulative parked (Idle_parked) time *)
   mutable resuming : bool;
+  mutable latency_sink : (Time_ns.t -> unit) option;
 }
 
 and hooks = {
@@ -146,6 +147,7 @@ and process_loop t =
                  p.Packet.t_done <- now;
                  let lat = now - p.Packet.t_submit in
                  Recorder.observe t.latency lat;
+                 (match t.latency_sink with Some f -> f lat | None -> ());
                  if lat > t.config.spike_threshold then
                    Recorder.incr t.latency "spikes")
                pkts;
@@ -190,6 +192,7 @@ let create machine pipeline config =
       poll_dwell = 0;
       park_dwell = 0;
       resuming = false;
+      latency_sink = None;
     }
   in
   t
@@ -208,6 +211,7 @@ let core t = t.config.core
 let config t = t.config
 let ring t = t.ring
 let set_speed_tax t tax = t.speed_tax <- tax
+let set_latency_sink t sink = t.latency_sink <- sink
 
 let pending_work t =
   (not (Ring.is_empty t.ring))

@@ -75,6 +75,11 @@ val set_speed_tax : t -> float -> unit
 (** Guest-mode execution tax for the Tai Chi-vDP configuration: packet
     processing takes [1 + tax] longer. *)
 
+val set_latency_sink : t -> (Time_ns.t -> unit) option -> unit
+(** [set_latency_sink t (Some f)] calls [f lat] for every completed packet
+    alongside the {!latency} recorder — the overload governor's live
+    latency feed. [None] (the default) detaches it. *)
+
 val pending_work : t -> bool
 (** Ring descriptors waiting or in flight in the accelerator. *)
 

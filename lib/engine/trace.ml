@@ -34,6 +34,7 @@ module Cat = struct
   let fault = "fault"
   let recovery = "recovery"
   let degraded = "degraded"
+  let overload = "overload"
 
   let softirq = "softirq"
 

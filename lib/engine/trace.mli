@@ -57,6 +57,10 @@ module Cat : sig
   val degraded : string
   (** Degraded-mode engage/re-arm events of the system-wide fallback. *)
 
+  val overload : string
+  (** Overload-governor ladder transitions. The payload is self-describing
+      for trace_lint: [seq=N from=<level> to=<level> held=<ns> min=<ns>]. *)
+
   val softirq : string
 
   val kernel_steal : string

@@ -86,6 +86,22 @@ let write_file path runs =
 
 (* --- validation (used by trace_lint and tests) --------------------------- *)
 
+let ladder_rank = function
+  | "normal" -> Some 0
+  | "throttle" -> Some 1
+  | "defer" -> Some 2
+  | "shed" -> Some 3
+  | "static_partition" -> Some 4
+  | _ -> None
+
+(* The only [Cat.overload] emitter is the governor's rung transition, so
+   every overload event must carry the transition payload. *)
+let parse_transition msg =
+  try
+    Scanf.sscanf msg "seq=%d from=%s@ to=%s@ held=%d min=%d"
+      (fun seq from to_ held min -> Some (seq, from, to_, held, min))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 let validate_json j =
   let ( let* ) x f = match x with Ok v -> f v | Error _ as e -> e in
   let require msg = function Some v -> Ok v | None -> Error msg in
@@ -121,6 +137,119 @@ let validate_json j =
                   Error "core_state.illegal counter is non-zero"
               | Some _ -> Ok ()
               | None -> Error "core_state.illegal not an int"))
+    in
+    (* The recovery and overload subsystems export monotone tallies; a
+       negative value means a counter was decremented (or two exports were
+       subtracted), either of which breaks the forensic story the trace is
+       supposed to tell. *)
+    let* () =
+      match Json.member "counters" r with
+      | None -> Ok ()
+      | Some (Json.Obj fields) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              let* () = acc in
+              let monotone prefix =
+                String.length k >= String.length prefix
+                && String.sub k 0 (String.length prefix) = prefix
+              in
+              if monotone "recovery." || monotone "overload." then
+                match Json.to_int v with
+                | Some n when n < 0 ->
+                    Error (Printf.sprintf "counter %s is negative" k)
+                | Some _ -> Ok ()
+                | None -> Error (Printf.sprintf "counter %s not an int" k)
+              else Ok ())
+            (Ok ()) fields
+      | Some _ -> Error "counters not an object"
+    in
+    (* Event-log discipline: timestamps must never run backwards, and the
+       overload ladder must move one rung at a time, in sequence, with a
+       continuous from/to chain that respects the minimum dwell. *)
+    let* () =
+      match Json.member "events" r with
+      | None -> Ok ()
+      | Some evs ->
+          let* evs = require "events not an array" (Json.to_list evs) in
+          let* _ =
+            List.fold_left
+              (fun acc ev ->
+                let* prev_t, want_seq, prev_level = acc in
+                let* t = require "event missing t_ns" (Json.member "t_ns" ev) in
+                let* t = require "event t_ns not an int" (Json.to_int t) in
+                let* () =
+                  if t < prev_t then
+                    Error
+                      (Printf.sprintf
+                         "event times run backwards (%d after %d)" t prev_t)
+                  else Ok ()
+                in
+                let* cat = require "event missing cat" (Json.member "cat" ev) in
+                let* cat =
+                  require "event cat not a string" (Json.to_str cat)
+                in
+                if cat <> "overload" then Ok (t, want_seq, prev_level)
+                else
+                  let* msg =
+                    require "event missing msg" (Json.member "msg" ev)
+                  in
+                  let* msg =
+                    require "event msg not a string" (Json.to_str msg)
+                  in
+                  let* seq, from, to_, held, min_dwell =
+                    require
+                      (Printf.sprintf "malformed overload transition %S" msg)
+                      (parse_transition msg)
+                  in
+                  let* () =
+                    if seq <> want_seq then
+                      Error
+                        (Printf.sprintf
+                           "overload transition seq %d, expected %d" seq
+                           want_seq)
+                    else Ok ()
+                  in
+                  let* () =
+                    if from <> prev_level then
+                      Error
+                        (Printf.sprintf
+                           "overload ladder chain broken: transition from %s \
+                            but ladder was at %s"
+                           from prev_level)
+                    else Ok ()
+                  in
+                  let* rf =
+                    require
+                      (Printf.sprintf "unknown overload level %s" from)
+                      (ladder_rank from)
+                  in
+                  let* rt =
+                    require
+                      (Printf.sprintf "unknown overload level %s" to_)
+                      (ladder_rank to_)
+                  in
+                  let* () =
+                    if abs (rt - rf) <> 1 then
+                      Error
+                        (Printf.sprintf
+                           "overload ladder skipped a rung (%s -> %s)" from
+                           to_)
+                    else Ok ()
+                  in
+                  let* () =
+                    if held < min_dwell then
+                      Error
+                        (Printf.sprintf
+                           "overload transition %d violated minimum dwell \
+                            (held %dns < %dns)"
+                           seq held min_dwell)
+                    else Ok ()
+                  in
+                  Ok (t, want_seq + 1, to_))
+              (Ok (0, 1, "normal"))
+              evs
+          in
+          Ok ()
     in
     List.fold_left
       (fun acc row ->

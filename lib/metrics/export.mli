@@ -43,9 +43,14 @@ val write_file : string -> run list -> unit
 (** [write_file path runs] writes the export plus a trailing newline. *)
 
 val validate_json : Json.t -> (unit, string) result
-(** Structural check used by [trace_lint] and the tests: schema marker
-    present, timeline rows match the core count, and every core's
-    [dp + vcpu + switch + idle] equals both its [total_ns] and the run's
-    [duration_ns]. *)
+(** Structural and semantic check used by [trace_lint] and the tests:
+    schema marker present, timeline rows match the core count, every
+    core's [dp + vcpu + switch + idle] equals both its [total_ns] and the
+    run's [duration_ns], [core_state.illegal] is zero, [recovery.*] and
+    [overload.*] counters are non-negative, event timestamps never run
+    backwards, and overload ladder transitions are well-formed: sequence
+    numbers increment from 1, each transition departs the rung the
+    previous one entered (starting from [normal]), rungs move one at a
+    time, and every dwell meets the advertised minimum. *)
 
 val validate_string : string -> (unit, string) result

@@ -17,29 +17,40 @@ let mean_latency name bound = { name; objective = Mean_latency bound }
 let max_latency name bound = { name; objective = Max_latency bound }
 let min_throughput name ~per_sec = { name; objective = Min_throughput per_sec }
 
-let check slo recorder ~duration =
-  let empty = Recorder.count recorder = 0 in
+let check_hist slo hist ~duration =
+  let empty = Histogram.count hist = 0 in
   match slo.objective with
   | Latency_percentile { percentile; bound } ->
       let measured =
         if empty then infinity
-        else float_of_int (Recorder.percentile recorder percentile)
+        else float_of_int (Histogram.percentile hist percentile)
       in
       { slo; satisfied = measured <= float_of_int bound; measured;
         target = float_of_int bound }
   | Mean_latency bound ->
-      let measured = if empty then infinity else Recorder.mean recorder in
+      let measured = if empty then infinity else Histogram.mean hist in
       { slo; satisfied = measured <= float_of_int bound; measured;
         target = float_of_int bound }
   | Max_latency bound ->
       let measured =
-        if empty then infinity else float_of_int (Recorder.max_value recorder)
+        if empty then infinity else float_of_int (Histogram.max_value hist)
       in
       { slo; satisfied = measured <= float_of_int bound; measured;
         target = float_of_int bound }
   | Min_throughput per_sec ->
-      let measured = Recorder.throughput_per_sec recorder ~duration in
-      { slo; satisfied = measured >= per_sec; measured; target = per_sec }
+      (* An empty window or a degenerate duration cannot demonstrate any
+         throughput: the verdict is a definite "unsatisfied, measured 0"
+         rather than whatever 0/0 would have produced. *)
+      if empty || duration <= 0 then
+        { slo; satisfied = false; measured = 0.0; target = per_sec }
+      else
+        let measured =
+          float_of_int (Histogram.count hist) /. Time_ns.to_sec_f duration
+        in
+        { slo; satisfied = measured >= per_sec; measured; target = per_sec }
+
+let check slo recorder ~duration =
+  check_hist slo (Recorder.histogram recorder) ~duration
 
 let check_all slos recorder ~duration =
   List.map (fun slo -> check slo recorder ~duration) slos
@@ -51,6 +62,12 @@ let pp_verdict fmt v =
       Format.fprintf fmt "%s: %s (%.1f/s vs >= %.1f/s)" v.slo.name status
         v.measured v.target
   | Latency_percentile _ | Mean_latency _ | Max_latency _ ->
-      Format.fprintf fmt "%s: %s (%s vs <= %s)" v.slo.name status
-        (Time_ns.to_string (int_of_float v.measured))
+      (* Empty recorders measure [infinity], which has no meaningful
+         [int_of_float] image; print it as "no samples" instead. *)
+      let measured =
+        if Float.is_finite v.measured then
+          Time_ns.to_string (int_of_float v.measured)
+        else "no samples"
+      in
+      Format.fprintf fmt "%s: %s (%s vs <= %s)" v.slo.name status measured
         (Time_ns.to_string (int_of_float v.target))

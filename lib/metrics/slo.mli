@@ -24,7 +24,13 @@ val min_throughput : string -> per_sec:float -> t
 
 val check : t -> Recorder.t -> duration:Time_ns.t -> verdict
 (** [check slo recorder ~duration] evaluates the objective against the
-    recorder's samples. An SLO over an empty recorder is unsatisfied. *)
+    recorder's samples. An SLO over an empty recorder is unsatisfied —
+    including [Min_throughput], which measures a definite 0.0 (never
+    NaN) for an empty recorder or a non-positive duration. *)
+
+val check_hist : t -> Histogram.t -> duration:Time_ns.t -> verdict
+(** As {!check}, over a bare histogram — e.g. the merged per-service DP
+    latency from [System.dp_latency_hist]. *)
 
 val check_all : t list -> Recorder.t -> duration:Time_ns.t -> verdict list
 

@@ -87,25 +87,30 @@ let with_system ?layout ?prepare ~seed policy f =
   if !tracing then harvest_run ~seed sys;
   result
 
-let start_bg_dp sys ~target ~until =
+let start_bg_dp ?storage_target sys ~target ~until =
   let client = System.client sys in
   let rng = Rng.split (System.rng sys) "bg-dp" in
+  let storage_target = Option.value storage_target ~default:target in
   Bgload.start client rng
     ~params:(Bgload.default_params ~target_util:target)
     ~cores:(System.net_cores sys) ~kind:Packet.Net_rx ~size:1400 ~until;
   Bgload.start client rng
     ~params:
       {
-        (Bgload.default_params ~target_util:target) with
+        (Bgload.default_params ~target_util:storage_target) with
         Bgload.per_packet_est = Time_ns.ns 5200;
       }
     ~cores:(System.storage_cores sys) ~kind:Packet.Storage_read ~size:4096
     ~until
 
+(* Health monitors and log flushers are the admissions that must never be
+   throttled: they are what tells the operator the NIC is overloaded. *)
 let start_bg_cp sys =
   let rng = Rng.split (System.rng sys) "bg-cp" in
   let tasks = Monitor.standard_background ~rng ~affinity:[] () in
-  List.iter (fun task -> System.spawn_cp sys task) tasks
+  List.iter
+    (fun task -> System.spawn_cp ~cls:Taichi_core.Overload.Critical sys task)
+    tasks
 
 let start_cp_ecosystem sys ?(tasks = 48) ?(target_util = 1.8) () =
   let rng = Rng.split (System.rng sys) "cp-eco" in
@@ -122,13 +127,24 @@ let start_cp_churn sys ~period ~work ~until =
   let counter = ref 0 in
   let rec tick () =
     if Sim.now sim < until then begin
-      incr counter;
-      let task =
-        Synth_cp.make ~rng ~params ~locks:[ lock ] ~affinity:[]
-          ~name:(Printf.sprintf "churn-%d" !counter)
-          ()
-      in
-      System.spawn_cp sys task;
+      (* Churn is housekeeping: a well-behaved deferrable client watches
+         the governor's backpressure signal and holds its submissions
+         while the ladder is at Defer or deeper (they are counted, not
+         silently lost — the post-storm report shows what the brownout
+         cost). *)
+      if System.cp_backpressure sys then
+        Counters.incr
+          (Taichi_hw.Machine.counters (System.machine sys))
+          "overload.client_held.churn"
+      else begin
+        incr counter;
+        let task =
+          Synth_cp.make ~rng ~params ~locks:[ lock ] ~affinity:[]
+            ~name:(Printf.sprintf "churn-%d" !counter)
+            ()
+        in
+        System.spawn_cp ~cls:Taichi_core.Overload.Deferrable sys task
+      end;
       ignore (Sim.after sim period tick)
     end
   in

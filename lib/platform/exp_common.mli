@@ -49,13 +49,20 @@ val trace_runs : unit -> Taichi_metrics.Export.run list
 
 val reset_trace_runs : unit -> unit
 
-val start_bg_dp : System.t -> target:float -> until:Time_ns.t -> unit
+val start_bg_dp :
+  ?storage_target:float -> System.t -> target:float -> until:Time_ns.t -> unit
 (** Bursty background traffic pinning every data-plane core at [target]
-    useful utilization (networking and storage streams). *)
+    useful utilization (networking and storage streams).
+    [?storage_target] overrides the storage stream's utilization
+    (default: same as [target]) — the storage per-packet cost is ~2.4x
+    the networking one, so an experiment whose latency oracle must be
+    attributable to scheduling (not to the generator's own burst
+    queueing) can keep the storage stream lighter. *)
 
 val start_bg_cp : System.t -> unit
 (** The standard long-lived control-plane background (monitors, log
-    flusher, orchestration agent). *)
+    flusher, orchestration agent), admitted as [Overload.Critical] —
+    never throttled by the governor. *)
 
 val start_cp_ecosystem : System.t -> ?tasks:int -> ?target_util:float -> unit -> unit
 (** A production-scale control-plane ecosystem (default 48 tasks consuming
@@ -66,7 +73,9 @@ val start_cp_churn :
   System.t -> period:Time_ns.t -> work:Time_ns.t -> until:Time_ns.t -> unit
 (** Periodically spawn short synth_cp tasks — bursty control-plane demand
     that keeps vCPUs requesting data-plane cycles during data-plane
-    benchmarks. *)
+    benchmarks. Submitted as [Overload.Deferrable]; while the governor
+    signals backpressure the client holds its submissions and counts them
+    under [overload.client_held.churn]. *)
 
 val avg_turnaround_ms : Task.t list -> float
 (** Mean turnaround of finished tasks, in milliseconds. *)

@@ -1,0 +1,25 @@
+(** The [exp_overload] experiment: VM-startup storm x density sweep x
+    overload governor on/off.
+
+    Every cell runs the same storm mix — heavy background DP traffic, the
+    Critical monitor background, Deferrable control-plane churn and a
+    Standard-class VM-startup storm scaled by density — under the
+    no-hardware-probe Tai Chi ablation (so CP placement pressure actually
+    reaches the data-plane tail), with and without [Config.overload].
+
+    Oracles, beyond the machine-wide Core_state audit:
+
+    - the governor-off baseline breaches the DP p99 guardrail at the top
+      density while governor-on holds it;
+    - only the [Deferrable] class is ever shed;
+    - the ladder performs a bounded number of transitions (no flapping)
+      and is back at [Normal] after the post-storm quiet tail;
+    - repeating the hottest governed cell at the same seed reproduces a
+      bit-identical measurement digest. *)
+
+val set_governor_filter : string option -> unit
+(** Restrict the matrix to one governor setting: ["on"] or ["off"] (the
+    CLI's [--overload], also honoured from the [OVERLOAD_GOVERNOR]
+    environment variable). [None] restores both. *)
+
+val overload : seed:int -> scale:float -> unit

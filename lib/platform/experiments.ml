@@ -18,4 +18,5 @@ let all =
     ("sec8", Exp_dp.sec8);
     ("ablations", Exp_ablations.ablations);
     ("chaos", Exp_chaos.chaos);
+    ("overload", Exp_overload.overload);
   ]

@@ -3,6 +3,7 @@
 val all : (string * (seed:int -> scale:float -> unit)) list
 (** [(id, run)] pairs in paper order: fig2, fig3, fig4, fig5, fig6, fig11,
     fig12, fig13, table5, fig14, fig15, fig16, fig17, table1, table2,
-    sec8, the [ablations] suite, plus the [chaos] fault-injection matrix
-    (see {!Exp_chaos}). [scale] shrinks simulated durations for quick
+    sec8, the [ablations] suite, the [chaos] fault-injection matrix (see
+    {!Exp_chaos}), plus the [overload] brownout-governor storm matrix
+    (see {!Exp_overload}). [scale] shrinks simulated durations for quick
     runs. *)

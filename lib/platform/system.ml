@@ -168,10 +168,19 @@ let net_services t = t.net_services
 let storage_services t = t.storage_services
 let services t = t.net_services @ t.storage_services
 
-let spawn_cp t task =
+let overload t =
+  match t.taichi with Some tc -> Taichi.overload tc | None -> None
+
+let cp_backpressure t =
+  match overload t with Some ov -> Overload.backpressure ov | None -> false
+
+let spawn_cp ?(cls = Overload.Standard) t task =
   (* Respect an explicit pin; otherwise bind to the policy's CP CPU set. *)
   if task.Task.affinity = [] then task.Task.affinity <- cp_affinity t;
-  Kernel.spawn t.kernel task
+  let spawn () = Kernel.spawn t.kernel task in
+  match overload t with
+  | None -> spawn ()
+  | Some ov -> ignore (Overload.admit ov ~cls spawn)
 
 let advance t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
 

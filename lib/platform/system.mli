@@ -59,9 +59,22 @@ val net_services : t -> Dp_service.t list
 val storage_services : t -> Dp_service.t list
 val services : t -> Dp_service.t list
 
-val spawn_cp : t -> Task.t -> unit
+val overload : t -> Overload.t option
+(** The policy's overload governor, when armed ([Config.overload] under a
+    Tai Chi policy). *)
+
+val cp_backpressure : t -> bool
+(** The governor's backpressure signal: true while the brownout ladder is
+    at [Defer] or deeper. Workload clients should hold deferrable
+    submissions. Always false without a governor. *)
+
+val spawn_cp : ?cls:Overload.cls -> t -> Task.t -> unit
 (** Spawn a control-plane task: tasks without an explicit affinity are
-    bound to {!cp_affinity}; an existing pin is respected. *)
+    bound to {!cp_affinity}; an existing pin is respected. With an armed
+    overload governor the admission is routed through [Overload.admit]
+    under [cls] (default [Standard]) — it may be deferred until the
+    ladder relaxes, or shed entirely for [Deferrable] work at the deepest
+    rungs. *)
 
 val advance : t -> Time_ns.t -> unit
 (** Run the simulation for a further duration. *)

@@ -212,6 +212,136 @@ let test_degraded_engages_and_rearms () =
   checkb "no longer degraded" false (Recovery.degraded r);
   checki "rearm counted" 1 (Recovery.rearmed_count r)
 
+(* A fault burst landing exactly when the quiet period elapses must not
+   slip past the re-arm check: the simulator runs same-timestamp events
+   FIFO, so a naive deadline check would re-arm first and the burst would
+   re-engage one event later — a spurious rearm/engage flap. The tracker
+   defers the decision past the deadline tick, so the burst extends the
+   degraded episode instead. *)
+let test_burst_at_quiet_boundary_no_double_engage () =
+  let sim, machine, _ = make_machine () in
+  let quiet = Time_ns.us 200 in
+  let config =
+    {
+      (Config.resilient Config.default) with
+      Config.degraded_threshold = 3;
+      degraded_window = Time_ns.us 100;
+      degraded_quiet = quiet;
+    }
+  in
+  let r = Recovery.create config machine in
+  let rearm_times = ref [] in
+  Recovery.on_rearm r (fun () -> rearm_times := Sim.now sim :: !rearm_times);
+  for _ = 1 to 3 do
+    Recovery.note r ~cls:"test" ~action:"a" ~latency:Time_ns.zero
+  done;
+  checkb "engaged at t=0" true (Recovery.degraded r);
+  (* Second burst exactly at the quiet-period end. *)
+  ignore
+    (Sim.at sim quiet (fun () ->
+         for _ = 1 to 3 do
+           Recovery.note r ~cls:"test" ~action:"a" ~latency:Time_ns.zero
+         done));
+  Sim.run ~until:(Time_ns.ms 2) sim;
+  checki "one engage for the whole episode" 1 (Recovery.engaged_count r);
+  checki "one re-arm for the whole episode" 1 (Recovery.rearmed_count r);
+  checkb "re-armed at the end" false (Recovery.degraded r);
+  match !rearm_times with
+  | [ t ] ->
+      checkb "re-arm waited for quiet after the boundary burst" true
+        (t > quiet + quiet)
+  | ts -> Alcotest.failf "expected exactly one re-arm, got %d" (List.length ts)
+
+(* Re-arming must restore the pre-degraded placement policy, not merely
+   clear the flag: a vCPU-pinned task is unschedulable while degraded
+   (vCPUs are evicted and the placement gate is closed) and must run to
+   completion once the quiet period re-opens co-scheduling. *)
+let test_rearm_restores_placement_policy () =
+  let config =
+    {
+      (Config.resilient Config.default) with
+      Config.degraded_threshold = 2;
+      degraded_window = Time_ns.ms 1;
+      degraded_quiet = Time_ns.ms 2;
+    }
+  in
+  let sys =
+    Taichi_platform.System.create ~seed:11 (Taichi_platform.Policy.Taichi config)
+  in
+  Taichi_platform.System.warmup sys;
+  let tc = Option.get (Taichi_platform.System.taichi sys) in
+  let r = Taichi.recovery tc in
+  Recovery.note r ~cls:"test" ~action:"burst" ~latency:Time_ns.zero;
+  Recovery.note r ~cls:"test" ~action:"burst" ~latency:Time_ns.zero;
+  checkb "degraded after burst" true (Recovery.degraded r);
+  let t =
+    Taichi_os.Task.create ~name:"pinned"
+      ~step:
+        (Taichi_os.Program.to_step
+           [ Taichi_os.Program.compute (Time_ns.us 500) ])
+      ()
+  in
+  t.Taichi_os.Task.affinity <-
+    List.map (fun v -> v.Taichi_virt.Vcpu.kcpu) (Taichi.vcpus tc);
+  Taichi_platform.System.spawn_cp sys t;
+  Taichi_platform.System.advance sys (Time_ns.ms 1);
+  checkb "still degraded mid-quiet" true (Recovery.degraded r);
+  checkb "pinned task starved while degraded" false (Taichi_os.Task.is_finished t);
+  Taichi_platform.System.advance sys (Time_ns.ms 10);
+  checkb "re-armed after quiet" false (Recovery.degraded r);
+  checki "one re-arm" 1 (Recovery.rearmed_count r);
+  checkb "pinned task ran once placement resumed" true (Taichi_os.Task.is_finished t)
+
+(* The overload governor's pin: force_engage holds degraded mode open
+   through any quiet period; force_release re-arms immediately. Both are
+   idempotent. *)
+let test_forced_engage_pins_and_release_rearms () =
+  let sim, machine, _ = make_machine () in
+  let config =
+    {
+      (Config.resilient Config.default) with
+      Config.degraded_threshold = 2;
+      degraded_window = Time_ns.us 100;
+      degraded_quiet = Time_ns.us 200;
+    }
+  in
+  let r = Recovery.create config machine in
+  Recovery.note r ~cls:"test" ~action:"a" ~latency:Time_ns.zero;
+  Recovery.note r ~cls:"test" ~action:"a" ~latency:Time_ns.zero;
+  checkb "engaged" true (Recovery.degraded r);
+  Recovery.force_engage r;
+  Recovery.force_engage r;
+  checkb "forced" true (Recovery.forced r);
+  checki "idempotent force counted once" 1
+    (Counters.get (Machine.counters machine) "recovery.degraded.forced");
+  (* Far past the fault-side quiet period: the pin blocks the re-arm. *)
+  Sim.run ~until:(Time_ns.ms 5) sim;
+  checkb "still degraded under the pin" true (Recovery.degraded r);
+  checki "no quiet re-arm under the pin" 0 (Recovery.rearmed_count r);
+  Recovery.force_release r;
+  checkb "release re-arms immediately" false (Recovery.degraded r);
+  checki "one re-arm" 1 (Recovery.rearmed_count r);
+  Recovery.force_release r;
+  checki "release idempotent" 1 (Recovery.rearmed_count r);
+  checki "one engage end to end" 1 (Recovery.engaged_count r)
+
+(* force_engage works without [resilience]: the governor carries its own
+   opt-in, so load-driven static partitioning must not depend on the
+   fault-side flag. *)
+let test_forced_engage_without_resilience () =
+  let _, machine, _ = make_machine () in
+  let config = Config.default in
+  let r = Recovery.create config machine in
+  let engaged = ref false and rearmed = ref false in
+  Recovery.on_engage r (fun () -> engaged := true);
+  Recovery.on_rearm r (fun () -> rearmed := true);
+  Recovery.force_engage r;
+  checkb "engages without resilience" true (Recovery.degraded r);
+  checkb "engage callback ran" true !engaged;
+  Recovery.force_release r;
+  checkb "release re-arms" false (Recovery.degraded r);
+  checkb "rearm callback ran" true !rearmed
+
 let test_degraded_inert_without_resilience () =
   let _, machine, _ = make_machine () in
   let config = { Config.default with Config.degraded_threshold = 1 } in
@@ -232,6 +362,18 @@ let suite =
     ("state table freeze and force", `Quick, test_state_table_freeze_force);
     ("injection stops at horizon", `Quick, test_injection_stops_at_horizon);
     ("degraded engages and re-arms", `Quick, test_degraded_engages_and_rearms);
+    ( "burst at quiet boundary does not double-engage",
+      `Quick,
+      test_burst_at_quiet_boundary_no_double_engage );
+    ( "re-arm restores placement policy",
+      `Quick,
+      test_rearm_restores_placement_policy );
+    ( "forced engage pins, release re-arms",
+      `Quick,
+      test_forced_engage_pins_and_release_rearms );
+    ( "forced engage without resilience",
+      `Quick,
+      test_forced_engage_without_resilience );
     ( "degraded inert without resilience",
       `Quick,
       test_degraded_inert_without_resilience );

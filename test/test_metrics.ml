@@ -92,6 +92,153 @@ let contains haystack needle =
   let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
   scan 0
 
+(* All four objective kinds against one recorder of 1..100us samples:
+   mean 50.5us, max 100us, 100 samples over the duration. *)
+let test_slo_all_kinds () =
+  let r = Recorder.create "lat" in
+  for i = 1 to 100 do
+    Recorder.observe r (Time_ns.us i)
+  done;
+  let dur = Time_ns.ms 100 in
+  let verdict slo = (Slo.check slo r ~duration:dur).Slo.satisfied in
+  checkb "p99 ok" true
+    (verdict (Slo.latency_p "p" ~percentile:99.0 ~bound:(Time_ns.us 150)));
+  checkb "p99 violated" false
+    (verdict (Slo.latency_p "p" ~percentile:99.0 ~bound:(Time_ns.us 50)));
+  checkb "mean ok" true (verdict (Slo.mean_latency "m" (Time_ns.us 60)));
+  checkb "mean violated" false (verdict (Slo.mean_latency "m" (Time_ns.us 40)));
+  checkb "max ok" true (verdict (Slo.max_latency "x" (Time_ns.us 110)));
+  checkb "max violated" false (verdict (Slo.max_latency "x" (Time_ns.us 50)));
+  (* 100 samples / 100 ms = 1000/s. *)
+  checkb "throughput ok" true
+    (verdict (Slo.min_throughput "t" ~per_sec:900.0));
+  checkb "throughput violated" false
+    (verdict (Slo.min_throughput "t" ~per_sec:1100.0));
+  checki "check_all covers every slo" 2
+    (List.length
+       (Slo.check_all
+          [ Slo.mean_latency "m" (Time_ns.us 60);
+            Slo.min_throughput "t" ~per_sec:900.0 ]
+          r ~duration:dur))
+
+(* A window that cannot demonstrate throughput — no samples, or a
+   degenerate duration — must produce a definite "unsatisfied, 0/s"
+   verdict, never a 0/0 artifact. *)
+let test_slo_min_throughput_degenerate () =
+  let empty = Recorder.create "empty" in
+  let slo = Slo.min_throughput "t" ~per_sec:1.0 in
+  let v = Slo.check slo empty ~duration:(Time_ns.sec 1) in
+  checkb "empty window unsatisfied" false v.Slo.satisfied;
+  Alcotest.(check (float 0.0)) "empty window measures zero" 0.0 v.Slo.measured;
+  let r = Recorder.create "some" in
+  Recorder.observe r 1;
+  let v = Slo.check slo r ~duration:0 in
+  checkb "zero duration unsatisfied" false v.Slo.satisfied;
+  Alcotest.(check (float 0.0)) "zero duration measures zero" 0.0 v.Slo.measured;
+  (* Even a 0/s target cannot be "demonstrated" by an empty window. *)
+  let v =
+    Slo.check (Slo.min_throughput "t" ~per_sec:0.0) empty
+      ~duration:(Time_ns.sec 1)
+  in
+  checkb "vacuous target still unsatisfied on empty" false v.Slo.satisfied
+
+let test_slo_check_hist () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ Time_ns.us 10; Time_ns.us 20; Time_ns.us 30 ];
+  let v =
+    Slo.check_hist
+      (Slo.latency_p "p" ~percentile:50.0 ~bound:(Time_ns.us 25))
+      h ~duration:(Time_ns.ms 1)
+  in
+  checkb "hist p50 ok" true v.Slo.satisfied;
+  let v =
+    Slo.check_hist (Slo.min_throughput "t" ~per_sec:1000.0) h
+      ~duration:(Time_ns.ms 1)
+  in
+  (* 3 samples / 1 ms = 3000/s. *)
+  checkb "hist throughput ok" true v.Slo.satisfied
+
+let test_slo_pp_verdict () =
+  let empty = Recorder.create "empty" in
+  let v =
+    Slo.check
+      (Slo.latency_p "dp.p99" ~percentile:99.0 ~bound:(Time_ns.us 100))
+      empty ~duration:(Time_ns.sec 1)
+  in
+  let s = Format.asprintf "%a" Slo.pp_verdict v in
+  checkb "empty latency prints no-samples" true (contains s "no samples");
+  checkb "violated status printed" true (contains s "VIOLATED");
+  let r = Recorder.create "t" in
+  Recorder.observe r 1;
+  let s =
+    Format.asprintf "%a" Slo.pp_verdict
+      (Slo.check (Slo.min_throughput "t" ~per_sec:0.5) r
+         ~duration:(Time_ns.sec 1))
+  in
+  checkb "throughput prints rate" true (contains s "/s");
+  checkb "satisfied status printed" true (contains s "OK")
+
+(* --- Quantile (sliding-window sketch) ------------------------------------- *)
+
+let test_quantile_basic () =
+  let q = Quantile.create ~slices:4 ~slice:(Time_ns.us 100) () in
+  checki "window" (Time_ns.us 400) (Quantile.window q);
+  checkb "empty sketch" true (Quantile.quantile q ~now:0 50.0 = None);
+  Quantile.observe q ~now:10 (Time_ns.us 10);
+  checki "count" 1 (Quantile.count q ~now:10);
+  let v = Option.get (Quantile.quantile q ~now:10 99.0) in
+  checkb "estimate errs high" true (v >= Time_ns.us 10);
+  checkb "estimate within a sub-bucket" true
+    (v <= Time_ns.us 10 + (Time_ns.us 10 / 8))
+
+let test_quantile_window_expiry () =
+  let q = Quantile.create ~slices:4 ~slice:(Time_ns.us 100) () in
+  (* A huge early sample and a small late one: once the early slice falls
+     out of the window only the small sample answers. *)
+  Quantile.observe q ~now:0 (Time_ns.ms 10);
+  Quantile.observe q ~now:(Time_ns.us 380) (Time_ns.us 5);
+  checki "both in window" 2 (Quantile.count q ~now:(Time_ns.us 390));
+  (* Eviction is slice-granular: at 500us the window covers slices 2..5,
+     so the t=0 sample is gone and the t=380us one survives. *)
+  let now = Time_ns.us 500 in
+  checki "early slice expired" 1 (Quantile.count q ~now);
+  let v = Option.get (Quantile.quantile q ~now 100.0) in
+  checkb "max reflects only the survivor" true (v < Time_ns.us 10);
+  (* Far past the window everything is gone. *)
+  let now = Time_ns.ms 2 in
+  checki "all expired" 0 (Quantile.count q ~now);
+  checkb "quantile empty again" true (Quantile.quantile q ~now 99.0 = None)
+
+let test_quantile_determinism () =
+  let feed q =
+    for i = 1 to 500 do
+      Quantile.observe q
+        ~now:(i * Time_ns.us 7)
+        (Time_ns.us (1 + ((i * 37) mod 200)))
+    done;
+    List.map
+      (fun p -> Quantile.quantile q ~now:(Time_ns.ms 4) p)
+      [ 50.0; 90.0; 99.0; 100.0 ]
+  in
+  let a = feed (Quantile.create ~slices:8 ~slice:(Time_ns.us 200) ()) in
+  let b = feed (Quantile.create ~slices:8 ~slice:(Time_ns.us 200) ()) in
+  checkb "identical feeds answer identically" true (a = b)
+
+let test_quantile_invalid_args () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "zero slice rejected" true (raises (fun () ->
+      Quantile.create ~slice:0 ()));
+  checkb "zero slices rejected" true (raises (fun () ->
+      Quantile.create ~slices:0 ~slice:1 ()));
+  let q = Quantile.create ~slice:(Time_ns.us 10) () in
+  Quantile.observe q ~now:0 5;
+  checkb "out-of-range percentile rejected" true (raises (fun () ->
+      Quantile.quantile q ~now:0 101.0))
+
 let test_table_render () =
   let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
   Table.add_row t [ "alpha"; "1" ];
@@ -209,6 +356,16 @@ let suite =
     ("slo latency", `Quick, test_slo_latency);
     ("slo throughput", `Quick, test_slo_throughput);
     ("slo empty recorder", `Quick, test_slo_empty_recorder);
+    ("slo all objective kinds", `Quick, test_slo_all_kinds);
+    ( "slo throughput degenerate windows",
+      `Quick,
+      test_slo_min_throughput_degenerate );
+    ("slo check_hist", `Quick, test_slo_check_hist);
+    ("slo verdict printing", `Quick, test_slo_pp_verdict);
+    ("quantile basic", `Quick, test_quantile_basic);
+    ("quantile window expiry", `Quick, test_quantile_window_expiry);
+    ("quantile determinism", `Quick, test_quantile_determinism);
+    ("quantile invalid args", `Quick, test_quantile_invalid_args);
     ("table render", `Quick, test_table_render);
     ("table mismatch", `Quick, test_table_mismatch);
     ("table cell formatting", `Quick, test_table_cells);
