@@ -1,4 +1,9 @@
-.PHONY: all build test smoke ci clean
+.PHONY: all build test smoke sweep-check ci clean
+
+# Cell-level parallelism for the experiment sweeps below. Output and
+# trace exports are byte-identical at any value (see DESIGN.md §11), so
+# JOBS only changes wall-clock: `make smoke JOBS=4`.
+JOBS ?= 1
 
 all: build
 
@@ -16,17 +21,34 @@ test: build
 # overload storm, whose export additionally exercises trace_lint's ladder
 # checks (transition sequence, one rung at a time, minimum dwell).
 smoke: test
-	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_TRACE_JSON=_build/smoke-trace.json \
+	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_JOBS=$(JOBS) \
+		BENCH_TRACE_JSON=_build/smoke-trace.json \
 		dune exec bench/main.exe
 	dune exec bin/trace_lint.exe -- _build/smoke-trace.json
 	dune exec bin/taichi_sim.exe -- chaos --seed 42 --scale 0.1 \
-		--trace-json _build/chaos-trace.json
+		--jobs $(JOBS) --trace-json _build/chaos-trace.json
 	dune exec bin/trace_lint.exe -- _build/chaos-trace.json
 	dune exec bin/taichi_sim.exe -- overload --seed 42 --scale 0.25 \
-		--trace-json _build/overload-trace.json
+		--jobs $(JOBS) --trace-json _build/overload-trace.json
 	dune exec bin/trace_lint.exe -- _build/overload-trace.json
 
-ci: smoke
+# The sweep determinism contract, end to end through the real CLI: the
+# same experiment at --jobs 1 and --jobs 4 must produce byte-identical
+# stdout (modulo the export path echoed in the final line) and
+# byte-identical taichi-trace-v1 JSON, which must also lint clean.
+sweep-check: build
+	mkdir -p _build/sweep
+	dune exec bin/taichi_sim.exe -- fig17 --seed 42 --jobs 1 \
+		--trace-json _build/sweep/j1.json > _build/sweep/j1.out
+	dune exec bin/taichi_sim.exe -- fig17 --seed 42 --jobs 4 \
+		--trace-json _build/sweep/j4.json > _build/sweep/j4.out
+	cmp _build/sweep/j1.json _build/sweep/j4.json
+	sed 's|_build/sweep/j1.json|TRACE|' _build/sweep/j1.out > _build/sweep/j1.norm
+	sed 's|_build/sweep/j4.json|TRACE|' _build/sweep/j4.out > _build/sweep/j4.norm
+	cmp _build/sweep/j1.norm _build/sweep/j4.norm
+	dune exec bin/trace_lint.exe -- _build/sweep/j4.json
+
+ci: smoke sweep-check
 
 clean:
 	dune clean

@@ -6,6 +6,8 @@
      BENCH_SCALE       duration scale factor (default 0.25; 1.0 = full length)
      BENCH_SEED        root seed (default 42)
      BENCH_ONLY        comma-separated experiment ids to run (default: all)
+     BENCH_JOBS        domains per experiment sweep (default 1; output is
+                       byte-identical at any value)
      BENCH_TRACE_JSON  collect scheduler traces and write the JSON export
                        (schema taichi-trace-v1) to this path
 *)
@@ -51,31 +53,64 @@ let trace_json = Sys.getenv_opt "BENCH_TRACE_JSON"
 let run_experiments () =
   let scale = getenv_f "BENCH_SCALE" 0.25 in
   let seed = getenv_i "BENCH_SEED" 42 in
+  let jobs = getenv_i "BENCH_JOBS" 1 in
   Printf.printf
-    "Tai Chi evaluation harness: seed=%d scale=%.2f (set BENCH_SCALE=1.0 \
-     for full-length runs)\n"
-    seed scale;
-  if trace_json <> None then Taichi_platform.Exp_common.set_tracing true;
+    "Tai Chi evaluation harness: seed=%d scale=%.2f jobs=%d (set \
+     BENCH_SCALE=1.0 for full-length runs)\n"
+    seed scale jobs;
+  let module P = Taichi_platform in
+  let ctx = P.Run_ctx.create ~tracing:(trace_json <> None) () in
   List.iter
-    (fun (name, f) ->
+    (fun desc ->
+      let name = P.Exp_desc.name desc in
       let skip =
         match wanted with Some names -> not (List.mem name names) | None -> false
       in
       if not skip then begin
         let t0 = Unix.gettimeofday () in
-        Taichi_platform.Exp_common.set_experiment name;
-        f ~seed ~scale;
+        P.Sweep.run ~jobs (P.Run_ctx.with_experiment ctx name) desc ~seed ~scale;
         Printf.printf "[%s completed in %.1fs wall]\n" name
           (Unix.gettimeofday () -. t0)
       end)
-    Taichi_platform.Experiments.all;
+    P.Experiments.all;
   match trace_json with
   | Some path ->
-      let runs = Taichi_platform.Exp_common.trace_runs () in
+      let runs = P.Run_ctx.runs ctx in
       Taichi_metrics.Export.write_file path runs;
       Printf.printf "trace export: %d run(s) written to %s\n"
         (List.length runs) path
   | None -> ()
+
+(* --- sequential vs parallel sweep wall-clock ------------------------------ *)
+
+(* Time one representative multi-cell sweep (fig17: 8 systems) at jobs=1
+   and at the parallel width, discarding the experiment's own output (the
+   sweeps run under a buffered context that is never flushed). On a
+   single-core host the two times are expected to match — the point of
+   the record is the determinism contract's cost, not a speedup claim. *)
+let report_sweep_wallclock () =
+  let module P = Taichi_platform in
+  let seed = getenv_i "BENCH_SEED" 42 in
+  let scale = Float.min 0.1 (getenv_f "BENCH_SCALE" 0.25) in
+  let par_jobs = max 2 (getenv_i "BENCH_JOBS" 4) in
+  match P.Experiments.find "fig17" with
+  | None -> ()
+  | Some desc ->
+      let time jobs =
+        let silent = P.Run_ctx.for_cell (P.Run_ctx.create ()) in
+        let t0 = Unix.gettimeofday () in
+        P.Sweep.run ~jobs silent desc ~seed ~scale;
+        Unix.gettimeofday () -. t0
+      in
+      let seq = time 1 in
+      let par = time par_jobs in
+      Printf.printf
+        "\nSweep wall-clock (fig17, %d cells, scale %.2f): jobs=1 %.2fs, \
+         jobs=%d %.2fs (%.2fx, %d core(s))\n"
+        (P.Exp_desc.cell_count desc)
+        scale seq par_jobs par
+        (seq /. Float.max 0.001 par)
+        (Domain.recommended_domain_count ())
 
 (* --- bechamel microbenchmarks -------------------------------------------- *)
 
@@ -175,5 +210,6 @@ let report_tombstones () =
 
 let () =
   run_experiments ();
+  report_sweep_wallclock ();
   run_microbenches ();
   report_tombstones ()

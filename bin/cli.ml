@@ -1,25 +1,16 @@
 (* Cmdliner front end for the experiment suite. *)
 
 open Cmdliner
+module P = Taichi_platform
 
-let experiment_names = List.map fst Taichi_platform.Experiments.all
-
-let run_experiment name seed scale =
-  match List.assoc_opt name Taichi_platform.Experiments.all with
-  | Some f ->
-      Taichi_platform.Exp_common.set_experiment name;
-      f ~seed ~scale;
-      0
-  | None ->
-      Printf.eprintf "unknown experiment %s; known: %s\n" name
-        (String.concat ", " experiment_names);
-      1
+let experiment_names = List.map P.Exp_desc.name P.Experiments.all
 
 let name_arg =
   let doc =
-    "Experiment id: " ^ String.concat ", " experiment_names ^ ", or 'all'."
+    "Experiment id: " ^ String.concat ", " experiment_names
+    ^ ", or 'all'. Omit with $(b,--list)."
   in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
 
 let seed_arg =
   let doc = "Root random seed (experiments are bit-reproducible per seed)." in
@@ -32,6 +23,18 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run experiment cells on $(docv) OCaml domains. Output, oracles and \
+     trace exports are byte-identical at any value (cells merge in \
+     declaration order); 1 runs inline."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let list_arg =
+  let doc = "List the registered experiments with their cell counts." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
 let trace_arg =
   let doc =
     "Collect the scheduler-wide trace and print per-run occupancy \
@@ -42,7 +45,8 @@ let trace_arg =
 let trace_json_arg =
   let doc =
     "Collect the scheduler-wide trace and export every run as JSON \
-     (schema taichi-trace-v1) to $(docv). Deterministic for a fixed seed."
+     (schema taichi-trace-v1) to $(docv). Deterministic for a fixed seed \
+     and any $(b,--jobs)."
   in
   Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
@@ -68,6 +72,15 @@ let overload_governor_arg =
     & opt (some string) None
     & info [ "overload" ] ~docv:"GOVERNOR" ~doc)
 
+let list_experiments () =
+  Printf.printf "%-10s %5s  %s\n" "name" "cells" "description";
+  List.iter
+    (fun d ->
+      Printf.printf "%-10s %5d  %s\n" (P.Exp_desc.name d)
+        (P.Exp_desc.cell_count d)
+        (P.Exp_desc.description d))
+    P.Experiments.all
+
 let print_trace_report runs =
   List.iter
     (fun (run : Taichi_metrics.Export.run) ->
@@ -88,70 +101,114 @@ let audit_exit_code = 3
 
 let report_audit_failures failures =
   List.iter
-    (fun (f : Taichi_platform.Exp_common.audit_failure) ->
+    (fun (f : P.Run_ctx.audit_failure) ->
       Printf.eprintf "AUDIT FAILURE: %s (seed %d):\n" f.experiment f.seed;
       List.iter (Printf.eprintf "  - %s\n") f.violations)
     failures;
   Printf.eprintf "%d run(s) failed the post-experiment audit\n"
     (List.length failures)
 
-let run name seed scale trace trace_json chaos_profile overload_governor =
-  (match chaos_profile with
-  | Some p -> Taichi_platform.Exp_chaos.set_profile_filter (Some p)
-  | None -> ());
-  (match overload_governor with
-  | Some g -> Taichi_platform.Exp_overload.set_governor_filter (Some g)
-  | None -> ());
-  (* Collect audit violations instead of aborting mid-batch: every
-     experiment still runs, then the process exits with the distinct
-     audit status below. *)
-  Taichi_platform.Exp_common.set_audit_collect true;
-  Taichi_platform.Exp_common.reset_audit_failures ();
-  let tracing = trace || trace_json <> None in
-  if tracing then Taichi_platform.Exp_common.set_tracing true;
-  let status =
-    if name = "all" then begin
-      List.iter
-        (fun (ename, f) ->
-          Taichi_platform.Exp_common.set_experiment ename;
-          f ~seed ~scale)
-        Taichi_platform.Experiments.all;
-      0
-    end
-    else run_experiment name seed scale
-  in
-  let status =
-    if status = 0 && tracing then begin
-      let runs = Taichi_platform.Exp_common.trace_runs () in
-      if trace then print_trace_report runs;
-      (* Export failures must not look like a successful run: report and
-         fail cleanly rather than dying on an uncaught Sys_error. *)
-      match trace_json with
-      | Some path -> (
-          try
-            Taichi_metrics.Export.write_file path runs;
-            Printf.printf "trace export: %d run(s) written to %s\n"
-              (List.length runs) path;
-            status
-          with Sys_error msg ->
-            Printf.eprintf "cannot write trace export: %s\n" msg;
-            1)
-      | None -> status
-    end
-    else status
-  in
-  match Taichi_platform.Exp_common.audit_failures () with
-  | [] -> status
-  | failures ->
-      report_audit_failures failures;
-      audit_exit_code
+(* The CI matrix narrows chaos/overload through the environment; an
+   explicit flag wins over it. Both become plain cell filters on the
+   relevant descriptor — no module state anywhere. *)
+let filter_for ~chaos_profile ~overload_governor desc =
+  match P.Exp_desc.name desc with
+  | "chaos" -> (
+      match chaos_profile with
+      | Some p -> P.Exp_chaos.profile_filter p
+      | None -> fun _ -> true)
+  | "overload" -> (
+      match overload_governor with
+      | Some g -> P.Exp_overload.governor_filter g
+      | None -> fun _ -> true)
+  | _ -> fun _ -> true
+
+let run name seed scale jobs list trace trace_json chaos_profile
+    overload_governor =
+  if list then begin
+    list_experiments ();
+    0
+  end
+  else
+    match name with
+    | None ->
+        Printf.eprintf "missing EXPERIMENT (try --list)\n";
+        1
+    | Some name -> (
+        let chaos_profile =
+          match chaos_profile with
+          | Some _ as p -> p
+          | None -> Sys.getenv_opt "CHAOS_PROFILE"
+        in
+        let overload_governor =
+          match overload_governor with
+          | Some _ as g -> g
+          | None -> Sys.getenv_opt "OVERLOAD_GOVERNOR"
+        in
+        let tracing = trace || trace_json <> None in
+        (* Collect audit violations instead of aborting mid-batch: every
+           experiment still runs, then the process exits with the distinct
+           audit status below. *)
+        let ctx = P.Run_ctx.create ~tracing ~audit:P.Run_ctx.Collect () in
+        let run_desc desc =
+          let ctx = P.Run_ctx.with_experiment ctx (P.Exp_desc.name desc) in
+          P.Sweep.run ~jobs
+            ~filter:(filter_for ~chaos_profile ~overload_governor desc)
+            ctx desc ~seed ~scale
+        in
+        let status =
+          if name = "all" then begin
+            List.iter run_desc P.Experiments.all;
+            0
+          end
+          else
+            match P.Experiments.find name with
+            | Some desc ->
+                run_desc desc;
+                0
+            | None ->
+                Printf.eprintf "unknown experiment %s" name;
+                (match P.Experiments.closest name with
+                | Some suggestion ->
+                    Printf.eprintf " (did you mean %s?)" suggestion
+                | None -> ());
+                Printf.eprintf "; known: %s\n"
+                  (String.concat ", " experiment_names);
+                1
+        in
+        let status =
+          if status = 0 && tracing then begin
+            let runs = P.Run_ctx.runs ctx in
+            if trace then print_trace_report runs;
+            (* Export failures must not look like a successful run: report
+               and fail cleanly rather than dying on an uncaught
+               Sys_error. *)
+            match trace_json with
+            | Some path -> (
+                try
+                  Taichi_metrics.Export.write_file path runs;
+                  Printf.printf "trace export: %d run(s) written to %s\n"
+                    (List.length runs) path;
+                  status
+                with Sys_error msg ->
+                  Printf.eprintf "cannot write trace export: %s\n" msg;
+                  1)
+            | None -> status
+          end
+          else status
+        in
+        match P.Run_ctx.audit_failures ctx with
+        | [] -> status
+        | failures ->
+            report_audit_failures failures;
+            audit_exit_code)
 
 let cmd =
   let doc = "Reproduce the Tai Chi (SOSP'25) evaluation on the simulator" in
   let info = Cmd.info "taichi_sim" ~doc in
   Cmd.v info
     Term.(
-      const run $ name_arg $ seed_arg $ scale_arg $ trace_arg $ trace_json_arg
-      $ chaos_profile_arg $ overload_governor_arg)
+      const run $ name_arg $ seed_arg $ scale_arg $ jobs_arg $ list_arg
+      $ trace_arg $ trace_json_arg $ chaos_profile_arg $ overload_governor_arg)
 
 let main () = exit (Cmd.eval' cmd)

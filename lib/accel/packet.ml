@@ -13,11 +13,14 @@ type t = {
   mutable t_done : Time_ns.t;
 }
 
-let next_pid = ref 0
+(* Pids only need to be unique for identification in [pp]; the atomic
+   counter keeps allocation race-free when several simulated systems run
+   on concurrent domains. Behaviour must never depend on pid values. *)
+let next_pid = Atomic.make 0
 
 let create ~kind ~size ~dst_core ~tag =
-  incr next_pid;
-  { pid = !next_pid; kind; size; dst_core; tag; t_submit = 0; t_ring = 0; t_done = 0 }
+  let pid = Atomic.fetch_and_add next_pid 1 + 1 in
+  { pid; kind; size; dst_core; tag; t_submit = 0; t_ring = 0; t_done = 0 }
 
 let kind_name = function
   | Net_rx -> "net_rx"

@@ -49,8 +49,6 @@ type cpu = {
   lapic : Lapic.t;
 }
 
-(* Remaining work of a preempted/paused Run, carried by the task. *)
-let pending : (int, Time_ns.t * Task.exec_mode) Hashtbl.t = Hashtbl.create 64
 
 type stats = {
   context_switches : int;
@@ -67,6 +65,10 @@ type t = {
   machine : Machine.t;
   config : config;
   cpus : (int, cpu) Hashtbl.t;
+  (* Remaining work of a preempted/paused Run, keyed by tid. Per kernel
+     instance: two systems (or two domains) must never share run
+     bookkeeping. *)
+  pending : (int, Time_ns.t * Task.exec_mode) Hashtbl.t;
   mutable cpu_order : int list;
   mutable work_available_hook : int -> unit;
   mutable cpu_idle_hook : int -> unit;
@@ -87,6 +89,7 @@ let create ?(config = default_config) machine =
     machine;
     config;
     cpus = Hashtbl.create 32;
+    pending = Hashtbl.create 64;
     cpu_order = [];
     work_available_hook = (fun _ -> ());
     cpu_idle_hook = (fun _ -> ());
@@ -176,9 +179,9 @@ let pause_run t c =
       let task = match c.cur with Some x -> x | None -> assert false in
       let elapsed = Sim.now t.sim - c.run_started in
       let done_work = unscale c elapsed in
-      (match Hashtbl.find_opt pending task.Task.tid with
+      (match Hashtbl.find_opt t.pending task.Task.tid with
       | Some (left, mode) ->
-          Hashtbl.replace pending task.Task.tid (max 0 (left - done_work), mode)
+          Hashtbl.replace t.pending task.Task.tid (max 0 (left - done_work), mode)
       | None -> ());
       task.Task.cpu_time <- task.Task.cpu_time + done_work;
       charge t c Accounting.Cp_work elapsed
@@ -347,10 +350,10 @@ and run_ops t c task guard =
     failwith
       (Printf.sprintf "Kernel: task %s issued too many zero-cost ops" task.Task.tname);
   (* A paused Run resumes before new ops are requested. *)
-  match Hashtbl.find_opt pending task.Task.tid with
+  match Hashtbl.find_opt t.pending task.Task.tid with
   | Some (left, _mode) when left > 0 -> start_run t c task left
   | Some (_, mode) ->
-      Hashtbl.remove pending task.Task.tid;
+      Hashtbl.remove t.pending task.Task.tid;
       finish_run_effects t c task mode ~continue_guard:guard
   | None -> (
       let op = task.Task.step task in
@@ -362,7 +365,7 @@ and run_ops t c task guard =
           | Task.User -> ());
           if mode = Task.Kernel_nonpreemptible then
             task.Task.np_depth <- task.Task.np_depth + 1;
-          Hashtbl.replace pending task.Task.tid (duration, mode);
+          Hashtbl.replace t.pending task.Task.tid (duration, mode);
           start_run t c task duration
       | Task.Acquire lock -> (
           match lock.Task.owner with
@@ -429,11 +432,11 @@ and finish_run t c task =
   c.run_handle <- None;
   let elapsed = Sim.now t.sim - c.run_started in
   charge t c Accounting.Cp_work elapsed;
-  match Hashtbl.find_opt pending task.Task.tid with
+  match Hashtbl.find_opt t.pending task.Task.tid with
   | None -> assert false
   | Some (left, mode) ->
       task.Task.cpu_time <- task.Task.cpu_time + left;
-      Hashtbl.remove pending task.Task.tid;
+      Hashtbl.remove t.pending task.Task.tid;
       finish_run_effects t c task mode ~continue_guard:0
 
 and finish_run_effects t c task mode ~continue_guard =

@@ -51,12 +51,15 @@ and t = {
   mutable lock_acquisitions : int;
 }
 
-let next_tid = ref 0
+(* Tids only need to be unique (they key per-kernel hashtables and show up
+   in [pp]); an atomic counter keeps allocation race-free when several
+   domains build systems concurrently. Nothing may depend on tid *values*:
+   under a parallel sweep the interleaving is nondeterministic. *)
+let next_tid = Atomic.make 0
 
 let create ?(prio = Normal) ?(affinity = []) ~name ~step () =
-  incr next_tid;
   {
-    tid = !next_tid;
+    tid = Atomic.fetch_and_add next_tid 1 + 1;
     tname = name;
     prio;
     affinity;

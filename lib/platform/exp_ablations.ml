@@ -16,8 +16,8 @@ type outcome = {
   max_spin_ms : float;  (** worst per-task spin time: lock-safety damage *)
 }
 
-let scenario ~seed label config =
-  with_system ~seed (Policy.Taichi config) (fun sys ->
+let scenario ctx ~seed label config =
+  with_system ~ctx ~seed (Policy.Taichi config) (fun sys ->
       let sim = System.sim sys in
       let horizon = Time_ns.sec 4 in
       let until = Sim.now sim + horizon in
@@ -56,45 +56,62 @@ let scenario ~seed label config =
         max_spin_ms = Time_ns.to_ms_f max_spin;
       })
 
-let ablations ~seed ~scale:_ =
-  banner "Ablations: adaptive slice / adaptive threshold / lock safety";
-  let variants =
-    [
-      ("full taichi", Config.default);
-      ("fixed slice", Config.fixed_slice Config.default);
-      ("fixed threshold", Config.fixed_threshold Config.default);
-      ("no lock-safe resched", Config.unsafe_locks Config.default);
-    ]
-  in
-  let table =
-    Table.create
-      ~columns:
-        [
-          ("variant", Table.Left);
-          ("cp_avg_ms", Table.Right);
-          ("rtt_max_us", Table.Right);
-          ("vm_exits", Table.Right);
-          ("placements", Table.Right);
-          ("unsafe_susp", Table.Right);
-          ("max_spin_ms", Table.Right);
-        ]
-  in
-  List.iter
-    (fun (label, config) ->
-      let o = scenario ~seed label config in
-      Table.add_row table
-        [
-          o.label;
-          Table.cell_f o.cp_ms;
-          Table.cell_f o.rtt_max_us;
-          string_of_int o.vm_exits;
-          string_of_int o.placements;
-          string_of_int o.unsafe;
-          Table.cell_f o.max_spin_ms;
-        ])
-    variants;
-  Table.print table;
-  Printf.printf
-    "Expected: fixed slice raises VM-exit pressure; fixed threshold either \
-     wastes idle cycles or false-positives; disabling lock safety produces \
-     unsafe suspensions and inflated spin times.\n"
+let variants =
+  [
+    ("full", "full taichi", Config.default);
+    ("fixed-slice", "fixed slice", Config.fixed_slice Config.default);
+    ("fixed-threshold", "fixed threshold", Config.fixed_threshold Config.default);
+    ("unsafe-locks", "no lock-safe resched", Config.unsafe_locks Config.default);
+  ]
+
+let ablations_grid =
+  List.map
+    (fun (key, label, config) ->
+      ({ Exp_desc.key; label }, (label, config)))
+    variants
+
+let ablations =
+  Exp_desc.make ~name:"ablations"
+    ~title:"Ablations: adaptive slice / adaptive threshold / lock safety"
+    ~description:
+      "Disable each Tai Chi mechanism in turn (adaptive slice, adaptive \
+       threshold, lock-safe rescheduling) and measure the damage"
+    ~cells:(List.map fst ablations_grid)
+    ~run_cell:(fun ctx ~seed ~scale:_ cell ->
+      let label, config =
+        List.assoc cell.Exp_desc.key
+          (List.map (fun (c, v) -> (c.Exp_desc.key, v)) ablations_grid)
+      in
+      scenario ctx ~seed label config)
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("variant", Table.Left);
+              ("cp_avg_ms", Table.Right);
+              ("rtt_max_us", Table.Right);
+              ("vm_exits", Table.Right);
+              ("placements", Table.Right);
+              ("unsafe_susp", Table.Right);
+              ("max_spin_ms", Table.Right);
+            ]
+      in
+      List.iter
+        (fun (_, o) ->
+          Table.add_row table
+            [
+              o.label;
+              Table.cell_f o.cp_ms;
+              Table.cell_f o.rtt_max_us;
+              string_of_int o.vm_exits;
+              string_of_int o.placements;
+              string_of_int o.unsafe;
+              Table.cell_f o.max_spin_ms;
+            ])
+        results;
+      Run_ctx.print_table ctx table;
+      Run_ctx.printf ctx
+        "Expected: fixed slice raises VM-exit pressure; fixed threshold \
+         either wastes idle cycles or false-positives; disabling lock safety \
+         produces unsafe suspensions and inflated spin times.\n")

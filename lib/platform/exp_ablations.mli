@@ -2,7 +2,7 @@
     adaptive vCPU time slice, adaptive empty-poll threshold, and
     lock-context safe rescheduling. *)
 
-val ablations : seed:int -> scale:float -> unit
+val ablations : Exp_desc.t
 (** Runs the same mixed CP/DP scenario under full Tai Chi and each
-    single-mechanism-disabled variant; reports CP throughput, DP latency,
-    VM-exit pressure and safety counters. *)
+    single-mechanism-disabled variant (one cell per variant); reports CP
+    throughput, DP latency, VM-exit pressure and safety counters. *)

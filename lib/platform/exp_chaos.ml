@@ -6,11 +6,6 @@ open Taichi_core
 open Taichi_faults
 open Taichi_workloads
 
-(* The CI jobs pin one profile per matrix cell through the environment;
-   the CLI flag overrides either way. *)
-let profile_filter = ref (Sys.getenv_opt "CHAOS_PROFILE")
-let set_profile_filter f = profile_filter := f
-
 (* A control-plane task that grabs a device lock and sits in a
    non-preemptible kernel routine for [hold] — the §3.2 pathology the
    CP-hang stream injects on demand. *)
@@ -64,32 +59,35 @@ let classes =
 let sum counters names =
   List.fold_left (fun acc n -> acc + Counters.get counters n) 0 names
 
-let report_scenario sys tc =
+let report_scenario ctx sys tc =
   let counters = Machine.counters (System.machine sys) in
-  Printf.printf "  %-10s %9s %9s %9s\n" "class" "injected" "detected"
+  Run_ctx.printf ctx "  %-10s %9s %9s %9s\n" "class" "injected" "detected"
     "recovered";
   List.iter
     (fun (cls, injected, detected, recovered) ->
-      Printf.printf "  %-10s %9d %9d %9d\n" cls (sum counters injected)
+      Run_ctx.printf ctx "  %-10s %9d %9d %9d\n" cls (sum counters injected)
         (sum counters detected) (sum counters recovered))
     classes;
   let rcv = Taichi.recovery tc in
   let hist = Recovery.latency_hist rcv in
   if Histogram.count hist > 0 then
-    Printf.printf
+    Run_ctx.printf ctx
       "  recovery latency: n=%d p50=%.1fus p99=%.1fus max=%.1fus\n"
       (Histogram.count hist)
       (float_of_int (Histogram.percentile hist 50.0) /. 1000.0)
       (float_of_int (Histogram.percentile hist 99.0) /. 1000.0)
       (float_of_int (Histogram.max_value hist) /. 1000.0);
-  Printf.printf "  degraded: engaged=%d rearmed=%d (events=%d)\n"
+  Run_ctx.printf ctx "  degraded: engaged=%d rearmed=%d (events=%d)\n"
     (Recovery.engaged_count rcv)
     (Recovery.rearmed_count rcv)
     (Recovery.events rcv)
 
-let run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed =
+(* One matrix cell: a fault profile against a resilient policy. Returns
+   the degraded-mode activity so the storm oracle can run over whatever
+   subset of the matrix was selected. *)
+let run_scenario ctx ~seed ~scale ~profile ~policy =
   let pname = profile.Injector.pname in
-  Printf.printf "\n-- profile %s x policy %s (seed %d)\n" pname
+  Run_ctx.printf ctx "\n-- profile %s x policy %s (seed %d)\n" pname
     (Policy.name policy) seed;
   let injector = ref None in
   let prepare machine =
@@ -100,7 +98,7 @@ let run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed =
     in
     injector := Some inj
   in
-  Exp_common.with_system ~prepare ~seed policy (fun sys ->
+  Exp_common.with_system ~ctx ~prepare ~seed policy (fun sys ->
       let inj = Option.get !injector in
       let tc = Option.get (System.taichi sys) in
       let sim = System.sim sys in
@@ -145,43 +143,74 @@ let run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed =
               bound"
              pname (Policy.name policy) seed stuck);
       let rcv = Taichi.recovery tc in
-      engaged := !engaged + Recovery.engaged_count rcv;
-      rearmed := !rearmed + Recovery.rearmed_count rcv;
-      report_scenario sys tc)
+      report_scenario ctx sys tc;
+      (pname, Recovery.engaged_count rcv, Recovery.rearmed_count rcv))
 
-let chaos ~seed ~scale =
-  Exp_common.banner
-    "CHAOS: seeded fault matrix x resilient Tai Chi (audit + watchdog oracles)";
-  let profiles =
-    match !profile_filter with
-    | None -> [ Injector.flaky; Injector.storm ]
-    | Some n -> (
-        match Injector.of_name n with
-        | Some p -> [ p ]
-        | None -> failwith (Printf.sprintf "chaos: unknown fault profile %s" n))
-  in
-  let policies =
-    [
-      Policy.Taichi (Config.resilient Config.default);
-      Policy.Taichi (Config.resilient (Config.no_hw_probe Config.default));
-    ]
-  in
-  let engaged = ref 0 and rearmed = ref 0 in
-  List.iter
+let policies =
+  [
+    ("probe", Policy.Taichi (Config.resilient Config.default));
+    ( "noprobe",
+      Policy.Taichi (Config.resilient (Config.no_hw_probe Config.default)) );
+  ]
+
+let chaos_grid =
+  List.concat_map
     (fun profile ->
-      List.iter
-        (fun policy ->
-          run_scenario ~seed ~scale ~profile ~policy ~engaged ~rearmed)
+      List.map
+        (fun (ptag, policy) ->
+          ( {
+              Exp_desc.key =
+                Printf.sprintf "%s-%s" profile.Injector.pname ptag;
+              label =
+                Printf.sprintf "profile %s, %s" profile.Injector.pname
+                  (Policy.name policy);
+            },
+            (profile, policy) ))
         policies)
-    profiles;
-  Printf.printf "\nmatrix total: degraded engaged=%d rearmed=%d\n" !engaged
-    !rearmed;
-  (* The storm profile is calibrated to push the recovery-event rate over
-     the degraded threshold; when it ran, the fallback must have both
-     engaged and re-armed somewhere in the matrix. *)
-  if List.exists (fun p -> p.Injector.pname = "storm") profiles then begin
-    if !engaged = 0 then
-      failwith "chaos: degraded mode never engaged under the storm profile";
-    if !rearmed = 0 then
-      failwith "chaos: degraded mode engaged but never re-armed"
-  end
+    [ Injector.flaky; Injector.storm ]
+
+(* The CI matrix pins one profile per job; the CLI turns
+   --chaos-profile / CHAOS_PROFILE into a cell filter over these keys. *)
+let profile_filter name cell =
+  match Injector.of_name name with
+  | None -> failwith (Printf.sprintf "chaos: unknown fault profile %s" name)
+  | Some p ->
+      String.length cell.Exp_desc.key > String.length p.Injector.pname
+      && String.sub cell.Exp_desc.key 0 (String.length p.Injector.pname)
+         = p.Injector.pname
+
+let chaos =
+  Exp_desc.make ~name:"chaos"
+    ~title:
+      "CHAOS: seeded fault matrix x resilient Tai Chi (audit + watchdog \
+       oracles)"
+    ~description:
+      "Deterministic fault-injection matrix (flaky and storm profiles) \
+       against resilient Tai Chi variants, with audit, watchdog and \
+       degraded-mode oracles"
+    ~cells:(List.map fst chaos_grid)
+    ~run_cell:(fun ctx ~seed ~scale cell ->
+      let profile, policy =
+        List.assoc cell.Exp_desc.key
+          (List.map (fun (c, v) -> (c.Exp_desc.key, v)) chaos_grid)
+      in
+      run_scenario ctx ~seed ~scale ~profile ~policy)
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let engaged =
+        List.fold_left (fun acc (_, (_, e, _)) -> acc + e) 0 results
+      in
+      let rearmed =
+        List.fold_left (fun acc (_, (_, _, r)) -> acc + r) 0 results
+      in
+      Run_ctx.printf ctx "\nmatrix total: degraded engaged=%d rearmed=%d\n"
+        engaged rearmed;
+      (* The storm profile is calibrated to push the recovery-event rate
+         over the degraded threshold; when it ran, the fallback must have
+         both engaged and re-armed somewhere in the matrix. *)
+      if List.exists (fun (_, (pname, _, _)) -> pname = "storm") results
+      then begin
+        if engaged = 0 then
+          failwith "chaos: degraded mode never engaged under the storm profile";
+        if rearmed = 0 then
+          failwith "chaos: degraded mode engaged but never re-armed"
+      end)

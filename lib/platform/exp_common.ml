@@ -10,23 +10,15 @@ let scaled s d = max (Time_ns.ms 10) (int_of_float (float_of_int d *. s))
 (* --- trace export -------------------------------------------------------- *)
 
 (* The experiment drivers build their systems internally, so [with_system]
-   is the one chokepoint where tracing can be switched on and the finished
-   run harvested. The CLI and the bench harness set the flag and the
-   current experiment id, then collect the accumulated runs at the end. *)
+   is the one chokepoint where tracing is switched on and the finished run
+   harvested. Everything flows through the run context: the CLI and the
+   bench harness build one, the sweep derives a private one per cell, and
+   the harvest lands in the context's sink — never in shared refs. *)
 
-let tracing = ref false
-let experiment_name = ref "unnamed"
-let collected : Taichi_metrics.Export.run list ref = ref []
-
-let set_tracing on = tracing := on
-let set_experiment name = experiment_name := name
-let reset_trace_runs () = collected := []
-let trace_runs () = List.rev !collected
-
-let harvest_run ~seed sys =
+let harvest_run ~ctx ~seed sys =
   let machine = System.machine sys in
   let run =
-    Taichi_metrics.Export.make_run ~experiment:!experiment_name
+    Taichi_metrics.Export.make_run ~experiment:(Run_ctx.experiment ctx)
       ~policy:(Policy.name (System.policy sys))
       ~seed
       ~duration:(Sim.now (System.sim sys))
@@ -34,25 +26,16 @@ let harvest_run ~seed sys =
       ~counters:(Counters.dump (Machine.counters machine))
       (Machine.trace machine)
   in
-  collected := run :: !collected
+  Run_ctx.harvest ctx run
 
 (* --- post-run audit ------------------------------------------------------ *)
 
-(* By default an audit violation aborts the process (the behaviour tests
-   and the bench harness rely on). The CLI instead switches to collect
-   mode so it can run several experiments, report every failure and exit
-   with a distinct status code. *)
+(* In [Abort] mode an audit violation kills the run (the behaviour tests
+   and the bench harness rely on); the CLI runs in [Collect] mode so a
+   batch of experiments completes, every failure is reported and the
+   process exits with a distinct status code. *)
 
-type audit_failure = { experiment : string; seed : int; violations : string list }
-
-let audit_collect = ref false
-let audit_failed : audit_failure list ref = ref []
-
-let set_audit_collect on = audit_collect := on
-let reset_audit_failures () = audit_failed := []
-let audit_failures () = List.rev !audit_failed
-
-let check_audit ~seed sys =
+let check_audit ~ctx ~seed sys =
   let illegal =
     Counters.get (Machine.counters (System.machine sys)) "core_state.illegal"
   in
@@ -65,26 +48,26 @@ let check_audit ~seed sys =
   in
   match violations with
   | [] -> ()
-  | violations ->
-      if !audit_collect then
-        audit_failed :=
-          { experiment = !experiment_name; seed; violations } :: !audit_failed
-      else
-        failwith
-          (Printf.sprintf "Core_state.audit failed after %s (seed %d): %s"
-             !experiment_name seed
-             (String.concat "; " violations))
+  | violations -> (
+      match Run_ctx.audit_mode ctx with
+      | Run_ctx.Collect ->
+          Run_ctx.record_audit_failure ctx
+            { Run_ctx.experiment = Run_ctx.experiment ctx; seed; violations }
+      | Run_ctx.Abort ->
+          failwith
+            (Printf.sprintf "Core_state.audit failed after %s (seed %d): %s"
+               (Run_ctx.experiment ctx) seed
+               (String.concat "; " violations)))
 
-let with_system ?layout ?prepare ~seed policy f =
-  let sys = System.create ~seed ?layout ?prepare policy in
-  if !tracing then Trace.set_enabled (Machine.trace (System.machine sys)) true;
+let with_system ?layout ?prepare ?(ctx = Run_ctx.default) ~seed policy f =
+  let sys = System.create ~ctx ~seed ?layout ?prepare policy in
   System.warmup sys;
   let result = f sys in
   (* Every experiment run ends with a machine-wide coherence check: the
      authoritative core states, the kernel's backing view, the scheduler's
      placement maps and the accelerator mirror must all agree. *)
-  check_audit ~seed sys;
-  if !tracing then harvest_run ~seed sys;
+  check_audit ~ctx ~seed sys;
+  if Run_ctx.tracing ctx then harvest_run ~ctx ~seed sys;
   result
 
 let start_bg_dp ?storage_target sys ~target ~until =
@@ -160,6 +143,3 @@ let avg_turnaround_ms tasks =
 
 let overhead_pct ~baseline ~measured =
   if baseline = 0.0 then 0.0 else (baseline -. measured) /. baseline *. 100.0
-
-let banner title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

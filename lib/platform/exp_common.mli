@@ -1,4 +1,8 @@
-(** Shared plumbing for the experiment drivers. *)
+(** Shared plumbing for the experiment drivers.
+
+    Carries no mutable module state: tracing, experiment labels, audit
+    mode and the harvest of finished runs all flow through the explicit
+    {!Run_ctx.t} a caller passes in (the sweep derives one per cell). *)
 
 open Taichi_engine
 open Taichi_os
@@ -9,45 +13,20 @@ val scaled : float -> Time_ns.t -> Time_ns.t
 val with_system :
   ?layout:System.layout ->
   ?prepare:(Taichi_hw.Machine.t -> unit) ->
+  ?ctx:Run_ctx.t ->
   seed:int ->
   Policy.t ->
   (System.t -> 'a) ->
   'a
-(** Create, warm up, run the body. When tracing is on (see {!set_tracing})
-    the machine trace is enabled before warmup and an {!Taichi_metrics.Export.run}
-    snapshot is harvested after the body returns. [prepare] is forwarded
-    to {!System.create}. After the body, the machine-wide audit runs: a
+(** Create, warm up, run the body. When the context enables tracing the
+    machine trace is switched on at system-assembly end and an
+    {!Taichi_metrics.Export.run} snapshot is harvested into the context's
+    sink after the body returns. [prepare] is forwarded to
+    {!System.create}. After the body, the machine-wide audit runs: a
     violation (or a non-zero [core_state.illegal] counter) either aborts
-    the run or, in collect mode, is recorded for the CLI to report. *)
-
-type audit_failure = {
-  experiment : string;
-  seed : int;
-  violations : string list;
-}
-
-val set_audit_collect : bool -> unit
-(** In collect mode (used by the CLI), post-run audit violations are
-    accumulated instead of raising, so a batch of experiments completes
-    and the process can exit with a distinct non-zero status. Default:
-    off — violations raise [Failure]. *)
-
-val reset_audit_failures : unit -> unit
-
-val audit_failures : unit -> audit_failure list
-(** Failures collected since the last reset, in completion order. *)
-
-val set_tracing : bool -> unit
-(** Globally enable trace collection for every system subsequently built
-    through {!with_system}. *)
-
-val set_experiment : string -> unit
-(** Label harvested runs with the experiment id currently executing. *)
-
-val trace_runs : unit -> Taichi_metrics.Export.run list
-(** Harvested runs, in completion order. *)
-
-val reset_trace_runs : unit -> unit
+    the run ({!Run_ctx.Abort}, the default) or is recorded in the context
+    for the CLI to report ({!Run_ctx.Collect}). [ctx] defaults to
+    {!Run_ctx.default}: tracing off, abort on violation. *)
 
 val start_bg_dp :
   ?storage_target:float -> System.t -> target:float -> until:Time_ns.t -> unit
@@ -83,6 +62,3 @@ val avg_turnaround_ms : Task.t list -> float
 val overhead_pct : baseline:float -> measured:float -> float
 (** [(baseline - measured) / baseline * 100], i.e. positive = slower than
     baseline (for higher-is-better metrics). *)
-
-val banner : string -> unit
-(** Experiment section header on stdout. *)

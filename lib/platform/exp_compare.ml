@@ -6,10 +6,14 @@ open Taichi_workloads
 open Taichi_controlplane
 open Exp_common
 
+let param table cell = List.assoc cell.Exp_desc.key table
+let result results key =
+  List.assoc key (List.map (fun (c, r) -> (c.Exp_desc.key, r)) results)
+
 (* Worst data-plane disruption a bursty non-preemptible control-plane load
    can cause under a policy: max ping RTT minus baseline min. *)
-let worst_disruption ~seed policy =
-  with_system ~seed policy (fun sys ->
+let worst_disruption ctx ~seed policy =
+  with_system ~ctx ~seed policy (fun sys ->
       let lock = Task.spinlock "t1-driver" in
       let rng = Rng.split (System.rng sys) "table1" in
       let np = Nonpreempt.create rng in
@@ -44,48 +48,70 @@ let worst_disruption ~seed policy =
       let s = Ping.summarize recorder in
       s.Ping.max_us -. s.Ping.min_us)
 
-let table1 ~seed ~scale:_ =
-  banner "Table 1: prior work vs Tai Chi (measured analogues)";
-  (* Measured analogues of the co-scheduling mechanism families the paper
-     compares against: a dedicated-scheduler-core design (Shenango/
-     Caladan), an OS-scheduler path (Concord-like), and a user-interrupt
-     path (Skyloft/Vessel). All share the fatal property the measurement
-     exposes: none can break a non-preemptible kernel routine. *)
-  let rows =
-    [
-      ("Shenango/Caladan-style", Policy.Dedicated_core, "high (1 core burnt)", "partial");
-      ("Concord-style (OS sched)", Policy.Naive_coschedule, "low", "partial");
-      ("Skyloft/Vessel-style (UINTR)", Policy.Uintr_coschedule, "low", "partial");
-      ("Tai Chi", Policy.taichi_default, "low (no dedicated core)", "full");
-    ]
-  in
-  let table =
-    Table.create
-      ~columns:
-        [
-          ("system", Table.Left);
-          ("measured worst DP disruption", Table.Right);
-          ("framework overhead", Table.Left);
-          ("CP transparency", Table.Left);
-        ]
-  in
-  List.iter
-    (fun (name, policy, overhead, transparency) ->
-      let us = worst_disruption ~seed policy in
-      let granularity =
-        if us >= 1000.0 then Printf.sprintf "%.1fms (ms-scale)" (us /. 1000.0)
-        else Printf.sprintf "%.0fus (us-scale)" us
-      in
-      Table.add_row table [ name; granularity; overhead; transparency ])
-    rows;
-  Table.print table;
-  Printf.printf
-    "Non-preemptible routines push every OS/interrupt-based mechanism to \
-     ms-scale disruption; Tai Chi's vCPU encapsulation stays at us scale \
-     (paper Table 1).\n"
+(* Measured analogues of the co-scheduling mechanism families the paper
+   compares against: a dedicated-scheduler-core design (Shenango/
+   Caladan), an OS-scheduler path (Concord-like), and a user-interrupt
+   path (Skyloft/Vessel). All share the fatal property the measurement
+   exposes: none can break a non-preemptible kernel routine. *)
+let table1_grid =
+  [
+    ( { Exp_desc.key = "dedicated"; label = "Shenango/Caladan-style" },
+      ( "Shenango/Caladan-style",
+        Policy.Dedicated_core,
+        "high (1 core burnt)",
+        "partial" ) );
+    ( { Exp_desc.key = "os-sched"; label = "Concord-style (OS sched)" },
+      ("Concord-style (OS sched)", Policy.Naive_coschedule, "low", "partial") );
+    ( { Exp_desc.key = "uintr"; label = "Skyloft/Vessel-style (UINTR)" },
+      ( "Skyloft/Vessel-style (UINTR)",
+        Policy.Uintr_coschedule,
+        "low",
+        "partial" ) );
+    ( { Exp_desc.key = "taichi"; label = "Tai Chi" },
+      ("Tai Chi", Policy.taichi_default, "low (no dedicated core)", "full") );
+  ]
 
-let quick_cps ~seed policy =
-  with_system ~seed policy (fun sys ->
+let table1 =
+  Exp_desc.make ~name:"table1"
+    ~title:"Table 1: prior work vs Tai Chi (measured analogues)"
+    ~description:
+      "Worst measured DP disruption under measured analogues of prior \
+       co-scheduling mechanism families vs Tai Chi"
+    ~cells:(List.map fst table1_grid)
+    ~run_cell:(fun ctx ~seed ~scale:_ cell ->
+      let name, policy, overhead, transparency =
+        param (List.map (fun (c, p) -> (c.Exp_desc.key, p)) table1_grid) cell
+      in
+      let us = worst_disruption ctx ~seed policy in
+      (name, us, overhead, transparency))
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("system", Table.Left);
+              ("measured worst DP disruption", Table.Right);
+              ("framework overhead", Table.Left);
+              ("CP transparency", Table.Left);
+            ]
+      in
+      List.iter
+        (fun (_, (name, us, overhead, transparency)) ->
+          let granularity =
+            if us >= 1000.0 then
+              Printf.sprintf "%.1fms (ms-scale)" (us /. 1000.0)
+            else Printf.sprintf "%.0fus (us-scale)" us
+          in
+          Table.add_row table [ name; granularity; overhead; transparency ])
+        results;
+      Run_ctx.print_table ctx table;
+      Run_ctx.printf ctx
+        "Non-preemptible routines push every OS/interrupt-based mechanism to \
+         ms-scale disruption; Tai Chi's vCPU encapsulation stays at us scale \
+         (paper Table 1).\n")
+
+let quick_cps ctx ~seed policy =
+  with_system ~ctx ~seed policy (fun sys ->
       let sim = System.sim sys in
       let dur = Time_ns.ms 200 in
       let until = Sim.now sim + dur in
@@ -98,36 +124,60 @@ let quick_cps ~seed policy =
       System.advance sys (dur + Time_ns.ms 5);
       Rr_engine.tps r ~duration:dur)
 
-let table2 ~seed ~scale:_ =
-  banner "Table 2: type-1 / type-2 / Tai Chi (measured DP performance)";
-  let base = quick_cps ~seed Policy.Static_partition in
-  let t1 = quick_cps ~seed (Policy.Taichi_vdp Config.default) in
-  let t2 = quick_cps ~seed Policy.Type2 in
-  let tc = quick_cps ~seed Policy.taichi_default in
-  let pct v = Printf.sprintf "%.1f%% of baseline" (v /. base *. 100.0) in
-  let table =
-    Table.create
-      ~columns:
+let table2_grid =
+  [
+    ( { Exp_desc.key = "base"; label = "static baseline" },
+      Policy.Static_partition );
+    ( { Exp_desc.key = "type1"; label = "type-1 (vDP)" },
+      Policy.Taichi_vdp Config.default );
+    ({ Exp_desc.key = "type2"; label = "type-2 (QEMU+KVM)" }, Policy.Type2);
+    ({ Exp_desc.key = "taichi"; label = "Tai Chi" }, Policy.taichi_default);
+  ]
+
+let table2 =
+  Exp_desc.make ~name:"table2"
+    ~title:"Table 2: type-1 / type-2 / Tai Chi (measured DP performance)"
+    ~description:
+      "Qualitative type-1 / type-2 / Tai Chi comparison anchored on measured \
+       DP performance"
+    ~cells:(List.map fst table2_grid)
+    ~run_cell:(fun ctx ~seed ~scale:_ cell ->
+      let policy =
+        param (List.map (fun (c, p) -> (c.Exp_desc.key, p)) table2_grid) cell
+      in
+      quick_cps ctx ~seed policy)
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let base = result results "base" in
+      let pct v = Printf.sprintf "%.1f%% of baseline" (v /. base *. 100.0) in
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("property", Table.Left);
+              ("type-1 (vDP)", Table.Left);
+              ("type-2 (QEMU+KVM)", Table.Left);
+              ("Tai Chi", Table.Left);
+            ]
+      in
+      Table.add_row table
+        [ "DP residency"; "guest context (vCPU)"; "SmartNIC OS"; "SmartNIC OS" ];
+      Table.add_row table
         [
-          ("property", Table.Left);
-          ("type-1 (vDP)", Table.Left);
-          ("type-2 (QEMU+KVM)", Table.Left);
-          ("Tai Chi", Table.Left);
-        ]
-  in
-  Table.add_row table
-    [ "DP residency"; "guest context (vCPU)"; "SmartNIC OS"; "SmartNIC OS" ];
-  Table.add_row table [ "DP performance"; pct t1; pct t2; pct tc ];
-  Table.add_row table
-    [ "CP residency"; "guest context"; "guest OS"; "SmartNIC OS (vCPU)" ];
-  Table.add_row table [ "OS count"; "1"; "2"; "1" ];
-  Table.add_row table
-    [
-      "DP-CP IPC";
-      "native";
-      Printf.sprintf "broken (RPC, %s)"
-        (Time_ns.to_string (Policy.dpcp_roundtrip Policy.Type2));
-      Printf.sprintf "native (%s)"
-        (Time_ns.to_string (Policy.dpcp_roundtrip Policy.taichi_default));
-    ];
-  Table.print table
+          "DP performance";
+          pct (result results "type1");
+          pct (result results "type2");
+          pct (result results "taichi");
+        ];
+      Table.add_row table
+        [ "CP residency"; "guest context"; "guest OS"; "SmartNIC OS (vCPU)" ];
+      Table.add_row table [ "OS count"; "1"; "2"; "1" ];
+      Table.add_row table
+        [
+          "DP-CP IPC";
+          "native";
+          Printf.sprintf "broken (RPC, %s)"
+            (Time_ns.to_string (Policy.dpcp_roundtrip Policy.Type2));
+          Printf.sprintf "native (%s)"
+            (Time_ns.to_string (Policy.dpcp_roundtrip Policy.taichi_default));
+        ];
+      Run_ctx.print_table ctx table)

@@ -1,12 +1,14 @@
 (** Comparison tables: Table 1 (prior work) and Table 2 (virtualization
     approaches), with measured values where the simulator can produce
-    them. *)
+    them, as sweepable descriptors. *)
 
-val table1 : seed:int -> scale:float -> unit
+val table1 : Exp_desc.t
 (** Scheduling granularity / framework overhead / CP transparency,
     combining the paper's qualitative rows with measured granularity for
-    the OS-scheduler (naive) path and Tai Chi. *)
+    the OS-scheduler (naive) path and Tai Chi. One cell per mechanism
+    family. *)
 
-val table2 : seed:int -> scale:float -> unit
+val table2 : Exp_desc.t
 (** Type-1 vs type-2 vs Tai Chi: residency, measured data-plane
-    performance, OS count and DP-CP IPC latency. *)
+    performance, OS count and DP-CP IPC latency. One cell per measured
+    system. *)

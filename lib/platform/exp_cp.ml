@@ -4,9 +4,11 @@ open Taichi_metrics
 open Taichi_controlplane
 open Exp_common
 
+let param table cell = List.assoc cell.Exp_desc.key table
+
 (* --- Fig 11 --------------------------------------------------------------- *)
 
-let synth_run sys ~concurrency =
+let synth_run ctx sys ~concurrency =
   let rng = Rng.split (System.rng sys) "fig11" in
   let locks = [ Task.spinlock "drv-a"; Task.spinlock "drv-b" ] in
   let tasks =
@@ -15,7 +17,8 @@ let synth_run sys ~concurrency =
   in
   List.iter (fun task -> System.spawn_cp sys task) tasks;
   let ok = System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 30) in
-  if not ok then Printf.printf "  (warning: synth_cp run hit the time limit)\n";
+  if not ok then
+    Run_ctx.printf ctx "  (warning: synth_cp run hit the time limit)\n";
   avg_turnaround_ms tasks
 
 let concurrencies = [ 1; 2; 4; 8; 16; 32 ]
@@ -26,41 +29,69 @@ let concurrencies = [ 1; 2; 4; 8; 16; 32 ]
    on-phase seconds run at ~25-30%. *)
 let fig11_dp_target = 0.12
 
-let fig11_point ~seed policy concurrency =
-  with_system ~seed policy (fun sys ->
-      let until = Sim.now (System.sim sys) + Time_ns.sec 30 in
-      start_bg_dp sys ~target:fig11_dp_target ~until;
-      (* Production CP CPUs are never dedicated to the benchmark: they
-         carry the standing 300-500-task ecosystem (§3.2). *)
-      start_cp_ecosystem sys ();
-      synth_run sys ~concurrency)
+let policy_tag = function Policy.Static_partition -> "base" | _ -> "taichi"
 
-let fig11 ~seed ~scale:_ =
-  banner "Figure 11: synth_cp execution time vs concurrency (DP at 30%)";
-  let table =
-    Table.create
-      ~columns:
-        [
-          ("concurrency", Table.Right);
-          ("baseline_ms", Table.Right);
-          ("taichi_ms", Table.Right);
-          ("speedup", Table.Right);
-        ]
-  in
-  List.iter
+let fig11_grid =
+  List.concat_map
     (fun conc ->
-      let base = fig11_point ~seed Policy.Static_partition conc in
-      let taichi = fig11_point ~seed Policy.taichi_default conc in
-      Table.add_row table
-        [
-          string_of_int conc;
-          Table.cell_f base;
-          Table.cell_f taichi;
-          Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
-        ])
-    concurrencies;
-  Table.print table;
-  Printf.printf "Paper shape: ~4x faster at 32 concurrent tasks.\n"
+      List.map
+        (fun policy ->
+          ( {
+              Exp_desc.key = Printf.sprintf "c%d-%s" conc (policy_tag policy);
+              label =
+                Printf.sprintf "concurrency %d, %s" conc (Policy.name policy);
+            },
+            (conc, policy) ))
+        [ Policy.Static_partition; Policy.taichi_default ])
+    concurrencies
+
+let fig11 =
+  Exp_desc.make ~name:"fig11"
+    ~title:"Figure 11: synth_cp execution time vs concurrency (DP at 30%)"
+    ~description:
+      "Average synth_cp execution time vs concurrency, baseline vs Tai Chi, \
+       with the data plane held at 30% utilization"
+    ~cells:(List.map fst fig11_grid)
+    ~run_cell:(fun ctx ~seed ~scale:_ cell ->
+      let conc, policy =
+        param (List.map (fun (c, p) -> (c.Exp_desc.key, p)) fig11_grid) cell
+      in
+      with_system ~ctx ~seed policy (fun sys ->
+          let until = Sim.now (System.sim sys) + Time_ns.sec 30 in
+          start_bg_dp sys ~target:fig11_dp_target ~until;
+          (* Production CP CPUs are never dedicated to the benchmark: they
+             carry the standing 300-500-task ecosystem (§3.2). *)
+          start_cp_ecosystem sys ();
+          synth_run ctx sys ~concurrency:conc))
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let ms key =
+        List.assoc key
+          (List.map (fun (c, r) -> (c.Exp_desc.key, r)) results)
+      in
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("concurrency", Table.Right);
+              ("baseline_ms", Table.Right);
+              ("taichi_ms", Table.Right);
+              ("speedup", Table.Right);
+            ]
+      in
+      List.iter
+        (fun conc ->
+          let base = ms (Printf.sprintf "c%d-base" conc) in
+          let taichi = ms (Printf.sprintf "c%d-taichi" conc) in
+          Table.add_row table
+            [
+              string_of_int conc;
+              Table.cell_f base;
+              Table.cell_f taichi;
+              Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
+            ])
+        concurrencies;
+      Run_ctx.print_table ctx table;
+      Run_ctx.printf ctx "Paper shape: ~4x faster at 32 concurrent tasks.\n")
 
 (* --- Fig 17 --------------------------------------------------------------- *)
 
@@ -95,41 +126,70 @@ let storm sys ~density =
   ignore (System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 60));
   Recorder.mean recorder /. 1e6
 
-let fig17 ~seed ~scale:_ =
-  banner "Figure 17: VM startup vs density, with and without Tai Chi";
-  let slo_ms = Time_ns.to_ms_f Vm_lifecycle.slo in
-  let point policy density =
-    with_system ~seed policy (fun sys ->
-        let until = Sim.now (System.sim sys) + Time_ns.sec 60 in
-        start_bg_dp sys ~target:fig11_dp_target ~until;
-        start_cp_ecosystem sys ();
-        storm sys ~density)
-  in
-  let table =
-    Table.create
-      ~columns:
-        [
-          ("density", Table.Right);
-          ("baseline_ms", Table.Right);
-          ("baseline/SLO", Table.Right);
-          ("taichi_ms", Table.Right);
-          ("taichi/SLO", Table.Right);
-          ("reduction", Table.Right);
-        ]
-  in
-  List.iter
+let fig17_densities = [ 1.0; 2.0; 3.0; 4.0 ]
+
+let fig17_grid =
+  List.concat_map
     (fun density ->
-      let base = point Policy.Static_partition density in
-      let taichi = point Policy.taichi_default density in
-      Table.add_row table
-        [
-          Printf.sprintf "%.0fx" density;
-          Table.cell_f base;
-          Printf.sprintf "%.2fx" (base /. slo_ms);
-          Table.cell_f taichi;
-          Printf.sprintf "%.2fx" (taichi /. slo_ms);
-          Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
-        ])
-    [ 1.0; 2.0; 3.0; 4.0 ];
-  Table.print table;
-  Printf.printf "Paper shape: ~3.1x startup reduction at high density.\n"
+      List.map
+        (fun policy ->
+          ( {
+              Exp_desc.key =
+                Printf.sprintf "d%.0f-%s" density (policy_tag policy);
+              label =
+                Printf.sprintf "density %.0fx, %s" density (Policy.name policy);
+            },
+            (density, policy) ))
+        [ Policy.Static_partition; Policy.taichi_default ])
+    fig17_densities
+
+let fig17 =
+  Exp_desc.make ~name:"fig17"
+    ~title:"Figure 17: VM startup vs density, with and without Tai Chi"
+    ~description:
+      "Average VM startup time vs instance density, with and without \
+       Tai Chi, normalized to the CP SLO"
+    ~cells:(List.map fst fig17_grid)
+    ~run_cell:(fun ctx ~seed ~scale:_ cell ->
+      let density, policy =
+        param (List.map (fun (c, p) -> (c.Exp_desc.key, p)) fig17_grid) cell
+      in
+      with_system ~ctx ~seed policy (fun sys ->
+          let until = Sim.now (System.sim sys) + Time_ns.sec 60 in
+          start_bg_dp sys ~target:fig11_dp_target ~until;
+          start_cp_ecosystem sys ();
+          storm sys ~density))
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let ms key =
+        List.assoc key
+          (List.map (fun (c, r) -> (c.Exp_desc.key, r)) results)
+      in
+      let slo_ms = Time_ns.to_ms_f Vm_lifecycle.slo in
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("density", Table.Right);
+              ("baseline_ms", Table.Right);
+              ("baseline/SLO", Table.Right);
+              ("taichi_ms", Table.Right);
+              ("taichi/SLO", Table.Right);
+              ("reduction", Table.Right);
+            ]
+      in
+      List.iter
+        (fun density ->
+          let base = ms (Printf.sprintf "d%.0f-base" density) in
+          let taichi = ms (Printf.sprintf "d%.0f-taichi" density) in
+          Table.add_row table
+            [
+              Printf.sprintf "%.0fx" density;
+              Table.cell_f base;
+              Printf.sprintf "%.2fx" (base /. slo_ms);
+              Table.cell_f taichi;
+              Printf.sprintf "%.2fx" (taichi /. slo_ms);
+              Printf.sprintf "%.2fx" (base /. Float.max 0.001 taichi);
+            ])
+        fig17_densities;
+      Run_ctx.print_table ctx table;
+      Run_ctx.printf ctx "Paper shape: ~3.1x startup reduction at high density.\n")

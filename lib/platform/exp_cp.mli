@@ -1,10 +1,12 @@
 (** Control-plane performance experiments: Fig 11 (§6.2) and Fig 17
-    (§6.6). *)
+    (§6.6), as sweepable descriptors. *)
 
-val fig11 : seed:int -> scale:float -> unit
+val fig11 : Exp_desc.t
 (** Average synth_cp execution time vs concurrency, baseline vs Tai Chi,
-    with the data plane held at 30% utilization. *)
+    with the data plane held at 30% utilization. One cell per
+    (concurrency, policy) grid point. *)
 
-val fig17 : seed:int -> scale:float -> unit
+val fig17 : Exp_desc.t
 (** Average VM startup time vs instance density, with and without
-    Tai Chi, normalized to the CP SLO. *)
+    Tai Chi, normalized to the CP SLO. One cell per (density, policy)
+    grid point. *)

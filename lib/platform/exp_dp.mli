@@ -1,25 +1,26 @@
 (** Data-plane experiments: Figs 12-16, Table 5 (§6.3-§6.5) and the §8
-    dynamic-repartitioning proof of concept. *)
+    dynamic-repartitioning proof of concept, as sweepable descriptors. *)
 
-val fig12 : seed:int -> scale:float -> unit
+val fig12 : Exp_desc.t
 (** netperf tcp_crr across baseline / Tai Chi / Tai Chi-vDP / type-2. *)
 
-val fig13 : seed:int -> scale:float -> unit
+val fig13 : Exp_desc.t
 (** fio 4 KiB IOPS across the same four systems. *)
 
-val table5 : seed:int -> scale:float -> unit
+val table5 : Exp_desc.t
 (** ping RTT: baseline vs Tai Chi vs Tai Chi without the hardware
     workload probe. *)
 
-val fig14 : seed:int -> scale:float -> unit
-(** Normalized netperf/sockperf performance under Tai Chi. *)
+val fig14 : Exp_desc.t
+(** Normalized netperf/sockperf performance under Tai Chi. One cell per
+    (run-case, policy); the tcp_stream case yields two display rows. *)
 
-val fig15 : seed:int -> scale:float -> unit
+val fig15 : Exp_desc.t
 (** MySQL (sysbench) throughput under Tai Chi vs baseline. *)
 
-val fig16 : seed:int -> scale:float -> unit
+val fig16 : Exp_desc.t
 (** Nginx (wrk) requests per second under Tai Chi vs baseline. *)
 
-val sec8 : seed:int -> scale:float -> unit
+val sec8 : Exp_desc.t
 (** Reallocate 50% of CP pCPUs to the data plane via Tai Chi's dynamic
     partitioning: peak IOPS / CPS gains with unchanged CP performance. *)

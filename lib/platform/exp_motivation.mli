@@ -1,19 +1,20 @@
-(** Motivation experiments: Figs 2, 3, 4, 5 and 6. *)
+(** Motivation experiments: Figs 2, 3, 4, 5 and 6, as sweepable
+    descriptors. *)
 
-val fig2 : seed:int -> scale:float -> unit
+val fig2 : Exp_desc.t
 (** VM startup and CP execution time vs instance density under the static
-    baseline (normalized to SLO / 1x density). *)
+    baseline (normalized to SLO / 1x density). One cell per density. *)
 
-val fig3 : seed:int -> scale:float -> unit
+val fig3 : Exp_desc.t
 (** CDF of data-plane CPU utilization: regenerated production population
     plus a simulated validation point. *)
 
-val fig4 : seed:int -> scale:float -> unit
+val fig4 : Exp_desc.t
 (** Anatomy of a non-preemptible-routine latency spike: naive
     co-scheduling vs Tai Chi on the same scenario. *)
 
-val fig5 : seed:int -> scale:float -> unit
+val fig5 : Exp_desc.t
 (** Histogram of long non-preemptible routine durations. *)
 
-val fig6 : seed:int -> scale:float -> unit
+val fig6 : Exp_desc.t
 (** Timing breakdown of one I/O descriptor through the accelerator. *)

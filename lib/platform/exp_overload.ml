@@ -5,11 +5,6 @@ open Taichi_core
 open Taichi_controlplane
 open Exp_common
 
-(* CI matrix cells pin one governor setting through the environment; the
-   CLI flag overrides either way ("on" / "off"; unset = both). *)
-let governor_filter = ref (Sys.getenv_opt "OVERLOAD_GOVERNOR")
-let set_governor_filter f = governor_filter := f
-
 (* The DP p99 guardrail the storm cells are judged against — the same
    bound the governor escalates on, so "the governor holds what it
    watches" is exactly what the oracle checks. *)
@@ -22,7 +17,7 @@ let max_density = 4.0
    the matching relaxes; anything past this is flapping. *)
 let max_transitions = 16
 
-type cell = {
+type outcome = {
   density : float;
   governor : bool;
   p99_us : float;
@@ -95,7 +90,7 @@ let fingerprint_of sys extras =
   List.iter (fun s -> Buffer.add_string buf (s ^ ";")) extras;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let run_cell ~seed ~scale ~density ~governor =
+let measure ctx ~seed ~scale ~density ~governor =
   let config =
     (* Both cells run the no-hardware-probe ablation: without the probe's
        microsecond eviction, DP recovery rides on slice expiry, so CP
@@ -104,7 +99,7 @@ let run_cell ~seed ~scale ~density ~governor =
     let c = Config.no_hw_probe Config.default in
     if governor then Config.with_overload c else c
   in
-  with_system ~seed (Policy.Taichi config) (fun sys ->
+  with_system ~ctx ~seed (Policy.Taichi config) (fun sys ->
       let sim = System.sim sys in
       let counters = Taichi_hw.Machine.counters (System.machine sys) in
       let tc = Option.get (System.taichi sys) in
@@ -189,22 +184,19 @@ let run_cell ~seed ~scale ~density ~governor =
 
 let check_oracles cells repeat_fp =
   let fail fmt = Printf.ksprintf failwith fmt in
-  let find d g =
-    List.find (fun c -> c.density = d && c.governor = g) cells
-  in
   let on_cells = List.filter (fun c -> c.governor) cells in
   let off_cells = List.filter (fun c -> not c.governor) cells in
   (* 1. The storm cell contrast: governor-off breaches the DP p99
      guardrail at max density; governor-on holds it. *)
-  if off_cells <> [] then begin
-    let off = find max_density false in
-    if off.guard.Slo.satisfied then
-      fail
-        "exp_overload: governor-off baseline held the guardrail at %.0fx \
-         (p99=%.1fus) — the storm is not stressful enough to test the \
-         governor"
-        max_density off.p99_us
-  end;
+  List.iter
+    (fun off ->
+      if off.density = max_density && off.guard.Slo.satisfied then
+        fail
+          "exp_overload: governor-off baseline held the guardrail at %.0fx \
+           (p99=%.1fus) — the storm is not stressful enough to test the \
+           governor"
+          max_density off.p99_us)
+    off_cells;
   List.iter
     (fun on ->
       if on.density = max_density && not on.guard.Slo.satisfied then
@@ -238,90 +230,136 @@ let check_oracles cells repeat_fp =
         first second
   | _ -> ()
 
-let overload ~seed ~scale =
-  banner
-    "OVERLOAD: VM-startup storm x density, brownout governor on/off (DP p99 \
-     guardrail oracle)";
-  let governors =
-    match !governor_filter with
-    | None -> [ false; true ]
-    | Some "on" -> [ true ]
-    | Some "off" -> [ false ]
-    | Some g -> failwith (Printf.sprintf "exp_overload: unknown governor %S" g)
+(* The grid: (density x governor), plus an explicit determinism-repeat
+   cell that re-measures the hottest governed point at the same seed. *)
+let overload_grid =
+  List.concat_map
+    (fun density ->
+      List.map
+        (fun governor ->
+          ( {
+              Exp_desc.key =
+                Printf.sprintf "d%.0f-%s" density
+                  (if governor then "on" else "off");
+              label =
+                Printf.sprintf "density %.0fx, governor %s" density
+                  (if governor then "on" else "off");
+            },
+            `Point (density, governor) ))
+        [ false; true ])
+    densities
+  @ [
+      ( {
+          Exp_desc.key = "repeat-d4-on";
+          label = "determinism repeat: density 4x, governor on";
+        },
+        `Repeat );
+    ]
+
+(* The CI matrix pins one governor setting per job; the CLI turns
+   --overload / OVERLOAD_GOVERNOR into a cell filter over these keys
+   (the repeat cell counts as a governed cell). *)
+let governor_filter setting cell =
+  let suffix s =
+    let k = cell.Exp_desc.key in
+    let n = String.length s in
+    String.length k >= n && String.sub k (String.length k - n) n = s
   in
-  let cells =
-    List.concat_map
-      (fun density ->
-        List.map
-          (fun governor ->
-            Printf.printf "\n-- density %.0fx, governor %s (seed %d)\n" density
-              (if governor then "on" else "off")
-              seed;
-            run_cell ~seed ~scale ~density ~governor)
-          governors)
-      densities
-  in
-  let table =
-    Table.create
-      ~columns:
-        [
-          ("density", Table.Right);
-          ("governor", Table.Left);
-          ("dp_p99_us", Table.Right);
-          ("guardrail", Table.Left);
-          ("startup_ms", Table.Right);
-          ("vms", Table.Right);
-          ("trans", Table.Right);
-          ("deepest", Table.Left);
-          ("final", Table.Left);
-          ("shed", Table.Right);
-          ("deferred", Table.Right);
-          ("held", Table.Right);
-        ]
-  in
-  List.iter
-    (fun c ->
-      Table.add_row table
-        [
-          Printf.sprintf "%.0fx" c.density;
-          (if c.governor then "on" else "off");
-          Printf.sprintf "%.1f" c.p99_us;
-          (if c.guard.Slo.satisfied then "held" else "BREACHED");
-          Printf.sprintf "%.1f" c.startup_ms;
-          Printf.sprintf "%d/%d" c.vms_done c.vms_total;
-          string_of_int c.transitions;
-          c.max_level;
-          c.final_level;
-          string_of_int c.shed_deferrable;
-          string_of_int c.deferred;
-          string_of_int c.held;
-        ])
-    cells;
-  Table.print table;
-  (* Determinism oracle: re-run the hottest governed cell and compare the
-     measurement digests. *)
-  let repeat_fp =
-    if List.exists (fun c -> c.governor && c.density = max_density) cells then begin
-      let first =
-        (List.find (fun c -> c.governor && c.density = max_density) cells)
-          .fingerprint
+  match setting with
+  | "on" -> suffix "-on"
+  | "off" -> suffix "-off"
+  | g -> failwith (Printf.sprintf "exp_overload: unknown governor %S" g)
+
+let overload =
+  Exp_desc.make ~name:"overload"
+    ~title:
+      "OVERLOAD: VM-startup storm x density, brownout governor on/off (DP \
+       p99 guardrail oracle)"
+    ~description:
+      "VM-startup storm x density sweep with the brownout governor on/off: \
+       guardrail contrast, shed discipline, bounded-ladder and determinism \
+       oracles"
+    ~cells:(List.map fst overload_grid)
+    ~run_cell:(fun ctx ~seed ~scale cell ->
+      match
+        List.assoc cell.Exp_desc.key
+          (List.map (fun (c, v) -> (c.Exp_desc.key, v)) overload_grid)
+      with
+      | `Point (density, governor) ->
+          Run_ctx.printf ctx "\n-- density %.0fx, governor %s (seed %d)\n"
+            density
+            (if governor then "on" else "off")
+            seed;
+          measure ctx ~seed ~scale ~density ~governor
+      | `Repeat ->
+          Run_ctx.printf ctx
+            "\n-- determinism check: repeating density %.0fx governor on \
+             (seed %d)\n"
+            max_density seed;
+          measure ctx ~seed ~scale ~density:max_density ~governor:true)
+    ~summarize:(fun ctx ~seed:_ ~scale:_ results ->
+      let outcome key =
+        List.assoc_opt key
+          (List.map (fun (c, r) -> (c.Exp_desc.key, r)) results)
       in
-      Printf.printf "\n-- determinism check: repeating density %.0fx governor \
-                     on (seed %d)\n"
-        max_density seed;
-      let again = run_cell ~seed ~scale ~density:max_density ~governor:true in
-      Some (first, again.fingerprint)
-    end
-    else None
-  in
-  check_oracles cells repeat_fp;
-  if List.exists (fun c -> c.governor) cells then
-    Printf.printf
-      "\nGuardrail %s held with the governor on; deferrable work was held/shed \
-       instead of sinking the data plane.\n"
-      (Time_ns.to_string guardrail)
-  else
-    Printf.printf
-      "\nBaseline (governor off): the storm breaches the %s DP p99 guardrail \
-       at %.0fx density.\n"
-      (Time_ns.to_string guardrail) max_density
+      let cells =
+        List.filter_map
+          (fun (c, r) ->
+            if c.Exp_desc.key = "repeat-d4-on" then None else Some r)
+          results
+      in
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("density", Table.Right);
+              ("governor", Table.Left);
+              ("dp_p99_us", Table.Right);
+              ("guardrail", Table.Left);
+              ("startup_ms", Table.Right);
+              ("vms", Table.Right);
+              ("trans", Table.Right);
+              ("deepest", Table.Left);
+              ("final", Table.Left);
+              ("shed", Table.Right);
+              ("deferred", Table.Right);
+              ("held", Table.Right);
+            ]
+      in
+      List.iter
+        (fun c ->
+          Table.add_row table
+            [
+              Printf.sprintf "%.0fx" c.density;
+              (if c.governor then "on" else "off");
+              Printf.sprintf "%.1f" c.p99_us;
+              (if c.guard.Slo.satisfied then "held" else "BREACHED");
+              Printf.sprintf "%.1f" c.startup_ms;
+              Printf.sprintf "%d/%d" c.vms_done c.vms_total;
+              string_of_int c.transitions;
+              c.max_level;
+              c.final_level;
+              string_of_int c.shed_deferrable;
+              string_of_int c.deferred;
+              string_of_int c.held;
+            ])
+        cells;
+      Run_ctx.print_table ctx table;
+      (* Determinism oracle: the repeat cell measured the hottest governed
+         point again; the two digests must match. *)
+      let repeat_fp =
+        match (outcome "d4-on", outcome "repeat-d4-on") with
+        | Some first, Some again -> Some (first.fingerprint, again.fingerprint)
+        | _ -> None
+      in
+      check_oracles cells repeat_fp;
+      if List.exists (fun c -> c.governor) cells then
+        Run_ctx.printf ctx
+          "\nGuardrail %s held with the governor on; deferrable work was \
+           held/shed instead of sinking the data plane.\n"
+          (Time_ns.to_string guardrail)
+      else
+        Run_ctx.printf ctx
+          "\nBaseline (governor off): the storm breaches the %s DP p99 \
+           guardrail at %.0fx density.\n"
+          (Time_ns.to_string guardrail) max_density)

@@ -1,4 +1,4 @@
-(** The [exp_overload] experiment: VM-startup storm x density sweep x
+(** The [overload] experiment: VM-startup storm x density sweep x
     overload governor on/off.
 
     Every cell runs the same storm mix — heavy background DP traffic, the
@@ -6,20 +6,25 @@
     Standard-class VM-startup storm scaled by density — under the
     no-hardware-probe Tai Chi ablation (so CP placement pressure actually
     reaches the data-plane tail), with and without [Config.overload].
+    The determinism repeat is an explicit extra cell ([repeat-d4-on])
+    that re-measures the hottest governed point.
 
-    Oracles, beyond the machine-wide Core_state audit:
+    Oracles (run in the descriptor's summarize step), beyond the
+    machine-wide Core_state audit:
 
     - the governor-off baseline breaches the DP p99 guardrail at the top
       density while governor-on holds it;
     - only the [Deferrable] class is ever shed;
     - the ladder performs a bounded number of transitions (no flapping)
       and is back at [Normal] after the post-storm quiet tail;
-    - repeating the hottest governed cell at the same seed reproduces a
-      bit-identical measurement digest. *)
+    - the repeat cell reproduces a bit-identical measurement digest. *)
 
-val set_governor_filter : string option -> unit
-(** Restrict the matrix to one governor setting: ["on"] or ["off"] (the
-    CLI's [--overload], also honoured from the [OVERLOAD_GOVERNOR]
-    environment variable). [None] restores both. *)
+val overload : Exp_desc.t
+(** One cell per (density x governor) grid point plus the determinism
+    repeat cell. *)
 
-val overload : seed:int -> scale:float -> unit
+val governor_filter : string -> Exp_desc.cell -> bool
+(** Cell filter keeping one governor setting, ["on"] or ["off"] (the
+    CLI's [--overload] / the [OVERLOAD_GOVERNOR] environment variable);
+    the repeat cell counts as governed. Raises [Failure] on any other
+    setting. *)

@@ -1,22 +1,55 @@
 let all =
   [
-    ("fig2", Exp_motivation.fig2);
-    ("fig3", Exp_motivation.fig3);
-    ("fig4", Exp_motivation.fig4);
-    ("fig5", Exp_motivation.fig5);
-    ("fig6", Exp_motivation.fig6);
-    ("fig11", Exp_cp.fig11);
-    ("fig12", Exp_dp.fig12);
-    ("fig13", Exp_dp.fig13);
-    ("table5", Exp_dp.table5);
-    ("fig14", Exp_dp.fig14);
-    ("fig15", Exp_dp.fig15);
-    ("fig16", Exp_dp.fig16);
-    ("fig17", Exp_cp.fig17);
-    ("table1", Exp_compare.table1);
-    ("table2", Exp_compare.table2);
-    ("sec8", Exp_dp.sec8);
-    ("ablations", Exp_ablations.ablations);
-    ("chaos", Exp_chaos.chaos);
-    ("overload", Exp_overload.overload);
+    Exp_motivation.fig2;
+    Exp_motivation.fig3;
+    Exp_motivation.fig4;
+    Exp_motivation.fig5;
+    Exp_motivation.fig6;
+    Exp_cp.fig11;
+    Exp_dp.fig12;
+    Exp_dp.fig13;
+    Exp_dp.table5;
+    Exp_dp.fig14;
+    Exp_dp.fig15;
+    Exp_dp.fig16;
+    Exp_cp.fig17;
+    Exp_compare.table1;
+    Exp_compare.table2;
+    Exp_dp.sec8;
+    Exp_ablations.ablations;
+    Exp_chaos.chaos;
+    Exp_overload.overload;
   ]
+
+let find name = List.find_opt (fun d -> Exp_desc.name d = name) all
+
+(* Edit distance for "did you mean" suggestions on a typoed experiment
+   name — the registry is tiny, so the O(n*m) textbook recurrence is
+   plenty. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let closest name =
+  let scored =
+    List.map (fun d -> (edit_distance name (Exp_desc.name d), Exp_desc.name d)) all
+  in
+  match List.sort compare scored with
+  | (dist, candidate) :: _ when dist <= 3 -> Some candidate
+  | _ -> None

@@ -1,9 +1,15 @@
 (** Registry of every paper table and figure reproduction. *)
 
-val all : (string * (seed:int -> scale:float -> unit)) list
-(** [(id, run)] pairs in paper order: fig2, fig3, fig4, fig5, fig6, fig11,
+val all : Exp_desc.t list
+(** Descriptors in paper order: fig2, fig3, fig4, fig5, fig6, fig11,
     fig12, fig13, table5, fig14, fig15, fig16, fig17, table1, table2,
     sec8, the [ablations] suite, the [chaos] fault-injection matrix (see
     {!Exp_chaos}), plus the [overload] brownout-governor storm matrix
-    (see {!Exp_overload}). [scale] shrinks simulated durations for quick
-    runs. *)
+    (see {!Exp_overload}). Run them through {!Sweep.run}. *)
+
+val find : string -> Exp_desc.t option
+(** Look an experiment up by name. *)
+
+val closest : string -> string option
+(** Closest registered name by edit distance (within distance 3), for
+    "did you mean" suggestions on unknown names. *)

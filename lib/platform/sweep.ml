@@ -1,0 +1,73 @@
+(* Domain-parallel execution of an experiment descriptor's cell grid.
+
+   Determinism contract: a sweep at --jobs N produces byte-identical
+   stdout and byte-identical harvested runs to --jobs 1 at the same
+   seeds. The pieces that make that true:
+
+   - every cell runs against its own derived Run_ctx (private sink,
+     private output buffer) on top of its own Sim/Machine/Rng universe,
+     so nothing it computes depends on what other cells are doing;
+   - buffers are flushed and sinks absorbed in cell (declaration) order,
+     never in completion order;
+   - a failing cell does not short-circuit the grid — every cell runs,
+     then the first failure in cell order is re-raised. Sequential runs
+     behave the same way, so jobs never changes which cells executed. *)
+
+let run ?(jobs = 1) ?(filter = fun (_ : Exp_desc.cell) -> true) ctx
+    (Exp_desc.T d) ~seed ~scale =
+  let cells = Array.of_list (List.filter filter d.cells) in
+  let n = Array.length cells in
+  Run_ctx.banner ctx d.title;
+  let ctxs = Array.map (fun _ -> Run_ctx.for_cell ctx) cells in
+  let results = Array.make n None in
+  let run_one i =
+    results.(i) <-
+      Some
+        (try Ok (d.run_cell ctxs.(i) ~seed ~scale cells.(i))
+         with e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  let merge_one i =
+    Run_ctx.flush_into ~into:ctx ctxs.(i);
+    Run_ctx.absorb ~into:ctx ctxs.(i)
+  in
+  if jobs <= 1 || n <= 1 then
+    (* Stream: run, print and merge cell by cell, in declaration order. *)
+    for i = 0 to n - 1 do
+      run_one i;
+      merge_one i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_one i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    for i = 0 to n - 1 do
+      merge_one i
+    done
+  end;
+  (* First failure in cell order wins, after every buffer reached stdout
+     so the failing cell's own report is visible. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some (Ok v) -> (cells.(i), v)
+           | Some (Error _) | None -> assert false)
+         results)
+  in
+  d.summarize ctx ~seed ~scale pairs

@@ -1,0 +1,25 @@
+(** Domain-parallel sweep runner for experiment descriptors.
+
+    Executes a descriptor's cell grid across OCaml domains and merges the
+    results back deterministically: cell output buffers are flushed and
+    harvest sinks absorbed in cell declaration order, never completion
+    order, so [run ~jobs:8] produces byte-identical stdout and trace
+    export to [run ~jobs:1] at the same seeds. See DESIGN.md §11. *)
+
+val run :
+  ?jobs:int ->
+  ?filter:(Exp_desc.cell -> bool) ->
+  Run_ctx.t ->
+  Exp_desc.t ->
+  seed:int ->
+  scale:float ->
+  unit
+(** [run ~jobs ~filter ctx desc ~seed ~scale] prints the descriptor's
+    banner, evaluates every cell passing [filter] (default: all) on a
+    pool of [jobs] domains (default 1 = inline), each against a context
+    derived from [ctx] with {!Run_ctx.for_cell}, then calls the
+    descriptor's [summarize] on the coordinating domain.
+
+    A failing cell never short-circuits the grid: every cell runs, then
+    the first failure in cell order is re-raised (identically at any
+    [jobs]), after all cell output has been flushed. *)

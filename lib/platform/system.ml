@@ -29,7 +29,8 @@ type t = {
 
 let range lo n = List.init n (fun i -> lo + i)
 
-let create ?(seed = 42) ?(layout = default_layout) ?prepare policy =
+let create ?(seed = 42) ?(layout = default_layout) ?prepare
+    ?(ctx = Run_ctx.default) policy =
   let sim = Sim.create () in
   let total = layout.n_net + layout.n_storage + layout.n_cp in
   let machine =
@@ -124,6 +125,10 @@ let create ?(seed = 42) ?(layout = default_layout) ?prepare policy =
   in
   let client = Client.create sim pipeline ~services in
   List.iter Dp_service.start services;
+  (* Tracing switches on only once assembly is done: boot-time service
+     starts are not part of the measured run, and keeping the cutover
+     here preserves export compatibility with the pre-Run_ctx layout. *)
+  if Run_ctx.tracing ctx then Trace.set_enabled (Machine.trace machine) true;
   {
     sim;
     machine;

@@ -27,12 +27,19 @@ val default_layout : layout
 type t
 
 val create :
-  ?seed:int -> ?layout:layout -> ?prepare:(Machine.t -> unit) -> Policy.t -> t
+  ?seed:int ->
+  ?layout:layout ->
+  ?prepare:(Machine.t -> unit) ->
+  ?ctx:Run_ctx.t ->
+  Policy.t ->
+  t
 (** Build the system. For Tai Chi policies, vCPUs still need their hotplug
     boot: call {!warmup}. [prepare] runs right after the machine is
     assembled and before the kernel, services or scheduler exist — the
     chaos harness uses it to install a fault injector that must already
-    cover the boot IPIs. *)
+    cover the boot IPIs. [ctx] (default {!Run_ctx.default}) carries the
+    run configuration: when it enables tracing, the machine trace is
+    switched on once assembly completes, just before [create] returns. *)
 
 val warmup : t -> unit
 (** Advance simulated time until the policy's infrastructure is ready

@@ -17,5 +17,6 @@ let () =
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite);
       ("platform", Test_platform.suite);
+      ("sweep", Test_sweep.suite);
       ("extensions", Test_extensions.suite);
     ]
