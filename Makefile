@@ -1,9 +1,13 @@
-.PHONY: all build test smoke sweep-check ci clean
+.PHONY: all build test smoke sweep-check bench-json ci clean
 
 # Cell-level parallelism for the experiment sweeps below. Output and
 # trace exports are byte-identical at any value (see DESIGN.md §11), so
 # JOBS only changes wall-clock: `make smoke JOBS=4`.
 JOBS ?= 1
+
+# Root seed for `make bench-json`; event counts in BENCH_ENGINE.json are
+# a pure function of it.
+SEED ?= 42
 
 all: build
 
@@ -47,6 +51,19 @@ sweep-check: build
 	sed 's|_build/sweep/j4.json|TRACE|' _build/sweep/j4.out > _build/sweep/j4.norm
 	cmp _build/sweep/j1.norm _build/sweep/j4.norm
 	dune exec bin/trace_lint.exe -- _build/sweep/j4.json
+
+# Engine throughput trajectory: run the bench's engine sections (the
+# fig17-shaped hot-path replay against the seed binary-heap engine, plus
+# per-fig17-cell events/sec) and write the schema-versioned, seed-stamped
+# BENCH_ENGINE.json, then validate its shape with bench_lint. Event
+# counts are deterministic for a given seed; only wall-clock fields vary
+# run to run. CI uploads the file as an artifact so the speedup is a
+# tracked trajectory rather than a number in a commit message.
+bench-json: build
+	BENCH_ONLY=none BENCH_SCALE=0.05 BENCH_SEED=$(SEED) \
+		BENCH_ENGINE_JSON=_build/BENCH_ENGINE.json \
+		dune exec bench/main.exe
+	dune exec bin/bench_lint.exe -- _build/BENCH_ENGINE.json
 
 ci: smoke sweep-check
 

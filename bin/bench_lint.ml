@@ -1,0 +1,135 @@
+(* Validate a taichi-bench-engine-v1 JSON export (the tracked engine
+   throughput trajectory written by `make bench-json`): parses the file,
+   checks the schema marker, the hotpath section's shape — including that
+   the calendar and legacy engines processed the identical event counts,
+   the determinism guarantee the bench itself asserts — and that every
+   fig17 cell row carries the expected fields. Exit 0 on success so CI
+   can gate on it before uploading the artifact. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name json =
+  match Taichi_metrics.Json.member name json with
+  | Some v -> Ok v
+  | None -> fail "missing field %S" name
+
+let int_field name json =
+  let* v = field name json in
+  match Taichi_metrics.Json.to_int v with
+  | Some i -> Ok i
+  | None -> fail "field %S is not an integer" name
+
+let number_field name json =
+  let* v = field name json in
+  match v with
+  | Taichi_metrics.Json.Float f -> Ok f
+  | Taichi_metrics.Json.Int i -> Ok (float_of_int i)
+  | _ -> fail "field %S is not a number" name
+
+let check_engine name json =
+  let* eng = field name json in
+  let* wall = number_field "wall_s" eng in
+  let* rate = number_field "events_per_sec" eng in
+  if wall <= 0.0 then fail "%s.wall_s must be positive" name
+  else if rate <= 0.0 then fail "%s.events_per_sec must be positive" name
+  else Ok ()
+
+let check_hotpath json =
+  let* hp = field "hotpath" json in
+  let* chains = int_field "chains" hp in
+  let* standing = int_field "standing" hp in
+  let* horizon = int_field "horizon_ns" hp in
+  let* scheduled = int_field "events_scheduled" hp in
+  let* processed = int_field "events_processed" hp in
+  let* () = check_engine "calendar" hp in
+  let* () = check_engine "legacy" hp in
+  let* speedup = number_field "speedup" hp in
+  if chains <= 0 || standing <= 0 || horizon <= 0 then
+    fail "hotpath workload parameters must be positive"
+  else if scheduled <= 0 || processed <= 0 || processed > scheduled then
+    fail "hotpath event counts are implausible (%d scheduled, %d processed)"
+      scheduled processed
+  else if speedup <= 0.0 then fail "hotpath.speedup must be positive"
+  else Ok ()
+
+let check_cell i json =
+  let* cell = field "cell" json in
+  let* name =
+    match Taichi_metrics.Json.to_str cell with
+    | Some s when s <> "" -> Ok s
+    | _ -> fail "fig17[%d].cell is not a non-empty string" i
+  in
+  let* scheduled = int_field "events_scheduled" json in
+  let* processed = int_field "events_processed" json in
+  let* wall = number_field "wall_s" json in
+  let* rate = number_field "events_per_sec" json in
+  if scheduled <= 0 || processed <= 0 || processed > scheduled then
+    fail "fig17 cell %S event counts are implausible" name
+  else if wall <= 0.0 || rate <= 0.0 then
+    fail "fig17 cell %S timings must be positive" name
+  else Ok ()
+
+let fig17_cells = 8
+
+let check_fig17 json =
+  let* cells = field "fig17" json in
+  match Taichi_metrics.Json.to_list cells with
+  | None -> fail "field \"fig17\" is not an array"
+  | Some rows ->
+      if List.length rows <> fig17_cells then
+        fail "expected %d fig17 cells, found %d" fig17_cells
+          (List.length rows)
+      else
+        List.fold_left
+          (fun acc (i, row) ->
+            let* () = acc in
+            check_cell i row)
+          (Ok ())
+          (List.mapi (fun i row -> (i, row)) rows)
+
+let validate contents =
+  let* json =
+    match Taichi_metrics.Json.parse_opt contents with
+    | Some j -> Ok j
+    | None -> fail "malformed JSON"
+  in
+  let* schema = field "schema" json in
+  let* () =
+    match Taichi_metrics.Json.to_str schema with
+    | Some "taichi-bench-engine-v1" -> Ok ()
+    | Some other -> fail "unexpected schema %S" other
+    | None -> fail "schema marker is not a string"
+  in
+  let* _seed = int_field "seed" json in
+  let* _scale = number_field "scale" json in
+  let* () = check_hotpath json in
+  check_fig17 json
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      let contents =
+        try read_file path
+        with Sys_error msg ->
+          Printf.eprintf "bench_lint: %s\n" msg;
+          exit 2
+      in
+      match validate contents with
+      | Ok () ->
+          Printf.printf "bench_lint: %s OK\n" path;
+          exit 0
+      | Error msg ->
+          Printf.eprintf "bench_lint: %s: %s\n" path msg;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: bench_lint BENCH_ENGINE.json\n";
+      exit 2

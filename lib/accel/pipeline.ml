@@ -4,6 +4,22 @@ type config = { preprocess : Time_ns.t; transfer : Time_ns.t }
 
 let default_config = { preprocess = Time_ns.ns 2700; transfer = Time_ns.ns 500 }
 
+(* Packet deliveries are batched: instead of one engine event (and one
+   closure) per submitted packet, the pipeline keeps a FIFO of
+   in-flight descriptors — due time, reserved engine sequence number,
+   destination flight cell, packet — in circular parallel arrays, and
+   arms a single drain timer for the queue head. The hardware window is
+   constant, so due times and sequence numbers are both monotone in
+   submit order and the FIFO never needs sorting.
+
+   Bit-exactness with the seed one-event-per-packet engine: each packet
+   reserves, at submit, exactly the sequence number its dedicated event
+   would have carried, and the drain only delivers the next packet
+   inline when no foreign event orders before that packet's (due, seq);
+   otherwise it re-arms the timer under the packet's own reserved seq
+   and yields, letting the engine interleave the foreign event exactly
+   where the per-packet engine would have. *)
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -13,19 +29,17 @@ type t = {
   mutable deliver_hook : core:int -> unit;
   mutable submitted : int;
   mutable delivered : int;
+  (* delivery FIFO (circular; grows by doubling; capacity power of 2) *)
+  mutable q_due : int array;
+  mutable q_seq : int array;
+  mutable q_cell : int ref array;
+  mutable q_pkt : Packet.t array;
+  mutable q_head : int;
+  mutable q_len : int;
+  (* true iff a drain timer is pending or a drain is in progress *)
+  mutable armed : bool;
+  mutable drain_cb : unit -> unit;
 }
-
-let create ?(config = default_config) sim =
-  {
-    sim;
-    config;
-    rings = Hashtbl.create 16;
-    in_flight = Hashtbl.create 16;
-    probe_hook = None;
-    deliver_hook = (fun ~core:_ -> ());
-    submitted = 0;
-    delivered = 0;
-  }
 
 let config t = t.config
 let window t = t.config.preprocess + t.config.transfer
@@ -44,21 +58,107 @@ let flight_cell t core =
 
 let in_flight t ~core = !(flight_cell t core)
 
+(* --- delivery FIFO ------------------------------------------------------- *)
+
+let enqueue t ~due ~seq ~cell pkt =
+  let cap = Array.length t.q_due in
+  if t.q_len = cap then begin
+    (* The packet being enqueued doubles as the fill value, so the empty
+       pipeline never needs a dummy descriptor. *)
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ndue = Array.make ncap 0
+    and nseq = Array.make ncap 0
+    and ncell = Array.make ncap cell
+    and npkt = Array.make ncap pkt in
+    for i = 0 to t.q_len - 1 do
+      let j = (t.q_head + i) land (cap - 1) in
+      ndue.(i) <- t.q_due.(j);
+      nseq.(i) <- t.q_seq.(j);
+      ncell.(i) <- t.q_cell.(j);
+      npkt.(i) <- t.q_pkt.(j)
+    done;
+    t.q_due <- ndue;
+    t.q_seq <- nseq;
+    t.q_cell <- ncell;
+    t.q_pkt <- npkt;
+    t.q_head <- 0
+  end;
+  let cap = Array.length t.q_due in
+  let i = (t.q_head + t.q_len) land (cap - 1) in
+  t.q_due.(i) <- due;
+  t.q_seq.(i) <- seq;
+  t.q_cell.(i) <- cell;
+  t.q_pkt.(i) <- pkt;
+  t.q_len <- t.q_len + 1
+
+(* Deliver the queue head, then keep draining inline while the next
+   packet is due at this same instant and nothing else wants to fire
+   first. *)
+let rec drain t =
+  let mask = Array.length t.q_due - 1 in
+  let h = t.q_head in
+  let pkt = t.q_pkt.(h) in
+  let cell = t.q_cell.(h) in
+  t.q_head <- (h + 1) land mask;
+  t.q_len <- t.q_len - 1;
+  decr cell;
+  pkt.Packet.t_ring <- Sim.now t.sim;
+  let ring = Hashtbl.find t.rings pkt.Packet.dst_core in
+  if Ring.push ring pkt then begin
+    t.delivered <- t.delivered + 1;
+    t.deliver_hook ~core:pkt.Packet.dst_core
+  end;
+  if t.q_len = 0 then t.armed <- false
+  else begin
+    let h = t.q_head in
+    let due = t.q_due.(h) and seq = t.q_seq.(h) in
+    if due > Sim.now t.sim then arm t ~due ~seq
+    else if Sim.has_event_before t.sim ~time:due ~seq then arm t ~due ~seq
+    else drain t
+  end
+
+and arm t ~due ~seq =
+  t.armed <- true;
+  Sim.at_reserved t.sim due ~seq t.drain_cb
+
+let create ?(config = default_config) sim =
+  let t =
+    {
+      sim;
+      config;
+      rings = Hashtbl.create 16;
+      in_flight = Hashtbl.create 16;
+      probe_hook = None;
+      deliver_hook = (fun ~core:_ -> ());
+      submitted = 0;
+      delivered = 0;
+      q_due = [||];
+      q_seq = [||];
+      q_cell = [||];
+      q_pkt = [||];
+      q_head = 0;
+      q_len = 0;
+      armed = false;
+      drain_cb = (fun () -> ());
+    }
+  in
+  (* One drain closure per pipeline, allocated here once — the per-packet
+     path allocates none. *)
+  t.drain_cb <- (fun () -> drain t);
+  t
+
 let submit t pkt =
   t.submitted <- t.submitted + 1;
   pkt.Packet.t_submit <- Sim.now t.sim;
   let cell = flight_cell t pkt.Packet.dst_core in
   incr cell;
   (match t.probe_hook with Some hook -> hook pkt | None -> ());
-  ignore
-    (Sim.after t.sim (window t) (fun () ->
-         decr cell;
-         pkt.Packet.t_ring <- Sim.now t.sim;
-         let ring = Hashtbl.find t.rings pkt.Packet.dst_core in
-         if Ring.push ring pkt then begin
-           t.delivered <- t.delivered + 1;
-           t.deliver_hook ~core:pkt.Packet.dst_core
-         end))
+  (* Reserved after the probe hook, matching the seed engine's sequence
+     assignment order exactly. *)
+  let seq = Sim.reserve_seq t.sim in
+  let due = Sim.now t.sim + window t in
+  enqueue t ~due ~seq ~cell pkt;
+  if not t.armed then arm t ~due ~seq
 
 let submitted t = t.submitted
 let delivered t = t.delivered

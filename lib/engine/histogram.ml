@@ -1,9 +1,7 @@
 (* Buckets: values < 64 map one-to-one; above that, each power of two is
-   split into 32 sub-buckets. Index layout mirrors HdrHistogram with
-   sub_bucket_bits = 5. *)
-
-let sub_bits = 5
-let sub_count = 1 lsl sub_bits (* 32 *)
+   split into 32 sub-buckets. The index layout (HdrHistogram with
+   sub_bucket_bits = 5) lives in [Bucket_layout], shared with the
+   sliding-window quantile sketch in taichi_metrics. *)
 
 type t = {
   mutable buckets : int array;
@@ -16,25 +14,8 @@ type t = {
 let create () =
   { buckets = Array.make 1024 0; n = 0; total = 0.0; lo = max_int; hi = min_int }
 
-(* Index of the bucket containing v (v >= 0). *)
-let index_of v =
-  if v < 2 * sub_count then v
-  else
-    (* Position of the highest set bit. *)
-    let rec highest_bit x acc = if x <= 1 then acc else highest_bit (x lsr 1) (acc + 1) in
-    let h = highest_bit v 0 in
-    let shift = h - sub_bits in
-    let sub = (v lsr shift) - sub_count in
-    (((h - sub_bits) + 1) * sub_count) + sub
-
-(* Upper bound of the values mapped to bucket [i]. *)
-let upper_of i =
-  if i < 2 * sub_count then i
-  else
-    let block = (i / sub_count) - 1 in
-    let sub = i mod sub_count in
-    let shift = block + 0 in
-    ((sub_count + sub + 1) lsl shift) - 1
+let index_of = Bucket_layout.index_of
+let upper_of = Bucket_layout.upper_of
 
 let ensure h i =
   let cap = Array.length h.buckets in
@@ -69,37 +50,47 @@ let percentile h p =
   let target =
     Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.n)))
   in
-  let acc = ref 0 and result = ref h.hi and found = ref false in
-  Array.iteri
-    (fun i c ->
-      if (not !found) && c > 0 then begin
-        acc := !acc + c;
-        if !acc >= target then begin
-          result := Stdlib.min (upper_of i) h.hi;
-          found := true
-        end
-      end)
-    h.buckets;
+  (* Indexed scan with early exit: stop at the target bucket instead of
+     walking the whole array for every percentile read. *)
+  let len = Array.length h.buckets in
+  let acc = ref 0 and result = ref h.hi and i = ref 0 in
+  while !acc < target && !i < len do
+    let c = h.buckets.(!i) in
+    if c > 0 then begin
+      acc := !acc + c;
+      if !acc >= target then result := Stdlib.min (upper_of !i) h.hi
+    end;
+    incr i
+  done;
   Stdlib.max h.lo !result
 
 let cdf_points h =
+  (* Early exit once every sample is accounted for: buckets past the
+     last populated one are all zero. *)
+  let len = Array.length h.buckets in
   let acc = ref 0 in
   let points = ref [] in
-  Array.iteri
-    (fun i c ->
-      if c > 0 then begin
-        acc := !acc + c;
-        points := (upper_of i, float_of_int !acc /. float_of_int h.n) :: !points
-      end)
-    h.buckets;
+  let i = ref 0 in
+  while !acc < h.n && !i < len do
+    let c = h.buckets.(!i) in
+    if c > 0 then begin
+      acc := !acc + c;
+      points := (upper_of !i, float_of_int !acc /. float_of_int h.n) :: !points
+    end;
+    incr i
+  done;
   List.rev !points
 
 let fraction_below h v =
   if h.n = 0 then 0.0
   else begin
     let limit = index_of (Stdlib.max 0 v) in
+    (* Only buckets below [limit] contribute; never scan past it. *)
+    let last = Stdlib.min limit (Array.length h.buckets) - 1 in
     let acc = ref 0 in
-    Array.iteri (fun i c -> if i < limit then acc := !acc + c) h.buckets;
+    for i = 0 to last do
+      acc := !acc + h.buckets.(i)
+    done;
     float_of_int !acc /. float_of_int h.n
   end
 

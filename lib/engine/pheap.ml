@@ -8,19 +8,20 @@ let is_empty h = h.size = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h =
+(* Growth uses the element being pushed as the fill value, so the empty
+   backing array never has to provide a dummy: [clear] leaves capacity
+   behind, but a fresh heap (or any size/capacity combination) grows
+   safely. Fill content is never observed: [size] guards all reads. *)
+let grow h fill =
   let cap = Array.length h.arr in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  (* Dummy slot content is never observed: [size] guards all reads. *)
-  let dummy = h.arr.(0) in
-  let narr = Array.make ncap dummy in
+  let narr = Array.make ncap fill in
   Array.blit h.arr 0 narr 0 h.size;
   h.arr <- narr
 
 let push h ~key ~seq value =
   let e = { key; seq; value } in
-  if h.size = Array.length h.arr then
-    if h.size = 0 then h.arr <- Array.make 16 e else grow h;
+  if h.size = Array.length h.arr then grow h e;
   h.arr.(h.size) <- e;
   h.size <- h.size + 1;
   (* Sift the new element up to restore the heap invariant. *)
@@ -73,6 +74,29 @@ let peek h =
   else
     let top = h.arr.(0) in
     Some (top.key, top.seq, top.value)
+
+(* Non-allocating root accessors for hot paths: callers must check
+   [is_empty] first, exactly like indexing an array. *)
+
+let top_key h =
+  if h.size = 0 then invalid_arg "Pheap.top_key: empty";
+  h.arr.(0).key
+
+let top_seq h =
+  if h.size = 0 then invalid_arg "Pheap.top_seq: empty";
+  h.arr.(0).seq
+
+let top_value h =
+  if h.size = 0 then invalid_arg "Pheap.top_value: empty";
+  h.arr.(0).value
+
+let drop h =
+  if h.size = 0 then invalid_arg "Pheap.drop: empty";
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.arr.(0) <- h.arr.(h.size);
+    sift_down h
+  end
 
 let clear h = h.size <- 0
 

@@ -25,6 +25,19 @@ val pop : 'a t -> (int * int * 'a) option
 val peek : 'a t -> (int * int * 'a) option
 (** [peek h] is the minimum element without removing it. *)
 
+(** {2 Non-allocating root access}
+
+    Hot paths (the calendar queue's overflow tier) read the root without
+    boxing an option. All four raise [Invalid_argument] on an empty
+    heap; guard with {!is_empty}. *)
+
+val top_key : 'a t -> int
+val top_seq : 'a t -> int
+val top_value : 'a t -> 'a
+
+val drop : 'a t -> unit
+(** [drop h] removes the minimum element without returning it. *)
+
 val clear : 'a t -> unit
 
 val compact : 'a t -> keep:('a -> bool) -> unit

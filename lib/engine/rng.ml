@@ -56,10 +56,12 @@ let nonneg r = Int64.to_int (Int64.shift_right_logical (bits64 r) 2)
 
 let int r n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling to avoid modulo bias. *)
+  (* Rejection sampling to avoid modulo bias. The rejection limit only
+     depends on [n]; computing it once instead of per retry keeps the
+     division out of the redraw loop. *)
+  let limit = 0x3FFFFFFFFFFFFFFF / n * n in
   let rec draw () =
     let v = nonneg r in
-    let limit = 0x3FFFFFFFFFFFFFFF / n * n in
     if v < limit then v mod n else draw ()
   in
   draw ()

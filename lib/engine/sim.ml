@@ -1,40 +1,103 @@
-type handle = {
-  time : Time_ns.t;
-  mutable state : [ `Pending | `Fired | `Cancelled ];
-  callback : unit -> unit;
-  owner : t;
-}
+(* The event engine hot path: a preallocated slot pool (callback and
+   generation/state arrays recycled through a free list) feeding the
+   calendar queue ({!Timerq}). Scheduling allocates only the caller's
+   handle record — no closures, no per-event heap entries on the wheel
+   path. Fire order is strict (time, seq), identical to the seed
+   binary-heap engine ({!Sim_legacy}), which the differential qcheck
+   property in the test suite enforces op-for-op.
 
-and t = {
+   Slot lifecycle: allocated by [at], freed when its queue entry is
+   dequeued or compacted away (single ownership by the queue entry).
+   A slot's [gens] word packs its generation in the high bits with a
+   tombstone flag in bit 0: cancellation flips the flag (the entry
+   stays queued until popped or compacted, mirroring the seed engine's
+   lazy-cancel design and its exact compaction policy, so the
+   pending/dead/compaction counters match the oracle everywhere), and
+   freeing bumps the generation, so a stale handle (cancel/is_pending
+   after the event fired and the slot was recycled) compares unequal
+   and becomes a safe no-op instead of aliasing a newer event. *)
+
+type t = {
   mutable clock : Time_ns.t;
   mutable seq : int;
-  heap : handle Pheap.t;
-  live : int ref;
+  q : Timerq.t;
+  (* event pool, indexed by slot *)
+  mutable cbs : (unit -> unit) array;
+  mutable gens : int array; (* generation lsl 1, bit 0 = tombstone *)
+  mutable free : int array; (* stack of free slots *)
+  mutable free_len : int;
+  mutable live : int;
   mutable fired : int;
   mutable compactions : int;
 }
+
+type handle = { owner : t; slot : int; hgen : int; htime : Time_ns.t }
+
+let nop () = ()
+let initial_pool = 1024
 
 let create () =
   {
     clock = 0;
     seq = 0;
-    heap = Pheap.create ();
-    live = ref 0;
+    q = Timerq.create ();
+    cbs = Array.make initial_pool nop;
+    gens = Array.make initial_pool 0;
+    free = Array.init initial_pool (fun i -> initial_pool - 1 - i);
+    free_len = initial_pool;
+    live = 0;
     fired = 0;
     compactions = 0;
   }
 
 let now sim = sim.clock
 
+let grow_pool sim =
+  let cap = Array.length sim.cbs in
+  let ncap = cap * 2 in
+  let ncbs = Array.make ncap nop in
+  let ngens = Array.make ncap 0 in
+  let nfree = Array.make ncap 0 in
+  Array.blit sim.cbs 0 ncbs 0 cap;
+  Array.blit sim.gens 0 ngens 0 cap;
+  sim.cbs <- ncbs;
+  sim.gens <- ngens;
+  sim.free <- nfree;
+  for i = 0 to cap - 1 do
+    nfree.(i) <- ncap - 1 - i
+  done;
+  sim.free_len <- cap
+
+let alloc_slot sim =
+  if sim.free_len = 0 then grow_pool sim;
+  let fl = sim.free_len - 1 in
+  sim.free_len <- fl;
+  sim.free.(fl)
+
+(* From pending (even g) this yields g + 2; from a tombstone (g lor 1)
+   it yields g + 2 as well: always even (pending) and strictly greater
+   than every generation a live handle can hold. *)
+let free_slot sim slot =
+  sim.gens.(slot) <- (sim.gens.(slot) lor 1) + 1;
+  sim.cbs.(slot) <- nop;
+  sim.free.(sim.free_len) <- slot;
+  sim.free_len <- sim.free_len + 1
+
+let schedule sim time seq callback =
+  let slot = alloc_slot sim in
+  sim.cbs.(slot) <- callback;
+  Timerq.push sim.q ~time ~seq slot;
+  sim.live <- sim.live + 1;
+  slot
+
 let at sim time callback =
   if time < sim.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %d is before now %d" time sim.clock);
-  let h = { time; state = `Pending; callback; owner = sim } in
-  Pheap.push sim.heap ~key:time ~seq:sim.seq h;
-  sim.seq <- sim.seq + 1;
-  incr sim.live;
-  h
+  let seq = sim.seq in
+  sim.seq <- seq + 1;
+  let slot = schedule sim time seq callback in
+  { owner = sim; slot; hgen = sim.gens.(slot); htime = time }
 
 let after sim delay callback =
   if delay < 0 then invalid_arg "Sim.after: negative delay";
@@ -42,78 +105,133 @@ let after sim delay callback =
 
 let immediate sim callback = at sim sim.clock callback
 
-(* Cancelled events are tombstones: they stay in the heap and are dropped
-   lazily on pop. [dead_events] is how many tombstones the heap currently
-   holds; once they outnumber live events ~2:1 (and are past a floor that
-   keeps tiny sims from churning) the heap is rebuilt in place. *)
-let dead_events sim = Pheap.length sim.heap - !(sim.live)
+(* Reserved-sequence scheduling: the accelerator pipeline's delivery
+   batcher claims sequence numbers at submit time (one per packet, in
+   exactly the order the seed engine would have assigned them) but arms
+   a single timer for the whole delivery queue, re-scheduling it under
+   an already-claimed seq whenever a foreign same-instant event must
+   interleave. This is what keeps batched delivery bit-identical to
+   one-event-per-packet. *)
+
+let reserve_seq sim =
+  let s = sim.seq in
+  sim.seq <- s + 1;
+  s
+
+let at_reserved sim time ~seq callback =
+  if time < sim.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at_reserved: time %d is before now %d" time
+         sim.clock);
+  if seq >= sim.seq then invalid_arg "Sim.at_reserved: seq was never reserved";
+  ignore (schedule sim time seq callback)
+
+(* Cancelled events are tombstones: they stay queued and are dropped
+   lazily on pop. [dead_events] is how many tombstones the queue
+   currently holds; once they outnumber live events ~2:1 (and are past a
+   floor that keeps tiny sims from churning) the queue is compacted in
+   place. Policy identical to the seed engine. *)
+let dead_events sim = Timerq.length sim.q - sim.live
 
 let compact_floor = 64
 
 let maybe_compact sim =
   let dead = dead_events sim in
-  if dead > compact_floor && dead > 2 * !(sim.live) then begin
-    Pheap.compact sim.heap ~keep:(fun h -> h.state = `Pending);
+  if dead > compact_floor && dead > 2 * sim.live then begin
+    Timerq.compact sim.q ~keep:(fun slot ->
+        if sim.gens.(slot) land 1 = 0 then true
+        else begin
+          free_slot sim slot;
+          false
+        end);
     sim.compactions <- sim.compactions + 1
   end
 
 let cancel h =
-  match h.state with
-  | `Pending ->
-      h.state <- `Cancelled;
-      decr h.owner.live;
-      maybe_compact h.owner
-  | `Fired | `Cancelled -> ()
+  let s = h.owner in
+  if s.gens.(h.slot) = h.hgen then begin
+    s.gens.(h.slot) <- h.hgen lor 1;
+    s.live <- s.live - 1;
+    maybe_compact s
+  end
 
-let is_pending h = h.state = `Pending
-let fire_time h = h.time
+let is_pending h = h.owner.gens.(h.slot) = h.hgen
+let fire_time h = h.htime
 
-(* Pop entries until a pending one is found; cancelled entries that escaped
-   compaction are dropped lazily here. *)
-let rec next_live sim =
-  match Pheap.pop sim.heap with
-  | None -> None
-  | Some (_, _, h) -> (
-      match h.state with
-      | `Pending -> Some h
-      | `Cancelled | `Fired -> next_live sim)
+(* Fire the queue head. Precondition: [Timerq.find_next] just returned
+   true and the head slot is live (not a tombstone). *)
+let fire_head sim slot =
+  let time = Timerq.next_time sim.q in
+  Timerq.drop_next sim.q;
+  sim.clock <- time;
+  Timerq.advance sim.q ~now:time;
+  let cb = sim.cbs.(slot) in
+  free_slot sim slot;
+  sim.live <- sim.live - 1;
+  sim.fired <- sim.fired + 1;
+  cb ()
 
 let step sim =
-  match next_live sim with
-  | None -> false
-  | Some h ->
-      sim.clock <- h.time;
-      h.state <- `Fired;
-      decr sim.live;
-      sim.fired <- sim.fired + 1;
-      h.callback ();
-      true
+  let rec loop () =
+    if not (Timerq.find_next sim.q) then false
+    else begin
+      let slot = Timerq.next_slot sim.q in
+      if sim.gens.(slot) land 1 = 0 then begin
+        fire_head sim slot;
+        true
+      end
+      else begin
+        (* Tombstone that escaped compaction: drop lazily, don't move
+           the clock. *)
+        Timerq.drop_next sim.q;
+        free_slot sim slot;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Drop tombstone heads so the head seen by callers is live; returns
+   [true] when a live head exists. *)
+let rec live_head sim =
+  if not (Timerq.find_next sim.q) then false
+  else begin
+    let slot = Timerq.next_slot sim.q in
+    if sim.gens.(slot) land 1 = 0 then true
+    else begin
+      Timerq.drop_next sim.q;
+      free_slot sim slot;
+      live_head sim
+    end
+  end
 
 let run ?until sim =
-  let continue = ref true in
-  while !continue do
-    (* Drop cancelled heads so the next-event time seen below is live. *)
-    let rec live_head () =
-      match Pheap.peek sim.heap with
-      | None -> None
-      | Some (_, _, h) when h.state <> `Pending ->
-          ignore (Pheap.pop sim.heap);
-          live_head ()
-      | Some (t, _, _) -> Some t
-    in
-    match live_head () with
-    | None -> continue := false
-    | Some t -> (
-        match until with
-        | Some limit when t > limit ->
-            sim.clock <- limit;
-            continue := false
-        | _ -> ignore (step sim))
-  done;
+  (match until with
+  | None -> while live_head sim do fire_head sim (Timerq.next_slot sim.q) done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        if not (live_head sim) then continue := false
+        else if Timerq.next_time sim.q > limit then continue := false
+        else fire_head sim (Timerq.next_slot sim.q)
+      done);
   match until with
-  | Some limit when sim.clock < limit -> sim.clock <- limit
+  | Some limit when sim.clock < limit ->
+      sim.clock <- limit;
+      Timerq.advance sim.q ~now:limit
   | _ -> ()
 
-let pending_events sim = !(sim.live)
+let next_event sim =
+  if live_head sim then Some (Timerq.next_time sim.q, Timerq.next_seq sim.q)
+  else None
+
+let has_event_before sim ~time ~seq =
+  live_head sim
+  &&
+  let t = Timerq.next_time sim.q in
+  t < time || (t = time && Timerq.next_seq sim.q < seq)
+
+let pending_events sim = sim.live
 let events_processed sim = sim.fired
+let events_scheduled sim = sim.seq
 let compactions sim = sim.compactions

@@ -2,7 +2,15 @@
 
     A simulator owns a virtual clock and a cancellable event queue. Events
     scheduled for the same instant fire in the order they were scheduled,
-    making every run deterministic. *)
+    making every run deterministic.
+
+    Internally the engine is a calendar timer queue ({!Timerq}: a 512 ns
+    x 4096-bucket wheel with a binary-heap overflow tier) fed by a
+    preallocated event pool with free-list recycling, so the schedule /
+    cancel / fire hot path allocates no closures and no per-event queue
+    nodes. Fire order is bit-identical to the seed binary-heap engine,
+    which is kept as {!Sim_legacy} and enforced as a differential oracle
+    in the test suite. *)
 
 type t
 (** A simulator instance. *)
@@ -53,6 +61,40 @@ val pending_events : t -> int
 val events_processed : t -> int
 (** [events_processed sim] counts events fired since creation, a useful
     progress and complexity metric. *)
+
+val events_scheduled : t -> int
+(** [events_scheduled sim] counts sequence numbers issued since creation
+    (every [at]/[after]/[immediate] plus every {!reserve_seq}). *)
+
+(** {2 Reserved-sequence scheduling}
+
+    The accelerator pipeline batches packet deliveries through a single
+    timer instead of one event per packet, yet must stay bit-identical
+    to the one-event-per-packet engine: same-instant events interleave
+    by sequence number. These hooks let a batcher claim the exact
+    sequence numbers the per-packet events would have had, and schedule
+    its drain timer under them. *)
+
+val reserve_seq : t -> int
+(** [reserve_seq sim] claims and returns the next sequence number, as if
+    an event had been scheduled, without queueing anything. *)
+
+val at_reserved : t -> Time_ns.t -> seq:int -> (unit -> unit) -> unit
+(** [at_reserved sim time ~seq f] schedules [f] at [time] under the
+    previously {!reserve_seq}d [seq]. The caller must schedule each
+    reserved seq at most once. Raises [Invalid_argument] if [time] is in
+    the past or [seq] was never reserved. *)
+
+val next_event : t -> (Time_ns.t * int) option
+(** [next_event sim] is the [(time, seq)] of the earliest live pending
+    event, if any — what would fire next. Tombstoned (cancelled) heads
+    are swept as a side effect. *)
+
+val has_event_before : t -> time:Time_ns.t -> seq:int -> bool
+(** [has_event_before sim ~time ~seq] is [true] iff a live pending event
+    orders strictly before [(time, seq)] — the allocation-free query a
+    batcher uses to decide whether it may keep draining inline or must
+    yield back to the engine. *)
 
 val dead_events : t -> int
 (** [dead_events sim] is the number of cancelled tombstones currently

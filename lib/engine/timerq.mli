@@ -1,0 +1,53 @@
+(** Calendar timer queue: a 4096-bucket, 512 ns-wide timing wheel with
+    the binary heap ({!Pheap}) as an overflow tier for timers beyond the
+    ~2.1 ms horizon.
+
+    Payloads are bare ints (the {!Sim} event pool's slot indices); keys
+    are (time, seq) pairs and entries dequeue in strict lexicographic
+    (time, seq) order — exactly the order a global binary heap keyed the
+    same way would produce, which is what keeps every experiment
+    byte-identical to the seed engine. Within a bucket, (offset, seq) is
+    packed into one int, so the hot push/pop path allocates nothing and
+    compares single integers.
+
+    The queue does not track its owner's clock; the owner must call
+    {!advance} whenever its clock moves forward so the wheel can rotate
+    and drain newly-in-horizon overflow timers. Pushes must never be
+    earlier than the last advanced time. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Total queued entries, live and tombstoned alike. *)
+
+val is_empty : t -> bool
+
+val push : t -> time:int -> seq:int -> int -> unit
+(** [push t ~time ~seq slot] enqueues payload [slot]. [time] must be at
+    or after the last {!advance}d time; [seq] must fit in 53 bits and be
+    unique (it is the deterministic tie-break). *)
+
+val advance : t -> now:int -> unit
+(** [advance t ~now] rotates the wheel to [now]'s bucket. Call after
+    every clock movement and before the next [push]. Monotone; earlier
+    times are ignored. *)
+
+val find_next : t -> bool
+(** [find_next t] locates the minimum entry, returning [false] when the
+    queue is empty. On [true], {!next_time}, {!next_seq}, {!next_slot}
+    and {!drop_next} refer to that entry until the next mutation. *)
+
+val next_time : t -> int
+val next_seq : t -> int
+val next_slot : t -> int
+
+val drop_next : t -> unit
+(** Remove the entry located by the last {!find_next}. *)
+
+val compact : t -> keep:(int -> bool) -> unit
+(** [compact t ~keep] drops every entry whose payload fails [keep],
+    preserving (time, seq) order of survivors. [keep] is called exactly
+    once per entry and may side-effect (the owner frees pool slots in
+    it). *)

@@ -1,33 +1,15 @@
 (* Sliding-window quantile sketch: a ring of per-slice log-bucketed
-   histograms plus an incrementally maintained aggregate. Buckets reuse
-   the HdrHistogram-style layout from [Taichi_engine.Histogram]
-   (sub_bucket_bits = 5) but with a fixed capacity and clamping instead
-   of growth, so observe/quantile never allocate. *)
+   histograms plus an incrementally maintained aggregate. Buckets use
+   the shared [Taichi_engine.Bucket_layout] (the exact layout the engine
+   Histogram uses — one implementation, so they cannot drift) but with a
+   fixed capacity and clamping instead of growth, so observe/quantile
+   never allocate. *)
 
 open Taichi_engine
 
-let sub_bits = 5
-let sub_count = 1 lsl sub_bits (* 32 *)
 let bucket_cap = 1024
-
-let index_of v =
-  if v < 2 * sub_count then v
-  else
-    let rec highest_bit x acc =
-      if x <= 1 then acc else highest_bit (x lsr 1) (acc + 1)
-    in
-    let h = highest_bit v 0 in
-    let shift = h - sub_bits in
-    let sub = (v lsr shift) - sub_count in
-    let i = (((h - sub_bits) + 1) * sub_count) + sub in
-    Stdlib.min i (bucket_cap - 1)
-
-let upper_of i =
-  if i < 2 * sub_count then i
-  else
-    let block = (i / sub_count) - 1 in
-    let sub = i mod sub_count in
-    ((sub_count + sub + 1) lsl block) - 1
+let index_of v = Stdlib.min (Bucket_layout.index_of v) (bucket_cap - 1)
+let upper_of = Bucket_layout.upper_of
 
 type t = {
   slice : Time_ns.t;

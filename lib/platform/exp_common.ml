@@ -67,6 +67,10 @@ let with_system ?layout ?prepare ?(ctx = Run_ctx.default) ~seed policy f =
      authoritative core states, the kernel's backing view, the scheduler's
      placement maps and the accelerator mirror must all agree. *)
   check_audit ~ctx ~seed sys;
+  let sim = System.sim sys in
+  Run_ctx.record_engine_events ctx
+    ~scheduled:(Sim.events_scheduled sim)
+    ~processed:(Sim.events_processed sim);
   if Run_ctx.tracing ctx then harvest_run ~ctx ~seed sys;
   result
 

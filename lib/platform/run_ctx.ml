@@ -23,6 +23,8 @@ type audit_failure = {
 type sink = {
   mutable runs : Taichi_metrics.Export.run list; (* newest first *)
   mutable audits : audit_failure list; (* newest first *)
+  mutable engine_scheduled : int; (* Sim events scheduled, summed over runs *)
+  mutable engine_processed : int; (* Sim events fired, summed over runs *)
 }
 
 type out = Stdout | Buffered of Buffer.t
@@ -35,7 +37,8 @@ type t = {
   out : out;
 }
 
-let new_sink () = { runs = []; audits = [] }
+let new_sink () =
+  { runs = []; audits = []; engine_scheduled = 0; engine_processed = 0 }
 
 let create ?(tracing = false) ?(audit = Abort) ?(experiment = "unnamed") () =
   { experiment; tracing; audit; sink = new_sink (); out = Stdout }
@@ -91,11 +94,19 @@ let harvest t run = t.sink.runs <- run :: t.sink.runs
 
 let record_audit_failure t failure = t.sink.audits <- failure :: t.sink.audits
 
+let record_engine_events t ~scheduled ~processed =
+  t.sink.engine_scheduled <- t.sink.engine_scheduled + scheduled;
+  t.sink.engine_processed <- t.sink.engine_processed + processed
+
 let runs t = List.rev t.sink.runs
 let audit_failures t = List.rev t.sink.audits
+
+let engine_events t = (t.sink.engine_scheduled, t.sink.engine_processed)
 
 (* Append [src]'s harvest to [dst] preserving completion order within
    [src]; the sweep calls this once per cell, in cell order. *)
 let absorb ~into:dst src =
   dst.sink.runs <- List.rev_append (runs src) dst.sink.runs;
-  dst.sink.audits <- List.rev_append (audit_failures src) dst.sink.audits
+  dst.sink.audits <- List.rev_append (audit_failures src) dst.sink.audits;
+  dst.sink.engine_scheduled <- dst.sink.engine_scheduled + src.sink.engine_scheduled;
+  dst.sink.engine_processed <- dst.sink.engine_processed + src.sink.engine_processed

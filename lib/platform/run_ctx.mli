@@ -69,11 +69,20 @@ val buffered_contents : t -> string
 val harvest : t -> Taichi_metrics.Export.run -> unit
 val record_audit_failure : t -> audit_failure -> unit
 
+val record_engine_events : t -> scheduled:int -> processed:int -> unit
+(** Accumulate one finished system's simulator event counters into the
+    sink. [Exp_common.with_system] calls this for every run, so a cell
+    context's totals tell the bench how much engine work a cell did. *)
+
 val runs : t -> Taichi_metrics.Export.run list
 (** Harvested trace runs, in completion order. *)
 
 val audit_failures : t -> audit_failure list
 (** Collected audit failures, in completion order. *)
+
+val engine_events : t -> int * int
+(** [(scheduled, processed)] simulator event totals accumulated by
+    {!record_engine_events} (and merged by {!absorb}). *)
 
 val absorb : into:t -> t -> unit
 (** [absorb ~into:parent cell] appends the cell sink's runs and audit

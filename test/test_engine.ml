@@ -208,6 +208,201 @@ let test_sim_tombstone_compaction () =
   checkb "fired in schedule order" true
     (fired = List.init 1000 (fun k -> k * 10))
 
+(* --- Sim vs. the seed engine (differential oracle) ------------------------- *)
+
+(* Both engines expose the same timer-program surface; the calendar-queue
+   engine must be observationally identical to the seed binary heap. *)
+module type ENGINE = sig
+  type t
+  type handle
+
+  val create : unit -> t
+  val now : t -> Time_ns.t
+  val at : t -> Time_ns.t -> (unit -> unit) -> handle
+  val cancel : handle -> unit
+  val run : ?until:Time_ns.t -> t -> unit
+  val pending_events : t -> int
+  val events_processed : t -> int
+  val events_scheduled : t -> int
+  val dead_events : t -> int
+  val compactions : t -> int
+end
+
+(* Interpret a random op list: schedule (delays spanning same-instant ties
+   through far beyond the calendar wheel's ~2.1 ms horizon, so the overflow
+   tier and its drain get exercised), cancel an arbitrary earlier handle
+   (possibly already fired — must be a no-op), or advance with [run ~until].
+   Returns the full observable trace: fire order with clock readings, final
+   clock, and every counter including compaction activity. *)
+let run_timer_program (module E : ENGINE) ops =
+  let sim = E.create () in
+  let log = ref [] in
+  let handles = ref [] in
+  let nh = ref 0 in
+  List.iter
+    (fun (op, a, _b) ->
+      match op with
+      | 0 ->
+          let k = !nh in
+          let h =
+            E.at sim
+              (E.now sim + (a mod 5_000_000))
+              (fun () -> log := (k, E.now sim) :: !log)
+          in
+          handles := h :: !handles;
+          incr nh
+      | 1 ->
+          if !nh > 0 then E.cancel (List.nth !handles (a mod !nh))
+      | _ -> E.run ~until:(E.now sim + (a mod 300_000)) sim)
+    ops;
+  E.run sim;
+  ( List.rev !log,
+    E.now sim,
+    ( E.pending_events sim,
+      E.events_processed sim,
+      E.events_scheduled sim,
+      E.dead_events sim,
+      E.compactions sim ) )
+
+let prop_sim_differential =
+  QCheck.Test.make ~name:"calendar engine == seed engine on random programs"
+    ~count:120
+    QCheck.(
+      list_of_size (Gen.int_range 0 200)
+        (triple (int_bound 2) (int_bound 4_999_999) small_int))
+    (fun ops ->
+      let new_r = run_timer_program (module Sim) ops in
+      let old_r = run_timer_program (module Sim_legacy) ops in
+      new_r = old_r)
+
+(* Dense same-instant bursts with interleaved cancels are where a bucketed
+   queue could most plausibly break FIFO tie-breaks; pin them separately
+   from the mixed program above. *)
+let prop_sim_differential_ties =
+  QCheck.Test.make ~name:"calendar engine == seed engine on same-time ties"
+    ~count:120
+    QCheck.(
+      list_of_size (Gen.int_range 0 150)
+        (triple (int_bound 2) (int_bound 40) small_int))
+    (fun ops ->
+      let new_r = run_timer_program (module Sim) ops in
+      let old_r = run_timer_program (module Sim_legacy) ops in
+      new_r = old_r)
+
+(* --- Pheap regression: grow after clear ------------------------------------ *)
+
+(* [Pheap.grow] used to size the new store off [h.arr.(0)], which crashed
+   the first push after [clear] emptied the backing array. *)
+let test_heap_clear_then_push () =
+  let h = Pheap.create () in
+  for i = 1 to 200 do
+    Pheap.push h ~key:i ~seq:i i
+  done;
+  Pheap.clear h;
+  checki "cleared" 0 (Pheap.length h);
+  for i = 1 to 200 do
+    Pheap.push h ~key:(201 - i) ~seq:i i
+  done;
+  checki "refilled" 200 (Pheap.length h);
+  match Pheap.pop h with
+  | Some (k, _, _) -> checki "min after refill" 1 k
+  | None -> Alcotest.fail "heap empty after refill"
+
+(* --- Bucket_layout --------------------------------------------------------- *)
+
+(* Values across the whole non-negative int range, dense at the bottom
+   (where the layout is one-to-one) and log-spread up to [max_int] (where
+   [upper_of] must saturate rather than overflow). *)
+let any_bucket_value =
+  QCheck.make
+    ~print:string_of_int
+    QCheck.Gen.(
+      oneof
+        [
+          int_range 0 200;
+          map
+            (fun (shift, low) -> ((1 lsl shift) lor (low land ((1 lsl shift) - 1))) land max_int)
+            (pair (int_range 0 61) (int_range 0 max_int));
+          return max_int;
+        ])
+
+let prop_bucket_upper_covers =
+  QCheck.Test.make ~name:"bucket upper_of (index_of v) >= v" ~count:2000
+    any_bucket_value
+    (fun v ->
+      let u = Bucket_layout.upper_of (Bucket_layout.index_of v) in
+      u >= v)
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~name:"bucket index_of and upper_of monotone" ~count:2000
+    QCheck.(pair any_bucket_value any_bucket_value)
+    (fun (a, b) ->
+      let lo = Stdlib.min a b and hi = Stdlib.max a b in
+      let ilo = Bucket_layout.index_of lo and ihi = Bucket_layout.index_of hi in
+      ilo <= ihi && Bucket_layout.upper_of ilo <= Bucket_layout.upper_of ihi)
+
+let test_bucket_saturation () =
+  checki "top bucket saturates at max_int" max_int
+    (Bucket_layout.upper_of (Bucket_layout.index_of max_int));
+  (* The exact layout below 2 * sub_count is one-to-one. *)
+  for v = 0 to (2 * Bucket_layout.sub_count) - 1 do
+    checki "exact range is identity" v
+      (Bucket_layout.upper_of (Bucket_layout.index_of v))
+  done
+
+(* --- Histogram scan regressions -------------------------------------------- *)
+
+(* Reference semantics for [percentile]: the target-ranked value's bucket
+   upper bound, clamped into [min, max]. The early-exit rewrite must agree
+   with this bucket-order definition on every input. *)
+let reference_percentile values p =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let target = Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n))) in
+  let v = List.nth sorted (target - 1) in
+  let lo = List.hd sorted and hi = List.nth sorted (n - 1) in
+  Stdlib.max lo
+    (Stdlib.min (Bucket_layout.upper_of (Bucket_layout.index_of v)) hi)
+
+let prop_histogram_percentile_reference =
+  QCheck.Test.make ~name:"percentile matches full-scan reference" ~count:500
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 60) (int_range 0 100_000_000))
+        (int_range 0 1000))
+    (fun (values, p1000) ->
+      let p = float_of_int p1000 /. 10.0 in
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      Histogram.percentile h p = reference_percentile values p)
+
+let prop_histogram_cdf_reference =
+  QCheck.Test.make ~name:"cdf_points matches full-scan reference" ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 0 100_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      let n = List.length values in
+      let expected =
+        (* group by bucket index in ascending order, accumulate counts *)
+        let sorted =
+          List.sort compare (List.map Bucket_layout.index_of values)
+        in
+        let rec group acc = function
+          | [] -> List.rev acc
+          | i :: rest ->
+              let same, rest' = List.partition (fun j -> j = i) (i :: rest) in
+              group ((i, List.length same) :: acc) rest'
+        in
+        let acc = ref 0 in
+        List.map
+          (fun (i, c) ->
+            acc := !acc + c;
+            (Bucket_layout.upper_of i, float_of_int !acc /. float_of_int n))
+          (group [] sorted)
+      in
+      Histogram.cdf_points h = expected)
+
 (* --- Rng / Dist -------------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -489,6 +684,8 @@ let suite =
     ("sim immediate ordering", `Quick, test_sim_immediate);
     ("sim counters", `Quick, test_sim_counters);
     ("sim tombstone compaction", `Quick, test_sim_tombstone_compaction);
+    ("heap clear then push", `Quick, test_heap_clear_then_push);
+    ("bucket layout saturation", `Quick, test_bucket_saturation);
     ("rng determinism", `Quick, test_rng_deterministic);
     ("rng split independence", `Quick, test_rng_split_independent);
     ("rng split stability", `Quick, test_rng_split_stable);
@@ -518,4 +715,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_rng_int_range;
     QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
     QCheck_alcotest.to_alcotest prop_histogram_mean_exact;
+    QCheck_alcotest.to_alcotest prop_sim_differential;
+    QCheck_alcotest.to_alcotest prop_sim_differential_ties;
+    QCheck_alcotest.to_alcotest prop_bucket_upper_covers;
+    QCheck_alcotest.to_alcotest prop_bucket_monotone;
+    QCheck_alcotest.to_alcotest prop_histogram_percentile_reference;
+    QCheck_alcotest.to_alcotest prop_histogram_cdf_reference;
   ]
