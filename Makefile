@@ -23,7 +23,10 @@ test: build
 # chaos run — the seeded fault matrix with the Core_state audit, the
 # hung-vCPU watchdog oracle and trace_lint as pass/fail gates — then the
 # overload storm, whose export additionally exercises trace_lint's ladder
-# checks (transition sequence, one rung at a time, minimum dwell).
+# checks (transition sequence, one rung at a time, minimum dwell), then
+# the multitenant grid, whose export exercises trace_lint's per-tenant
+# lane checks (registered dense ids, non-negative rows, per-tenant sums
+# equal to the globals).
 smoke: test
 	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_JOBS=$(JOBS) \
 		BENCH_TRACE_JSON=_build/smoke-trace.json \
@@ -35,6 +38,9 @@ smoke: test
 	dune exec bin/taichi_sim.exe -- overload --seed 42 --scale 0.25 \
 		--jobs $(JOBS) --trace-json _build/overload-trace.json
 	dune exec bin/trace_lint.exe -- _build/overload-trace.json
+	dune exec bin/taichi_sim.exe -- multitenant --seed 42 --scale 0.25 \
+		--jobs $(JOBS) --trace-json _build/multitenant-trace.json
+	dune exec bin/trace_lint.exe -- _build/multitenant-trace.json
 
 # The sweep determinism contract, end to end through the real CLI: the
 # same experiment at --jobs 1 and --jobs 4 must produce byte-identical

@@ -12,7 +12,8 @@
                        (schema taichi-trace-v1) to this path
      BENCH_ENGINE_JSON write the engine speed report (schema
                        taichi-bench-engine-v1: hot-path calendar-vs-heap
-                       replay plus per-fig17-cell throughput) to this path
+                       replay, per-fig17-cell throughput, and the
+                       multi-tenant counter-lane section) to this path
 *)
 
 open Taichi_engine
@@ -142,10 +143,18 @@ module type ENGINE = sig
 
   val create : unit -> t
   val after : t -> Time_ns.t -> (unit -> unit) -> handle
-  val cancel : handle -> unit
+  val cancel : t -> handle -> unit
   val run : ?until:Time_ns.t -> t -> unit
   val events_scheduled : t -> int
   val events_processed : t -> int
+end
+
+(* Adapt the seed engine's owner-carrying handle record to the shared
+   ENGINE surface, where cancel is owner-relative. *)
+module Legacy_engine = struct
+  include Sim_legacy
+
+  let cancel _sim h = Sim_legacy.cancel h
 end
 
 (* An event program shaped like the fig17 hot path (VM startup storm over
@@ -178,8 +187,8 @@ let hotpath_replay (module E : ENGINE) ~seed =
     let timeout =
       E.after sim (Time_ns.us 200 + ((bits lsr 16) land 0x3FFFF)) nop
     in
-    if (bits lsr 34) land 15 <> 0 then E.cancel slice;
-    if (bits lsr 38) land 15 <> 0 then E.cancel timeout;
+    if (bits lsr 34) land 15 <> 0 then E.cancel sim slice;
+    if (bits lsr 38) land 15 <> 0 then E.cancel sim timeout;
     ignore (E.after sim (Time_ns.ns 800 + ((bits lsr 42) land 0xFFF)) worker)
   in
   for _ = 1 to hotpath_chains do
@@ -208,7 +217,7 @@ let report_engine_hotpath () =
     hotpath_chains hotpath_standing
     (Time_ns.to_string hotpath_horizon);
   (* Legacy first so the production engine cannot inherit a warmer cache. *)
-  let lsched, lproc, lwall = hotpath_replay (module Sim_legacy) ~seed in
+  let lsched, lproc, lwall = hotpath_replay (module Legacy_engine) ~seed in
   let csched, cproc, cwall = hotpath_replay (module Sim) ~seed in
   if (csched, cproc) <> (lsched, lproc) then
     failwith
@@ -273,6 +282,128 @@ let report_fig17_cells () =
           })
         cells
 
+(* --- multi-tenant counter lanes ------------------------------------------- *)
+
+(* A short two-tenant run: background DP traffic on both tenants' services
+   plus control-plane churn, enough to drive the per-tenant counter
+   mirrors end to end. The report carries every [tenant.<id>.<suffix>]
+   row next to its global counter so [bin/bench_lint] can re-check the
+   sum invariant (per-tenant rows are non-negative, name registered
+   tenants, and sum to the global) offline, the same discipline
+   [trace_lint] applies to trace exports. *)
+type mt_tenant = {
+  mtt_id : int;
+  mtt_name : string;
+  mtt_weight : int;
+  mtt_granted : int;
+  mtt_counters : (string * int) list;  (** suffix -> value *)
+}
+
+type mt_report = {
+  mt_tenants : mt_tenant list;
+  mt_globals : (string * int) list;  (** suffix -> global value *)
+}
+
+let report_multitenant () =
+  let module P = Taichi_platform in
+  let module C = Taichi_core in
+  let seed = getenv_i "BENCH_SEED" 42 in
+  let specs = [ C.Tenant.spec ~weight:3 "alpha"; C.Tenant.spec "bravo" ] in
+  let config =
+    C.Config.with_tenants (C.Config.no_hw_probe C.Config.default) specs
+  in
+  let sys = P.System.create ~seed (P.Policy.Taichi config) in
+  P.System.warmup sys;
+  let sim = P.System.sim sys in
+  let until = Sim.now sim + Time_ns.ms 60 in
+  P.Exp_common.start_bg_dp sys ~target:0.3 ~until;
+  P.Exp_common.start_cp_churn sys ~period:(Time_ns.ms 1) ~work:(Time_ns.ms 4)
+    ~until;
+  (* Churn runs under tenant 0; give bravo its own CP population so both
+     lanes accrue grant time and mirrored counters. *)
+  List.iter
+    (fun tid ->
+      let rng =
+        Rng.split (P.System.rng sys) (Printf.sprintf "bench-mt-%d" tid)
+      in
+      let params =
+        {
+          Taichi_controlplane.Synth_cp.default_params with
+          Taichi_controlplane.Synth_cp.total_work = Time_ns.ms 10;
+          phases = 3;
+        }
+      in
+      Taichi_controlplane.Synth_cp.make_batch ~tenant:tid ~rng ~params
+        ~locks:[] ~affinity:[] ~count:2 ()
+      |> List.iter (fun task -> P.System.spawn_cp ~tenant:tid sys task))
+    (List.tl (C.Tenant.ids (P.System.tenants sys)));
+  P.System.advance sys (Time_ns.ms 70);
+  let table = P.System.tenants sys in
+  let sched =
+    C.Taichi.scheduler (Option.get (P.System.taichi sys))
+  in
+  let dump =
+    Taichi_engine.Counters.dump
+      (Taichi_hw.Machine.counters (P.System.machine sys))
+  in
+  let suffixes = Hashtbl.create 32 in
+  List.iter
+    (fun (name, _) ->
+      match C.Tenant.parse_counter name with
+      | Some (_, suffix) -> Hashtbl.replace suffixes suffix ()
+      | None -> ())
+    dump;
+  let global suffix =
+    match List.assoc_opt suffix dump with Some v -> v | None -> 0
+  in
+  let tenants =
+    List.map
+      (fun tid ->
+        let t = C.Tenant.get table tid in
+        {
+          mtt_id = tid;
+          mtt_name = t.C.Tenant.name;
+          mtt_weight = t.C.Tenant.weight;
+          mtt_granted = C.Vcpu_sched.granted_ns sched ~tenant:tid;
+          mtt_counters =
+            List.filter_map
+              (fun (name, v) ->
+                match C.Tenant.parse_counter name with
+                | Some (id, suffix) when id = tid -> Some (suffix, v)
+                | _ -> None)
+              dump;
+        })
+      (C.Tenant.ids table)
+  in
+  let globals =
+    Hashtbl.fold (fun suffix () acc -> (suffix, global suffix) :: acc) suffixes []
+    |> List.sort compare
+  in
+  print_newline ();
+  Printf.printf
+    "Multi-tenant counter lanes (2 tenants 3:1, seed %d, 60 ms churn)\n" seed;
+  print_endline "================================================================";
+  List.iter
+    (fun t ->
+      Printf.printf
+        "  tenant %d %-7s w=%d  granted %6.2f ms  %3d mirrored counters\n"
+        t.mtt_id t.mtt_name t.mtt_weight
+        (float_of_int t.mtt_granted /. 1e6)
+        (List.length t.mtt_counters))
+    tenants;
+  Printf.printf "  %d mirrored suffixes, per-tenant sums == globals: %b\n"
+    (List.length globals)
+    (List.for_all
+       (fun (suffix, g) ->
+         g
+         = List.fold_left
+             (fun acc t ->
+               acc
+               + Option.value ~default:0 (List.assoc_opt suffix t.mtt_counters))
+             0 tenants)
+       globals);
+  { mt_tenants = tenants; mt_globals = globals }
+
 (* --- BENCH_ENGINE.json ---------------------------------------------------- *)
 
 (* Schema taichi-bench-engine-v1. Everything except the fields whose name
@@ -280,7 +411,7 @@ let report_fig17_cells () =
    deterministic for a given seed: re-running with the same BENCH_SEED
    must reproduce the file modulo those timing fields. [bin/bench_lint]
    validates the shape in CI. *)
-let write_engine_json path ~hotpath ~fig17 =
+let write_engine_json path ~hotpath ~fig17 ~multitenant =
   let module J = Taichi_metrics.Json in
   let rate processed wall = float_of_int processed /. Float.max 1e-9 wall in
   let engine_obj wall =
@@ -324,6 +455,32 @@ let write_engine_json path ~hotpath ~fig17 =
                      ("events_per_sec", J.Float (rate c.cr_processed c.cr_wall));
                    ])
                fig17) );
+        ( "multitenant",
+          J.Obj
+            [
+              ( "tenants",
+                J.Arr
+                  (List.map
+                     (fun t ->
+                       J.Obj
+                         [
+                           ("id", J.Int t.mtt_id);
+                           ("name", J.Str t.mtt_name);
+                           ("weight", J.Int t.mtt_weight);
+                           ("granted_ns", J.Int t.mtt_granted);
+                           ( "counters",
+                             J.Obj
+                               (List.map
+                                  (fun (suffix, v) -> (suffix, J.Int v))
+                                  t.mtt_counters) );
+                         ])
+                     multitenant.mt_tenants) );
+              ( "globals",
+                J.Obj
+                  (List.map
+                     (fun (suffix, v) -> (suffix, J.Int v))
+                     multitenant.mt_globals) );
+            ] );
       ]
   in
   let oc = open_out path in
@@ -421,7 +578,7 @@ let report_tombstones () =
   let sim = Sim.create () in
   let n = 100_000 in
   let handles = Array.init n (fun i -> Sim.after sim (i + 1) (fun () -> ())) in
-  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel h) handles;
+  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel sim h) handles;
   Printf.printf
     "\nSim event-heap tombstones (%d events, 90%% cancelled): live=%d \
      dead=%d compactions=%d\n"
@@ -433,8 +590,9 @@ let () =
   report_sweep_wallclock ();
   let hotpath = report_engine_hotpath () in
   let fig17 = report_fig17_cells () in
+  let multitenant = report_multitenant () in
   (match Sys.getenv_opt "BENCH_ENGINE_JSON" with
-  | Some path -> write_engine_json path ~hotpath ~fig17
+  | Some path -> write_engine_json path ~hotpath ~fig17 ~multitenant
   | None -> ());
   run_microbenches ();
   report_tombstones ()

@@ -2,9 +2,12 @@
    throughput trajectory written by `make bench-json`): parses the file,
    checks the schema marker, the hotpath section's shape — including that
    the calendar and legacy engines processed the identical event counts,
-   the determinism guarantee the bench itself asserts — and that every
-   fig17 cell row carries the expected fields. Exit 0 on success so CI
-   can gate on it before uploading the artifact. *)
+   the determinism guarantee the bench itself asserts — that every fig17
+   cell row carries the expected fields, and that the multitenant
+   counter-lane section is coherent (dense registered tenant ids,
+   non-negative per-tenant rows, per-suffix sums equal to the globals).
+   Exit 0 on success so CI can gate on it before uploading the
+   artifact. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -78,6 +81,88 @@ let check_cell i json =
     fail "fig17 cell %S timings must be positive" name
   else Ok ()
 
+(* The multitenant section mirrors the per-tenant counter discipline the
+   trace validator enforces: tenant ids dense from 0, every per-tenant
+   row non-negative, and — per suffix — the tenant rows sum to exactly
+   the global counter. *)
+let check_multitenant json =
+  let* mt = field "multitenant" json in
+  let* tenants = field "tenants" mt in
+  let* globals = field "globals" mt in
+  let* global_rows =
+    match globals with
+    | Taichi_metrics.Json.Obj kvs -> Ok kvs
+    | _ -> fail "multitenant.globals is not an object"
+  in
+  let* rows =
+    match Taichi_metrics.Json.to_list tenants with
+    | Some [] -> fail "multitenant.tenants is empty"
+    | Some rows -> Ok rows
+    | None -> fail "multitenant.tenants is not an array"
+  in
+  let sums = Hashtbl.create 32 in
+  let* () =
+    List.fold_left
+      (fun acc (i, row) ->
+        let* () = acc in
+        let* id = int_field "id" row in
+        let* weight = int_field "weight" row in
+        let* granted = int_field "granted_ns" row in
+        let* counters = field "counters" row in
+        if id <> i then
+          fail "multitenant tenant ids must be dense from 0 (row %d has %d)" i
+            id
+        else if weight <= 0 then fail "tenant %d weight must be positive" id
+        else if granted < 0 then fail "tenant %d granted_ns is negative" id
+        else
+          match counters with
+          | Taichi_metrics.Json.Obj kvs ->
+              List.fold_left
+                (fun acc (suffix, v) ->
+                  let* () = acc in
+                  match Taichi_metrics.Json.to_int v with
+                  | Some n when n >= 0 ->
+                      Hashtbl.replace sums suffix
+                        (n
+                        + Option.value ~default:0 (Hashtbl.find_opt sums suffix)
+                        );
+                      Ok ()
+                  | Some n ->
+                      fail "tenant %d counter %S is negative (%d)" id suffix n
+                  | None -> fail "tenant %d counter %S is not an integer" id
+                             suffix)
+                (Ok ()) kvs
+          | _ -> fail "tenant %d counters is not an object" id)
+      (Ok ())
+      (List.mapi (fun i row -> (i, row)) rows)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (suffix, v) ->
+        let* () = acc in
+        match Taichi_metrics.Json.to_int v with
+        | None -> fail "multitenant.globals.%s is not an integer" suffix
+        | Some g ->
+            let sum =
+              Option.value ~default:0 (Hashtbl.find_opt sums suffix)
+            in
+            if sum <> g then
+              fail
+                "per-tenant sums for %S do not equal the global counter (%d \
+                 != %d)"
+                suffix sum g
+            else Ok ())
+      (Ok ()) global_rows
+  in
+  (* Every mirrored suffix must also have its global next to it. *)
+  Hashtbl.fold
+    (fun suffix _ acc ->
+      let* () = acc in
+      if List.mem_assoc suffix global_rows then Ok ()
+      else fail "mirrored suffix %S has no global counter in the section"
+             suffix)
+    sums (Ok ())
+
 let fig17_cells = 8
 
 let check_fig17 json =
@@ -112,7 +197,8 @@ let validate contents =
   let* _seed = int_field "seed" json in
   let* _scale = number_field "scale" json in
   let* () = check_hotpath json in
-  check_fig17 json
+  let* () = check_fig17 json in
+  check_multitenant json
 
 let () =
   match Sys.argv with

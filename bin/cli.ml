@@ -72,11 +72,23 @@ let overload_governor_arg =
     & opt (some string) None
     & info [ "overload" ] ~docv:"GOVERNOR" ~doc)
 
+let aggressor_arg =
+  let doc =
+    "Restrict the multitenant experiment to the aggressor ($(b,on): CP \
+     storm / DP burst cells) or contention-only ($(b,off): saturation / \
+     idle cells) half of the grid. Defaults to both (or \
+     $(b,MULTITENANT_AGGRESSOR))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "aggressor" ] ~docv:"AGGRESSOR" ~doc)
+
 let list_experiments () =
-  Printf.printf "%-10s %5s  %s\n" "name" "cells" "description";
+  Printf.printf "%-11s %5s  %s\n" "name" "cells" "description";
   List.iter
     (fun d ->
-      Printf.printf "%-10s %5d  %s\n" (P.Exp_desc.name d)
+      Printf.printf "%-11s %5d  %s\n" (P.Exp_desc.name d)
         (P.Exp_desc.cell_count d)
         (P.Exp_desc.description d))
     P.Experiments.all
@@ -111,7 +123,7 @@ let report_audit_failures failures =
 (* The CI matrix narrows chaos/overload through the environment; an
    explicit flag wins over it. Both become plain cell filters on the
    relevant descriptor — no module state anywhere. *)
-let filter_for ~chaos_profile ~overload_governor desc =
+let filter_for ~chaos_profile ~overload_governor ~aggressor desc =
   match P.Exp_desc.name desc with
   | "chaos" -> (
       match chaos_profile with
@@ -121,10 +133,14 @@ let filter_for ~chaos_profile ~overload_governor desc =
       match overload_governor with
       | Some g -> P.Exp_overload.governor_filter g
       | None -> fun _ -> true)
+  | "multitenant" -> (
+      match aggressor with
+      | Some a -> P.Exp_multitenant.aggressor_filter a
+      | None -> fun _ -> true)
   | _ -> fun _ -> true
 
 let run name seed scale jobs list trace trace_json chaos_profile
-    overload_governor =
+    overload_governor aggressor =
   if list then begin
     list_experiments ();
     0
@@ -145,6 +161,11 @@ let run name seed scale jobs list trace trace_json chaos_profile
           | Some _ as g -> g
           | None -> Sys.getenv_opt "OVERLOAD_GOVERNOR"
         in
+        let aggressor =
+          match aggressor with
+          | Some _ as a -> a
+          | None -> Sys.getenv_opt "MULTITENANT_AGGRESSOR"
+        in
         let tracing = trace || trace_json <> None in
         (* Collect audit violations instead of aborting mid-batch: every
            experiment still runs, then the process exits with the distinct
@@ -153,7 +174,7 @@ let run name seed scale jobs list trace trace_json chaos_profile
         let run_desc desc =
           let ctx = P.Run_ctx.with_experiment ctx (P.Exp_desc.name desc) in
           P.Sweep.run ~jobs
-            ~filter:(filter_for ~chaos_profile ~overload_governor desc)
+            ~filter:(filter_for ~chaos_profile ~overload_governor ~aggressor desc)
             ctx desc ~seed ~scale
         in
         let status =
@@ -169,8 +190,9 @@ let run name seed scale jobs list trace trace_json chaos_profile
             | None ->
                 Printf.eprintf "unknown experiment %s" name;
                 (match P.Experiments.closest name with
-                | Some suggestion ->
-                    Printf.eprintf " (did you mean %s?)" suggestion
+                | Some (suggestion, cells) ->
+                    Printf.eprintf " (did you mean %s, %d cells?)" suggestion
+                      cells
                 | None -> ());
                 Printf.eprintf "; known: %s\n"
                   (String.concat ", " experiment_names);
@@ -209,6 +231,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ name_arg $ seed_arg $ scale_arg $ jobs_arg $ list_arg
-      $ trace_arg $ trace_json_arg $ chaos_profile_arg $ overload_governor_arg)
+      $ trace_arg $ trace_json_arg $ chaos_profile_arg $ overload_governor_arg
+      $ aggressor_arg)
 
 let main () = exit (Cmd.eval' cmd)

@@ -36,7 +36,7 @@ let cp_latency layout =
   let tasks =
     Synth_cp.make_batch ~rng
       ~params:{ Synth_cp.default_params with total_work = Time_ns.ms 20 }
-      ~locks:[ Task.spinlock "l" ] ~affinity:[] ~count:8
+      ~locks:[ Task.spinlock "l" ] ~affinity:[] ~count:8 ()
   in
   List.iter (fun t -> System.spawn_cp sys t) tasks;
   ignore (System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 10));

@@ -35,7 +35,7 @@ let () =
     Synth_cp.make_batch ~rng
       ~params:{ Synth_cp.default_params with total_work = Time_ns.ms 20 }
       ~locks:[ Task.spinlock "driver" ]
-      ~affinity:[] ~count:12
+      ~affinity:[] ~count:12 ()
   in
   List.iter (fun t -> System.spawn_cp sys t) tasks;
 

@@ -47,7 +47,7 @@ let storm policy ~density =
     List.init n_vms (fun i ->
         Vm_lifecycle.startup_task ~sim ~rng ~params ~locks ~affinity:[]
           ~name:(Printf.sprintf "vm-%d" i)
-          ~recorder)
+          ~recorder ())
   in
   (* VM lifecycle work is ordinary tenant work: Standard class, the tier
      the governor throttles before ever touching Critical monitors. *)

@@ -8,6 +8,7 @@ type t = {
   size : int;
   dst_core : int;
   tag : int;
+  mutable tenant : int;
   mutable t_submit : Time_ns.t;
   mutable t_ring : Time_ns.t;
   mutable t_done : Time_ns.t;
@@ -20,7 +21,17 @@ let next_pid = Atomic.make 0
 
 let create ~kind ~size ~dst_core ~tag =
   let pid = Atomic.fetch_and_add next_pid 1 + 1 in
-  { pid; kind; size; dst_core; tag; t_submit = 0; t_ring = 0; t_done = 0 }
+  {
+    pid;
+    kind;
+    size;
+    dst_core;
+    tag;
+    tenant = 0;
+    t_submit = 0;
+    t_ring = 0;
+    t_done = 0;
+  }
 
 let kind_name = function
   | Net_rx -> "net_rx"

@@ -14,6 +14,9 @@ type t = {
   size : int;  (** bytes *)
   dst_core : int;  (** physical core whose data-plane service handles it *)
   tag : int;  (** caller-defined correlation id (flow, op, request) *)
+  mutable tenant : int;
+      (** owning tenant id, stamped from the destination ring at submit;
+          0 = the implicit tenant *)
   mutable t_submit : Time_ns.t;  (** entered the accelerator (Fig 6 ①) *)
   mutable t_ring : Time_ns.t;  (** landed in the service ring (Fig 6 ③) *)
   mutable t_done : Time_ns.t;  (** software processing finished (Fig 6 ④) *)

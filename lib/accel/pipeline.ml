@@ -104,6 +104,9 @@ let rec drain t =
   decr cell;
   pkt.Packet.t_ring <- Sim.now t.sim;
   let ring = Hashtbl.find t.rings pkt.Packet.dst_core in
+  (* The destination ring's owner claims the packet: tenant identity is a
+     property of where the I/O lands, stamped on the delivery path. *)
+  pkt.Packet.tenant <- Ring.tenant ring;
   if Ring.push ring pkt then begin
     t.delivered <- t.delivered + 1;
     t.deliver_hook ~core:pkt.Packet.dst_core

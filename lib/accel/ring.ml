@@ -1,16 +1,18 @@
 type t = {
   name : string;
   capacity : int;
+  tenant : int;
   q : Packet.t Queue.t;
   mutable drops : int;
   mutable enqueued : int;
 }
 
-let create ?(capacity = 4096) ~name () =
-  { name; capacity; q = Queue.create (); drops = 0; enqueued = 0 }
+let create ?(capacity = 4096) ?(tenant = 0) ~name () =
+  { name; capacity; tenant; q = Queue.create (); drops = 0; enqueued = 0 }
 
 let name t = t.name
 let capacity t = t.capacity
+let tenant t = t.tenant
 let length t = Queue.length t.q
 let is_empty t = Queue.is_empty t.q
 

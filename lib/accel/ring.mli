@@ -4,11 +4,17 @@
 
 type t
 
-val create : ?capacity:int -> name:string -> unit -> t
-(** [create ~name ()] is an empty ring; default capacity 4096. *)
+val create : ?capacity:int -> ?tenant:int -> name:string -> unit -> t
+(** [create ~name ()] is an empty ring; default capacity 4096, owned by
+    the implicit tenant 0. *)
 
 val name : t -> string
 val capacity : t -> int
+
+val tenant : t -> int
+(** [tenant t] is the owning tenant id; packets delivered into this ring
+    are stamped with it. *)
+
 val length : t -> int
 val is_empty : t -> bool
 

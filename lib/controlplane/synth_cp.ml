@@ -27,7 +27,7 @@ let jittered_split rng total n =
     List.map (fun w -> max 1 (int_of_float (float_of_int total *. w /. sum))) weights
   end
 
-let make ~rng ~params ~locks ~affinity ~name () =
+let make ?(tenant = 0) ~rng ~params ~locks ~affinity ~name () =
   let kernel_work =
     int_of_float (float_of_int params.total_work *. params.kernel_fraction)
   in
@@ -58,10 +58,10 @@ let make ~rng ~params ~locks ~affinity ~name () =
            (Program.compute u :: kernel_instrs) @ tail)
          user_parts kernel_parts)
   in
-  Task.create ~affinity ~name ~step:(Program.to_step instrs) ()
+  Task.create ~tenant ~affinity ~name ~step:(Program.to_step instrs) ()
 
-let make_batch ~rng ~params ~locks ~affinity ~count =
+let make_batch ?(tenant = 0) ~rng ~params ~locks ~affinity ~count () =
   List.init count (fun i ->
-      make ~rng ~params ~locks ~affinity
+      make ~tenant ~rng ~params ~locks ~affinity
         ~name:(Printf.sprintf "synth_cp-%d" i)
         ())

@@ -24,6 +24,7 @@ type params = {
 val default_params : params
 
 val make :
+  ?tenant:int ->
   rng:Rng.t ->
   params:params ->
   locks:Task.spinlock list ->
@@ -31,14 +32,17 @@ val make :
   name:string ->
   unit ->
   Task.t
-(** One synth_cp task. Critical sections pick locks round-robin from
-    [locks]; an empty list disables locking. *)
+(** One synth_cp task, stamped with its owning [tenant] (default 0).
+    Critical sections pick locks round-robin from [locks]; an empty list
+    disables locking. *)
 
 val make_batch :
+  ?tenant:int ->
   rng:Rng.t ->
   params:params ->
   locks:Task.spinlock list ->
   affinity:int list ->
   count:int ->
+  unit ->
   Task.t list
 (** [count] identically-distributed tasks (independent random draws). *)

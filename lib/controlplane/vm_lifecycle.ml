@@ -28,7 +28,8 @@ let at_density ~base d =
 
 let slo = Time_ns.ms 150
 
-let startup_task ~sim ~rng ~params ~locks ~affinity ~name ~recorder =
+let startup_task ?(tenant = 0) ~sim ~rng ~params ~locks ~affinity ~name ~recorder
+    () =
   let task_ref = ref None in
   let record () =
     match !task_ref with
@@ -52,6 +53,6 @@ let startup_task ~sim ~rng ~params ~locks ~affinity ~name ~recorder =
             []);
       ]
   in
-  let task = Task.create ~affinity ~name ~step:(Program.to_step instrs) () in
+  let task = Task.create ~tenant ~affinity ~name ~step:(Program.to_step instrs) () in
   task_ref := Some task;
   task

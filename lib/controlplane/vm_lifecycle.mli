@@ -26,6 +26,7 @@ val at_density : base:params -> float -> params
     multiplier [d] (§3.1: 4x density means 4x the devices). *)
 
 val startup_task :
+  ?tenant:int ->
   sim:Sim.t ->
   rng:Rng.t ->
   params:params ->
@@ -33,9 +34,11 @@ val startup_task :
   affinity:int list ->
   name:string ->
   recorder:Recorder.t ->
+  unit ->
   Task.t
-(** A task performing one VM startup. On completion it records the full
-    startup time (control-plane turnaround + host boot) in [recorder]. *)
+(** A task performing one VM startup, stamped with its owning [tenant]
+    (default 0). On completion it records the full startup time
+    (control-plane turnaround + host boot) in [recorder]. *)
 
 val slo : Time_ns.t
 (** The VM-startup SLO target used to normalize Figs 2 and 17. *)

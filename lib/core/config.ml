@@ -39,6 +39,7 @@ type t = {
   overload_runq_low : int;
   overload_tokens_per_period : int;
   overload_token_burst : int;
+  tenants : Tenant.spec list;
 }
 
 let default =
@@ -80,6 +81,7 @@ let default =
     overload_runq_low = 2;
     overload_tokens_per_period = 4;
     overload_token_burst = 8;
+    tenants = [];
   }
 
 let no_hw_probe t = { t with hw_probe = false }
@@ -88,3 +90,5 @@ let fixed_threshold t = { t with adaptive_threshold = false }
 let unsafe_locks t = { t with lock_safe_resched = false }
 let resilient t = { t with resilience = true }
 let with_overload t = { t with overload = true }
+let with_tenants t specs = { t with tenants = specs }
+let tenant_table t = Tenant.of_specs t.tenants

@@ -79,6 +79,10 @@ type t = {
       (** CP placement/admission tokens refilled per [overload_period] at
           the Throttle rung (deeper rungs halve this) *)
   overload_token_burst : int;  (** token-bucket capacity *)
+  tenants : Tenant.spec list;
+      (** explicit multi-tenant table; [[]] (the default) runs the
+          implicit single tenant and keeps every pre-existing experiment
+          byte-identical to the seed baselines *)
 }
 
 val default : t
@@ -104,3 +108,10 @@ val resilient : t -> t
 val with_overload : t -> t
 (** Arm the overload governor (see [overload]). Like [resilient], an
     explicit opt-in so default runs schedule no governor timer. *)
+
+val with_tenants : t -> Tenant.spec list -> t
+(** Configure an explicit tenant table (see [tenants]). *)
+
+val tenant_table : t -> Tenant.table
+(** The registry derived from [tenants]: {!Tenant.single} when the list
+    is empty. *)

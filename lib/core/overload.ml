@@ -4,7 +4,7 @@ open Taichi_os
 open Taichi_metrics
 
 type level = Normal | Throttle | Defer | Shed | Static_partition
-type cls = Critical | Standard | Deferrable
+type cls = Tenant.cls = Critical | Standard | Deferrable
 
 let level_label = function
   | Normal -> "normal"
@@ -20,18 +20,18 @@ let rank = function
   | Shed -> 3
   | Static_partition -> 4
 
-let cls_label = function
-  | Critical -> "critical"
-  | Standard -> "standard"
-  | Deferrable -> "deferrable"
+let cls_label = Tenant.cls_name
 
-type t = {
-  config : Config.t;
-  machine : Machine.t;
-  kernel : Kernel.t;
-  recovery : Recovery.t;
-  sim : Sim.t;
-  cs : Core_state.t;
+(* One brownout ladder per tenant. Under the implicit single tenant there
+   is exactly one lane, untagged: its counters and transition events keep
+   the seed names and formats, so governed single-tenant runs stay
+   byte-identical. Tagged lanes (explicit multi-tenant tables) mirror
+   every counter into [tenant.<id>.*] alongside the global name and
+   prefix their transition events with [tenant=<id>], giving each tenant
+   an independently verifiable ladder chain. *)
+type lane = {
+  tid : int;
+  tagged : bool;
   sketch : Quantile.t;
   mutable dp_cores : int list;  (* reverse registration order *)
   mutable kcpus : int list;
@@ -41,7 +41,6 @@ type t = {
   mutable entered : Time_ns.t;  (* when the current rung was entered *)
   mutable calm_since : Time_ns.t option;  (* all signals under low marks since *)
   mutable seq : int;  (* transition sequence number, 1-based *)
-  mutable started : bool;
   (* Token buckets, refilled every sampling period at a per-rung rate. *)
   mutable place_tokens : int;
   mutable std_tokens : int;
@@ -50,23 +49,35 @@ type t = {
   mutable s_escalations : int;
   mutable s_relaxes : int;
   shed_counts : (cls, int) Hashtbl.t;
+}
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  kernel : Kernel.t;
+  recovery : Recovery.t;
+  sim : Sim.t;
+  cs : Core_state.t;
+  lanes : lane array;
+  mutable started : bool;
+  mutable engaged_lanes : int;
+      (* lanes currently at Static_partition: the degraded hold releases
+         only when the last of them relaxes *)
   mutable transition_cbs : (level -> level -> unit) list;
 }
 
-let count t name = Counters.incr (Machine.counters t.machine) name
+let lane_count t l name =
+  Counters.incr (Machine.counters t.machine) name;
+  if l.tagged then
+    Counters.incr (Machine.counters t.machine) (Tenant.counter l.tid name)
 
-let create config machine kernel recovery =
-  let sim = Machine.sim machine in
+let make_lane config ~tid ~tagged =
   (* The sketch window spans a handful of sampling periods, so the p99
      signal reflects the recent regime, not the whole run. *)
   let slice = Stdlib.max 1 config.Config.overload_period in
   {
-    config;
-    machine;
-    kernel;
-    recovery;
-    sim;
-    cs = Machine.core_state machine;
+    tid;
+    tagged;
     sketch = Quantile.create ~slices:8 ~slice ();
     dp_cores = [];
     kcpus = [];
@@ -76,7 +87,6 @@ let create config machine kernel recovery =
     entered = Time_ns.zero;
     calm_since = None;
     seq = 0;
-    started = false;
     place_tokens = config.Config.overload_token_burst;
     std_tokens = config.Config.overload_token_burst;
     def_tokens = config.Config.overload_token_burst;
@@ -84,133 +94,193 @@ let create config machine kernel recovery =
     s_escalations = 0;
     s_relaxes = 0;
     shed_counts = Hashtbl.create 4;
+  }
+
+let create config machine kernel recovery =
+  let table = Config.tenant_table config in
+  let tagged = Tenant.is_multi table in
+  {
+    config;
+    machine;
+    kernel;
+    recovery;
+    sim = Machine.sim machine;
+    cs = Machine.core_state machine;
+    lanes =
+      Array.init (Tenant.count table) (fun tid ->
+          make_lane config ~tid ~tagged);
+    started = false;
+    engaged_lanes = 0;
     transition_cbs = [];
   }
 
-let watch_dp t ~core = t.dp_cores <- core :: t.dp_cores
-let watch_kcpu t kcpu = t.kcpus <- kcpu :: t.kcpus
-let observe_latency t lat = Quantile.observe t.sketch ~now:(Sim.now t.sim) lat
-let level t = t.level
-let backpressure t = rank t.level >= rank Defer
+let lane t tenant =
+  if tenant < 0 || tenant >= Array.length t.lanes then t.lanes.(0)
+  else t.lanes.(tenant)
+
+let watch_dp t ?(tenant = 0) ~core () =
+  let l = lane t tenant in
+  l.dp_cores <- core :: l.dp_cores
+
+let watch_kcpu t ?(tenant = 0) kcpu =
+  let l = lane t tenant in
+  l.kcpus <- kcpu :: l.kcpus
+
+let observe_latency t ?(tenant = 0) lat =
+  Quantile.observe (lane t tenant).sketch ~now:(Sim.now t.sim) lat
+
+let fold_lanes t f init = Array.fold_left f init t.lanes
+
+let level t =
+  fold_lanes t (fun acc l -> if rank l.level > rank acc then l.level else acc)
+    Normal
+
+let level_of t ~tenant = (lane t tenant).level
+let backpressure_of t ~tenant = rank (lane t tenant).level >= rank Defer
+let backpressure t = fold_lanes t (fun acc l -> acc || rank l.level >= rank Defer) false
 let on_transition t f = t.transition_cbs <- t.transition_cbs @ [ f ]
-let transitions t = t.s_transitions
-let escalations t = t.s_escalations
-let relaxes t = t.s_relaxes
-let shed t cls = Option.value ~default:0 (Hashtbl.find_opt t.shed_counts cls)
-let deferred_pending t = Queue.length t.deferred
+let transitions t = fold_lanes t (fun a l -> a + l.s_transitions) 0
+let escalations t = fold_lanes t (fun a l -> a + l.s_escalations) 0
+let relaxes t = fold_lanes t (fun a l -> a + l.s_relaxes) 0
+
+let lane_shed l cls =
+  Option.value ~default:0 (Hashtbl.find_opt l.shed_counts cls)
+
+let shed t cls = fold_lanes t (fun a l -> a + lane_shed l cls) 0
+let shed_of t ~tenant cls = lane_shed (lane t tenant) cls
+let deferred_pending t = fold_lanes t (fun a l -> a + Queue.length l.deferred) 0
+let deferred_pending_of t ~tenant = Queue.length (lane t tenant).deferred
 
 (* --- token buckets -------------------------------------------------------- *)
 
 (* Each rung below Throttle halves the refill rate: admission pressure
    degrades monotonically with ladder depth. *)
-let refill_rate t =
+let refill_rate t l =
   let base = t.config.Config.overload_tokens_per_period in
-  match t.level with
+  match l.level with
   | Normal | Throttle -> base
   | Defer -> Stdlib.max 1 (base / 2)
   | Shed | Static_partition -> Stdlib.max 1 (base / 4)
 
-let refill t =
+let refill t l =
   let burst = t.config.Config.overload_token_burst in
-  let rate = refill_rate t in
-  t.place_tokens <- Stdlib.min burst (t.place_tokens + rate);
-  t.std_tokens <- Stdlib.min burst (t.std_tokens + rate);
-  t.def_tokens <- Stdlib.min burst (t.def_tokens + rate)
+  let rate = refill_rate t l in
+  l.place_tokens <- Stdlib.min burst (l.place_tokens + rate);
+  l.std_tokens <- Stdlib.min burst (l.std_tokens + rate);
+  l.def_tokens <- Stdlib.min burst (l.def_tokens + rate)
 
-let take_cls_token t cls =
+let take_cls_token l cls =
   match cls with
   | Critical -> true
   | Standard ->
-      if t.std_tokens > 0 then begin
-        t.std_tokens <- t.std_tokens - 1;
+      if l.std_tokens > 0 then begin
+        l.std_tokens <- l.std_tokens - 1;
         true
       end
       else false
   | Deferrable ->
-      if t.def_tokens > 0 then begin
-        t.def_tokens <- t.def_tokens - 1;
+      if l.def_tokens > 0 then begin
+        l.def_tokens <- l.def_tokens - 1;
         true
       end
       else false
 
-let place_allowed t () =
-  match t.level with
+let place_allowed t tenant =
+  let l = lane t tenant in
+  match l.level with
   | Normal -> true
   | Static_partition -> false (* degraded: static partitioning *)
   | Throttle | Defer | Shed ->
-      if t.place_tokens > 0 then begin
-        t.place_tokens <- t.place_tokens - 1;
+      if l.place_tokens > 0 then begin
+        l.place_tokens <- l.place_tokens - 1;
         true
       end
       else begin
-        count t "overload.place_denied";
+        lane_count t l "overload.place_denied";
         false
       end
 
 (* --- admission ------------------------------------------------------------ *)
 
-let run_now t cls run =
-  count t (Printf.sprintf "overload.admitted.%s" (cls_label cls));
+let run_now t l cls run =
+  lane_count t l (Printf.sprintf "overload.admitted.%s" (cls_label cls));
   run ();
   `Admitted
 
-let park t cls run =
-  count t (Printf.sprintf "overload.deferred.%s" (cls_label cls));
-  Queue.push (cls, run) t.deferred;
+let park t l cls run =
+  lane_count t l (Printf.sprintf "overload.deferred.%s" (cls_label cls));
+  Queue.push (cls, run) l.deferred;
   `Deferred
 
-let drop t cls =
-  Hashtbl.replace t.shed_counts cls (shed t cls + 1);
-  count t (Printf.sprintf "overload.shed.%s" (cls_label cls));
+let drop t l cls =
+  Hashtbl.replace l.shed_counts cls (lane_shed l cls + 1);
+  lane_count t l (Printf.sprintf "overload.shed.%s" (cls_label cls));
   `Shed
 
-let admit t ~cls run =
-  match (t.level, cls) with
-  | Normal, _ | _, Critical -> run_now t cls run
+let lane_admit t l ~cls run =
+  match (l.level, cls) with
+  | Normal, _ | _, Critical -> run_now t l cls run
   | Throttle, (Standard | Deferrable) ->
-      if take_cls_token t cls then run_now t cls run else park t cls run
+      if take_cls_token l cls then run_now t l cls run else park t l cls run
   | Defer, Standard ->
-      if take_cls_token t cls then run_now t cls run else park t cls run
-  | Defer, Deferrable -> park t cls run
-  | (Shed | Static_partition), Standard -> park t cls run
-  | (Shed | Static_partition), Deferrable -> drop t cls
+      if take_cls_token l cls then run_now t l cls run else park t l cls run
+  | Defer, Deferrable -> park t l cls run
+  | (Shed | Static_partition), Standard -> park t l cls run
+  | (Shed | Static_partition), Deferrable -> drop t l cls
+
+let admit t ?(tenant = 0) ~cls run = lane_admit t (lane t tenant) ~cls run
 
 (* Re-route every parked admission through the (now shallower) ladder;
    whatever is still inadmissible parks again. *)
-let drain_deferred t =
+let drain_deferred t l =
   let pending = Queue.create () in
-  Queue.transfer t.deferred pending;
-  Queue.iter (fun (cls, run) -> ignore (admit t ~cls run)) pending
+  Queue.transfer l.deferred pending;
+  Queue.iter (fun (cls, run) -> ignore (lane_admit t l ~cls run)) pending
 
 (* --- ladder --------------------------------------------------------------- *)
 
-let goto t to_ =
-  let from = t.level in
+let goto t l to_ =
+  let from = l.level in
   let now = Sim.now t.sim in
-  let held = now - t.entered in
-  t.seq <- t.seq + 1;
-  t.level <- to_;
-  t.entered <- now;
-  t.calm_since <- None;
-  t.s_transitions <- t.s_transitions + 1;
-  count t "overload.transitions";
-  count t (Printf.sprintf "overload.enter.%s" (level_label to_));
+  let held = now - l.entered in
+  l.seq <- l.seq + 1;
+  l.level <- to_;
+  l.entered <- now;
+  l.calm_since <- None;
+  l.s_transitions <- l.s_transitions + 1;
+  lane_count t l "overload.transitions";
+  lane_count t l (Printf.sprintf "overload.enter.%s" (level_label to_));
   if rank to_ > rank from then begin
-    t.s_escalations <- t.s_escalations + 1;
-    count t "overload.escalations"
+    l.s_escalations <- l.s_escalations + 1;
+    lane_count t l "overload.escalations"
   end
   else begin
-    t.s_relaxes <- t.s_relaxes + 1;
-    count t "overload.relaxes"
+    l.s_relaxes <- l.s_relaxes + 1;
+    lane_count t l "overload.relaxes"
   end;
-  Trace.emitf (Machine.trace t.machine) ~time:now ~category:Trace.Cat.overload
-    "seq=%d from=%s to=%s held=%d min=%d" t.seq (level_label from)
-    (level_label to_) held t.config.Config.overload_min_dwell;
+  (if l.tagged then
+     Trace.emitf (Machine.trace t.machine) ~time:now
+       ~category:Trace.Cat.overload "tenant=%d seq=%d from=%s to=%s held=%d min=%d"
+       l.tid l.seq (level_label from) (level_label to_) held
+       t.config.Config.overload_min_dwell
+   else
+     Trace.emitf (Machine.trace t.machine) ~time:now
+       ~category:Trace.Cat.overload "seq=%d from=%s to=%s held=%d min=%d" l.seq
+       (level_label from) (level_label to_) held
+       t.config.Config.overload_min_dwell);
   (* The final rung converges on PR 3's degraded fallback: load-driven
-     static partitioning pins the same mechanism fault bursts engage. *)
-  if to_ = Static_partition then Recovery.force_engage t.recovery;
-  if from = Static_partition then Recovery.force_release t.recovery;
-  if rank to_ < rank from then drain_deferred t;
+     static partitioning pins the same mechanism fault bursts engage. The
+     hold is engaged by the first lane to reach the bottom rung and
+     released only when the last of them leaves it. *)
+  if to_ = Static_partition then begin
+    t.engaged_lanes <- t.engaged_lanes + 1;
+    if t.engaged_lanes = 1 then Recovery.force_engage t.recovery
+  end;
+  if from = Static_partition then begin
+    t.engaged_lanes <- t.engaged_lanes - 1;
+    if t.engaged_lanes = 0 then Recovery.force_release t.recovery
+  end;
+  if rank to_ < rank from then drain_deferred t l;
   List.iter (fun f -> f from to_) t.transition_cbs
 
 let next_up = function
@@ -232,11 +302,11 @@ let dp_running_dwell t ~core =
   | Some d -> d
   | None -> Time_ns.zero
 
-(* Fraction of the last sampling period the watched DP cores spent
+(* Fraction of the last sampling period the lane's DP cores spent
    actually processing packets (dwell delta of the authoritative state
    machine's [Dp_running] label). *)
-let sample_busy t =
-  match t.dp_cores with
+let sample_busy t l =
+  match l.dp_cores with
   | [] -> 0.0
   | cores ->
       let period = t.config.Config.overload_period in
@@ -246,28 +316,28 @@ let sample_busy t =
             let d = dp_running_dwell t ~core in
             let prev =
               Option.value ~default:Time_ns.zero
-                (Hashtbl.find_opt t.prev_dwell core)
+                (Hashtbl.find_opt l.prev_dwell core)
             in
-            Hashtbl.replace t.prev_dwell core d;
+            Hashtbl.replace l.prev_dwell core d;
             acc + Stdlib.max 0 (d - prev))
           0 cores
       in
       float_of_int total /. float_of_int (period * List.length cores)
 
-let sample_runq t =
+let sample_runq t l =
   List.fold_left
     (fun acc k -> acc + Kernel.runqueue_length (Kernel.cpu t.kernel k))
-    0 t.kcpus
+    0 l.kcpus
 
-let sample_p99 t = Quantile.quantile t.sketch ~now:(Sim.now t.sim) 99.0
+let sample_p99 t l = Quantile.quantile l.sketch ~now:(Sim.now t.sim) 99.0
 
-let sample_and_step t =
+let sample_and_step t l =
   let c = t.config in
   let now = Sim.now t.sim in
-  let busy = sample_busy t in
-  let runq = sample_runq t in
-  let p99 = sample_p99 t in
-  count t "overload.samples";
+  let busy = sample_busy t l in
+  let runq = sample_runq t l in
+  let p99 = sample_p99 t l in
+  lane_count t l "overload.samples";
   let bound = c.Config.overload_p99_bound in
   let p99_over = match p99 with Some p -> p >= bound | None -> false in
   let p99_under = match p99 with Some p -> p <= bound / 2 | None -> true in
@@ -281,41 +351,49 @@ let sample_and_step t =
     && runq <= c.Config.overload_runq_low
     && p99_under
   in
-  let held = now - t.entered in
+  let held = now - l.entered in
   if over_votes >= 2 then begin
-    t.calm_since <- None;
-    if held >= c.Config.overload_min_dwell && t.level <> Static_partition then
-      goto t (next_up t.level)
+    l.calm_since <- None;
+    if held >= c.Config.overload_min_dwell && l.level <> Static_partition then
+      goto t l (next_up l.level)
   end
   else if under then begin
-    (match t.calm_since with
-    | None -> t.calm_since <- Some now
+    (match l.calm_since with
+    | None -> l.calm_since <- Some now
     | Some _ -> ());
-    match t.calm_since with
+    match l.calm_since with
     | Some calm
-      when t.level <> Normal
+      when l.level <> Normal
            && now - calm >= c.Config.overload_quiet
            && held >= c.Config.overload_min_dwell ->
-        goto t (next_down t.level)
+        goto t l (next_down l.level)
     | _ -> ()
   end
-  else t.calm_since <- None
+  else l.calm_since <- None
 
 let rec tick t =
   ignore
     (Sim.after t.sim t.config.Config.overload_period (fun () ->
-         refill t;
-         sample_and_step t;
+         Array.iter
+           (fun l ->
+             refill t l;
+             sample_and_step t l)
+           t.lanes;
          tick t))
 
 let start t =
   if not t.started then begin
     t.started <- true;
-    t.entered <- Sim.now t.sim;
-    (* Baseline the dwell deltas so the first sample covers one period,
-       not the whole history before [start]. *)
-    List.iter
-      (fun core -> Hashtbl.replace t.prev_dwell core (dp_running_dwell t ~core))
-      t.dp_cores;
+    let now = Sim.now t.sim in
+    Array.iter
+      (fun l ->
+        l.entered <- now;
+        (* Baseline the dwell deltas so the first sample covers one
+           period, not the whole history before [start]. *)
+        List.iter
+          (fun core ->
+            Hashtbl.replace l.prev_dwell core (dp_running_dwell t ~core))
+          l.dp_cores)
+      t.lanes;
     tick t
   end

@@ -30,13 +30,27 @@
     - {b Static_partition}: additionally pins PR 3's degraded fallback via
       [Recovery.force_engage] — load-driven and fault-driven degradation
       converge on the same static-partitioning mechanism. Relaxing off
-      this rung releases the hold.
+      this rung releases the hold (with multiple lanes, only when the
+      last lane leaves it).
+
+    {b Tenant lanes.} The governor runs one independent ladder ("lane")
+    per tenant in the config's tenant table. The watch sets, latency
+    sketch, token buckets and deferred queue are all per-lane, so one
+    tenant's CP storm or DP burst escalates only that tenant's ladder —
+    the noisy neighbour is throttled while its victims stay at [Normal].
+    Under the implicit single tenant there is exactly one lane whose
+    counters and transition events keep the original names and format,
+    so governed single-tenant runs are byte-identical to earlier
+    revisions. Explicit multi-tenant lanes mirror every counter into
+    [tenant.<id>.overload.*] alongside the global name and prefix
+    transition payloads with [tenant=<id>].
 
     Transitions emit [Trace.Cat.overload] events whose payload
-    ([seq=N from=a to=b held=H min=M]) lets [trace_lint] re-verify the
-    ladder offline, plus [overload.*] counters. Like [Config.resilience],
-    the governor is an explicit opt-in ([Config.overload]); nothing is
-    scheduled otherwise, keeping default runs bit-identical. *)
+    ([seq=N from=a to=b held=H min=M]) lets [trace_lint] re-verify each
+    lane's ladder offline, plus [overload.*] counters. Like
+    [Config.resilience], the governor is an explicit opt-in
+    ([Config.overload]); nothing is scheduled otherwise, keeping default
+    runs bit-identical. *)
 
 open Taichi_engine
 open Taichi_hw
@@ -46,11 +60,12 @@ type t
 
 type level = Normal | Throttle | Defer | Shed | Static_partition
 
-(** CP admission priority classes, highest first. [Critical] is never
-    throttled (monitors, health checks); [Standard] is ordinary tenant
-    work (VM lifecycle); [Deferrable] is batch/housekeeping — the only
-    class the ladder will ever shed. *)
-type cls = Critical | Standard | Deferrable
+(** CP admission priority classes, highest first — an alias of
+    {!Tenant.cls} so tenant contracts and admission classes are the same
+    type. [Critical] is never throttled (monitors, health checks);
+    [Standard] is ordinary tenant work (VM lifecycle); [Deferrable] is
+    batch/housekeeping — the only class the ladder will ever shed. *)
+type cls = Tenant.cls = Critical | Standard | Deferrable
 
 val level_label : level -> string
 
@@ -60,38 +75,52 @@ val rank : level -> int
 val cls_label : cls -> string
 
 val create : Config.t -> Machine.t -> Kernel.t -> Recovery.t -> t
+(** One lane per tenant in [Config.tenant_table]; a single untagged lane
+    when the table is implicit. *)
 
-val watch_dp : t -> core:int -> unit
-(** Add a data-plane core to the occupancy sample set. *)
+val watch_dp : t -> ?tenant:int -> core:int -> unit -> unit
+(** Add a data-plane core to [tenant]'s occupancy sample set
+    (default lane 0). *)
 
-val watch_kcpu : t -> int -> unit
-(** Add a kernel CPU (vCPU host) to the runqueue-depth sample set. *)
+val watch_kcpu : t -> ?tenant:int -> int -> unit
+(** Add a kernel CPU (vCPU host) to [tenant]'s runqueue-depth sample
+    set. *)
 
-val observe_latency : t -> Time_ns.t -> unit
-(** Per-packet DP latency feed (wired to [Dp_service.set_latency_sink]). *)
+val observe_latency : t -> ?tenant:int -> Time_ns.t -> unit
+(** Per-packet DP latency feed (wired to [Dp_service.set_latency_sink]),
+    routed to [tenant]'s sketch. *)
 
 val start : t -> unit
 (** Begin the sampling loop. Call once, after the watch sets are final. *)
 
 val level : t -> level
+(** The deepest rung across all lanes — the machine-wide view legacy
+    consumers key off. *)
+
+val level_of : t -> tenant:int -> level
+(** One lane's rung. *)
 
 val backpressure : t -> bool
-(** True at [Defer] and above — workload clients should stop submitting
-    deferrable work. *)
+(** True when any lane sits at [Defer] or above — workload clients should
+    stop submitting deferrable work. *)
 
-val admit : t -> cls:cls -> (unit -> unit) -> [ `Admitted | `Deferred | `Shed ]
-(** [admit t ~cls run] routes one CP admission through the ladder: runs
-    [run] now ([`Admitted]), parks it on the deferred queue until the
-    ladder relaxes ([`Deferred]), or drops it ([`Shed], counted in
-    [overload.shed.<cls>]). *)
+val backpressure_of : t -> tenant:int -> bool
 
-val place_allowed : t -> unit -> bool
-(** The vCPU placement gate (consumed by [Vcpu_sched.set_place_gate]):
-    unlimited at [Normal], token-bucket-limited at deeper rungs (each rung
-    halves the refill rate). Consumes a token when it allows. *)
+val admit :
+  t -> ?tenant:int -> cls:cls -> (unit -> unit) -> [ `Admitted | `Deferred | `Shed ]
+(** [admit t ~tenant ~cls run] routes one CP admission through [tenant]'s
+    ladder: runs [run] now ([`Admitted]), parks it on the lane's deferred
+    queue until that ladder relaxes ([`Deferred]), or drops it ([`Shed],
+    counted in [overload.shed.<cls>]). *)
+
+val place_allowed : t -> int -> bool
+(** [place_allowed t tenant] is the vCPU placement gate (consumed by
+    [Vcpu_sched.set_place_gate]): unlimited at [Normal], token-bucket-
+    limited at deeper rungs (each rung halves the refill rate). Consumes
+    a token from [tenant]'s lane when it allows. *)
 
 val on_transition : t -> (level -> level -> unit) -> unit
-(** [on_transition t f] runs [f old_level new_level] after every ladder
+(** [on_transition t f] runs [f old_level new_level] after every lane's
     transition (in registration order, after the governor's own side
     effects — forced degraded engage/release, deferred-queue drain). *)
 
@@ -100,7 +129,12 @@ val escalations : t -> int
 val relaxes : t -> int
 
 val shed : t -> cls -> int
-(** Admissions dropped for [cls] so far. *)
+(** Admissions dropped for [cls] so far, summed over lanes. *)
+
+val shed_of : t -> tenant:int -> cls -> int
 
 val deferred_pending : t -> int
-(** Admissions currently parked on the deferred queue. *)
+(** Admissions currently parked on the deferred queues, summed over
+    lanes. *)
+
+val deferred_pending_of : t -> tenant:int -> int

@@ -88,6 +88,23 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
       ~count:config.Config.n_vcpus
   in
   let probe = Hw_probe.install config machine table pipeline sched in
+  let tenants = Config.tenant_table config in
+  if Tenant.is_multi tenants then begin
+    (* Tenant identity becomes load-bearing only under an explicit
+       multi-tenant table: vCPUs are dealt round-robin across tenants
+       (vid mod T — deterministic, independent of registration order),
+       each inheriting its tenant's admission-class rank for the weighted
+       queue's second stage, and every DP service mirrors its counters
+       into the owning tenant's namespace. The implicit single tenant
+       changes nothing, keeping pre-existing runs byte-identical. *)
+    List.iter
+      (fun v ->
+        let tid = v.Vcpu.vid mod Tenant.count tenants in
+        v.Vcpu.tenant <- tid;
+        v.Vcpu.cls_rank <- Tenant.cls_rank (Tenant.get tenants tid).Tenant.cls)
+      vcpus;
+    List.iter (fun dp -> Dp_service.set_tag_tenant dp true) dps
+  end;
   if config.Config.resilience then
     mirror_resync_loop config machine table recovery;
   let overload =
@@ -101,11 +118,14 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
       let ov = Overload.create config machine kernel recovery in
       List.iter
         (fun dp ->
-          Overload.watch_dp ov ~core:(Dp_service.core dp);
+          let tenant = Dp_service.tenant dp in
+          Overload.watch_dp ov ~tenant ~core:(Dp_service.core dp) ();
           Dp_service.set_latency_sink dp
-            (Some (fun lat -> Overload.observe_latency ov lat)))
+            (Some (fun lat -> Overload.observe_latency ov ~tenant lat)))
         dps;
-      List.iter (fun v -> Overload.watch_kcpu ov v.Vcpu.kcpu) vcpus;
+      List.iter
+        (fun v -> Overload.watch_kcpu ov ~tenant:v.Vcpu.tenant v.Vcpu.kcpu)
+        vcpus;
       Vcpu_sched.set_place_gate sched (Some (Overload.place_allowed ov));
       Overload.on_transition ov (fun from to_ ->
           if Overload.rank to_ < Overload.rank from then
@@ -142,6 +162,7 @@ let state_table t = t.table
 let recovery t = t.recovery
 let overload t = t.overload
 let vcpus t = t.vcpus
+let tenants t = Config.tenant_table t.config
 
 let cp_cpu_ids t =
   t.cp_pcpus @ List.map (fun v -> v.Vcpu.kcpu) t.vcpus

@@ -63,6 +63,12 @@ val overload : t -> Overload.t option
 
 val vcpus : t -> Vcpu.t list
 
+val tenants : t -> Tenant.table
+(** The config's tenant table (the implicit single tenant by default).
+    Under an explicit multi-tenant table [install] deals vCPUs
+    round-robin across tenants ([vid mod count]) and turns on per-tenant
+    counter mirroring in every registered DP service. *)
+
 val cp_cpu_ids : t -> int list
 (** Kernel CPU ids control-plane tasks should be affine to: the dedicated
     CP pCPUs plus every vCPU. *)

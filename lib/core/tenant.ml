@@ -1,0 +1,95 @@
+(* First-class tenants. A tenant is the unit of isolation the scheduler
+   and the overload governor reason about: it owns a share weight (the
+   two-stage scheduler's tenant-stage currency), a default admission
+   class for its control-plane tasks, and an SLO contract — the bound on
+   how far a noisy neighbour may move this tenant's dataplane p99.
+
+   The registry distinguishes the implicit single tenant every
+   pre-existing experiment runs under ([single], not [explicit]) from a
+   configured multi-tenant table ([of_specs]). Per-tenant counters,
+   trace lanes and export fields are only materialised for explicit
+   multi-tenant tables, which is what keeps single-tenant runs
+   byte-identical to the seed baselines. *)
+
+open Taichi_engine
+
+type cls = Critical | Standard | Deferrable
+
+let cls_name = function
+  | Critical -> "critical"
+  | Standard -> "standard"
+  | Deferrable -> "deferrable"
+
+let cls_rank = function Critical -> 0 | Standard -> 1 | Deferrable -> 2
+let all_classes = [ Critical; Standard; Deferrable ]
+
+type spec = {
+  name : string;
+  weight : int;
+  cls : cls;
+  dp_p99_bound : Time_ns.t;
+}
+
+let spec ?(weight = 1) ?(cls = Standard) ?(dp_p99_bound = Time_ns.us 150)
+    name =
+  if weight <= 0 then invalid_arg "Tenant.spec: weight must be positive";
+  if name = "" then invalid_arg "Tenant.spec: empty name";
+  { name; weight; cls; dp_p99_bound }
+
+type t = {
+  id : int;
+  name : string;
+  weight : int;
+  cls : cls;
+  dp_p99_bound : Time_ns.t;
+}
+
+type table = { tenants : t array; explicit : bool }
+
+let of_spec id (s : spec) =
+  {
+    id;
+    name = s.name;
+    weight = s.weight;
+    cls = s.cls;
+    dp_p99_bound = s.dp_p99_bound;
+  }
+
+let single = { tenants = [| of_spec 0 (spec "default") |]; explicit = false }
+
+let of_specs = function
+  | [] -> single
+  | specs ->
+      let names = List.map (fun (s : spec) -> s.name) specs in
+      if List.length (List.sort_uniq compare names) <> List.length names then
+        invalid_arg "Tenant.of_specs: duplicate tenant names";
+      { tenants = Array.of_list (List.mapi of_spec specs); explicit = true }
+
+let count tbl = Array.length tbl.tenants
+let is_multi tbl = tbl.explicit && count tbl > 1
+let get tbl id = tbl.tenants.(id)
+let mem tbl id = id >= 0 && id < count tbl
+let ids tbl = List.init (count tbl) Fun.id
+let iter f tbl = Array.iter f tbl.tenants
+let total_weight tbl = Array.fold_left (fun a t -> a + t.weight) 0 tbl.tenants
+
+(* Per-tenant counter naming convention: [tenant.<id>.<suffix>] mirrors
+   the global counter [<suffix>]; the lints enforce that the per-tenant
+   rows sum to the global. *)
+let counter id suffix = Printf.sprintf "tenant.%d.%s" id suffix
+
+let counter_prefix = "tenant."
+
+(* Parse [tenant.<id>.<suffix>] back into its parts; [None] for any
+   counter outside the per-tenant namespace. *)
+let parse_counter name =
+  match String.length name with
+  | n when n > 7 && String.sub name 0 7 = counter_prefix -> (
+      match String.index_from_opt name 7 '.' with
+      | Some dot when dot > 7 && dot < n - 1 -> (
+          match int_of_string_opt (String.sub name 7 (dot - 7)) with
+          | Some id when id >= 0 ->
+              Some (id, String.sub name (dot + 1) (n - dot - 1))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,83 @@
+(** First-class tenants: the unit of isolation for the two-stage weighted
+    scheduler, the overload governor's per-tenant ladders, and the
+    per-tenant metrics lanes.
+
+    Pre-existing single-tenant configurations run under the implicit
+    {!single} table; only an explicit multi-tenant table ({!of_specs}
+    with two or more specs) turns on per-tenant counters, trace lanes
+    and export fields, keeping single-tenant runs byte-identical to the
+    seed baselines. *)
+
+open Taichi_engine
+
+type cls = Critical | Standard | Deferrable
+(** Admission classes, ordered by strictly decreasing scheduling
+    priority. The overload governor sheds [Deferrable] work first and
+    [Critical] work only at the deepest ladder rung. *)
+
+val cls_name : cls -> string
+(** Lower-case class name, as used in counter suffixes. *)
+
+val cls_rank : cls -> int
+(** [cls_rank c] is the strict-priority rank: 0 = highest. *)
+
+val all_classes : cls list
+(** All classes in rank order. *)
+
+type spec = {
+  name : string;
+  weight : int;  (** share weight for the tenant scheduling stage *)
+  cls : cls;  (** default admission class for the tenant's CP tasks *)
+  dp_p99_bound : Time_ns.t;
+      (** SLO contract: the bound on how far an aggressor may move this
+          tenant's dataplane p99 *)
+}
+
+val spec :
+  ?weight:int -> ?cls:cls -> ?dp_p99_bound:Time_ns.t -> string -> spec
+(** [spec name] builds a tenant spec with weight 1, [Standard] class and
+    a 150 us p99 contract. Raises [Invalid_argument] on a non-positive
+    weight or empty name. *)
+
+type t = private {
+  id : int;
+  name : string;
+  weight : int;
+  cls : cls;
+  dp_p99_bound : Time_ns.t;
+}
+(** A registered tenant. Ids are dense, assigned in spec order. *)
+
+type table
+(** A tenant registry: either the implicit single tenant or an explicit
+    multi-tenant configuration. *)
+
+val single : table
+(** The implicit one-tenant table every unconfigured run uses. *)
+
+val of_specs : spec list -> table
+(** [of_specs specs] registers tenants with ids in list order. The empty
+    list yields {!single}. Raises [Invalid_argument] on duplicate
+    names. *)
+
+val count : table -> int
+val is_multi : table -> bool
+(** [is_multi tbl] is [true] only for an explicit table with at least two
+    tenants — the gate for all per-tenant instrumentation. *)
+
+val get : table -> int -> t
+val mem : table -> int -> bool
+val ids : table -> int list
+val iter : (t -> unit) -> table -> unit
+val total_weight : table -> int
+
+val counter : int -> string -> string
+(** [counter id suffix] is the per-tenant counter name
+    [tenant.<id>.<suffix>], mirroring the global counter [<suffix>]. *)
+
+val counter_prefix : string
+(** ["tenant."] — the namespace the lints scan for per-tenant rows. *)
+
+val parse_counter : string -> (int * string) option
+(** [parse_counter name] splits [tenant.<id>.<suffix>] into
+    [(id, suffix)]; [None] for names outside the namespace. *)

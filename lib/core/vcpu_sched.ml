@@ -32,14 +32,20 @@ type t = {
   dps : (int, Dp_service.t) Hashtbl.t;  (* physical core -> service *)
   placed : (int, Vcpu.t) Hashtbl.t;  (* physical core -> vcpu *)
   slice_timers : (int, Sim.handle) Hashtbl.t;  (* core -> expiry event *)
-  runq : Vcpu.t Queue.t;  (* runnable unplaced vCPUs, round-robin *)
+  runq : Vcpu.t Wsched.t;
+      (* runnable unplaced vCPUs: two-stage weighted queue — tenant
+         deficit-round-robin over granted pCPU time, then strict-priority
+         FIFO across admission-class ranks. With the implicit single
+         tenant it degenerates to the flat FIFO it replaced. *)
   in_runq : (int, unit) Hashtbl.t;  (* vid set *)
+  tag_tenants : bool;  (* explicit multi-tenant table: mirror counters *)
   borrowing : (int, unit) Hashtbl.t;  (* vid set: borrow in progress *)
   borrowed_cores : (int, unit) Hashtbl.t;  (* CP pCPUs currently frozen *)
   mutable cp_pcpus : int list;
   mutable next_borrow : int;
-  mutable place_gate : (unit -> bool) option;
-      (* overload governor's admission gate for placements; [None] = open *)
+  mutable place_gate : (int -> bool) option;
+      (* overload governor's per-tenant admission gate for placements;
+         [None] = open *)
   mutable s_placements : int;
   mutable s_probe_evictions : int;
   mutable s_pending_evictions : int;
@@ -68,6 +74,26 @@ let has_work t v = Kernel.cpu_has_work (kcpu_of t v)
 
 let count t name = Counters.incr (Machine.counters t.machine) name
 
+(* Counter increments attributable to one vCPU mirror into the owning
+   tenant's namespace under an explicit multi-tenant table; single-tenant
+   runs emit exactly the seed counter set. *)
+let count_v t v name =
+  count t name;
+  if t.tag_tenants then
+    Counters.incr (Machine.counters t.machine)
+      (Tenant.counter v.Vcpu.tenant name)
+
+(* Raw pCPU grant time, charged at teardown. Feeds the weighted queue's
+   tenant clocks always (a single tenant's clock is inert), the counter
+   namespace only in multi-tenant mode. *)
+let charge_grant t v occupancy =
+  Wsched.charge t.runq ~tenant:v.Vcpu.tenant occupancy;
+  if t.tag_tenants && occupancy > 0 then begin
+    Counters.incr (Machine.counters t.machine) ~by:occupancy "sched.grant_ns";
+    Counters.incr (Machine.counters t.machine) ~by:occupancy
+      (Tenant.counter v.Vcpu.tenant "sched.grant_ns")
+  end
+
 let emitf t ~core ~category fmt =
   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core ~category fmt
 
@@ -82,25 +108,31 @@ let transition t ~core ~cause st = Core_state.transition t.cs ~core ~cause st
    queue itself is preserved — re-arming picks the waiters straight up. *)
 let is_degraded t = Recovery.degraded t.recovery
 
-(* The overload governor's placement gate sits next to the degraded
-   check: a denial leaves the vCPU queued (the core parks), exactly like
-   an empty runqueue, so a later kick or idle notification retries. The
-   gate is only consulted when there is something to place — a token
-   bucket behind it must not be drained by empty polls. *)
-let gate_open t =
-  match t.place_gate with None -> true | Some allowed -> allowed ()
+(* The overload governor's per-tenant placement gate sits next to the
+   degraded check: a denial leaves the vCPU queued (the core parks),
+   exactly like an empty runqueue, so a later kick or idle notification
+   retries. The gate is only consulted when there is something to place —
+   a token bucket behind it must not be drained by empty polls — and the
+   weighted queue consults it at most once per backlogged tenant per pop,
+   so one throttled tenant cannot gate its neighbours' placements. *)
+let gate_open t tenant =
+  match t.place_gate with None -> true | Some allowed -> allowed tenant
 
 let rec pop_runnable t =
   if is_degraded t then None
-  else if Queue.is_empty t.runq then None
-  else if not (gate_open t) then None
   else
-    let v = Queue.pop t.runq in
-    Hashtbl.remove t.in_runq v.Vcpu.vid;
-    (* Skip stale entries: placed meanwhile, borrowing, or out of work. *)
-    if Vcpu.is_placed v || Hashtbl.mem t.borrowing v.Vcpu.vid || not (has_work t v)
-    then pop_runnable t
-    else Some v
+    match Wsched.pop t.runq ~gate:(gate_open t) with
+    | None -> None  (* empty, or every backlogged tenant gated *)
+    | Some v ->
+        Hashtbl.remove t.in_runq v.Vcpu.vid;
+        (* Skip stale entries: placed meanwhile, borrowing, or out of
+           work. *)
+        if
+          Vcpu.is_placed v
+          || Hashtbl.mem t.borrowing v.Vcpu.vid
+          || not (has_work t v)
+        then pop_runnable t
+        else Some v
 
 let mark_runnable t v =
   if
@@ -109,20 +141,18 @@ let mark_runnable t v =
     && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
     && has_work t v
   then begin
-    Queue.push v t.runq;
+    Wsched.push t.runq ~tenant:v.Vcpu.tenant ~cls:v.Vcpu.cls_rank v;
     Hashtbl.replace t.in_runq v.Vcpu.vid ()
   end
 
 let runnable_waiting t =
   (not (is_degraded t))
-  && Queue.fold
-    (fun acc v ->
-      acc
-      ||
-      (not (Vcpu.is_placed v))
-      && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
-      && has_work t v)
-    false t.runq
+  && Wsched.exists
+       (fun v ->
+         (not (Vcpu.is_placed v))
+         && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
+         && has_work t v)
+       t.runq
 
 (* First data-plane core currently parked, if any: the preferred landing
    spot for a vCPU with fresh work and the §4.1 rescue target. *)
@@ -141,7 +171,7 @@ let find_parked_dp t =
 let cancel_slice t core =
   match Hashtbl.find_opt t.slice_timers core with
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel t.sim h;
       Hashtbl.remove t.slice_timers core
   | None -> ()
 
@@ -162,7 +192,7 @@ and back_on_core t v core ~cause =
   v.Vcpu.last_placed <- Sim.now t.sim;
   Kernel.set_backing_core t.kernel (kcpu_of t v) (Some core);
   t.s_placements <- t.s_placements + 1;
-  count t "sched.placements";
+  count_v t v "sched.placements";
   emitf t ~core ~category:Trace.Cat.sched_place "vid=%d kcpu=%d" v.Vcpu.vid
     v.Vcpu.kcpu;
   charge_core t core (world_switch t);
@@ -218,7 +248,7 @@ and try_place_parked t v =
     if is_degraded t then mark_runnable t v
     else
       match find_parked_dp t with
-      | Some dp when gate_open t && try_place_on_dp t v dp -> ()
+      | Some dp when gate_open t v.Vcpu.tenant && try_place_on_dp t v dp -> ()
       | Some _ | None -> mark_runnable t v
 
 (* Tear [v] down from [core]; pollution and backed-time bookkeeping. The
@@ -226,6 +256,7 @@ and try_place_parked t v =
 and unback t v core =
   cancel_slice t core;
   let occupancy = Sim.now t.sim - v.Vcpu.last_placed in
+  charge_grant t v occupancy;
   v.Vcpu.total_backed <- v.Vcpu.total_backed + occupancy;
   Cache_model.occupy_foreign (Machine.cache t.machine) ~core occupancy;
   Kernel.set_backed t.kernel (kcpu_of t v) false;
@@ -244,7 +275,7 @@ and evict_to_dp t v core ~cause =
     | Core_state.Halt -> "halt"
     | c -> Core_state.cause_label c
   in
-  count t ("sched.evictions." ^ kind);
+  count_v t v ("sched.evictions." ^ kind);
   emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=%s" v.Vcpu.vid kind;
   unback t v core;
   (* Entering [Switching To_dp] flips the accelerator mirror back to
@@ -290,7 +321,7 @@ and on_slice_expiry t core =
       Vcpu.record_exit v Vmexit.Timeslice_expired;
       let dp = Hashtbl.find t.dps core in
       let pending = Dp_service.pending_work dp in
-      count t "sched.slice_expiries";
+      count_v t v "sched.slice_expiries";
       emitf t ~core ~category:Trace.Cat.sched_slice "vid=%d pending=%b"
         v.Vcpu.vid pending;
       if pending then begin
@@ -333,7 +364,7 @@ and continue_or_halt t v core =
 and halt_exit t v core =
   Vcpu.record_exit v Vmexit.Halt;
   t.s_halt_exits <- t.s_halt_exits + 1;
-  count t "sched.halt_exits";
+  count_v t v "sched.halt_exits";
   emitf t ~core ~category:Trace.Cat.sched_halt "vid=%d" v.Vcpu.vid;
   match pop_runnable t with
   | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core ~cause:Core_state.Halt
@@ -441,6 +472,7 @@ and borrow_check t v cp_id =
            else begin
            (* End the borrow: thaw the pCPU. *)
            let occupancy = Sim.now t.sim - v.Vcpu.last_placed in
+           charge_grant t v occupancy;
            v.Vcpu.total_backed <- v.Vcpu.total_backed + occupancy;
            Kernel.set_backed t.kernel kc false;
            Kernel.requeue_if_preemptible t.kernel kc;
@@ -524,6 +556,7 @@ let watchdog_pressure t v core =
 let force_end_borrow t v cp_id =
   let kc = kcpu_of t v in
   let stuck_for = Sim.now t.sim - v.Vcpu.last_placed in
+  charge_grant t v stuck_for;
   v.Vcpu.total_backed <- v.Vcpu.total_backed + stuck_for;
   Kernel.set_backed t.kernel kc false;
   Kernel.set_backing_core t.kernel kc None;
@@ -720,6 +753,11 @@ let install_invariants t =
       List.rev !out)
 
 let create config machine kernel softirq sw table recovery =
+  let tenant_table = Config.tenant_table config in
+  let weights =
+    Array.init (Tenant.count tenant_table) (fun id ->
+        (Tenant.get tenant_table id).Tenant.weight)
+  in
   let t =
     {
       config;
@@ -737,8 +775,9 @@ let create config machine kernel softirq sw table recovery =
       dps = Hashtbl.create 16;
       placed = Hashtbl.create 16;
       slice_timers = Hashtbl.create 16;
-      runq = Queue.create ();
+      runq = Wsched.create ~weights ~classes:(List.length Tenant.all_classes);
       in_runq = Hashtbl.create 16;
+      tag_tenants = Tenant.is_multi tenant_table;
       borrowing = Hashtbl.create 16;
       borrowed_cores = Hashtbl.create 16;
       cp_pcpus = [];
@@ -823,6 +862,8 @@ let set_cp_pcpus t ids =
 
 let placed_vcpu t ~core = Hashtbl.find_opt t.placed core
 let set_place_gate t gate = t.place_gate <- gate
+
+let granted_ns t ~tenant = Wsched.granted t.runq ~tenant
 
 (* Retry placement of every vCPU with pending work — the overload
    governor's path after a ladder relax reopens the gate. *)

@@ -5,9 +5,12 @@
 
     - {b DP-to-CP yielding}: when a data-plane service reports idleness
       (software workload probe), the scheduler picks the next runnable
-      vCPU round-robin, takes the core through the softirq-based context
-      switch (modeled as the 2 µs world switch), and flips the core to
-      V-state in the accelerator's state table.
+      vCPU from the two-stage weighted run queue ({!Wsched}: tenant
+      deficit-round-robin over granted pCPU time, then strict-priority
+      FIFO across admission-class ranks — a flat round-robin under the
+      implicit single tenant), takes the core through the softirq-based
+      context switch (modeled as the 2 µs world switch), and flips the
+      core to V-state in the accelerator's state table.
     - {b CP-to-DP preemption}: a hardware-probe IRQ or pending work at
       slice expiry evicts the vCPU and resumes the data-plane service; the
       2 µs restore overlaps the 3.2 µs preprocessing window when the probe
@@ -68,12 +71,19 @@ val on_probe_irq : t -> core:int -> unit
 
 val placed_vcpu : t -> core:int -> Vcpu.t option
 
-val set_place_gate : t -> (unit -> bool) option -> unit
+val set_place_gate : t -> (int -> bool) option -> unit
 (** [set_place_gate t (Some allowed)] installs the overload governor's
     placement gate: every DP-to-CP placement attempt first asks
-    [allowed ()] (which may consume a rate-limit token). A denial leaves
-    the vCPU on the runqueue, like a parked core with no waiter. [None]
-    (the default) removes the gate. *)
+    [allowed tenant] (which may consume a rate-limit token from that
+    tenant's lane). A denial leaves the vCPU on the runqueue, like a
+    parked core with no waiter — and gates only that tenant: the weighted
+    queue skips a refused tenant and offers the pop to the next one.
+    [None] (the default) removes the gate. *)
+
+val granted_ns : t -> tenant:int -> int
+(** Cumulative pCPU grant time (ns of placement occupancy, including
+    borrows) charged to [tenant]'s virtual clock — the quantity the
+    weighted queue equalises in proportion to tenant weights. *)
 
 val kick_runnable : t -> unit
 (** Retry placement for every vCPU with pending work — called after the

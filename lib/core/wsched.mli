@@ -1,0 +1,48 @@
+(** Two-stage weighted run queue: tenant stage (weighted
+    deficit-round-robin over accumulated grant time, work-conserving),
+    then class stage (strict-priority FIFO over admission-class ranks).
+
+    Pure and deterministic — integer virtual clocks, no wall time, no
+    randomness — so it is property-testable in isolation; {!Vcpu_sched}
+    drives it as its runnable queue. With a single tenant and a single
+    occupied class it reduces exactly to the flat FIFO the seed
+    scheduler used. *)
+
+type 'a t
+
+val create : weights:int array -> classes:int -> 'a t
+(** [create ~weights ~classes] builds an empty queue with one share
+    weight per tenant (ids are the array indices) and [classes] strict
+    priority ranks per tenant. Raises [Invalid_argument] on an empty or
+    non-positive weight vector, [classes <= 0], or more tenants than an
+    int bitmask can track. *)
+
+val tenants : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val backlog : 'a t -> tenant:int -> int
+(** Queued elements for one tenant. *)
+
+val push : 'a t -> tenant:int -> cls:int -> 'a -> unit
+(** [push t ~tenant ~cls x] enqueues [x] on [tenant]'s rank-[cls] FIFO
+    (out-of-range ranks are clamped). A tenant idle until now re-enters
+    at the current virtual time — sleeping banks no credit. *)
+
+val pop : gate:(int -> bool) -> 'a t -> 'a option
+(** [pop ~gate t] serves the backlogged tenant with the smallest virtual
+    grant clock (ties to the lower id) whose [gate tenant] consents,
+    popping its highest-priority non-empty class FIFO. Tenants whose
+    gate refuses are skipped for this pop only; [None] when empty or
+    every backlogged tenant is gated. The gate is consulted at most once
+    per tenant per pop, and never when the queue is empty. *)
+
+val charge : 'a t -> tenant:int -> int -> unit
+(** [charge t ~tenant ns] accounts [ns] of pCPU grant time to [tenant],
+    advancing its virtual clock by [ns / weight]. *)
+
+val granted : 'a t -> tenant:int -> int
+(** Cumulative raw grant time charged to [tenant]. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+(** [exists p t] is [true] iff any queued element satisfies [p]. *)

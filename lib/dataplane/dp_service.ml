@@ -5,15 +5,17 @@ open Taichi_metrics
 
 type config = {
   core : int;
+  tenant : int;
   burst : int;
   poll_iter : Time_ns.t;
   per_packet : Packet.t -> Time_ns.t;
   spike_threshold : Time_ns.t;
 }
 
-let default_config ~core ~per_packet =
+let default_config ?(tenant = 0) ~core ~per_packet () =
   {
     core;
+    tenant;
     burst = 32;
     poll_iter = Time_ns.ns 100;
     per_packet;
@@ -40,6 +42,9 @@ type t = {
   mutable park_dwell : Time_ns.t;  (** cumulative parked (Idle_parked) time *)
   mutable resuming : bool;
   mutable latency_sink : (Time_ns.t -> unit) option;
+  mutable tag_tenant : bool;
+      (** mirror dp.* counters into the per-tenant namespace; only set
+          under an explicit multi-tenant table *)
 }
 
 and hooks = {
@@ -61,7 +66,11 @@ let charge t cls d =
   if d > 0 then
     Accounting.charge (Machine.accounting t.machine) ~core:t.config.core cls d
 
-let count t name = Counters.incr (Machine.counters t.machine) name
+let count t name =
+  Counters.incr (Machine.counters t.machine) name;
+  if t.tag_tenant then
+    Counters.incr (Machine.counters t.machine)
+      (Printf.sprintf "tenant.%d.%s" t.config.tenant name)
 
 let emit t ~category message =
   Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core:t.config.core
@@ -159,7 +168,7 @@ let on_ring_activity t =
     match state t with
     | Processing -> ()
     | Counting ->
-        (match t.idle_event with Some h -> Sim.cancel h | None -> ());
+        (match t.idle_event with Some h -> Sim.cancel t.sim h | None -> ());
         t.idle_event <- None;
         settle_poll_time t;
         start_processing t ~cause:Core_state.Wake ~discovery:t.config.poll_iter
@@ -172,7 +181,11 @@ let on_ring_activity t =
 
 let create machine pipeline config =
   let sim = Machine.sim machine in
-  let ring = Ring.create ~name:(Printf.sprintf "dp-core%d" config.core) () in
+  let ring =
+    Ring.create
+      ~name:(Printf.sprintf "dp-core%d" config.core)
+      ~tenant:config.tenant ()
+  in
   Pipeline.attach_ring pipeline ~core:config.core ring;
   let t =
     {
@@ -193,6 +206,7 @@ let create machine pipeline config =
       park_dwell = 0;
       resuming = false;
       latency_sink = None;
+      tag_tenant = false;
     }
   in
   t
@@ -212,6 +226,8 @@ let config t = t.config
 let ring t = t.ring
 let set_speed_tax t tax = t.speed_tax <- tax
 let set_latency_sink t sink = t.latency_sink <- sink
+let tenant t = t.config.tenant
+let set_tag_tenant t on = t.tag_tenant <- on
 
 let pending_work t =
   (not (Ring.is_empty t.ring))
@@ -220,7 +236,7 @@ let pending_work t =
 let try_yield t =
   match state t with
   | (Counting | Idle_parked) as st when not (pending_work t) ->
-      (match t.idle_event with Some h -> Sim.cancel h | None -> ());
+      (match t.idle_event with Some h -> Sim.cancel t.sim h | None -> ());
       t.idle_event <- None;
       (match st with
       | Counting -> settle_poll_time t

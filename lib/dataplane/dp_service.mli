@@ -21,6 +21,7 @@ open Taichi_metrics
 
 type config = {
   core : int;  (** physical core the service is pinned to *)
+  tenant : int;  (** owning tenant id; 0 = the implicit tenant *)
   burst : int;  (** max descriptors per poll, DPDK default 32 *)
   poll_iter : Time_ns.t;  (** cost of one empty poll iteration *)
   per_packet : Packet.t -> Time_ns.t;  (** software processing cost *)
@@ -28,8 +29,9 @@ type config = {
       (** packet latency above this counts as a tail-latency spike *)
 }
 
-val default_config : core:int -> per_packet:(Packet.t -> Time_ns.t) -> config
-(** burst 32, poll_iter 100 ns, spike threshold 100 µs. *)
+val default_config :
+  ?tenant:int -> core:int -> per_packet:(Packet.t -> Time_ns.t) -> unit -> config
+(** burst 32, poll_iter 100 ns, spike threshold 100 µs, tenant 0. *)
 
 (** The service's view of its core, derived from the authoritative
     {!Taichi_hw.Core_state} machine rather than stored here: [Processing],
@@ -79,6 +81,15 @@ val set_latency_sink : t -> (Time_ns.t -> unit) option -> unit
 (** [set_latency_sink t (Some f)] calls [f lat] for every completed packet
     alongside the {!latency} recorder — the overload governor's live
     latency feed. [None] (the default) detaches it. *)
+
+val tenant : t -> int
+(** Owning tenant id (the ring's owner). *)
+
+val set_tag_tenant : t -> bool -> unit
+(** Mirror every dp.* counter this service increments into the
+    [tenant.<id>.dp.*] namespace. Off by default; the platform enables it
+    only under an explicit multi-tenant table, preserving single-tenant
+    counter sets byte-for-byte. *)
 
 val pending_work : t -> bool
 (** Ring descriptors waiting or in flight in the accelerator. *)

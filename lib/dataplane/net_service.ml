@@ -23,8 +23,8 @@ let packet_cost cost pkt =
   in
   cost.base + size_cost + conn
 
-let create ?(cost = default_cost) machine pipeline ~core =
+let create ?(cost = default_cost) ?tenant machine pipeline ~core =
   let config =
-    Dp_service.default_config ~core ~per_packet:(packet_cost cost)
+    Dp_service.default_config ?tenant ~core ~per_packet:(packet_cost cost) ()
   in
   Dp_service.create machine pipeline config

@@ -25,5 +25,10 @@ val connection_tag_bit : int
 val packet_cost : cost_params -> Packet.t -> Time_ns.t
 
 val create :
-  ?cost:cost_params -> Machine.t -> Pipeline.t -> core:int -> Dp_service.t
+  ?cost:cost_params ->
+  ?tenant:int ->
+  Machine.t ->
+  Pipeline.t ->
+  core:int ->
+  Dp_service.t
 (** A networking service pinned to [core]. *)

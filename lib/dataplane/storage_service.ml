@@ -19,6 +19,8 @@ let io_cost cost pkt =
       base + int_of_float (float_of_int base *. cost.write_penalty)
   | Packet.Storage_read | Packet.Net_rx | Packet.Net_tx -> base
 
-let create ?(cost = default_cost) machine pipeline ~core =
-  let config = Dp_service.default_config ~core ~per_packet:(io_cost cost) in
+let create ?(cost = default_cost) ?tenant machine pipeline ~core =
+  let config =
+    Dp_service.default_config ?tenant ~core ~per_packet:(io_cost cost) ()
+  in
   Dp_service.create machine pipeline config

@@ -19,4 +19,9 @@ val default_cost : cost_params
 val io_cost : cost_params -> Packet.t -> Time_ns.t
 
 val create :
-  ?cost:cost_params -> Machine.t -> Pipeline.t -> core:int -> Dp_service.t
+  ?cost:cost_params ->
+  ?tenant:int ->
+  Machine.t ->
+  Pipeline.t ->
+  core:int ->
+  Dp_service.t

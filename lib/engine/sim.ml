@@ -1,10 +1,12 @@
 (* The event engine hot path: a preallocated slot pool (callback and
    generation/state arrays recycled through a free list) feeding the
-   calendar queue ({!Timerq}). Scheduling allocates only the caller's
-   handle record — no closures, no per-event heap entries on the wheel
-   path. Fire order is strict (time, seq), identical to the seed
-   binary-heap engine ({!Sim_legacy}), which the differential qcheck
-   property in the test suite enforces op-for-op.
+   calendar queue ({!Timerq}). Scheduling allocates nothing at all —
+   no closures, no per-event heap entries on the wheel path, and the
+   handle returned to the caller is a single immediate int packing the
+   slot index (low bits) with the slot's generation word (high bits).
+   Fire order is strict (time, seq), identical to the seed binary-heap
+   engine ({!Sim_legacy}), which the differential qcheck property in
+   the test suite enforces op-for-op.
 
    Slot lifecycle: allocated by [at], freed when its queue entry is
    dequeued or compacted away (single ownership by the queue entry).
@@ -31,8 +33,17 @@ type t = {
   mutable compactions : int;
 }
 
-type handle = { owner : t; slot : int; hgen : int; htime : Time_ns.t }
+(* A handle packs [gen lsl slot_bits lor slot]: 24 bits of slot index
+   (the pool would need 16M concurrent live events to outgrow it —
+   [grow_pool] guards the cap) and the rest of the word for the
+   generation-with-tombstone-bit value of [gens.(slot)] at schedule
+   time. Validity is the same generation-equality check the old handle
+   record performed; a stale or cancelled handle simply compares
+   unequal. *)
+type handle = int
 
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
 let nop () = ()
 let initial_pool = 1024
 
@@ -55,6 +66,7 @@ let now sim = sim.clock
 let grow_pool sim =
   let cap = Array.length sim.cbs in
   let ncap = cap * 2 in
+  if ncap > slot_mask + 1 then failwith "Sim: event pool exceeds handle width";
   let ncbs = Array.make ncap nop in
   let ngens = Array.make ncap 0 in
   let nfree = Array.make ncap 0 in
@@ -97,7 +109,7 @@ let at sim time callback =
   let seq = sim.seq in
   sim.seq <- seq + 1;
   let slot = schedule sim time seq callback in
-  { owner = sim; slot; hgen = sim.gens.(slot); htime = time }
+  (sim.gens.(slot) lsl slot_bits) lor slot
 
 let after sim delay callback =
   if delay < 0 then invalid_arg "Sim.after: negative delay";
@@ -147,16 +159,16 @@ let maybe_compact sim =
     sim.compactions <- sim.compactions + 1
   end
 
-let cancel h =
-  let s = h.owner in
-  if s.gens.(h.slot) = h.hgen then begin
-    s.gens.(h.slot) <- h.hgen lor 1;
-    s.live <- s.live - 1;
-    maybe_compact s
+let cancel sim h =
+  let slot = h land slot_mask in
+  let hgen = h lsr slot_bits in
+  if sim.gens.(slot) = hgen then begin
+    sim.gens.(slot) <- hgen lor 1;
+    sim.live <- sim.live - 1;
+    maybe_compact sim
   end
 
-let is_pending h = h.owner.gens.(h.slot) = h.hgen
-let fire_time h = h.htime
+let is_pending sim h = sim.gens.(h land slot_mask) = h lsr slot_bits
 
 (* Fire the queue head. Precondition: [Timerq.find_next] just returned
    true and the head slot is live (not a tombstone). *)

@@ -7,16 +7,18 @@
     Internally the engine is a calendar timer queue ({!Timerq}: a 512 ns
     x 4096-bucket wheel with a binary-heap overflow tier) fed by a
     preallocated event pool with free-list recycling, so the schedule /
-    cancel / fire hot path allocates no closures and no per-event queue
-    nodes. Fire order is bit-identical to the seed binary-heap engine,
-    which is kept as {!Sim_legacy} and enforced as a differential oracle
-    in the test suite. *)
+    cancel / fire hot path allocates nothing: no closures, no per-event
+    queue nodes, and handles are immediate ints (slot index packed with
+    the slot generation). Fire order is bit-identical to the seed
+    binary-heap engine, which is kept as {!Sim_legacy} and enforced as a
+    differential oracle in the test suite. *)
 
 type t
 (** A simulator instance. *)
 
-type handle
-(** A handle on a scheduled event, usable to cancel it. *)
+type handle = private int
+(** A handle on a scheduled event, usable to cancel it. An unboxed
+    slot/generation pack; operations on it take the owning simulator. *)
 
 val create : unit -> t
 (** [create ()] is a fresh simulator with the clock at time 0. *)
@@ -35,16 +37,13 @@ val immediate : t -> (unit -> unit) -> handle
 (** [immediate sim f] schedules [f] at the current time, after all callbacks
     already queued for this instant. *)
 
-val cancel : handle -> unit
-(** [cancel h] prevents the event from firing. Cancelling an event that has
-    already fired or been cancelled is a no-op. *)
+val cancel : t -> handle -> unit
+(** [cancel sim h] prevents the event from firing. Cancelling an event that
+    has already fired or been cancelled is a no-op. *)
 
-val is_pending : handle -> bool
-(** [is_pending h] is [true] iff the event has neither fired nor been
+val is_pending : t -> handle -> bool
+(** [is_pending sim h] is [true] iff the event has neither fired nor been
     cancelled. *)
-
-val fire_time : handle -> Time_ns.t
-(** [fire_time h] is the absolute time the event was scheduled for. *)
 
 val run : ?until:Time_ns.t -> t -> unit
 (** [run ?until sim] processes events in time order until the queue is

@@ -8,18 +8,23 @@ type run = {
   seed : int;
   duration : Time_ns.t;
   cores : int;
+  tenants : int list;
+      (* registered tenant ids under an explicit multi-tenant table;
+         empty (and absent from the JSON) for single-tenant runs *)
   counters : (string * int) list;
   timeline : Timeline.t;
   events : Trace.record list;
 }
 
-let make_run ~experiment ~policy ~seed ~duration ~cores ~counters trace =
+let make_run ?(tenants = []) ~experiment ~policy ~seed ~duration ~cores
+    ~counters trace =
   {
     experiment;
     policy;
     seed;
     duration;
     cores;
+    tenants;
     counters = List.sort (fun (a, _) (b, _) -> compare a b) counters;
     timeline = Timeline.of_trace ~cores ~duration trace;
     events = Trace.records trace;
@@ -48,12 +53,17 @@ let event_to_json (r : Trace.record) =
 let run_to_json r =
   let tl = r.timeline in
   Json.Obj
-    [
+    ([
       ("experiment", Json.Str r.experiment);
       ("policy", Json.Str r.policy);
       ("seed", Json.Int r.seed);
       ("duration_ns", Json.Int r.duration);
       ("cores", Json.Int r.cores);
+    ]
+    @ (match r.tenants with
+      | [] -> []
+      | ids -> [ ("tenants", Json.Arr (List.map (fun i -> Json.Int i) ids)) ])
+    @ [
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ( "timeline",
@@ -66,7 +76,7 @@ let run_to_json r =
       );
       ("events_dropped", Json.Int (Timeline.dropped tl));
       ("events", Json.Arr (List.map event_to_json r.events));
-    ]
+    ])
 
 let to_json runs =
   Json.Obj
@@ -95,12 +105,24 @@ let ladder_rank = function
   | _ -> None
 
 (* The only [Cat.overload] emitter is the governor's rung transition, so
-   every overload event must carry the transition payload. *)
+   every overload event must carry the transition payload — optionally
+   prefixed with the owning lane's [tenant=<id>] under a multi-tenant
+   table. The tenant key is [-1] for the untagged (single-lane) chain, so
+   each lane's ladder is validated as its own continuous chain. *)
 let parse_transition msg =
-  try
-    Scanf.sscanf msg "seq=%d from=%s@ to=%s@ held=%d min=%d"
-      (fun seq from to_ held min -> Some (seq, from, to_, held, min))
-  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  let body tenant msg =
+    try
+      Scanf.sscanf msg "seq=%d from=%s@ to=%s@ held=%d min=%d"
+        (fun seq from to_ held min -> Some (tenant, seq, from, to_, held, min))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  match
+    try
+      Scanf.sscanf msg "tenant=%d %s@\n" (fun tid rest -> Some (tid, rest))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  with
+  | Some (tid, rest) when tid >= 0 -> body tid rest
+  | Some _ | None -> body (-1) msg
 
 let validate_json j =
   let ( let* ) x f = match x with Ok v -> f v | Error _ as e -> e in
@@ -163,9 +185,11 @@ let validate_json j =
             (Ok ()) fields
       | Some _ -> Error "counters not an object"
     in
-    (* Event-log discipline: timestamps must never run backwards, and the
-       overload ladder must move one rung at a time, in sequence, with a
-       continuous from/to chain that respects the minimum dwell. *)
+    (* Event-log discipline: timestamps must never run backwards, and
+       each overload ladder (one chain per tenant lane; one untagged
+       chain on single-tenant runs) must move one rung at a time, in
+       sequence, with a continuous from/to chain that respects the
+       minimum dwell. *)
     let* () =
       match Json.member "events" r with
       | None -> Ok ()
@@ -174,7 +198,7 @@ let validate_json j =
           let* _ =
             List.fold_left
               (fun acc ev ->
-                let* prev_t, want_seq, prev_level = acc in
+                let* prev_t, chains = acc in
                 let* t = require "event missing t_ns" (Json.member "t_ns" ev) in
                 let* t = require "event t_ns not an int" (Json.to_int t) in
                 let* () =
@@ -188,7 +212,7 @@ let validate_json j =
                 let* cat =
                   require "event cat not a string" (Json.to_str cat)
                 in
-                if cat <> "overload" then Ok (t, want_seq, prev_level)
+                if cat <> "overload" then Ok (t, chains)
                 else
                   let* msg =
                     require "event missing msg" (Json.member "msg" ev)
@@ -196,17 +220,25 @@ let validate_json j =
                   let* msg =
                     require "event msg not a string" (Json.to_str msg)
                   in
-                  let* seq, from, to_, held, min_dwell =
+                  let* tenant, seq, from, to_, held, min_dwell =
                     require
                       (Printf.sprintf "malformed overload transition %S" msg)
                       (parse_transition msg)
+                  in
+                  let want_seq, prev_level =
+                    Option.value ~default:(1, "normal")
+                      (List.assoc_opt tenant chains)
+                  in
+                  let lane_tag =
+                    if tenant < 0 then ""
+                    else Printf.sprintf " (tenant %d)" tenant
                   in
                   let* () =
                     if seq <> want_seq then
                       Error
                         (Printf.sprintf
-                           "overload transition seq %d, expected %d" seq
-                           want_seq)
+                           "overload transition seq %d, expected %d%s" seq
+                           want_seq lane_tag)
                     else Ok ()
                   in
                   let* () =
@@ -214,8 +246,8 @@ let validate_json j =
                       Error
                         (Printf.sprintf
                            "overload ladder chain broken: transition from %s \
-                            but ladder was at %s"
-                           from prev_level)
+                            but ladder was at %s%s"
+                           from prev_level lane_tag)
                     else Ok ()
                   in
                   let* rf =
@@ -232,8 +264,8 @@ let validate_json j =
                     if abs (rt - rf) <> 1 then
                       Error
                         (Printf.sprintf
-                           "overload ladder skipped a rung (%s -> %s)" from
-                           to_)
+                           "overload ladder skipped a rung (%s -> %s)%s" from
+                           to_ lane_tag)
                     else Ok ()
                   in
                   let* () =
@@ -241,15 +273,96 @@ let validate_json j =
                       Error
                         (Printf.sprintf
                            "overload transition %d violated minimum dwell \
-                            (held %dns < %dns)"
-                           seq held min_dwell)
+                            (held %dns < %dns)%s"
+                           seq held min_dwell lane_tag)
                     else Ok ()
                   in
-                  Ok (t, want_seq + 1, to_))
-              (Ok (0, 1, "normal"))
+                  Ok
+                    ( t,
+                      (tenant, (want_seq + 1, to_))
+                      :: List.remove_assoc tenant chains ))
+              (Ok (0, []))
               evs
           in
           Ok ()
+    in
+    (* Per-tenant counter sections: every [tenant.<id>.<suffix>] counter
+       must be non-negative, belong to a tenant id the run registered,
+       and — because each per-tenant increment mirrors a global one — the
+       per-tenant values must sum to exactly the global [<suffix>]
+       counter. *)
+    let* () =
+      let registered =
+        match Json.member "tenants" r with
+        | Some (Json.Arr ids) -> Some (List.filter_map Json.to_int ids)
+        | Some _ | None -> None
+      in
+      match Json.member "counters" r with
+      | None -> Ok ()
+      | Some (Json.Obj fields) ->
+          let tenant_of k =
+            match
+              try
+                Scanf.sscanf k "tenant.%d.%s@\n" (fun id suffix ->
+                    Some (id, suffix))
+              with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+            with
+            | Some (id, suffix) when suffix <> "" -> Some (id, suffix)
+            | Some _ | None -> None
+          in
+          let* sums =
+            List.fold_left
+              (fun acc (k, v) ->
+                let* sums = acc in
+                match tenant_of k with
+                | None -> Ok sums
+                | Some (id, suffix) ->
+                    let* n =
+                      require
+                        (Printf.sprintf "counter %s not an int" k)
+                        (Json.to_int v)
+                    in
+                    let* () =
+                      if n < 0 then
+                        Error (Printf.sprintf "counter %s is negative" k)
+                      else Ok ()
+                    in
+                    let* () =
+                      match registered with
+                      | Some ids when not (List.mem id ids) ->
+                          Error
+                            (Printf.sprintf
+                               "counter %s names unregistered tenant %d" k id)
+                      | Some _ -> Ok ()
+                      | None ->
+                          Error
+                            (Printf.sprintf
+                               "per-tenant counter %s in a run with no \
+                                tenants field"
+                               k)
+                    in
+                    let prev =
+                      Option.value ~default:0 (List.assoc_opt suffix sums)
+                    in
+                    Ok ((suffix, prev + n) :: List.remove_assoc suffix sums))
+              (Ok []) fields
+          in
+          List.fold_left
+            (fun acc (suffix, total) ->
+              let* () = acc in
+              let global =
+                match List.assoc_opt suffix fields with
+                | Some v -> Option.value ~default:0 (Json.to_int v)
+                | None -> 0
+              in
+              if total <> global then
+                Error
+                  (Printf.sprintf
+                     "per-tenant %s counters sum to %d but global is %d"
+                     suffix total global)
+              else Ok ())
+            (Ok ()) sums
+      | Some _ -> Error "counters not an object"
     in
     List.fold_left
       (fun acc row ->

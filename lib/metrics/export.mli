@@ -18,12 +18,16 @@ type run = {
   seed : int;
   duration : Time_ns.t;
   cores : int;
+  tenants : int list;
+      (** registered tenant ids under an explicit multi-tenant table;
+          empty — and omitted from the JSON — on single-tenant runs *)
   counters : (string * int) list;
   timeline : Timeline.t;
   events : Trace.record list;
 }
 
 val make_run :
+  ?tenants:int list ->
   experiment:string ->
   policy:string ->
   seed:int ->
@@ -33,7 +37,8 @@ val make_run :
   Trace.t ->
   run
 (** Snapshot a machine trace into a run record: folds the timeline, sorts
-    the counters and captures the retained events. *)
+    the counters and captures the retained events. [tenants] (default
+    empty) lists the registered tenant ids of a multi-tenant run. *)
 
 val run_to_json : run -> Json.t
 val to_json : run list -> Json.t
@@ -51,6 +56,11 @@ val validate_json : Json.t -> (unit, string) result
     backwards, and overload ladder transitions are well-formed: sequence
     numbers increment from 1, each transition departs the rung the
     previous one entered (starting from [normal]), rungs move one at a
-    time, and every dwell meets the advertised minimum. *)
+    time, and every dwell meets the advertised minimum — checked per
+    lane, with [tenant=<id>]-prefixed transitions forming one chain per
+    tenant. Per-tenant counter sections ([tenant.<id>.<suffix>]) must be
+    non-negative, name a tenant id from the run's [tenants] field, and
+    sum — per suffix, across tenants — to exactly the global [<suffix>]
+    counter. *)
 
 val validate_string : string -> (unit, string) result

@@ -174,7 +174,7 @@ let stop_spin_accounting t c =
 let pause_run t c =
   match c.run_handle with
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel t.sim h;
       c.run_handle <- None;
       let task = match c.cur with Some x -> x | None -> assert false in
       let elapsed = Sim.now t.sim - c.run_started in
@@ -191,7 +191,7 @@ let pause_run t c =
 
 let rec dispatch t c =
   if c.online && c.backed && c.available && c.cur = None then begin
-    (match c.idle_retry with Some h -> Sim.cancel h | None -> ());
+    (match c.idle_retry with Some h -> Sim.cancel t.sim h | None -> ());
     c.idle_retry <- None;
     match pick_next t c with
     | None ->
@@ -299,7 +299,7 @@ and try_steal t c =
       found
 
 and arm_slice t c =
-  (match c.slice_timer with Some h -> Sim.cancel h | None -> ());
+  (match c.slice_timer with Some h -> Sim.cancel t.sim h | None -> ());
   c.slice_timer <- None;
   match c.cur with
   | Some { Task.prio = Task.Normal; _ } ->
@@ -657,7 +657,7 @@ let set_backing_core _t c core = c.backing_core <- core
 let set_backed t c backed =
   if c.backed <> backed then
     if not backed then begin
-      (match c.slice_timer with Some h -> Sim.cancel h | None -> ());
+      (match c.slice_timer with Some h -> Sim.cancel t.sim h | None -> ());
       c.slice_timer <- None;
       pause_run t c;
       stop_spin_accounting t c;

@@ -36,6 +36,7 @@ and t = {
   tid : int;
   tname : string;
   prio : prio;
+  mutable tenant : int;
   mutable affinity : int list;
   step : t -> op;
   mutable state : state;
@@ -57,11 +58,12 @@ and t = {
    under a parallel sweep the interleaving is nondeterministic. *)
 let next_tid = Atomic.make 0
 
-let create ?(prio = Normal) ?(affinity = []) ~name ~step () =
+let create ?(prio = Normal) ?(tenant = 0) ?(affinity = []) ~name ~step () =
   {
     tid = Atomic.fetch_and_add next_tid 1 + 1;
     tname = name;
     prio;
+    tenant;
     affinity;
     step;
     state = New;

@@ -63,6 +63,7 @@ and t = {
   tid : int;
   tname : string;
   prio : prio;
+  mutable tenant : int;  (** owning tenant id; 0 = the implicit tenant *)
   mutable affinity : int list;  (** allowed kernel CPU ids; [] = any *)
   step : t -> op;
   mutable state : state;
@@ -79,7 +80,13 @@ and t = {
 }
 
 val create :
-  ?prio:prio -> ?affinity:int list -> name:string -> step:(t -> op) -> unit -> t
+  ?prio:prio ->
+  ?tenant:int ->
+  ?affinity:int list ->
+  name:string ->
+  step:(t -> op) ->
+  unit ->
+  t
 (** [create ~name ~step ()] is a fresh task; ids are process-unique. *)
 
 val spinlock : string -> spinlock

@@ -35,7 +35,7 @@ let scenario ctx ~seed label config =
         Synth_cp.make_batch ~rng
           ~params:{ Synth_cp.default_params with total_work = Time_ns.ms 25 }
           ~locks:[ Task.spinlock "abl-a"; Task.spinlock "abl-b" ]
-          ~affinity:[] ~count:24
+          ~affinity:[] ~count:24 ()
       in
       List.iter (fun t -> System.spawn_cp sys t) tasks;
       ignore (System.run_until_tasks_done sys tasks ~limit:horizon);

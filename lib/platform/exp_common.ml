@@ -13,12 +13,24 @@ let scaled s d = max (Time_ns.ms 10) (int_of_float (float_of_int d *. s))
    is the one chokepoint where tracing is switched on and the finished run
    harvested. Everything flows through the run context: the CLI and the
    bench harness build one, the sweep derives a private one per cell, and
-   the harvest lands in the context's sink — never in shared refs. *)
+   the harvest lands in the context's sink — never in shared refs.
+
+   Invariant (re-audited for the multi-tenant sweeps): this module holds
+   NO module-level mutable state — every ref, table and RNG below is
+   created inside the function that uses it and scoped to one System.t.
+   That is what lets [Sweep.run --jobs N] run cells on separate domains
+   with byte-identical output; keep it that way when adding helpers. *)
 
 let harvest_run ~ctx ~seed sys =
   let machine = System.machine sys in
+  let table = System.tenants sys in
+  let tenants =
+    if Taichi_core.Tenant.is_multi table then Taichi_core.Tenant.ids table
+    else []
+  in
   let run =
-    Taichi_metrics.Export.make_run ~experiment:(Run_ctx.experiment ctx)
+    Taichi_metrics.Export.make_run ~tenants
+      ~experiment:(Run_ctx.experiment ctx)
       ~policy:(Policy.name (System.policy sys))
       ~seed
       ~duration:(Sim.now (System.sim sys))

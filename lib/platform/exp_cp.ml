@@ -13,7 +13,7 @@ let synth_run ctx sys ~concurrency =
   let locks = [ Task.spinlock "drv-a"; Task.spinlock "drv-b" ] in
   let tasks =
     Synth_cp.make_batch ~rng ~params:Synth_cp.default_params ~locks ~affinity:[]
-      ~count:concurrency
+      ~count:concurrency ()
   in
   List.iter (fun task -> System.spawn_cp sys task) tasks;
   let ok = System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 30) in
@@ -120,7 +120,7 @@ let storm sys ~density =
     List.init n_vms (fun i ->
         Vm_lifecycle.startup_task ~sim ~rng ~params ~locks ~affinity:[]
           ~name:(Printf.sprintf "vm-%d" i)
-          ~recorder)
+          ~recorder ())
   in
   List.iter (fun task -> System.spawn_cp sys task) tasks;
   ignore (System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 60));

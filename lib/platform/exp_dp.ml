@@ -555,7 +555,7 @@ let sec8 =
               let rng = Rng.split (System.rng sys) "sec8cp" in
               let tasks =
                 Synth_cp.make_batch ~rng ~params:Synth_cp.default_params
-                  ~locks:[ Task.spinlock "sec8" ] ~affinity:[] ~count:8
+                  ~locks:[ Task.spinlock "sec8" ] ~affinity:[] ~count:8 ()
               in
               List.iter (fun task -> System.spawn_cp sys task) tasks;
               ignore

@@ -40,7 +40,7 @@ let startup_storm ctx sys ~rng ~density ~vms_base =
     List.init n_vms (fun i ->
         Vm_lifecycle.startup_task ~sim ~rng ~params ~locks ~affinity:[]
           ~name:(Printf.sprintf "vm-start-%d" i)
-          ~recorder)
+          ~recorder ())
   in
   List.iter (fun task -> System.spawn_cp sys task) tasks;
   let ok = System.run_until_tasks_done sys tasks ~limit:(Time_ns.sec 60) in

@@ -65,7 +65,7 @@ let storm sys ~density ~spread ~recorder =
     List.init n_vms (fun i ->
         Vm_lifecycle.startup_task ~sim ~rng ~params ~locks ~affinity:[]
           ~name:(Printf.sprintf "vm-%d" i)
-          ~recorder)
+          ~recorder ())
   in
   let gap = spread / max 1 n_vms in
   List.iteri

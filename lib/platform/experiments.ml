@@ -19,6 +19,7 @@ let all =
     Exp_ablations.ablations;
     Exp_chaos.chaos;
     Exp_overload.overload;
+    Exp_multitenant.multitenant;
   ]
 
 let find name = List.find_opt (fun d -> Exp_desc.name d = name) all
@@ -48,7 +49,11 @@ let edit_distance a b =
 
 let closest name =
   let scored =
-    List.map (fun d -> (edit_distance name (Exp_desc.name d), Exp_desc.name d)) all
+    List.map
+      (fun d ->
+        ( edit_distance name (Exp_desc.name d),
+          (Exp_desc.name d, Exp_desc.cell_count d) ))
+      all
   in
   match List.sort compare scored with
   | (dist, candidate) :: _ when dist <= 3 -> Some candidate

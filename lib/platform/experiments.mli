@@ -4,12 +4,13 @@ val all : Exp_desc.t list
 (** Descriptors in paper order: fig2, fig3, fig4, fig5, fig6, fig11,
     fig12, fig13, table5, fig14, fig15, fig16, fig17, table1, table2,
     sec8, the [ablations] suite, the [chaos] fault-injection matrix (see
-    {!Exp_chaos}), plus the [overload] brownout-governor storm matrix
-    (see {!Exp_overload}). Run them through {!Sweep.run}. *)
+    {!Exp_chaos}), the [overload] brownout-governor storm matrix (see
+    {!Exp_overload}), plus the [multitenant] isolation grid (see
+    {!Exp_multitenant}). Run them through {!Sweep.run}. *)
 
 val find : string -> Exp_desc.t option
 (** Look an experiment up by name. *)
 
-val closest : string -> string option
-(** Closest registered name by edit distance (within distance 3), for
-    "did you mean" suggestions on unknown names. *)
+val closest : string -> (string * int) option
+(** Closest registered name by edit distance (within distance 3) and its
+    cell count, for "did you mean" suggestions on unknown names. *)

@@ -24,6 +24,12 @@ let name = function
 let taichi_default = Taichi Config.default
 let taichi_no_hw_probe = Taichi (Config.no_hw_probe Config.default)
 
+let config = function
+  | Taichi cfg | Taichi_vdp cfg -> cfg
+  | Static_partition | Type2 | Naive_coschedule | Uintr_coschedule
+  | Dedicated_core ->
+      Config.default
+
 let dp_cores_lost = function
   | Type2 -> 2
   | Dedicated_core -> 1

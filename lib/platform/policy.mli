@@ -34,6 +34,11 @@ type t =
 
 val name : t -> string
 
+val config : t -> Config.t
+(** The policy's Tai Chi config, or [Config.default] for policies that
+    carry none — so layout decisions keyed off config fields (e.g. the
+    tenant table) see the implicit defaults under baseline policies. *)
+
 val taichi_default : t
 (** [Taichi Config.default]. *)
 

@@ -69,20 +69,28 @@ let create ?(seed = 42) ?(layout = default_layout) ?prepare
       Core_state.transition (Machine.core_state machine) ~core:id
         ~cause:Core_state.Hotplug Core_state.Cp_dedicated)
     cp_cores;
-  (* Data-plane services. *)
+  (* Data-plane services. Under an explicit multi-tenant table each
+     subsystem's services are dealt round-robin across tenants (position
+     mod count — deterministic in the core layout), so every tenant owns
+     rings on both subsystems when it has enough cores. The implicit
+     single tenant leaves every service on tenant 0 as before. *)
+  let tenant_table = Config.tenant_table (Policy.config policy) in
+  let owner i =
+    if Tenant.is_multi tenant_table then i mod Tenant.count tenant_table else 0
+  in
   let dp_tax = Policy.dp_speed_tax policy in
-  let make_net core =
-    let dp = Net_service.create machine pipeline ~core in
+  let make_net i core =
+    let dp = Net_service.create ~tenant:(owner i) machine pipeline ~core in
     Dp_service.set_speed_tax dp dp_tax;
     dp
   in
-  let make_sto core =
-    let dp = Storage_service.create machine pipeline ~core in
+  let make_sto i core =
+    let dp = Storage_service.create ~tenant:(owner i) machine pipeline ~core in
     Dp_service.set_speed_tax dp dp_tax;
     dp
   in
-  let net_services = List.map make_net net_cores in
-  let storage_services = List.map make_sto storage_cores in
+  let net_services = List.mapi make_net net_cores in
+  let storage_services = List.mapi make_sto storage_cores in
   let services = net_services @ storage_services in
   (* Ring-delivery notifications. *)
   let hook =
@@ -179,13 +187,33 @@ let overload t =
 let cp_backpressure t =
   match overload t with Some ov -> Overload.backpressure ov | None -> false
 
-let spawn_cp ?(cls = Overload.Standard) t task =
-  (* Respect an explicit pin; otherwise bind to the policy's CP CPU set. *)
-  if task.Task.affinity = [] then task.Task.affinity <- cp_affinity t;
+let tenants t = Config.tenant_table (Policy.config t.policy)
+
+(* A tenant's CP CPU set: the shared dedicated CP pCPUs plus only its own
+   vCPUs, so one tenant's control-plane storm queues behind its own
+   weighted share instead of every vCPU on the machine. Falls back to the
+   policy-wide set under the implicit single tenant (where the two
+   coincide) or when the policy runs no vCPUs at all. *)
+let cp_affinity_for t tenant =
+  match t.taichi with
+  | Some tc when Tenant.is_multi (tenants t) ->
+      t.cp_cores
+      @ List.filter_map
+          (fun v ->
+            if v.Taichi_virt.Vcpu.tenant = tenant then
+              Some v.Taichi_virt.Vcpu.kcpu
+            else None)
+          (Taichi.vcpus tc)
+  | Some _ | None -> cp_affinity t
+
+let spawn_cp ?(cls = Overload.Standard) ?(tenant = 0) t task =
+  task.Task.tenant <- tenant;
+  (* Respect an explicit pin; otherwise bind to the tenant's CP CPU set. *)
+  if task.Task.affinity = [] then task.Task.affinity <- cp_affinity_for t tenant;
   let spawn () = Kernel.spawn t.kernel task in
   match overload t with
   | None -> spawn ()
-  | Some ov -> ignore (Overload.admit ov ~cls spawn)
+  | Some ov -> ignore (Overload.admit ov ~tenant ~cls spawn)
 
 let advance t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
 
@@ -224,6 +252,15 @@ let dp_latency_hist t =
   List.fold_left
     (fun acc dp ->
       Histogram.merge acc (Taichi_metrics.Recorder.histogram (Dp_service.latency dp)))
+    (Histogram.create ()) (services t)
+
+let dp_latency_hist_of t ~tenant =
+  List.fold_left
+    (fun acc dp ->
+      if Dp_service.tenant dp = tenant then
+        Histogram.merge acc
+          (Taichi_metrics.Recorder.histogram (Dp_service.latency dp))
+      else acc)
     (Histogram.create ()) (services t)
 
 let dp_spikes t =

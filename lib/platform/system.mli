@@ -75,13 +75,23 @@ val cp_backpressure : t -> bool
     at [Defer] or deeper. Workload clients should hold deferrable
     submissions. Always false without a governor. *)
 
-val spawn_cp : ?cls:Overload.cls -> t -> Task.t -> unit
-(** Spawn a control-plane task: tasks without an explicit affinity are
-    bound to {!cp_affinity}; an existing pin is respected. With an armed
-    overload governor the admission is routed through [Overload.admit]
-    under [cls] (default [Standard]) — it may be deferred until the
-    ladder relaxes, or shed entirely for [Deferrable] work at the deepest
-    rungs. *)
+val tenants : t -> Tenant.table
+(** The tenant table the policy's config declares (the implicit single
+    tenant for policies with no config). *)
+
+val cp_affinity_for : t -> int -> int list
+(** [cp_affinity_for t tenant] is the CP CPU set for one tenant's tasks:
+    the shared dedicated CP pCPUs plus only that tenant's vCPUs under an
+    explicit multi-tenant Tai Chi table; {!cp_affinity} otherwise. *)
+
+val spawn_cp : ?cls:Overload.cls -> ?tenant:int -> t -> Task.t -> unit
+(** Spawn a control-plane task owned by [tenant] (default 0, the implicit
+    tenant): the task is stamped with the tenant id, and tasks without an
+    explicit affinity are bound to {!cp_affinity_for}; an existing pin is
+    respected. With an armed overload governor the admission is routed
+    through [Overload.admit] on the owning tenant's lane under [cls]
+    (default [Standard]) — it may be deferred until that ladder relaxes,
+    or shed entirely for [Deferrable] work at the deepest rungs. *)
 
 val advance : t -> Time_ns.t -> unit
 (** Run the simulation for a further duration. *)
@@ -105,6 +115,10 @@ val audit : t -> string list
 
 val dp_latency_hist : t -> Histogram.t
 (** Merged per-packet latency across all data-plane services. *)
+
+val dp_latency_hist_of : t -> tenant:int -> Histogram.t
+(** Merged per-packet latency across one tenant's data-plane services —
+    the victim/aggressor split the isolation oracles measure. *)
 
 val dp_spikes : t -> int
 (** Total tail-latency spikes observed by data-plane services. *)

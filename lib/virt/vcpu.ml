@@ -5,6 +5,8 @@ type placement = Unplaced | On_core of int
 type t = {
   vid : int;
   kcpu : int;
+  mutable tenant : int;
+  mutable cls_rank : int;
   mutable placement : placement;
   mutable slice : Time_ns.t;
   mutable slice_started : Time_ns.t;
@@ -17,6 +19,8 @@ let create ~vid ~kcpu ~initial_slice =
   {
     vid;
     kcpu;
+    tenant = 0;
+    cls_rank = 1;
     placement = Unplaced;
     slice = initial_slice;
     slice_started = 0;

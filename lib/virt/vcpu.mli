@@ -15,6 +15,10 @@ type placement =
 type t = {
   vid : int;  (** vCPU index within Tai Chi *)
   kcpu : int;  (** kernel logical CPU id this vCPU backs *)
+  mutable tenant : int;  (** owning tenant id; 0 = the implicit tenant *)
+  mutable cls_rank : int;
+      (** admission-class rank for the scheduler's class stage
+          (0 = highest priority; default 1 = standard) *)
   mutable placement : placement;
   mutable slice : Time_ns.t;  (** current adaptive time slice *)
   mutable slice_started : Time_ns.t;

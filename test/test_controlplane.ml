@@ -78,7 +78,7 @@ let test_synth_cp_total_work () =
 let test_synth_cp_batch_independent () =
   let tasks =
     Synth_cp.make_batch ~rng:(rng ()) ~params:Synth_cp.default_params ~locks:[]
-      ~affinity:[] ~count:3
+      ~affinity:[] ~count:3 ()
   in
   checki "count" 3 (List.length tasks);
   let names = List.map (fun t -> t.Task.tname) tasks in
@@ -94,7 +94,7 @@ let test_synth_cp_lock_contention () =
   in
   let tasks =
     Synth_cp.make_batch ~rng:(rng ()) ~params ~locks:[ lock ] ~affinity:[]
-      ~count:4
+      ~count:4 ()
   in
   let _ = run_kernel_with tasks in
   List.iter (fun t -> checkb "done" true (Task.is_finished t)) tasks;
@@ -147,7 +147,7 @@ let test_vm_startup_records () =
   let recorder = Recorder.create "startup" in
   let task =
     Vm_lifecycle.startup_task ~sim ~rng:r ~params ~locks:[ Task.spinlock "dev" ]
-      ~affinity:[] ~name:"vm0" ~recorder
+      ~affinity:[] ~name:"vm0" ~recorder ()
   in
   Kernel.spawn kernel task;
   Sim.run sim;

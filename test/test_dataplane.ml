@@ -17,7 +17,7 @@ let make_system () =
   let pipeline = Pipeline.create sim in
   let dp =
     Dp_service.create machine pipeline
-      (Dp_service.default_config ~core:0 ~per_packet:(fun _ -> Time_ns.us 1))
+      (Dp_service.default_config ~core:0 ~per_packet:(fun _ -> Time_ns.us 1) ())
   in
   Pipeline.set_deliver_hook pipeline
     (Dp_service.attach_delivery dp (fun ~core:_ -> ()));

@@ -130,10 +130,10 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.at sim 10 (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   checkb "not fired" false !fired;
-  checkb "not pending" false (Sim.is_pending h)
+  checkb "not pending" false (Sim.is_pending sim h)
 
 let test_sim_until () =
   let sim = Sim.create () in
@@ -182,7 +182,7 @@ let test_sim_counters () =
   let h1 = Sim.at sim 1 (fun () -> ()) in
   let _h2 = Sim.at sim 2 (fun () -> ()) in
   checki "pending 2" 2 (Sim.pending_events sim);
-  Sim.cancel h1;
+  Sim.cancel sim h1;
   checki "pending 1 after cancel" 1 (Sim.pending_events sim);
   Sim.run sim;
   checki "pending 0" 0 (Sim.pending_events sim);
@@ -197,7 +197,7 @@ let test_sim_tombstone_compaction () =
   in
   (* Cancel 90%: tombstones vastly outnumber live events, so the heap must
      have been rebuilt rather than retaining every dead entry. *)
-  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel h) handles;
+  Array.iteri (fun i h -> if i mod 10 <> 0 then Sim.cancel sim h) handles;
   checki "live preserved" 1000 (Sim.pending_events sim);
   checkb "compacted at least once" true (Sim.compactions sim > 0);
   checkb "dead entries bounded by ~2x live" true
@@ -219,13 +219,22 @@ module type ENGINE = sig
   val create : unit -> t
   val now : t -> Time_ns.t
   val at : t -> Time_ns.t -> (unit -> unit) -> handle
-  val cancel : handle -> unit
+  val cancel : t -> handle -> unit
   val run : ?until:Time_ns.t -> t -> unit
   val pending_events : t -> int
   val events_processed : t -> int
   val events_scheduled : t -> int
   val dead_events : t -> int
   val compactions : t -> int
+end
+
+(* [Sim_legacy]'s handle record carries its owner, so its [cancel] takes
+   only the handle; adapt it to the shared ENGINE surface where handles
+   are owner-relative ints. *)
+module Legacy_engine = struct
+  include Sim_legacy
+
+  let cancel _sim h = Sim_legacy.cancel h
 end
 
 (* Interpret a random op list: schedule (delays spanning same-instant ties
@@ -252,7 +261,7 @@ let run_timer_program (module E : ENGINE) ops =
           handles := h :: !handles;
           incr nh
       | 1 ->
-          if !nh > 0 then E.cancel (List.nth !handles (a mod !nh))
+          if !nh > 0 then E.cancel sim (List.nth !handles (a mod !nh))
       | _ -> E.run ~until:(E.now sim + (a mod 300_000)) sim)
     ops;
   E.run sim;
@@ -272,7 +281,7 @@ let prop_sim_differential =
         (triple (int_bound 2) (int_bound 4_999_999) small_int))
     (fun ops ->
       let new_r = run_timer_program (module Sim) ops in
-      let old_r = run_timer_program (module Sim_legacy) ops in
+      let old_r = run_timer_program (module Legacy_engine) ops in
       new_r = old_r)
 
 (* Dense same-instant bursts with interleaved cancels are where a bucketed
@@ -286,7 +295,7 @@ let prop_sim_differential_ties =
         (triple (int_bound 2) (int_bound 40) small_int))
     (fun ops ->
       let new_r = run_timer_program (module Sim) ops in
-      let old_r = run_timer_program (module Sim_legacy) ops in
+      let old_r = run_timer_program (module Legacy_engine) ops in
       new_r = old_r)
 
 (* --- Pheap regression: grow after clear ------------------------------------ *)

@@ -13,6 +13,7 @@ let () =
       ("observability", Test_observability.suite);
       ("controlplane", Test_controlplane.suite);
       ("core", Test_core.suite);
+      ("tenant", Test_tenant.suite);
       ("overload", Test_overload.suite);
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite);

@@ -167,7 +167,7 @@ let test_place_gate_tokens () =
   (* Ungated at Normal: far more calls than any token budget. *)
   let all_allowed = ref true in
   for _ = 1 to 50 do
-    if not (Overload.place_allowed ov ()) then all_allowed := false
+    if not (Overload.place_allowed ov 0) then all_allowed := false
   done;
   checkb "unlimited at normal" true !all_allowed;
   let throttle_probe = ref None in
@@ -175,16 +175,16 @@ let test_place_gate_tokens () =
       if to_ = Overload.Throttle && !throttle_probe = None then begin
         (* Entering Throttle with a full bucket (burst 2): two grants,
            then denial. *)
-        let a = Overload.place_allowed ov () in
-        let b = Overload.place_allowed ov () in
-        let c = Overload.place_allowed ov () in
+        let a = Overload.place_allowed ov 0 in
+        let b = Overload.place_allowed ov 0 in
+        let c = Overload.place_allowed ov 0 in
         throttle_probe := Some (a, b, c)
       end);
   let static_probe = ref None in
   ignore
     (Sim.at sim (Time_ns.ms 1) (fun () ->
          if Overload.level ov = Overload.Static_partition then
-           static_probe := Some (Overload.place_allowed ov ())));
+           static_probe := Some (Overload.place_allowed ov 0)));
   apply_load sim kernel ov ~feed_until:(Time_ns.ms 2);
   Overload.start ov;
   Sim.run ~until:(Time_ns.ms 10) sim;

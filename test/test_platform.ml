@@ -113,7 +113,7 @@ let mini_fig11 policy =
   let tasks =
     Synth_cp.make_batch ~rng
       ~params:{ Synth_cp.default_params with total_work = Time_ns.ms 20 }
-      ~locks:[ Task.spinlock "l" ] ~affinity:[] ~count:16
+      ~locks:[ Task.spinlock "l" ] ~affinity:[] ~count:16 ()
   in
   List.iter (fun t -> System.spawn_cp sys t) tasks;
   checkb "finished" true
