@@ -25,8 +25,10 @@ test: build
 # overload storm, whose export additionally exercises trace_lint's ladder
 # checks (transition sequence, one rung at a time, minimum dwell), then
 # the multitenant grid, whose export exercises trace_lint's per-tenant
-# lane checks (registered dense ids, non-negative rows, per-tenant sums
-# equal to the globals).
+# lane checks (registered — possibly sparse — ids, non-negative rows,
+# per-tenant sums equal to the globals), then the churn grid, whose
+# export exercises the frozen-lane rule (no overload transitions after a
+# tenant's retirement marker).
 smoke: test
 	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_JOBS=$(JOBS) \
 		BENCH_TRACE_JSON=_build/smoke-trace.json \
@@ -41,6 +43,10 @@ smoke: test
 	dune exec bin/taichi_sim.exe -- multitenant --seed 42 --scale 0.25 \
 		--jobs $(JOBS) --trace-json _build/multitenant-trace.json
 	dune exec bin/trace_lint.exe -- _build/multitenant-trace.json
+	dune exec bin/taichi_sim.exe -- churn --seed 42 --scale 0.25 \
+		--jobs $(JOBS) --churn-profile steady \
+		--trace-json _build/churn-trace.json
+	dune exec bin/trace_lint.exe -- _build/churn-trace.json
 
 # The sweep determinism contract, end to end through the real CLI: the
 # same experiment at --jobs 1 and --jobs 4 must produce byte-identical

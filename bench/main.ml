@@ -404,6 +404,111 @@ let report_multitenant () =
        globals);
   { mt_tenants = tenants; mt_globals = globals }
 
+(* --- multi-tenant churn sub-run ------------------------------------------- *)
+
+(* The lifecycle exercised under the bench lens: a dynamic tenant is
+   admitted mid-run and retired before the end, so the report carries a
+   frozen lane next to the live ones. [bin/bench_lint] re-checks that the
+   retired tenant's row is still present (retired lanes freeze, they do
+   not disappear), that drains completed, and that the vCPU / floating
+   service pools are whole again. *)
+type mtc_report = {
+  mtc_admitted : int;
+  mtc_retired : int;
+  mtc_forced : int;
+  mtc_pool : int;  (** spare vCPUs free at the end *)
+  mtc_floats : int;  (** floating services free at the end *)
+  mtc_retired_ids : int list;
+  mtc_tenants : mt_tenant list;  (** sparse: only lanes with mirrored rows *)
+}
+
+let report_mt_churn () =
+  let module P = Taichi_platform in
+  let module C = Taichi_core in
+  let seed = getenv_i "BENCH_SEED" 42 in
+  let specs = [ C.Tenant.spec ~weight:3 "alpha"; C.Tenant.spec "bravo" ] in
+  let config =
+    C.Config.with_churn
+      (C.Config.with_tenants (C.Config.no_hw_probe C.Config.default) specs)
+  in
+  let sys = P.System.create ~seed (P.Policy.Taichi config) in
+  P.System.warmup sys;
+  let sim = P.System.sim sys in
+  let until = Sim.now sim + Time_ns.ms 40 in
+  P.Exp_common.start_bg_dp sys ~target:0.25 ~until;
+  let lc = Option.get (P.System.lifecycle sys) in
+  let retired_ids = ref [] in
+  ignore
+    (Sim.after sim (Time_ns.ms 5) (fun () ->
+         match C.Lifecycle.admit lc (C.Tenant.spec ~weight:2 "dyn-0") with
+         | Error _ -> ()
+         | Ok id ->
+             let rng = Rng.split (P.System.rng sys) "bench-churn-dyn" in
+             let params =
+               {
+                 Taichi_controlplane.Synth_cp.default_params with
+                 Taichi_controlplane.Synth_cp.total_work = Time_ns.ms 1;
+                 phases = 3;
+               }
+             in
+             Taichi_controlplane.Synth_cp.make_batch ~tenant:id ~rng ~params
+               ~locks:[] ~affinity:[] ~count:2 ()
+             |> List.iter (fun task -> P.System.spawn_cp ~tenant:id sys task);
+             ignore
+               (Sim.after sim (Time_ns.ms 10) (fun () ->
+                    retired_ids := id :: !retired_ids;
+                    C.Lifecycle.retire lc ~tenant:id))));
+  P.System.advance sys (Time_ns.ms 50);
+  let table = P.System.tenants sys in
+  let sched = C.Taichi.scheduler (Option.get (P.System.taichi sys)) in
+  let counters = Taichi_hw.Machine.counters (P.System.machine sys) in
+  let dump = Taichi_engine.Counters.dump counters in
+  let rows =
+    List.filter_map
+      (fun tid ->
+        let t = C.Tenant.get table tid in
+        let mirrored =
+          List.filter_map
+            (fun (name, v) ->
+              match C.Tenant.parse_counter name with
+              | Some (id, suffix) when id = tid -> Some (suffix, v)
+              | _ -> None)
+            dump
+        in
+        (* Sparse on purpose: a lane that never accrued a mirrored
+           counter is omitted, and the lint must accept the id gap. *)
+        if mirrored = [] then None
+        else
+          Some
+            {
+              mtt_id = tid;
+              mtt_name = t.C.Tenant.name;
+              mtt_weight = t.C.Tenant.weight;
+              mtt_granted = C.Vcpu_sched.granted_ns sched ~tenant:tid;
+              mtt_counters = mirrored;
+            })
+      (C.Tenant.ids table)
+  in
+  let get = Taichi_engine.Counters.get counters in
+  let report =
+    {
+      mtc_admitted = get "churn.admitted";
+      mtc_retired = get "churn.retired";
+      mtc_forced = get "churn.drain_forced";
+      mtc_pool = C.Lifecycle.pool_size lc;
+      mtc_floats = C.Lifecycle.free_services lc;
+      mtc_retired_ids = List.sort compare !retired_ids;
+      mtc_tenants = rows;
+    }
+  in
+  Printf.printf
+    "  churn sub-run: %d admitted, %d retired (%d forced), pool %d+%d, %d \
+     lanes reported\n"
+    report.mtc_admitted report.mtc_retired report.mtc_forced report.mtc_pool
+    report.mtc_floats
+    (List.length report.mtc_tenants);
+  report
+
 (* --- BENCH_ENGINE.json ---------------------------------------------------- *)
 
 (* Schema taichi-bench-engine-v1. Everything except the fields whose name
@@ -411,7 +516,7 @@ let report_multitenant () =
    deterministic for a given seed: re-running with the same BENCH_SEED
    must reproduce the file modulo those timing fields. [bin/bench_lint]
    validates the shape in CI. *)
-let write_engine_json path ~hotpath ~fig17 ~multitenant =
+let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn =
   let module J = Taichi_metrics.Json in
   let rate processed wall = float_of_int processed /. Float.max 1e-9 wall in
   let engine_obj wall =
@@ -480,6 +585,35 @@ let write_engine_json path ~hotpath ~fig17 ~multitenant =
                   (List.map
                      (fun (suffix, v) -> (suffix, J.Int v))
                      multitenant.mt_globals) );
+              ( "churn",
+                J.Obj
+                  [
+                    ("admitted", J.Int churn.mtc_admitted);
+                    ("retired", J.Int churn.mtc_retired);
+                    ("forced", J.Int churn.mtc_forced);
+                    ("pool_vcpus", J.Int churn.mtc_pool);
+                    ("float_services", J.Int churn.mtc_floats);
+                    ( "retired_ids",
+                      J.Arr
+                        (List.map (fun i -> J.Int i) churn.mtc_retired_ids) );
+                    ( "tenants",
+                      J.Arr
+                        (List.map
+                           (fun t ->
+                             J.Obj
+                               [
+                                 ("id", J.Int t.mtt_id);
+                                 ("name", J.Str t.mtt_name);
+                                 ("weight", J.Int t.mtt_weight);
+                                 ("granted_ns", J.Int t.mtt_granted);
+                                 ( "counters",
+                                   J.Obj
+                                     (List.map
+                                        (fun (suffix, v) -> (suffix, J.Int v))
+                                        t.mtt_counters) );
+                               ])
+                           churn.mtc_tenants) );
+                  ] );
             ] );
       ]
   in
@@ -591,8 +725,9 @@ let () =
   let hotpath = report_engine_hotpath () in
   let fig17 = report_fig17_cells () in
   let multitenant = report_multitenant () in
+  let churn = report_mt_churn () in
   (match Sys.getenv_opt "BENCH_ENGINE_JSON" with
-  | Some path -> write_engine_json path ~hotpath ~fig17 ~multitenant
+  | Some path -> write_engine_json path ~hotpath ~fig17 ~multitenant ~churn
   | None -> ());
   run_microbenches ();
   report_tombstones ()

@@ -4,10 +4,11 @@
    the calendar and legacy engines processed the identical event counts,
    the determinism guarantee the bench itself asserts — that every fig17
    cell row carries the expected fields, and that the multitenant
-   counter-lane section is coherent (dense registered tenant ids,
-   non-negative per-tenant rows, per-suffix sums equal to the globals).
-   Exit 0 on success so CI can gate on it before uploading the
-   artifact. *)
+   counter-lane section is coherent (strictly increasing — possibly
+   sparse — tenant ids, non-negative per-tenant rows, per-suffix sums
+   equal to the globals, and a churn sub-run whose retired lanes are
+   still reported). Exit 0 on success so CI can gate on it before
+   uploading the artifact. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -81,10 +82,127 @@ let check_cell i json =
     fail "fig17 cell %S timings must be positive" name
   else Ok ()
 
+(* A tenant-row array shared by the steady section and the churn
+   sub-run. Ids must be strictly increasing but may be sparse: under
+   churn a lane that never accrued a mirrored counter is legitimately
+   omitted, so requiring density from 0 would reject valid exports. *)
+let check_tenant_rows ~label ~sums rows =
+  let* _last =
+    List.fold_left
+      (fun acc row ->
+        let* prev = acc in
+        let* id = int_field "id" row in
+        let* weight = int_field "weight" row in
+        let* granted = int_field "granted_ns" row in
+        let* counters = field "counters" row in
+        if id < 0 then fail "%s tenant id %d is negative" label id
+        else if id <= prev then
+          fail "%s tenant ids must be strictly increasing (%d after %d)" label
+            id prev
+        else if weight <= 0 then fail "tenant %d weight must be positive" id
+        else if granted < 0 then fail "tenant %d granted_ns is negative" id
+        else
+          let* () =
+            match counters with
+            | Taichi_metrics.Json.Obj kvs ->
+                List.fold_left
+                  (fun acc (suffix, v) ->
+                    let* () = acc in
+                    match Taichi_metrics.Json.to_int v with
+                    | Some n when n >= 0 ->
+                        (match sums with
+                        | Some sums ->
+                            Hashtbl.replace sums suffix
+                              (n
+                              + Option.value ~default:0
+                                  (Hashtbl.find_opt sums suffix))
+                        | None -> ());
+                        Ok ()
+                    | Some n ->
+                        fail "tenant %d counter %S is negative (%d)" id suffix
+                          n
+                    | None ->
+                        fail "tenant %d counter %S is not an integer" id
+                          suffix)
+                  (Ok ()) kvs
+            | _ -> fail "tenant %d counters is not an object" id
+          in
+          Ok id)
+      (Ok (-1)) rows
+  in
+  Ok ()
+
+(* The churn sub-run: the lifecycle must have completed every drain it
+   started, restored the pools, and kept the retired lanes' rows in the
+   report — a frozen lane is still accounted for, never deleted. *)
+let check_mt_churn mt =
+  let* churn = field "churn" mt in
+  let* admitted = int_field "admitted" churn in
+  let* retired = int_field "retired" churn in
+  let* forced = int_field "forced" churn in
+  let* pool = int_field "pool_vcpus" churn in
+  let* floats = int_field "float_services" churn in
+  let* retired_ids = field "retired_ids" churn in
+  let* tenants = field "tenants" churn in
+  let* rows =
+    match Taichi_metrics.Json.to_list tenants with
+    | Some [] -> fail "multitenant.churn.tenants is empty"
+    | Some rows -> Ok rows
+    | None -> fail "multitenant.churn.tenants is not an array"
+  in
+  let* ids =
+    match Taichi_metrics.Json.to_list retired_ids with
+    | Some l ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match Taichi_metrics.Json.to_int v with
+            | Some i -> Ok (i :: acc)
+            | None -> fail "multitenant.churn.retired_ids entry not an int")
+          (Ok []) l
+    | None -> fail "multitenant.churn.retired_ids is not an array"
+  in
+  if admitted < 1 then fail "churn sub-run admitted no tenant"
+  else if retired < 1 then fail "churn sub-run retired no tenant"
+  else if retired > admitted then
+    fail "churn sub-run retired %d > admitted %d" retired admitted
+  else if forced < 0 || forced > retired then
+    fail "churn sub-run forced-drain count %d is implausible" forced
+  else if pool < 0 || floats < 0 then
+    fail "churn sub-run pool sizes are negative"
+  else if List.length ids <> retired then
+    fail "churn sub-run lists %d retired ids for %d retirements"
+      (List.length ids) retired
+  else
+    let* () = check_tenant_rows ~label:"multitenant.churn" ~sums:None rows in
+    (* Frozen, not forgotten: every retired tenant still has its row. *)
+    List.fold_left
+      (fun acc id ->
+        let* () = acc in
+        let present =
+          List.exists
+            (fun row ->
+              match
+                Option.bind
+                  (Taichi_metrics.Json.member "id" row)
+                  Taichi_metrics.Json.to_int
+              with
+              | Some i -> i = id
+              | None -> false)
+            rows
+        in
+        if present then Ok ()
+        else
+          fail
+            "retired tenant %d has no row in the churn section (frozen lanes \
+             must stay reported)"
+            id)
+      (Ok ()) ids
+
 (* The multitenant section mirrors the per-tenant counter discipline the
-   trace validator enforces: tenant ids dense from 0, every per-tenant
-   row non-negative, and — per suffix — the tenant rows sum to exactly
-   the global counter. *)
+   trace validator enforces: strictly increasing (possibly sparse)
+   tenant ids, every per-tenant row non-negative, and — per suffix — the
+   tenant rows sum to exactly the global counter. *)
 let check_multitenant json =
   let* mt = field "multitenant" json in
   let* tenants = field "tenants" mt in
@@ -102,39 +220,7 @@ let check_multitenant json =
   in
   let sums = Hashtbl.create 32 in
   let* () =
-    List.fold_left
-      (fun acc (i, row) ->
-        let* () = acc in
-        let* id = int_field "id" row in
-        let* weight = int_field "weight" row in
-        let* granted = int_field "granted_ns" row in
-        let* counters = field "counters" row in
-        if id <> i then
-          fail "multitenant tenant ids must be dense from 0 (row %d has %d)" i
-            id
-        else if weight <= 0 then fail "tenant %d weight must be positive" id
-        else if granted < 0 then fail "tenant %d granted_ns is negative" id
-        else
-          match counters with
-          | Taichi_metrics.Json.Obj kvs ->
-              List.fold_left
-                (fun acc (suffix, v) ->
-                  let* () = acc in
-                  match Taichi_metrics.Json.to_int v with
-                  | Some n when n >= 0 ->
-                      Hashtbl.replace sums suffix
-                        (n
-                        + Option.value ~default:0 (Hashtbl.find_opt sums suffix)
-                        );
-                      Ok ()
-                  | Some n ->
-                      fail "tenant %d counter %S is negative (%d)" id suffix n
-                  | None -> fail "tenant %d counter %S is not an integer" id
-                             suffix)
-                (Ok ()) kvs
-          | _ -> fail "tenant %d counters is not an object" id)
-      (Ok ())
-      (List.mapi (fun i row -> (i, row)) rows)
+    check_tenant_rows ~label:"multitenant" ~sums:(Some sums) rows
   in
   let* () =
     List.fold_left
@@ -155,13 +241,16 @@ let check_multitenant json =
       (Ok ()) global_rows
   in
   (* Every mirrored suffix must also have its global next to it. *)
-  Hashtbl.fold
-    (fun suffix _ acc ->
-      let* () = acc in
-      if List.mem_assoc suffix global_rows then Ok ()
-      else fail "mirrored suffix %S has no global counter in the section"
-             suffix)
-    sums (Ok ())
+  let* () =
+    Hashtbl.fold
+      (fun suffix _ acc ->
+        let* () = acc in
+        if List.mem_assoc suffix global_rows then Ok ()
+        else fail "mirrored suffix %S has no global counter in the section"
+               suffix)
+      sums (Ok ())
+  in
+  check_mt_churn mt
 
 let fig17_cells = 8
 

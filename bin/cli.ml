@@ -84,6 +84,18 @@ let aggressor_arg =
     & opt (some string) None
     & info [ "aggressor" ] ~docv:"AGGRESSOR" ~doc)
 
+let churn_profile_arg =
+  let doc =
+    "Restrict the churn experiment to one churn profile ($(b,steady): \
+     arrival waves and forced departure, $(b,flap): thrash / refusal / \
+     determinism repeat, $(b,chaos): chaos-under-churn). Defaults to the \
+     full grid (or $(b,CHURN_PROFILE))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "churn-profile" ] ~docv:"PROFILE" ~doc)
+
 let list_experiments () =
   Printf.printf "%-11s %5s  %s\n" "name" "cells" "description";
   List.iter
@@ -123,7 +135,8 @@ let report_audit_failures failures =
 (* The CI matrix narrows chaos/overload through the environment; an
    explicit flag wins over it. Both become plain cell filters on the
    relevant descriptor — no module state anywhere. *)
-let filter_for ~chaos_profile ~overload_governor ~aggressor desc =
+let filter_for ~chaos_profile ~overload_governor ~aggressor ~churn_profile
+    desc =
   match P.Exp_desc.name desc with
   | "chaos" -> (
       match chaos_profile with
@@ -137,10 +150,14 @@ let filter_for ~chaos_profile ~overload_governor ~aggressor desc =
       match aggressor with
       | Some a -> P.Exp_multitenant.aggressor_filter a
       | None -> fun _ -> true)
+  | "churn" -> (
+      match churn_profile with
+      | Some p -> P.Exp_churn.profile_filter p
+      | None -> fun _ -> true)
   | _ -> fun _ -> true
 
 let run name seed scale jobs list trace trace_json chaos_profile
-    overload_governor aggressor =
+    overload_governor aggressor churn_profile =
   if list then begin
     list_experiments ();
     0
@@ -166,6 +183,11 @@ let run name seed scale jobs list trace trace_json chaos_profile
           | Some _ as a -> a
           | None -> Sys.getenv_opt "MULTITENANT_AGGRESSOR"
         in
+        let churn_profile =
+          match churn_profile with
+          | Some _ as p -> p
+          | None -> Sys.getenv_opt "CHURN_PROFILE"
+        in
         let tracing = trace || trace_json <> None in
         (* Collect audit violations instead of aborting mid-batch: every
            experiment still runs, then the process exits with the distinct
@@ -174,7 +196,9 @@ let run name seed scale jobs list trace trace_json chaos_profile
         let run_desc desc =
           let ctx = P.Run_ctx.with_experiment ctx (P.Exp_desc.name desc) in
           P.Sweep.run ~jobs
-            ~filter:(filter_for ~chaos_profile ~overload_governor ~aggressor desc)
+            ~filter:
+              (filter_for ~chaos_profile ~overload_governor ~aggressor
+                 ~churn_profile desc)
             ctx desc ~seed ~scale
         in
         let status =
@@ -232,6 +256,6 @@ let cmd =
     Term.(
       const run $ name_arg $ seed_arg $ scale_arg $ jobs_arg $ list_arg
       $ trace_arg $ trace_json_arg $ chaos_profile_arg $ overload_governor_arg
-      $ aggressor_arg)
+      $ aggressor_arg $ churn_profile_arg)
 
 let main () = exit (Cmd.eval' cmd)

@@ -1,7 +1,7 @@
 type t = {
   name : string;
   capacity : int;
-  tenant : int;
+  mutable tenant : int;
   q : Packet.t Queue.t;
   mutable drops : int;
   mutable enqueued : int;
@@ -13,8 +13,10 @@ let create ?(capacity = 4096) ?(tenant = 0) ~name () =
 let name t = t.name
 let capacity t = t.capacity
 let tenant t = t.tenant
+let set_tenant t tenant = t.tenant <- tenant
 let length t = Queue.length t.q
 let is_empty t = Queue.is_empty t.q
+let iter f t = Queue.iter f t.q
 
 let push t pkt =
   if Queue.length t.q >= t.capacity then begin

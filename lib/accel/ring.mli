@@ -15,8 +15,17 @@ val tenant : t -> int
 (** [tenant t] is the owning tenant id; packets delivered into this ring
     are stamped with it. *)
 
+val set_tenant : t -> int -> unit
+(** Reassign ring ownership. The tenant-churn lifecycle hands floating
+    rings to a newly admitted tenant and back to the pool on retire;
+    packets already resident keep the stamp they were delivered with. *)
+
 val length : t -> int
 val is_empty : t -> bool
+
+val iter : (Packet.t -> unit) -> t -> unit
+(** Visit resident descriptors FIFO-first; the drain audit uses this to
+    prove a retired tenant left no packets behind. *)
 
 val push : t -> Packet.t -> bool
 (** [push t pkt] enqueues and returns [true]; returns [false] (and counts a

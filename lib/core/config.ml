@@ -40,6 +40,17 @@ type t = {
   overload_tokens_per_period : int;
   overload_token_burst : int;
   tenants : Tenant.spec list;
+  (* Tenant churn: live admit/retire with graceful drain. [churn] arms
+     the lifecycle manager; [spare_vcpus] and [float_services] provision
+     the unassigned pool dynamic tenants draw from. *)
+  churn : bool;
+  spare_vcpus : int;
+  float_services : int;
+  drain_window : Time_ns.t;  (** bound on graceful drain before force *)
+  drain_poll : Time_ns.t;  (** quiescence re-check period while draining *)
+  admit_retry_base : Time_ns.t;  (** first backoff step after a refusal *)
+  admit_retry_cap : Time_ns.t;  (** backoff ceiling *)
+  admit_retry_max : int;  (** attempts before the admission is abandoned *)
 }
 
 let default =
@@ -82,6 +93,14 @@ let default =
     overload_tokens_per_period = 4;
     overload_token_burst = 8;
     tenants = [];
+    churn = false;
+    spare_vcpus = 0;
+    float_services = 0;
+    drain_window = Time_ns.ms 2;
+    drain_poll = Time_ns.us 100;
+    admit_retry_base = Time_ns.us 200;
+    admit_retry_cap = Time_ns.ms 2;
+    admit_retry_max = 8;
   }
 
 let no_hw_probe t = { t with hw_probe = false }
@@ -91,4 +110,12 @@ let unsafe_locks t = { t with lock_safe_resched = false }
 let resilient t = { t with resilience = true }
 let with_overload t = { t with overload = true }
 let with_tenants t specs = { t with tenants = specs }
+
+let with_churn ?(spare_vcpus = 4) ?(float_services = 2) t =
+  { t with churn = true; spare_vcpus; float_services }
+
+(* Note: builds a FRESH table on every call. Static callers may do this
+   freely (the table is then immutable in practice); the platform builds
+   exactly one per system and threads it through install so churn-time
+   mutation is seen by every layer (see System.create). *)
 let tenant_table t = Tenant.of_specs t.tenants

@@ -83,6 +83,22 @@ type t = {
       (** explicit multi-tenant table; [[]] (the default) runs the
           implicit single tenant and keeps every pre-existing experiment
           byte-identical to the seed baselines *)
+  churn : bool;
+      (** arm the tenant-churn lifecycle manager (live admit/retire with
+          graceful drain); off by default so static runs build no pool *)
+  spare_vcpus : int;
+      (** unassigned vCPUs provisioned at boot for dynamically admitted
+          tenants to draw on *)
+  float_services : int;
+      (** DP services (taken from the end of the service list) that the
+          lifecycle may float to dynamic tenants and back *)
+  drain_window : Time_ns.t;
+      (** bound on a graceful drain; overrun escalates to force-retire *)
+  drain_poll : Time_ns.t;  (** quiescence re-check period while draining *)
+  admit_retry_base : Time_ns.t;
+      (** first backoff step after an admission refusal *)
+  admit_retry_cap : Time_ns.t;  (** capped-backoff ceiling *)
+  admit_retry_max : int;  (** attempts before an admission is abandoned *)
 }
 
 val default : t
@@ -112,6 +128,12 @@ val with_overload : t -> t
 val with_tenants : t -> Tenant.spec list -> t
 (** Configure an explicit tenant table (see [tenants]). *)
 
+val with_churn : ?spare_vcpus:int -> ?float_services:int -> t -> t
+(** Arm the tenant-churn lifecycle (see [churn]); defaults provision 4
+    spare vCPUs and 2 floating DP services for dynamic tenants. *)
+
 val tenant_table : t -> Tenant.table
 (** The registry derived from [tenants]: {!Tenant.single} when the list
-    is empty. *)
+    is empty. Builds a fresh table per call — the platform constructs
+    exactly one per system and threads that instance everywhere, so
+    churn-time mutations are shared. *)

@@ -28,10 +28,16 @@ let cls_label = Tenant.cls_name
    byte-identical. Tagged lanes (explicit multi-tenant tables) mirror
    every counter into [tenant.<id>.*] alongside the global name and
    prefix their transition events with [tenant=<id>], giving each tenant
-   an independently verifiable ladder chain. *)
+   an independently verifiable ladder chain.
+
+   Lanes are created on admit and frozen — never deleted — on retire: a
+   frozen lane keeps its counters and final level forever (so per-tenant
+   sums still equal the globals) but is excluded from sampling, token
+   refill, admission and every live-state fold. *)
 type lane = {
   tid : int;
   tagged : bool;
+  mutable frozen : bool;
   sketch : Quantile.t;
   mutable dp_cores : int list;  (* reverse registration order *)
   mutable kcpus : int list;
@@ -58,7 +64,7 @@ type t = {
   recovery : Recovery.t;
   sim : Sim.t;
   cs : Core_state.t;
-  lanes : lane array;
+  mutable lanes : lane array;
   mutable started : bool;
   mutable engaged_lanes : int;
       (* lanes currently at Static_partition: the degraded hold releases
@@ -78,6 +84,7 @@ let make_lane config ~tid ~tagged =
   {
     tid;
     tagged;
+    frozen = false;
     sketch = Quantile.create ~slices:8 ~slice ();
     dp_cores = [];
     kcpus = [];
@@ -96,8 +103,13 @@ let make_lane config ~tid ~tagged =
     shed_counts = Hashtbl.create 4;
   }
 
-let create config machine kernel recovery =
-  let table = Config.tenant_table config in
+let create ?tenants config machine kernel recovery =
+  (* The platform passes its one shared table so lanes added by churn
+     admissions line up with the registry; static callers fall back to a
+     fresh (immutable-in-practice) table. *)
+  let table =
+    match tenants with Some t -> t | None -> Config.tenant_table config
+  in
   let tagged = Tenant.is_multi table in
   {
     config;
@@ -127,17 +139,31 @@ let watch_kcpu t ?(tenant = 0) kcpu =
   l.kcpus <- kcpu :: l.kcpus
 
 let observe_latency t ?(tenant = 0) lat =
-  Quantile.observe (lane t tenant).sketch ~now:(Sim.now t.sim) lat
+  let l = lane t tenant in
+  if not l.frozen then Quantile.observe l.sketch ~now:(Sim.now t.sim) lat
 
 let fold_lanes t f init = Array.fold_left f init t.lanes
 
+(* Live-state folds skip frozen lanes: a retired tenant's final rung is
+   history, not pressure. Cumulative stats (transitions, sheds) keep
+   counting frozen lanes — those totals must still match the globals. *)
 let level t =
-  fold_lanes t (fun acc l -> if rank l.level > rank acc then l.level else acc)
+  fold_lanes t
+    (fun acc l ->
+      if (not l.frozen) && rank l.level > rank acc then l.level else acc)
     Normal
 
 let level_of t ~tenant = (lane t tenant).level
-let backpressure_of t ~tenant = rank (lane t tenant).level >= rank Defer
-let backpressure t = fold_lanes t (fun acc l -> acc || rank l.level >= rank Defer) false
+let is_frozen t ~tenant = (lane t tenant).frozen
+
+let backpressure_of t ~tenant =
+  let l = lane t tenant in
+  (not l.frozen) && rank l.level >= rank Defer
+
+let backpressure t =
+  fold_lanes t
+    (fun acc l -> acc || ((not l.frozen) && rank l.level >= rank Defer))
+    false
 let on_transition t f = t.transition_cbs <- t.transition_cbs @ [ f ]
 let transitions t = fold_lanes t (fun a l -> a + l.s_transitions) 0
 let escalations t = fold_lanes t (fun a l -> a + l.s_escalations) 0
@@ -187,6 +213,8 @@ let take_cls_token l cls =
 
 let place_allowed t tenant =
   let l = lane t tenant in
+  if l.frozen then false
+  else
   match l.level with
   | Normal -> true
   | Static_partition -> false (* degraded: static partitioning *)
@@ -228,7 +256,12 @@ let lane_admit t l ~cls run =
   | (Shed | Static_partition), Standard -> park t l cls run
   | (Shed | Static_partition), Deferrable -> drop t l cls
 
-let admit t ?(tenant = 0) ~cls run = lane_admit t (lane t tenant) ~cls run
+let admit t ?(tenant = 0) ~cls run =
+  let l = lane t tenant in
+  (* A frozen lane admits nothing and counts nothing: the platform's
+     lifecycle gate refuses retired tenants upstream, so reaching here is
+     a late straggler that must not thaw the lane's counters. *)
+  if l.frozen then `Shed else lane_admit t l ~cls run
 
 (* Re-route every parked admission through the (now shallower) ladder;
    whatever is still inadmissible parks again. *)
@@ -376,10 +409,61 @@ let rec tick t =
     (Sim.after t.sim t.config.Config.overload_period (fun () ->
          Array.iter
            (fun l ->
-             refill t l;
-             sample_and_step t l)
+             if not l.frozen then begin
+               refill t l;
+               sample_and_step t l
+             end)
            t.lanes;
          tick t))
+
+(* --- churn: lane lifecycle ------------------------------------------------ *)
+
+(* A dynamically admitted tenant gets a fresh tagged lane. Ids must stay
+   aligned with the tenant registry, so the new lane's id is required to
+   be exactly the next slot. *)
+let admit_lane t ~tenant =
+  if tenant <> Array.length t.lanes then
+    invalid_arg
+      (Printf.sprintf "Overload.admit_lane: expected tenant %d, got %d"
+         (Array.length t.lanes) tenant);
+  let l = make_lane t.config ~tid:tenant ~tagged:true in
+  if t.started then l.entered <- Sim.now t.sim;
+  t.lanes <- Array.append t.lanes [| l |]
+
+(* Drain-start settlement: parked admissions of a departing tenant are
+   CP work that must not run during or after the drain, so they are shed
+   now, with the usual receipts, while the lane is still live. *)
+let quiesce_lane t ~tenant =
+  let l = lane t tenant in
+  let pending = Queue.create () in
+  Queue.transfer l.deferred pending;
+  Queue.iter (fun (cls, _run) -> ignore (drop t l cls)) pending
+
+(* Freeze the lane at whatever rung it last held. Walking it back down
+   would fabricate transitions faster than the ladder's minimum dwell
+   allows, so the level is left as history; if that rung was the bottom
+   one, the degraded hold it contributed is released here so a departed
+   aggressor cannot pin the machine in static partitioning forever. *)
+let retire_lane t ~tenant =
+  let l = lane t tenant in
+  if not l.frozen then begin
+    quiesce_lane t ~tenant;
+    if l.level = Static_partition then begin
+      t.engaged_lanes <- t.engaged_lanes - 1;
+      if t.engaged_lanes = 0 then Recovery.force_release t.recovery
+    end;
+    l.frozen <- true
+  end
+
+(* Move a floating DP core's busy signal between lanes, re-baselining the
+   dwell delta so the receiving lane's first sample covers one period of
+   its own traffic, not the core's whole history. *)
+let move_dp_watch t ~core ~from_tenant ~to_tenant =
+  let src = lane t from_tenant and dst = lane t to_tenant in
+  src.dp_cores <- List.filter (fun c -> c <> core) src.dp_cores;
+  Hashtbl.remove src.prev_dwell core;
+  dst.dp_cores <- core :: dst.dp_cores;
+  Hashtbl.replace dst.prev_dwell core (dp_running_dwell t ~core)
 
 let start t =
   if not t.started then begin

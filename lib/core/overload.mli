@@ -74,9 +74,34 @@ val rank : level -> int
 
 val cls_label : cls -> string
 
-val create : Config.t -> Machine.t -> Kernel.t -> Recovery.t -> t
-(** One lane per tenant in [Config.tenant_table]; a single untagged lane
-    when the table is implicit. *)
+val create :
+  ?tenants:Tenant.table -> Config.t -> Machine.t -> Kernel.t -> Recovery.t -> t
+(** One lane per tenant; a single untagged lane when the table is
+    implicit. Pass [?tenants] to share the platform's one mutable table
+    (required under churn so {!admit_lane} ids line up with the
+    registry); the default derives a fresh static table from the
+    config. *)
+
+val admit_lane : t -> tenant:int -> unit
+(** Create the tagged lane for a dynamically admitted tenant. The id
+    must be the next dense slot. *)
+
+val quiesce_lane : t -> tenant:int -> unit
+(** Drain-start settlement: shed (with receipts) every admission parked
+    on the lane's deferred queue — a departing tenant's parked CP work
+    must not run during or after its drain. *)
+
+val retire_lane : t -> tenant:int -> unit
+(** Freeze the lane at its final rung: no further samples, transitions,
+    admissions or counter increments. If that rung was
+    [Static_partition], its contribution to the degraded hold is
+    released. Idempotent; the lane and its totals are never deleted. *)
+
+val is_frozen : t -> tenant:int -> bool
+
+val move_dp_watch : t -> core:int -> from_tenant:int -> to_tenant:int -> unit
+(** Re-home a floating DP core's occupancy signal when the churn
+    lifecycle reassigns the service, re-baselining the dwell delta. *)
 
 val watch_dp : t -> ?tenant:int -> core:int -> unit -> unit
 (** Add a data-plane core to [tenant]'s occupancy sample set

@@ -17,6 +17,8 @@ type t = {
   probe : Hw_probe.t;
   recovery : Recovery.t;
   overload : Overload.t option;
+  lifecycle : Lifecycle.t option;
+  tenant_table : Tenant.table;
   vcpus : Vcpu.t list;
   cp_pcpus : int list;
 }
@@ -53,8 +55,8 @@ let rec mirror_resync_loop config machine table recovery =
          mirror_resync machine table recovery;
          mirror_resync_loop config machine table recovery))
 
-let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
-    ~cp_pcpus () =
+let install ?(config = Config.default) ?tenants ~machine ~kernel ~pipeline
+    ~dps ~cp_pcpus () =
   let cores = Machine.physical_cores machine in
   let table = State_table.create ~cores in
   (* The accelerator's P/V table is the eventually-consistent mirror of
@@ -79,17 +81,35 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
   let sw = Sw_probe.create ~machine config ~cores in
   let softirq = Softirq.create machine in
   let recovery = Recovery.create config machine in
-  let sched = Vcpu_sched.create config machine kernel softirq sw table recovery in
+  (* One tenant table per system: the platform passes its shared mutable
+     instance (mandatory under churn, where admissions grow it mid-run);
+     standalone installs derive a static one from the config. The same
+     instance threads into the scheduler and the governor so lane ids
+     always line up. *)
+  let tenant_table =
+    match tenants with Some tbl -> tbl | None -> Config.tenant_table config
+  in
+  let sched =
+    Vcpu_sched.create ~tenants:tenant_table config machine kernel softirq sw
+      table recovery
+  in
   List.iter (fun dp -> Vcpu_sched.register_dp sched dp) dps;
   Vcpu_sched.set_cp_pcpus sched cp_pcpus;
   let orch = Ipi_orchestrator.install config machine kernel sched recovery in
-  let vcpus =
+  (* Under churn the pool's spare vCPUs are registered (and booted) along
+     with the configured ones; they stay unassigned (tenant -1) and are
+     never scheduled until the lifecycle binds them to an admitted
+     tenant. *)
+  let spare_count = if config.Config.churn then config.Config.spare_vcpus else 0 in
+  let all_vcpus =
     Ipi_orchestrator.register_vcpus orch ~first_kcpu:cores
-      ~count:config.Config.n_vcpus
+      ~count:(config.Config.n_vcpus + spare_count)
+  in
+  let vcpus, spares =
+    List.partition (fun v -> v.Vcpu.vid < config.Config.n_vcpus) all_vcpus
   in
   let probe = Hw_probe.install config machine table pipeline sched in
-  let tenants = Config.tenant_table config in
-  if Tenant.is_multi tenants then begin
+  if Tenant.is_multi tenant_table then begin
     (* Tenant identity becomes load-bearing only under an explicit
        multi-tenant table: vCPUs are dealt round-robin across tenants
        (vid mod T — deterministic, independent of registration order),
@@ -99,12 +119,14 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
        changes nothing, keeping pre-existing runs byte-identical. *)
     List.iter
       (fun v ->
-        let tid = v.Vcpu.vid mod Tenant.count tenants in
+        let tid = v.Vcpu.vid mod Tenant.count tenant_table in
         v.Vcpu.tenant <- tid;
-        v.Vcpu.cls_rank <- Tenant.cls_rank (Tenant.get tenants tid).Tenant.cls)
+        v.Vcpu.cls_rank <-
+          Tenant.cls_rank (Tenant.get tenant_table tid).Tenant.cls)
       vcpus;
     List.iter (fun dp -> Dp_service.set_tag_tenant dp true) dps
   end;
+  List.iter (fun v -> v.Vcpu.tenant <- -1) spares;
   if config.Config.resilience then
     mirror_resync_loop config machine table recovery;
   let overload =
@@ -115,23 +137,48 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
          feed; it throttles the placement path through the scheduler's
          gate, and a ladder relax immediately retries the work the gate
          held back. *)
-      let ov = Overload.create config machine kernel recovery in
+      let ov = Overload.create ~tenants:tenant_table config machine kernel recovery in
       List.iter
         (fun dp ->
-          let tenant = Dp_service.tenant dp in
-          Overload.watch_dp ov ~tenant ~core:(Dp_service.core dp) ();
+          Overload.watch_dp ov ~tenant:(Dp_service.tenant dp)
+            ~core:(Dp_service.core dp) ();
+          (* The sink reads the owner at packet-completion time: a
+             floating service re-homed by the churn lifecycle feeds the
+             new owner's lane from the instant it changes hands. *)
           Dp_service.set_latency_sink dp
-            (Some (fun lat -> Overload.observe_latency ov ~tenant lat)))
+            (Some
+               (fun lat ->
+                 Overload.observe_latency ov ~tenant:(Dp_service.tenant dp)
+                   lat)))
         dps;
       List.iter
-        (fun v -> Overload.watch_kcpu ov ~tenant:v.Vcpu.tenant v.Vcpu.kcpu)
-        vcpus;
+        (fun v ->
+          if v.Vcpu.tenant >= 0 then
+            Overload.watch_kcpu ov ~tenant:v.Vcpu.tenant v.Vcpu.kcpu)
+        all_vcpus;
       Vcpu_sched.set_place_gate sched (Some (Overload.place_allowed ov));
       Overload.on_transition ov (fun from to_ ->
           if Overload.rank to_ < Overload.rank from then
             Vcpu_sched.kick_runnable sched);
       Overload.start ov;
       Some ov
+    end
+  in
+  let lifecycle =
+    if not config.Config.churn then None
+    else begin
+      (* The floating services come off the END of the service list, so
+         the boot tenants' primary rings (dealt from the front) never
+         move. *)
+      let n_dps = List.length dps in
+      let floats =
+        List.filteri
+          (fun i _ -> i >= n_dps - config.Config.float_services)
+          dps
+      in
+      Some
+        (Lifecycle.create ~config ~machine ~kernel ~sched ~overload
+           ~tenants:tenant_table ~spares ~floats ~cp_pcpus ~dps ~recovery)
     end
   in
   {
@@ -146,7 +193,9 @@ let install ?(config = Config.default) ~machine ~kernel ~pipeline ~dps
     probe;
     recovery;
     overload;
-    vcpus;
+    lifecycle;
+    tenant_table;
+    vcpus = all_vcpus;
     cp_pcpus;
   }
 
@@ -161,11 +210,17 @@ let softirq t = t.softirq
 let state_table t = t.table
 let recovery t = t.recovery
 let overload t = t.overload
+let lifecycle t = t.lifecycle
 let vcpus t = t.vcpus
-let tenants t = Config.tenant_table t.config
+let tenants t = t.tenant_table
 
+(* Pooled spares are excluded: their kcpus never run until the lifecycle
+   assigns them, so a task affine to one could wait forever. *)
 let cp_cpu_ids t =
-  t.cp_pcpus @ List.map (fun v -> v.Vcpu.kcpu) t.vcpus
+  t.cp_pcpus
+  @ List.filter_map
+      (fun v -> if v.Vcpu.tenant >= 0 then Some v.Vcpu.kcpu else None)
+      t.vcpus
 
 let ready t = Ipi_orchestrator.online_vcpus t.orch = List.length t.vcpus
 

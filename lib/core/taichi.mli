@@ -27,6 +27,7 @@ type t
 
 val install :
   ?config:Config.t ->
+  ?tenants:Tenant.table ->
   machine:Machine.t ->
   kernel:Kernel.t ->
   pipeline:Pipeline.t ->
@@ -36,7 +37,15 @@ val install :
   t
 (** Install Tai Chi. vCPU kernel ids start right after the machine's
     physical cores. vCPUs come online after the kernel boot delay of
-    simulated time has run. *)
+    simulated time has run.
+
+    [?tenants] shares the caller's mutable tenant table across every
+    layer (scheduler lanes, governor lanes, lifecycle) — the platform
+    passes its single per-system instance; the default derives a fresh
+    static table from the config. With [config.churn],
+    [config.spare_vcpus] extra vCPUs are registered unassigned
+    (tenant [-1]) and the last [config.float_services] services become
+    the lifecycle's floating pool. *)
 
 val config : t -> Config.t
 val machine : t -> Machine.t
@@ -61,17 +70,25 @@ val overload : t -> Overload.t option
     CP admissions through [Overload.admit] and consult
     [Overload.backpressure] in workload clients. *)
 
+val lifecycle : t -> Lifecycle.t option
+(** The tenant-churn lifecycle manager, present when [config.churn] is
+    set. *)
+
 val vcpus : t -> Vcpu.t list
+(** Every registered vCPU, including any pooled spares (tenant [-1]). *)
 
 val tenants : t -> Tenant.table
-(** The config's tenant table (the implicit single tenant by default).
-    Under an explicit multi-tenant table [install] deals vCPUs
-    round-robin across tenants ([vid mod count]) and turns on per-tenant
-    counter mirroring in every registered DP service. *)
+(** The system's tenant table — the one shared instance when the caller
+    passed [?tenants] (it grows under churn), else the static table
+    derived from the config. Under an explicit multi-tenant table
+    [install] deals vCPUs round-robin across tenants ([vid mod count])
+    and turns on per-tenant counter mirroring in every registered DP
+    service. *)
 
 val cp_cpu_ids : t -> int list
 (** Kernel CPU ids control-plane tasks should be affine to: the dedicated
-    CP pCPUs plus every vCPU. *)
+    CP pCPUs plus every currently assigned vCPU (pooled spares are
+    excluded — their kcpus run nothing until admitted). *)
 
 val ready : t -> bool
 (** All vCPUs finished hotplug. *)

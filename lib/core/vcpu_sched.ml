@@ -76,22 +76,32 @@ let count t name = Counters.incr (Machine.counters t.machine) name
 
 (* Counter increments attributable to one vCPU mirror into the owning
    tenant's namespace under an explicit multi-tenant table; single-tenant
-   runs emit exactly the seed counter set. *)
+   runs emit exactly the seed counter set. Pooled spares (tenant -1,
+   churn mode) mirror nowhere. *)
 let count_v t v name =
   count t name;
-  if t.tag_tenants then
+  if t.tag_tenants && v.Vcpu.tenant >= 0 then
     Counters.incr (Machine.counters t.machine)
       (Tenant.counter v.Vcpu.tenant name)
 
 (* Raw pCPU grant time, charged at teardown. Feeds the weighted queue's
    tenant clocks always (a single tenant's clock is inert), the counter
-   namespace only in multi-tenant mode. *)
+   namespace only in multi-tenant mode. A pooled spare charges nobody,
+   and a straggler charge landing after its lane retired is dropped
+   whole — global and mirror together, so the lane sums stay equal to
+   the globals — and surfaced on its own counter. *)
 let charge_grant t v occupancy =
-  Wsched.charge t.runq ~tenant:v.Vcpu.tenant occupancy;
-  if t.tag_tenants && occupancy > 0 then begin
-    Counters.incr (Machine.counters t.machine) ~by:occupancy "sched.grant_ns";
-    Counters.incr (Machine.counters t.machine) ~by:occupancy
-      (Tenant.counter v.Vcpu.tenant "sched.grant_ns")
+  let tenant = v.Vcpu.tenant in
+  if tenant < 0 then ()
+  else if not (Wsched.is_live t.runq ~tenant) then
+    count t "sched.grant_after_retire"
+  else begin
+    Wsched.charge t.runq ~tenant occupancy;
+    if t.tag_tenants && occupancy > 0 then begin
+      Counters.incr (Machine.counters t.machine) ~by:occupancy "sched.grant_ns";
+      Counters.incr (Machine.counters t.machine) ~by:occupancy
+        (Tenant.counter tenant "sched.grant_ns")
+    end
   end
 
 let emitf t ~core ~category fmt =
@@ -134,9 +144,15 @@ let rec pop_runnable t =
         then pop_runnable t
         else Some v
 
+(* A pooled spare (tenant -1) or a vCPU whose tenant lane has already
+   retired never enters the weighted queue: the pool has no lane to queue
+   on, and a retired lane's entries could not be popped anyway. Both are
+   quiet no-ops — churn teardown races a late wakeup hook here. *)
 let mark_runnable t v =
   if
-    (not (Vcpu.is_placed v))
+    v.Vcpu.tenant >= 0
+    && Wsched.is_live t.runq ~tenant:v.Vcpu.tenant
+    && (not (Vcpu.is_placed v))
     && (not (Hashtbl.mem t.in_runq v.Vcpu.vid))
     && (not (Hashtbl.mem t.borrowing v.Vcpu.vid))
     && has_work t v
@@ -242,9 +258,15 @@ and on_dp_idle t dp =
   | None -> ()  (* core parks; claimed later by [try_place_parked] *)
   | Some v -> if not (try_place_on_dp t v dp) then mark_runnable t v
 
-(* Work appeared for an unplaced vCPU: grab a parked core if one exists. *)
+(* Work appeared for an unplaced vCPU: grab a parked core if one exists.
+   Pooled spares (tenant -1) are never placed — they carry no work until
+   the churn lifecycle assigns them to a tenant. *)
 and try_place_parked t v =
-  if (not (Vcpu.is_placed v)) && not (Hashtbl.mem t.borrowing v.Vcpu.vid) then
+  if
+    v.Vcpu.tenant >= 0
+    && (not (Vcpu.is_placed v))
+    && not (Hashtbl.mem t.borrowing v.Vcpu.vid)
+  then
     if is_degraded t then mark_runnable t v
     else
       match find_parked_dp t with
@@ -752,8 +774,13 @@ let install_invariants t =
       done;
       List.rev !out)
 
-let create config machine kernel softirq sw table recovery =
-  let tenant_table = Config.tenant_table config in
+let create ?tenants config machine kernel softirq sw table recovery =
+  (* The platform passes its one shared mutable table under churn so
+     lane ids here line up with the registry; static callers let the
+     default derive a fresh (then effectively immutable) one. *)
+  let tenant_table =
+    match tenants with Some tbl -> tbl | None -> Config.tenant_table config
+  in
   let weights =
     Array.init (Tenant.count tenant_table) (fun id ->
         (Tenant.get tenant_table id).Tenant.weight)
@@ -868,6 +895,100 @@ let granted_ns t ~tenant = Wsched.granted t.runq ~tenant
 (* Retry placement of every vCPU with pending work — the overload
    governor's path after a ladder relax reopens the gate. *)
 let kick_runnable t = List.iter (fun v -> try_place_parked t v) t.vcpu_list
+
+(* --- tenant churn -------------------------------------------------------- *)
+
+let admit_tenant t ~weight = Wsched.admit t.runq ~weight
+
+let tenant_vcpus t ~tenant =
+  List.filter (fun v -> v.Vcpu.tenant = tenant) (List.rev t.vcpu_list)
+
+(* Move a quiesced vCPU between a tenant and the spare pool (tenant -1).
+   The lifecycle only calls this on vCPUs it has verified unplaced,
+   unqueued and workless, so no weighted-queue entry or counter mirror can
+   still carry the old id. *)
+let reassign_vcpu t v ~tenant ~cls_rank =
+  if Vcpu.is_placed v || Hashtbl.mem t.in_runq v.Vcpu.vid
+     || Hashtbl.mem t.borrowing v.Vcpu.vid
+  then
+    invalid_arg
+      (Printf.sprintf "Vcpu_sched.reassign_vcpu: vid %d is not quiescent"
+         v.Vcpu.vid);
+  v.Vcpu.tenant <- tenant;
+  v.Vcpu.cls_rank <- cls_rank
+
+(* Everything still queued for a draining tenant at force time: pull the
+   entries out of the weighted queue so retirement can proceed. The
+   vCPUs themselves are handed back for the caller to tear down. *)
+let flush_tenant t ~tenant =
+  let flushed = Wsched.flush t.runq ~tenant in
+  List.iter (fun v -> Hashtbl.remove t.in_runq v.Vcpu.vid) flushed;
+  flushed
+
+(* Force-evict a draining tenant's placed vCPUs and end its borrows: the
+   escalation half of the drain protocol. Lock-bound guests are NOT
+   rescued back onto a core — their tasks are already cancelled, so the
+   usual circular-wait hazard the rescue exists for cannot bite; they are
+   suspended unbacked and reaped at the next preemptible boundary. *)
+let force_evict_tenant t ~tenant =
+  let placed = Hashtbl.fold (fun core v acc -> (core, v) :: acc) t.placed [] in
+  List.iter
+    (fun (core, v) ->
+      if
+        v.Vcpu.tenant = tenant
+        && (not (Hashtbl.mem t.pending_place core))
+        && Core_state.get t.cs ~core = Core_state.Vcpu_running v.Vcpu.vid
+        && not (Hashtbl.mem t.borrowing v.Vcpu.vid)
+      then begin
+        if lockbound t v then begin
+          (* Suspend unbacked instead of [evict_to_dp]'s rescue path. *)
+          count_v t v "sched.evictions.drain";
+          emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=drain"
+            v.Vcpu.vid;
+          unback t v core;
+          transition t ~core ~cause:Core_state.Watchdog
+            (Core_state.Switching Core_state.To_dp);
+          t.s_unsafe <- t.s_unsafe + 1;
+          count t "sched.unsafe_suspensions";
+          Dp_service.resume (Hashtbl.find t.dps core)
+            ~switch_cost:(world_switch t)
+        end
+        else evict_to_dp t v core ~cause:Core_state.Watchdog
+      end)
+    placed;
+  let borrows = Hashtbl.fold (fun vid () acc -> vid :: acc) t.borrowing [] in
+  List.iter
+    (fun vid ->
+      match List.find_opt (fun v -> v.Vcpu.vid = vid) t.vcpu_list with
+      | Some v when v.Vcpu.tenant = tenant -> (
+          match v.Vcpu.placement with
+          | Vcpu.On_core cp_id
+            when Core_state.get t.cs ~core:cp_id
+                 = Core_state.Vcpu_running vid ->
+              force_end_borrow t v cp_id
+          | Vcpu.On_core _ | Vcpu.Unplaced -> ())
+      | Some _ | None -> ())
+    borrows
+
+(* What still stands between a draining tenant and quiescence, as
+   human-readable receipts. Empty = the vCPU side is quiet; the same list
+   feeds both the drain poll and the post-run orphan audit. *)
+let quiesce_violations t ~tenant =
+  List.concat_map
+    (fun v ->
+      if v.Vcpu.tenant <> tenant then []
+      else
+        let say fmt = Printf.ksprintf (fun s -> [ s ]) fmt in
+        if Vcpu.is_placed v then say "vid %d still placed" v.Vcpu.vid
+        else if Hashtbl.mem t.borrowing v.Vcpu.vid then
+          say "vid %d still borrowing" v.Vcpu.vid
+        else if Hashtbl.mem t.in_runq v.Vcpu.vid then
+          say "vid %d still queued" v.Vcpu.vid
+        else if has_work t v then say "vid %d still has work" v.Vcpu.vid
+        else [])
+    t.vcpu_list
+
+let retire_tenant t ~tenant = Wsched.retire t.runq ~tenant
 
 let stats t =
   {

@@ -33,6 +33,7 @@ open Taichi_dataplane
 type t
 
 val create :
+  ?tenants:Tenant.table ->
   Config.t ->
   Machine.t ->
   Kernel.t ->
@@ -41,7 +42,11 @@ val create :
   State_table.t ->
   Recovery.t ->
   t
-(** Installs the kernel work-available and cpu-idle hooks. DP-to-CP
+(** Pass [?tenants] to share the platform's one mutable tenant table
+    (required under churn so dynamically admitted ids line up across
+    layers); the default derives a fresh static table from the config.
+
+    Installs the kernel work-available and cpu-idle hooks. DP-to-CP
     context switches enter guest context through the dedicated softirq
     (§4.1), registered per data-plane core by {!register_dp}.
 
@@ -99,6 +104,44 @@ val watchdog_stuck : t -> int
 val poke : t -> kcpu:int -> unit
 (** Awaken the vCPU backing kernel CPU [kcpu] if it has work — the
     orchestrator's path for IPIs targeting a sleeping vCPU (§4.2). *)
+
+(** {1 Tenant churn}
+
+    The lifecycle manager's hooks into the weighted queue and the vCPU
+    population. All of these are inert unless [Config.churn] built a
+    pool: static runs never call them. *)
+
+val admit_tenant : t -> weight:int -> int
+(** Grow the weighted queue by one lane for a dynamically admitted
+    tenant, entering at the active minimum virtual clock (no stale or
+    banked credit). Returns the new lane id. *)
+
+val retire_tenant : t -> tenant:int -> unit
+(** Retire the tenant's weighted-queue lane. The lane must be empty —
+    call {!flush_tenant} first on the force path. *)
+
+val flush_tenant : t -> tenant:int -> Vcpu.t list
+(** Remove every queued entry for [tenant] from the weighted queue (in
+    pop order) so retirement can proceed; the entries are returned for
+    teardown. *)
+
+val force_evict_tenant : t -> tenant:int -> unit
+(** Drain escalation: evict the tenant's placed vCPUs and force-end its
+    borrows. Lock-bound guests are suspended unbacked (their tasks are
+    already cancelled) rather than rescued. *)
+
+val reassign_vcpu : t -> Vcpu.t -> tenant:int -> cls_rank:int -> unit
+(** Move a quiescent vCPU between a tenant and the spare pool
+    (tenant [-1]). Raises [Invalid_argument] if the vCPU is still
+    placed, queued or borrowing. *)
+
+val tenant_vcpus : t -> tenant:int -> Vcpu.t list
+
+val quiesce_violations : t -> tenant:int -> string list
+(** What still stands between a draining tenant and vCPU-side
+    quiescence (placements, borrows, queue entries, pending kernel
+    work), as human-readable receipts; [[]] means quiet. Feeds both the
+    drain poll and the zero-orphan audit. *)
 
 type stats = {
   placements : int;  (** vCPU switched onto a data-plane core *)

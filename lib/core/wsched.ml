@@ -18,15 +18,23 @@
    With one tenant and one occupied class rank the structure degenerates
    to exactly the flat FIFO the seed scheduler used — pop order, gate
    consultation and all — which is what keeps single-tenant runs
-   byte-identical to the seed baselines. *)
+   byte-identical to the seed baselines.
+
+   Lanes are dynamic: [admit] appends a lane whose clock starts at the
+   active minimum (never at zero — a re-admitted tenant banks no stale
+   credit and cannot resurrect the share it burned in a previous life),
+   and [retire] marks a lane dead. Dead lanes are never deleted — their
+   [granted] totals keep feeding the metrics — but selection skips them
+   and pushes/charges against them are errors. *)
 
 type 'a t = {
-  weights : int array;
+  mutable weights : int array;
   classes : int;
-  queues : 'a Queue.t array; (* tenant * classes + class rank *)
-  vt : int array; (* scaled virtual grant clock per tenant *)
-  charged : int array; (* raw grant ns per tenant, for metrics *)
-  backlog : int array; (* queued element count per tenant *)
+  mutable queues : 'a Queue.t array; (* tenant * classes + class rank *)
+  mutable vt : int array; (* scaled virtual grant clock per tenant *)
+  mutable charged : int array; (* raw grant ns per tenant, for metrics *)
+  mutable backlog : int array; (* queued element count per tenant *)
+  mutable live : bool array; (* false once retired; lane is frozen *)
   mutable total : int;
   mutable vnow : int; (* virtual clock of the last tenant served *)
 }
@@ -40,10 +48,13 @@ let max_tenants = Sys.int_size - 2
 
 let create ~weights ~classes =
   let n = Array.length weights in
-  if n = 0 then invalid_arg "Wsched.create: no tenants";
+  if n = 0 then invalid_arg "Wsched.create: empty weights array (no tenants)";
   if n > max_tenants then invalid_arg "Wsched.create: too many tenants";
-  Array.iter
-    (fun w -> if w <= 0 then invalid_arg "Wsched.create: non-positive weight")
+  Array.iteri
+    (fun i w ->
+      if w <= 0 then
+        invalid_arg
+          (Printf.sprintf "Wsched.create: non-positive weight for tenant %d" i))
     weights;
   if classes <= 0 then invalid_arg "Wsched.create: no classes";
   {
@@ -53,6 +64,7 @@ let create ~weights ~classes =
     vt = Array.make n 0;
     charged = Array.make n 0;
     backlog = Array.make n 0;
+    live = Array.make n true;
     total = 0;
     vnow = 0;
   }
@@ -61,6 +73,7 @@ let tenants t = Array.length t.weights
 let length t = t.total
 let is_empty t = t.total = 0
 let backlog t ~tenant = t.backlog.(tenant)
+let is_live t ~tenant = t.live.(tenant)
 
 let clamp_cls t cls =
   if cls < 0 then 0 else if cls >= t.classes then t.classes - 1 else cls
@@ -68,6 +81,7 @@ let clamp_cls t cls =
 let push t ~tenant ~cls x =
   if tenant < 0 || tenant >= tenants t then
     invalid_arg "Wsched.push: unknown tenant";
+  if not t.live.(tenant) then invalid_arg "Wsched.push: retired tenant";
   (* Activation rule: an idle tenant rejoins at the current virtual now. *)
   if t.backlog.(tenant) = 0 && t.vt.(tenant) < t.vnow then
     t.vt.(tenant) <- t.vnow;
@@ -90,12 +104,12 @@ let pop ~gate t =
     let n = tenants t in
     let tried = ref 0 in
     let rec select () =
-      (* Minimum (vt, id) over backlogged tenants not yet gate-rejected;
-         scanning downward with [<=] makes equal clocks resolve to the
-         lower id. *)
+      (* Minimum (vt, id) over backlogged live tenants not yet
+         gate-rejected; scanning downward with [<=] makes equal clocks
+         resolve to the lower id. *)
       let best = ref (-1) in
       for i = n - 1 downto 0 do
-        if t.backlog.(i) > 0 && !tried land (1 lsl i) = 0 then
+        if t.backlog.(i) > 0 && t.live.(i) && !tried land (1 lsl i) = 0 then
           if !best < 0 || t.vt.(i) <= t.vt.(!best) then best := i
       done;
       if !best < 0 then None
@@ -120,12 +134,76 @@ let pop ~gate t =
 let charge t ~tenant amount =
   if tenant < 0 || tenant >= tenants t then
     invalid_arg "Wsched.charge: unknown tenant";
+  if not t.live.(tenant) then invalid_arg "Wsched.charge: retired tenant";
   if amount > 0 then begin
     t.charged.(tenant) <- t.charged.(tenant) + amount;
     t.vt.(tenant) <- t.vt.(tenant) + (amount * vscale / t.weights.(tenant))
   end
 
 let granted t ~tenant = t.charged.(tenant)
+
+(* --- dynamic lanes ------------------------------------------------------ *)
+
+(* The clock a fresh lane enters at: the minimum virtual clock over live
+   backlogged lanes, or virtual now when everyone is idle. Entering at
+   the active minimum means the newcomer competes on equal terms with
+   the most-behind incumbent (losing ties, since it has the highest id)
+   and — crucially — a re-admitted tenant starts from today's clock, not
+   the one it retired with: no credit resurrection. *)
+let entry_clock t =
+  let m = ref None in
+  Array.iteri
+    (fun i vt ->
+      if t.backlog.(i) > 0 && t.live.(i) then
+        match !m with Some v when v <= vt -> () | _ -> m := Some vt)
+    t.vt;
+  match !m with Some v -> v | None -> t.vnow
+
+let append a x = Array.append a [| x |]
+
+let admit t ~weight =
+  let id = tenants t in
+  if weight <= 0 then
+    invalid_arg
+      (Printf.sprintf "Wsched.admit: non-positive weight for tenant %d" id);
+  if id >= max_tenants then invalid_arg "Wsched.admit: too many tenants";
+  let vt0 = entry_clock t in
+  t.weights <- append t.weights weight;
+  t.queues <-
+    Array.append t.queues (Array.init t.classes (fun _ -> Queue.create ()));
+  t.vt <- append t.vt vt0;
+  t.charged <- append t.charged 0;
+  t.backlog <- append t.backlog 0;
+  t.live <- append t.live true;
+  id
+
+(* Drain every queued element of one tenant, in pop order (class rank,
+   then FIFO), without touching any other lane's clock. The force-retire
+   path uses this to hand stranded entries back to the caller. *)
+let flush t ~tenant =
+  if tenant < 0 || tenant >= tenants t then
+    invalid_arg "Wsched.flush: unknown tenant";
+  let out = ref [] in
+  for c = t.classes - 1 downto 0 do
+    let q = t.queues.((tenant * t.classes) + c) in
+    let drained = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    out := drained @ !out
+  done;
+  let n = List.length !out in
+  t.backlog.(tenant) <- t.backlog.(tenant) - n;
+  t.total <- t.total - n;
+  !out
+
+let retire t ~tenant =
+  if tenant < 0 || tenant >= tenants t then
+    invalid_arg "Wsched.retire: unknown tenant";
+  if not t.live.(tenant) then invalid_arg "Wsched.retire: already retired";
+  if t.backlog.(tenant) > 0 then
+    invalid_arg
+      (Printf.sprintf "Wsched.retire: tenant %d still has %d queued entries"
+         tenant t.backlog.(tenant));
+  t.live.(tenant) <- false
 
 let exists p t =
   let found = ref false in

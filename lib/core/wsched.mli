@@ -6,16 +6,43 @@
     randomness — so it is property-testable in isolation; {!Vcpu_sched}
     drives it as its runnable queue. With a single tenant and a single
     occupied class it reduces exactly to the flat FIFO the seed
-    scheduler used. *)
+    scheduler used.
+
+    Lanes are dynamic: {!admit} grows the queue mid-run and {!retire}
+    freezes a lane without deleting it, so tenant ids stay dense and
+    cumulative grant totals survive the tenant. *)
 
 type 'a t
 
 val create : weights:int array -> classes:int -> 'a t
 (** [create ~weights ~classes] builds an empty queue with one share
     weight per tenant (ids are the array indices) and [classes] strict
-    priority ranks per tenant. Raises [Invalid_argument] on an empty or
-    non-positive weight vector, [classes <= 0], or more tenants than an
-    int bitmask can track. *)
+    priority ranks per tenant. Raises [Invalid_argument] naming the
+    offender on an empty weights array or a non-positive weight, and on
+    [classes <= 0] or more tenants than an int bitmask can track. *)
+
+val admit : 'a t -> weight:int -> int
+(** [admit t ~weight] appends a live lane and returns its tenant id.
+    The new lane's virtual clock starts at the active minimum (the
+    smallest clock among live backlogged lanes, or virtual now when all
+    are idle): a newcomer competes on equal terms and a re-admitted
+    tenant banks no credit from its previous life. No other lane's
+    clock is disturbed. *)
+
+val retire : 'a t -> tenant:int -> unit
+(** [retire t ~tenant] marks the lane dead: selection skips it and
+    further pushes/charges raise. The lane keeps its id and its
+    {!granted} total. Raises [Invalid_argument] if the lane still has
+    queued entries (see {!flush}) or was already retired. *)
+
+val flush : 'a t -> tenant:int -> 'a list
+(** [flush t ~tenant] removes and returns every queued element of one
+    tenant in pop order (class rank, then FIFO), leaving all other
+    lanes' clocks untouched. The force-retire path drains with this
+    before {!retire}. *)
+
+val is_live : 'a t -> tenant:int -> bool
+(** [false] once the lane has been retired. *)
 
 val tenants : 'a t -> int
 val length : 'a t -> int

@@ -45,6 +45,10 @@ type t = {
   mutable tag_tenant : bool;
       (** mirror dp.* counters into the per-tenant namespace; only set
           under an explicit multi-tenant table *)
+  mutable owner : int;
+      (** current owning tenant. Starts as [config.tenant] (the resting
+          owner) and changes only through {!set_owner} when the churn
+          lifecycle floats this service to a dynamic tenant and back. *)
 }
 
 and hooks = {
@@ -70,7 +74,7 @@ let count t name =
   Counters.incr (Machine.counters t.machine) name;
   if t.tag_tenant then
     Counters.incr (Machine.counters t.machine)
-      (Printf.sprintf "tenant.%d.%s" t.config.tenant name)
+      (Printf.sprintf "tenant.%d.%s" t.owner name)
 
 let emit t ~category message =
   Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core:t.config.core
@@ -207,6 +211,7 @@ let create machine pipeline config =
       resuming = false;
       latency_sink = None;
       tag_tenant = false;
+      owner = config.tenant;
     }
   in
   t
@@ -226,12 +231,30 @@ let config t = t.config
 let ring t = t.ring
 let set_speed_tax t tax = t.speed_tax <- tax
 let set_latency_sink t sink = t.latency_sink <- sink
-let tenant t = t.config.tenant
+let tenant t = t.owner
 let set_tag_tenant t on = t.tag_tenant <- on
+
+(* Reassigning ownership re-stamps the ring, so packets delivered from
+   now on carry the new tenant; descriptors already resident keep their
+   old stamp (the drain audit checks none are left behind on retire). *)
+let set_owner t tenant =
+  t.owner <- tenant;
+  Ring.set_tenant t.ring tenant
+
+let resting_owner t = t.config.tenant
 
 let pending_work t =
   (not (Ring.is_empty t.ring))
   || Pipeline.in_flight t.pipeline ~core:t.config.core > 0
+
+(* Force-drain escalation: throw the resident descriptors away (no
+   latency observation — they were never served). Returns how many were
+   discarded so the lifecycle can issue receipts; packets the service
+   already popped for processing complete normally. *)
+let discard_backlog t =
+  let n = Ring.length t.ring in
+  if n > 0 then ignore (Ring.pop_burst t.ring ~max:n);
+  n
 
 let try_yield t =
   match state t with

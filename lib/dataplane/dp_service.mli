@@ -83,7 +83,17 @@ val set_latency_sink : t -> (Time_ns.t -> unit) option -> unit
     latency feed. [None] (the default) detaches it. *)
 
 val tenant : t -> int
-(** Owning tenant id (the ring's owner). *)
+(** Current owning tenant id (the ring's owner). *)
+
+val set_owner : t -> int -> unit
+(** Reassign the service (and its ring) to a tenant. Used by the churn
+    lifecycle to float a pool service to a newly admitted tenant and
+    hand it back on retire; counters and the latency sink attribute to
+    the owner at the instant they fire. *)
+
+val resting_owner : t -> int
+(** The boot-time owner from the service's config — where {!set_owner}
+    returns the service when its dynamic tenant retires. *)
 
 val set_tag_tenant : t -> bool -> unit
 (** Mirror every dp.* counter this service increments into the
@@ -93,6 +103,11 @@ val set_tag_tenant : t -> bool -> unit
 
 val pending_work : t -> bool
 (** Ring descriptors waiting or in flight in the accelerator. *)
+
+val discard_backlog : t -> int
+(** Force-drain escalation: throw away every descriptor resident in the
+    ring (no latency observation) and return how many were discarded.
+    Packets already popped for processing complete normally. *)
 
 val try_yield : t -> bool
 (** Policy-side: take the core. Succeeds only in [Idle_parked] or

@@ -35,6 +35,7 @@ module Cat = struct
   let recovery = "recovery"
   let degraded = "degraded"
   let overload = "overload"
+  let churn = "churn"
 
   let softirq = "softirq"
 

@@ -61,6 +61,12 @@ module Cat : sig
   (** Overload-governor ladder transitions. The payload is self-describing
       for trace_lint: [seq=N from=<level> to=<level> held=<ns> min=<ns>]. *)
 
+  val churn : string
+  (** Tenant-lifecycle events (admit, drain, forced escalation, retired).
+      The [retired tenant=<id> ...] payload is the marker trace_lint keys
+      its frozen-lane check on: no overload transition for that tenant
+      may appear after it. *)
+
   val softirq : string
 
   val kernel_steal : string

@@ -19,6 +19,9 @@ type profile = {
   cp_hang_hold : Time_ns.t;
   dp_burst_period : Time_ns.t;
   dp_burst_size : int;
+  churn_depart_period : Time_ns.t;
+  churn_arrive_period : Time_ns.t;
+  churn_overrun_period : Time_ns.t;
 }
 
 let none =
@@ -39,6 +42,9 @@ let none =
     cp_hang_hold = Time_ns.zero;
     dp_burst_period = Time_ns.zero;
     dp_burst_size = 0;
+    churn_depart_period = Time_ns.zero;
+    churn_arrive_period = Time_ns.zero;
+    churn_overrun_period = Time_ns.zero;
   }
 
 let flaky =
@@ -59,6 +65,9 @@ let flaky =
     cp_hang_hold = Time_ns.us 300;
     dp_burst_period = Time_ns.ms 1;
     dp_burst_size = 256;
+    churn_depart_period = Time_ns.zero;
+    churn_arrive_period = Time_ns.zero;
+    churn_overrun_period = Time_ns.zero;
   }
 
 let storm =
@@ -79,9 +88,27 @@ let storm =
     cp_hang_hold = Time_ns.of_us_f 1500.;
     dp_burst_period = Time_ns.us 400;
     dp_burst_size = 512;
+    churn_depart_period = Time_ns.zero;
+    churn_arrive_period = Time_ns.zero;
+    churn_overrun_period = Time_ns.zero;
   }
 
-let profiles = [ ("none", none); ("flaky", flaky); ("storm", storm) ]
+(* Churn chaos: moderate background faults (the flaky rates) with the
+   three tenant-lifecycle classes armed — departures timed to land inside
+   a CP storm, arrivals aimed at active governor rungs, and drains pinned
+   past their window. The harness callbacks carry the tenant-side
+   mechanics; the injector owns only the cadence and the receipts. *)
+let churn =
+  {
+    flaky with
+    pname = "churn";
+    churn_depart_period = Time_ns.ms 4;
+    churn_arrive_period = Time_ns.ms 3;
+    churn_overrun_period = Time_ns.ms 10;
+  }
+
+let profiles =
+  [ ("none", none); ("flaky", flaky); ("storm", storm); ("churn", churn) ]
 let of_name n = List.assoc_opt n profiles
 
 type t = {
@@ -96,10 +123,16 @@ type t = {
   probe_rng : Rng.t;
   cp_rng : Rng.t;
   dp_rng : Rng.t;
+  churn_depart_rng : Rng.t;
+  churn_arrive_rng : Rng.t;
+  churn_overrun_rng : Rng.t;
   mutable table : State_table.t option;
   mutable probe_misfire : (core:int -> unit) option;
   mutable cp_hang : (hold:Time_ns.t -> unit) option;
   mutable dp_burst : (size:int -> unit) option;
+  mutable churn_depart : (unit -> unit) option;
+  mutable churn_arrive : (unit -> unit) option;
+  mutable churn_overrun : (unit -> unit) option;
   mutable boot_dropped : int;
   mutable until : Time_ns.t;
   mutable stopped : bool;
@@ -147,10 +180,16 @@ let create ~rng ~machine ~boot_vector profile =
       probe_rng = Rng.split rng "fault.probe";
       cp_rng = Rng.split rng "fault.cp";
       dp_rng = Rng.split rng "fault.dp";
+      churn_depart_rng = Rng.split rng "fault.churn.depart";
+      churn_arrive_rng = Rng.split rng "fault.churn.arrive";
+      churn_overrun_rng = Rng.split rng "fault.churn.overrun";
       table = None;
       probe_misfire = None;
       cp_hang = None;
       dp_burst = None;
+      churn_depart = None;
+      churn_arrive = None;
+      churn_overrun = None;
       boot_dropped = 0;
       until = max_int;
       stopped = false;
@@ -165,6 +204,9 @@ let attach_table t table = t.table <- Some table
 let set_probe_misfire t f = t.probe_misfire <- Some f
 let set_cp_hang t f = t.cp_hang <- Some f
 let set_dp_burst t f = t.dp_burst <- Some f
+let set_churn_depart t f = t.churn_depart <- Some f
+let set_churn_arrive t f = t.churn_arrive <- Some f
+let set_churn_overrun t f = t.churn_overrun <- Some f
 let active t = not t.stopped
 
 let probe_suppress t ~core =
@@ -243,6 +285,35 @@ let dp_burst_fault t =
       tracef t "dp burst size=%d" t.profile.dp_burst_size;
       f ~size:t.profile.dp_burst_size
 
+(* The three churn classes fire harness callbacks: the harness owns the
+   lifecycle (which tenant to retire, what spec to admit, how to pin a
+   drain open) — the injector owns only the cadence and the receipt. A
+   departure rides with a CP storm when the profile also runs the cp_hang
+   stream; the harness composes the two at the callback. *)
+let churn_depart_fault t =
+  match t.churn_depart with
+  | None -> ()
+  | Some f ->
+      Counters.incr (counters t) "fault.churn.departs";
+      tracef t "churn depart";
+      f ()
+
+let churn_arrive_fault t =
+  match t.churn_arrive with
+  | None -> ()
+  | Some f ->
+      Counters.incr (counters t) "fault.churn.arrivals";
+      tracef t "churn arrive";
+      f ()
+
+let churn_overrun_fault t =
+  match t.churn_overrun with
+  | None -> ()
+  | Some f ->
+      Counters.incr (counters t) "fault.churn.overruns";
+      tracef t "churn overrun";
+      f ()
+
 let stop t =
   t.stopped <- true;
   Machine.iter_lapics t.machine (fun lapic -> Lapic.set_loss_filter lapic None);
@@ -273,4 +344,10 @@ let arm t ~until =
       probe_misfire_fault t);
   periodic t t.cp_rng t.profile.cp_hang_period (fun () -> cp_hang_fault t);
   periodic t t.dp_rng t.profile.dp_burst_period (fun () -> dp_burst_fault t);
+  periodic t t.churn_depart_rng t.profile.churn_depart_period (fun () ->
+      churn_depart_fault t);
+  periodic t t.churn_arrive_rng t.profile.churn_arrive_period (fun () ->
+      churn_arrive_fault t);
+  periodic t t.churn_overrun_rng t.profile.churn_overrun_period (fun () ->
+      churn_overrun_fault t);
   ignore (Sim.at (sim t) until (fun () -> stop t))

@@ -49,6 +49,15 @@ type profile = {
   cp_hang_hold : Time_ns.t;  (** non-preemptible hold per hang *)
   dp_burst_period : Time_ns.t;  (** DP overload burst cadence *)
   dp_burst_size : int;  (** packets per burst *)
+  churn_depart_period : Time_ns.t;
+      (** tenant-departure cadence — the harness retires a live dynamic
+          tenant mid-CP-storm *)
+  churn_arrive_period : Time_ns.t;
+      (** tenant-arrival cadence — the harness attempts an admission,
+          aimed at whatever governor rung is active *)
+  churn_overrun_period : Time_ns.t;
+      (** drain-overrun cadence — the harness pins a drain open past its
+          window, forcing the watchdog escalation *)
 }
 
 val none : profile
@@ -63,6 +72,13 @@ val storm : profile
 (** Aggressive correlated faults: heavy IPI loss, frequent mirror
     corruption, long non-preemptible CP hangs and DP overload. Expected to
     push the recovery-event rate over the degraded-mode threshold. *)
+
+val churn : profile
+(** The {!flaky} background rates with the three tenant-lifecycle fault
+    classes armed: periodic departures (timed to land inside CP storms),
+    arrivals (aimed at active governor rungs) and drain-window overruns.
+    Requires a churn-enabled config and the harness callbacks below;
+    without them the streams fire but do nothing. *)
 
 val profiles : (string * profile) list
 val of_name : string -> profile option
@@ -94,6 +110,22 @@ val set_cp_hang : t -> (hold:Time_ns.t -> unit) -> unit
 val set_dp_burst : t -> (size:int -> unit) -> unit
 (** Callback fired by the DP-burst stream; the harness submits [size]
     background packets. *)
+
+val set_churn_depart : t -> (unit -> unit) -> unit
+(** Callback fired by the churn-departure stream; the harness spins up a
+    short CP storm on a live dynamic tenant and retires it mid-storm.
+    Each firing counts [fault.churn.departs]. *)
+
+val set_churn_arrive : t -> (unit -> unit) -> unit
+(** Callback fired by the churn-arrival stream; the harness attempts an
+    admission ({!Taichi_core.Lifecycle.admit_with_backoff}), which lands
+    on whatever governor rung is active. Counts [fault.churn.arrivals]. *)
+
+val set_churn_overrun : t -> (unit -> unit) -> unit
+(** Callback fired by the drain-overrun stream; the harness pins a
+    tenant's drain open past [Config.drain_window] (e.g. with a
+    long-held non-preemptible task) so the forced escalation path runs.
+    Counts [fault.churn.overruns]. *)
 
 val probe_suppress : t -> core:int -> bool
 (** Suppressor predicate for [Hw_probe.set_suppressor]: draws from the

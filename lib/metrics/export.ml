@@ -124,6 +124,13 @@ let parse_transition msg =
   | Some (tid, rest) when tid >= 0 -> body tid rest
   | Some _ | None -> body (-1) msg
 
+(* The churn lifecycle's retirement marker: [retired tenant=<id>
+   forced=<b>]. Once it appears, that tenant's lanes are frozen — any
+   later per-tenant overload transition is a validation error. *)
+let parse_retired msg =
+  try Scanf.sscanf msg "retired tenant=%d forced=%B" (fun tid _ -> Some tid)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 let validate_json j =
   let ( let* ) x f = match x with Ok v -> f v | Error _ as e -> e in
   let require msg = function Some v -> Ok v | None -> Error msg in
@@ -198,7 +205,7 @@ let validate_json j =
           let* _ =
             List.fold_left
               (fun acc ev ->
-                let* prev_t, chains = acc in
+                let* prev_t, chains, retired = acc in
                 let* t = require "event missing t_ns" (Json.member "t_ns" ev) in
                 let* t = require "event t_ns not an int" (Json.to_int t) in
                 let* () =
@@ -212,7 +219,21 @@ let validate_json j =
                 let* cat =
                   require "event cat not a string" (Json.to_str cat)
                 in
-                if cat <> "overload" then Ok (t, chains)
+                if cat = "churn" then
+                  (* Record retirement markers: from here on the tenant's
+                     lanes are frozen. Other churn payloads pass through. *)
+                  let retired =
+                    match
+                      Option.bind (Json.member "msg" ev) Json.to_str
+                    with
+                    | Some msg -> (
+                        match parse_retired msg with
+                        | Some tid -> tid :: retired
+                        | None -> retired)
+                    | None -> retired
+                  in
+                  Ok (t, chains, retired)
+                else if cat <> "overload" then Ok (t, chains, retired)
                 else
                   let* msg =
                     require "event missing msg" (Json.member "msg" ev)
@@ -224,6 +245,17 @@ let validate_json j =
                     require
                       (Printf.sprintf "malformed overload transition %S" msg)
                       (parse_transition msg)
+                  in
+                  (* Frozen-after-retire: a retired tenant's ladder must
+                     never move again — its lane is kept, not driven. *)
+                  let* () =
+                    if tenant >= 0 && List.mem tenant retired then
+                      Error
+                        (Printf.sprintf
+                           "overload transition for retired tenant %d (lane \
+                            must stay frozen)"
+                           tenant)
+                    else Ok ()
                   in
                   let want_seq, prev_level =
                     Option.value ~default:(1, "normal")
@@ -280,8 +312,9 @@ let validate_json j =
                   Ok
                     ( t,
                       (tenant, (want_seq + 1, to_))
-                      :: List.remove_assoc tenant chains ))
-              (Ok (0, []))
+                      :: List.remove_assoc tenant chains,
+                      retired ))
+              (Ok (0, [], []))
               evs
           in
           Ok ()

@@ -80,6 +80,7 @@ type t = {
   mutable s_migrations : int;
   mutable s_slice_expiries : int;
   mutable s_reclaim_waits : int;
+  mutable s_cancellations : int;
   mutable s_max_deferred_wait : Time_ns.t;
 }
 
@@ -101,6 +102,7 @@ let create ?(config = default_config) machine =
     s_migrations = 0;
     s_slice_expiries = 0;
     s_reclaim_waits = 0;
+    s_cancellations = 0;
     s_max_deferred_wait = 0;
   }
 
@@ -349,6 +351,18 @@ and run_ops t c task guard =
   if guard > 100_000 then
     failwith
       (Printf.sprintf "Kernel: task %s issued too many zero-cost ops" task.Task.tname);
+  (* Cancellation is honoured only at preemptible boundaries: a task
+     holding a lock or inside a non-preemptible section finishes that
+     section first (its np bookkeeping unwinds through the normal path),
+     then exits here instead of fetching its next operation. Any paused
+     preemptible Run remainder is discarded. *)
+  if task.Task.cancelled && not (Task.nonpreemptible task) then begin
+    Hashtbl.remove t.pending task.Task.tid;
+    t.s_cancellations <- t.s_cancellations + 1;
+    count t "kernel.cancellations";
+    exit_task t c task
+  end
+  else
   (* A paused Run resumes before new ops are requested. *)
   match Hashtbl.find_opt t.pending task.Task.tid with
   | Some (left, _mode) when left > 0 -> start_run t c task left
@@ -415,13 +429,15 @@ and run_ops t c task guard =
       | Task.Signal wq ->
           signal_internal t ~src:c.cid wq;
           run_ops t c task (guard + 1)
-      | Task.Exit ->
-          task.Task.state <- Task.Dead;
-          task.Task.finished_at <- Some (Sim.now t.sim);
-          task.Task.cpu <- None;
-          c.cur <- None;
-          t.task_done_hook task;
-          leave_cpu t c)
+      | Task.Exit -> exit_task t c task)
+
+and exit_task t c task =
+  task.Task.state <- Task.Dead;
+  task.Task.finished_at <- Some (Sim.now t.sim);
+  task.Task.cpu <- None;
+  c.cur <- None;
+  t.task_done_hook task;
+  leave_cpu t c
 
 and start_run t c task work =
   c.run_started <- Sim.now t.sim;

@@ -50,6 +50,7 @@ and t = {
   mutable wakeups : int;
   mutable kernel_entries : int;
   mutable lock_acquisitions : int;
+  mutable cancelled : bool;
 }
 
 (* Tids only need to be unique (they key per-kernel hashtables and show up
@@ -77,6 +78,7 @@ let create ?(prio = Normal) ?(tenant = 0) ?(affinity = []) ~name ~step () =
     wakeups = 0;
     kernel_entries = 0;
     lock_acquisitions = 0;
+    cancelled = false;
   }
 
 let spinlock lk_name =
@@ -89,6 +91,8 @@ let nonpreemptible t =
   || match t.state with Spinning _ -> true | _ -> false
 
 let is_finished t = t.state = Dead
+let cancel t = t.cancelled <- true
+let cancelled t = t.cancelled
 
 let turnaround t =
   match t.finished_at with Some f -> Some (f - t.spawned_at) | None -> None

@@ -77,6 +77,7 @@ and t = {
   mutable wakeups : int;
   mutable kernel_entries : int;  (** kernel-mode operations issued *)
   mutable lock_acquisitions : int;  (** locks taken (audit telemetry) *)
+  mutable cancelled : bool;  (** exit at the next preemptible boundary *)
 }
 
 val create :
@@ -97,6 +98,16 @@ val nonpreemptible : t -> bool
     non-preemptible kernel section, or is spinning on a lock. *)
 
 val is_finished : t -> bool
+
+val cancel : t -> unit
+(** Mark the task for cancellation: the kernel retires it with a normal
+    [Exit] at the next point it would fetch an operation while
+    preemptible. A task inside a critical section (lock held,
+    non-preemptible run) finishes that section first, so invariants the
+    section protects are never torn. The tenant drain path uses this to
+    force-quiesce a departing tenant's stragglers. *)
+
+val cancelled : t -> bool
 
 val turnaround : t -> Time_ns.t option
 (** Completion time minus spawn time, for finished tasks. *)

@@ -1,0 +1,18 @@
+(** Tenant churn under fire: the live admit/retire lifecycle as an
+    experiment. Cells cover steady arrival waves with graceful
+    departures, a departure under CP/DP saturation (forcing the drain
+    watchdog), rapid admit/retire flapping, pool-exhaustion refusal with
+    capped-backoff retry across a departure, and a chaos-under-churn run
+    on the {!Taichi_faults.Injector.churn} fault profile. Oracles check
+    that every drain completes, refusals are retried (never abandoned),
+    victim tenants keep their DP p99 contracts, resource pools are whole
+    after every retirement, and a repeated cell fingerprints
+    identically. The zero-orphan drain audit runs via the standard
+    [with_system] audit hook. *)
+
+val churn : Exp_desc.t
+
+val profile_filter : string -> Exp_desc.cell -> bool
+(** [profile_filter setting cell] is the [--churn-profile] CLI filter:
+    ["steady"], ["flap"] (which also keeps the determinism repeat cell)
+    or ["chaos"]. Fails on any other setting. *)

@@ -20,6 +20,7 @@ let all =
     Exp_chaos.chaos;
     Exp_overload.overload;
     Exp_multitenant.multitenant;
+    Exp_churn.churn;
   ]
 
 let find name = List.find_opt (fun d -> Exp_desc.name d = name) all

@@ -24,6 +24,10 @@ type t = {
   cp_cores : int list;
   net_services : Dp_service.t list;
   storage_services : Dp_service.t list;
+  tenant_table : Tenant.table;
+      (* THE tenant registry for this system — one shared mutable
+         instance threaded through Taichi.install, so churn-time
+         admissions are visible to every layer and to the export *)
   mutable epoch : Time_ns.t;
 }
 
@@ -105,8 +109,8 @@ let create ?(seed = 42) ?(layout = default_layout) ?prepare
     match policy with
     | Policy.Taichi config | Policy.Taichi_vdp config ->
         Some
-          (Taichi.install ~config ~machine ~kernel ~pipeline ~dps:services
-             ~cp_pcpus:cp_cores ())
+          (Taichi.install ~config ~tenants:tenant_table ~machine ~kernel
+             ~pipeline ~dps:services ~cp_pcpus:cp_cores ())
     | Policy.Static_partition | Policy.Type2 -> None
     | Policy.Naive_coschedule | Policy.Uintr_coschedule | Policy.Dedicated_core
       ->
@@ -151,6 +155,7 @@ let create ?(seed = 42) ?(layout = default_layout) ?prepare
     cp_cores;
     net_services;
     storage_services;
+    tenant_table;
     epoch = 0;
   }
 
@@ -187,7 +192,10 @@ let overload t =
 let cp_backpressure t =
   match overload t with Some ov -> Overload.backpressure ov | None -> false
 
-let tenants t = Config.tenant_table (Policy.config t.policy)
+let tenants t = t.tenant_table
+
+let lifecycle t =
+  match t.taichi with Some tc -> Taichi.lifecycle tc | None -> None
 
 (* A tenant's CP CPU set: the shared dedicated CP pCPUs plus only its own
    vCPUs, so one tenant's control-plane storm queues behind its own
@@ -207,13 +215,37 @@ let cp_affinity_for t tenant =
   | Some _ | None -> cp_affinity t
 
 let spawn_cp ?(cls = Overload.Standard) ?(tenant = 0) t task =
-  task.Task.tenant <- tenant;
-  (* Respect an explicit pin; otherwise bind to the tenant's CP CPU set. *)
-  if task.Task.affinity = [] then task.Task.affinity <- cp_affinity_for t tenant;
-  let spawn () = Kernel.spawn t.kernel task in
-  match overload t with
-  | None -> spawn ()
-  | Some ov -> ignore (Overload.admit ov ~tenant ~cls spawn)
+  let lc = lifecycle t in
+  let refused =
+    match lc with Some lc -> not (Lifecycle.accepting lc ~tenant) | None -> false
+  in
+  if refused then begin
+    (* The drain gate: a Draining or Retired tenant admits no new CP
+       work. Counted globally and on the tenant's lane (both sides of
+       the refusal, so lane sums still equal globals). *)
+    let counters = Machine.counters t.machine in
+    Counters.incr counters "churn.spawn_refused";
+    if Tenant.is_multi t.tenant_table then
+      Counters.incr counters (Tenant.counter tenant "churn.spawn_refused")
+  end
+  else begin
+    task.Task.tenant <- tenant;
+    (* Respect an explicit pin; otherwise bind to the tenant's CP CPU set. *)
+    if task.Task.affinity = [] then
+      task.Task.affinity <- cp_affinity_for t tenant;
+    (* Register with the drain bookkeeping only once the task really
+       spawns: an admission the governor parks and later sheds must not
+       hold a drain hostage. *)
+    let spawn () =
+      (match lc with
+      | Some lc -> Lifecycle.note_task lc ~tenant task
+      | None -> ());
+      Kernel.spawn t.kernel task
+    in
+    match overload t with
+    | None -> spawn ()
+    | Some ov -> ignore (Overload.admit ov ~tenant ~cls spawn)
+  end
 
 let advance t d = Sim.run ~until:(Sim.now t.sim + d) t.sim
 

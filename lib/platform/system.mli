@@ -76,8 +76,14 @@ val cp_backpressure : t -> bool
     submissions. Always false without a governor. *)
 
 val tenants : t -> Tenant.table
-(** The tenant table the policy's config declares (the implicit single
-    tenant for policies with no config). *)
+(** The system's one shared tenant table — built once in {!create} and
+    threaded through every layer, so dynamically admitted tenants are
+    visible here (and in the export) the instant the churn lifecycle
+    registers them. *)
+
+val lifecycle : t -> Lifecycle.t option
+(** The tenant-churn lifecycle manager, present under a Tai Chi policy
+    with [Config.churn] set. *)
 
 val cp_affinity_for : t -> int -> int list
 (** [cp_affinity_for t tenant] is the CP CPU set for one tenant's tasks:
@@ -91,7 +97,11 @@ val spawn_cp : ?cls:Overload.cls -> ?tenant:int -> t -> Task.t -> unit
     respected. With an armed overload governor the admission is routed
     through [Overload.admit] on the owning tenant's lane under [cls]
     (default [Standard]) — it may be deferred until that ladder relaxes,
-    or shed entirely for [Deferrable] work at the deepest rungs. *)
+    or shed entirely for [Deferrable] work at the deepest rungs. Under
+    churn, a [Draining] or [Retired] tenant refuses the spawn outright
+    (counted under [churn.spawn_refused], globally and on the tenant's
+    lane), and successfully spawned tasks are registered with the
+    lifecycle so a later drain can wait for — or cancel — them. *)
 
 val advance : t -> Time_ns.t -> unit
 (** Run the simulation for a further duration. *)

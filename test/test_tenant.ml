@@ -34,9 +34,53 @@ let test_tenant_spec_validation () =
   Alcotest.check_raises "non-positive weight rejected"
     (Invalid_argument "Tenant.spec: weight must be positive") (fun () ->
       ignore (Tenant.spec ~weight:0 "x"));
-  Alcotest.check_raises "duplicate names rejected"
-    (Invalid_argument "Tenant.of_specs: duplicate tenant names") (fun () ->
-      ignore (Tenant.of_specs [ Tenant.spec "a"; Tenant.spec "a" ]))
+  (* The registry errors name the offender, not just the offence — the
+     operator fixing a 40-tenant config needs to know which row. *)
+  Alcotest.check_raises "duplicate names name the offender"
+    (Invalid_argument "Tenant.of_specs: duplicate tenant name \"a\"")
+    (fun () -> ignore (Tenant.of_specs [ Tenant.spec "a"; Tenant.spec "a" ]));
+  Alcotest.check_raises "empty name names the spec position"
+    (Invalid_argument "Tenant.of_specs: empty tenant name (spec 1)") (fun () ->
+      ignore
+        (Tenant.of_specs
+           [ Tenant.spec "a"; { (Tenant.spec "b") with Tenant.name = "" } ]));
+  Alcotest.check_raises "hand-built bad weight names the tenant"
+    (Invalid_argument "Tenant.of_specs: non-positive weight for tenant \"b\"")
+    (fun () ->
+      ignore
+        (Tenant.of_specs
+           [ Tenant.spec "a"; { (Tenant.spec "b") with Tenant.weight = 0 } ]))
+
+(* The queue constructor shares the same message shape: a zero-length
+   weights array and a non-positive weight are both named. *)
+let test_wsched_create_validation () =
+  Alcotest.check_raises "empty weights array rejected"
+    (Invalid_argument "Wsched.create: empty weights array (no tenants)")
+    (fun () -> ignore (Wsched.create ~weights:[||] ~classes:1));
+  Alcotest.check_raises "non-positive weight names the lane"
+    (Invalid_argument "Wsched.create: non-positive weight for tenant 1")
+    (fun () -> ignore (Wsched.create ~weights:[| 1; 0 |] ~classes:1))
+
+let test_tenant_lifecycle () =
+  let tbl = Tenant.of_specs [ Tenant.spec "a"; Tenant.spec "b" ] in
+  let t = Tenant.admit tbl (Tenant.spec "c") in
+  checki "admission assigns the next dense id" 2 t.Tenant.id;
+  checkb "admitted tenants accept CP work" true (Tenant.accepting tbl 2);
+  Tenant.set_phase tbl 2 Tenant.Active;
+  Tenant.set_phase tbl 2 Tenant.Draining;
+  checkb "draining tenants refuse new CP work" false (Tenant.accepting tbl 2);
+  checkb "draining tenants are still live" true (Tenant.live tbl 2);
+  Tenant.set_phase tbl 2 Tenant.Retired;
+  checkb "retired tenants are not live" false (Tenant.live tbl 2);
+  Alcotest.check_raises "the lifecycle is a one-way street"
+    (Invalid_argument
+       "Tenant.set_phase: illegal transition retired -> active for \"c\"")
+    (fun () -> Tenant.set_phase tbl 2 Tenant.Active);
+  (* A retired name is reusable; the re-admission gets a fresh id and
+     the old row keeps its id and frozen state. *)
+  let t2 = Tenant.admit tbl (Tenant.spec "c") in
+  checki "re-admission gets a fresh id" 3 t2.Tenant.id;
+  checkb "old row keeps its id" true (Tenant.phase tbl 2 = Tenant.Retired)
 
 let test_counter_roundtrip () =
   let name = Tenant.counter 3 "overload.shed.deferrable" in
@@ -195,6 +239,115 @@ let prop_class_strict_priority =
           (fun (a, _) (b, _) -> compare a b)
           (List.mapi (fun i cls -> (cls, i)) classes))
 
+(* --- Wsched: dynamic lanes (churn) --------------------------------------- *)
+
+(* Random interleaving of push/pop/charge with admit/flush/retire. The
+   queue must stay work-conserving (a pop with live backlog always
+   serves) and conserve elements exactly: everything pushed is either
+   served, handed back by a flush, or still queued at the end. *)
+let prop_churn_conservation =
+  QCheck.Test.make
+    ~name:"wsched: admit/retire churn conserves work and elements" ~count:80
+    QCheck.(
+      pair weights_gen (list_of_size Gen.(int_range 20 120) (int_range 0 99)))
+    (fun (wl, ops) ->
+      let q = Wsched.create ~weights:(Array.of_list wl) ~classes:3 in
+      let pushed = ref 0 and served = ref 0 and flushed = ref 0 in
+      let live = ref (List.init (List.length wl) Fun.id) in
+      let pick r l = List.nth l (r mod List.length l) in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op mod 5 with
+          | 0 | 1 ->
+              let t = pick op !live in
+              Wsched.push q ~tenant:t ~cls:(op mod 3) t;
+              incr pushed
+          | 2 -> (
+              let backlog = Wsched.length q in
+              match Wsched.pop ~gate:(fun _ -> true) q with
+              | Some t ->
+                  incr served;
+                  Wsched.charge q ~tenant:t 100
+              | None -> if backlog > 0 then ok := false)
+          | 3 ->
+              let id = Wsched.admit q ~weight:((op mod 4) + 1) in
+              live := !live @ [ id ]
+          | _ -> (
+              (* Retire a random lane (flush first, as the force-drain
+                 path does), keeping at least one lane alive. *)
+              match !live with
+              | [] | [ _ ] -> ()
+              | l ->
+                  let t = pick (op / 5) l in
+                  flushed := !flushed + List.length (Wsched.flush q ~tenant:t);
+                  Wsched.retire q ~tenant:t;
+                  if Wsched.is_live q ~tenant:t then ok := false;
+                  live := List.filter (fun x -> x <> t) l))
+        ops;
+      !ok && !pushed = !served + !flushed + Wsched.length q)
+
+(* Starvation bound across a churn event: retire a lane mid-saturation
+   and admit a heavy newcomer; the surviving weight-1 tenant must keep
+   being served with bounded gaps, the retired lane never again. *)
+let prop_churn_starvation_bound =
+  QCheck.Test.make
+    ~name:"wsched: churned queues keep weight-1 tenants inside the gap bound"
+    ~count:40 weights_gen (fun wl ->
+      let weights = Array.of_list (1 :: wl) in
+      let n = Array.length weights in
+      let q = Wsched.create ~weights ~classes:3 in
+      for t = 0 to n - 1 do
+        Wsched.push q ~tenant:t ~cls:1 t
+      done;
+      let quantum = 100 in
+      ignore (drive q ~busy:(fun _ -> true) ~rounds:500 ~quantum);
+      let victim = n - 1 in
+      ignore (Wsched.flush q ~tenant:victim);
+      Wsched.retire q ~tenant:victim;
+      let newcomer = Wsched.admit q ~weight:8 in
+      Wsched.push q ~tenant:newcomer ~cls:1 newcomer;
+      let busy t = t <> victim in
+      let served = drive q ~busy ~rounds:3000 ~quantum in
+      let total_w = Array.fold_left ( + ) 0 weights + 8 in
+      let bound = (3 * total_w) + n + 1 in
+      let last = Array.make (n + 1) 0 in
+      let ok = ref true in
+      List.iteri
+        (fun i t ->
+          if i - last.(t) > bound then ok := false;
+          last.(t) <- i)
+        served;
+      !ok && (not (List.mem victim served)) && List.mem newcomer served)
+
+(* No credit resurrection: a tenant that burned through grant time,
+   retired, and came back must re-enter at the active minimum clock —
+   not at zero, where the scheduler would hand it a catch-up burst for
+   the whole window it sat retired. *)
+let test_readmission_no_credit () =
+  let q = Wsched.create ~weights:[| 1; 1 |] ~classes:1 in
+  Wsched.push q ~tenant:0 ~cls:0 0;
+  Wsched.push q ~tenant:1 ~cls:0 1;
+  ignore (drive q ~busy:(fun _ -> true) ~rounds:200 ~quantum:100);
+  ignore (Wsched.flush q ~tenant:1);
+  Wsched.retire q ~tenant:1;
+  checkb "retired lane reads dead" false (Wsched.is_live q ~tenant:1);
+  Alcotest.check_raises "push to a retired lane raises"
+    (Invalid_argument "Wsched.push: retired tenant") (fun () ->
+      Wsched.push q ~tenant:1 ~cls:0 1);
+  checkb "granted total survives retirement" true
+    (Wsched.granted q ~tenant:1 > 0);
+  let id = Wsched.admit q ~weight:1 in
+  checki "re-admission appends a fresh lane" 2 id;
+  Wsched.push q ~tenant:id ~cls:0 id;
+  let served = drive q ~busy:(fun _ -> true) ~rounds:200 ~quantum:100 in
+  let count t = List.length (List.filter (( = ) t) served) in
+  (* Equal weights, both saturated: equal halves. Had the lane entered
+     at clock zero it would monopolize ~half the window catching up. *)
+  checkb "no banked credit for the newcomer" true (abs (count 0 - count id) <= 2);
+  checkb "incumbent served promptly after the admission" true
+    (List.mem 0 (List.filteri (fun i _ -> i < 4) served))
+
 let test_gate_skips_only_this_pop () =
   let q = Wsched.create ~weights:[| 1; 1 |] ~classes:2 in
   Wsched.push q ~tenant:0 ~cls:0 "a";
@@ -275,18 +428,55 @@ let test_multi_export_tamper_detected () =
   expect_error "per-tenant counters without a tenants field"
     [ { run with Export.tenants = [] } ]
 
+(* Frozen-after-retire: once a churn retirement marker appears for a
+   tenant, any later overload transition on that lane must be rejected —
+   retired lanes freeze, they do not keep climbing ladders. *)
+let test_frozen_lane_export () =
+  let open Taichi_metrics in
+  let open Taichi_engine in
+  let run = traced_multi_run ~seed:13 in
+  let ev ~time category message =
+    { Trace.time; core = Trace.no_core; category; message }
+  in
+  let t0 = run.Export.duration in
+  let retired =
+    ev ~time:(t0 + 10) Trace.Cat.churn "retired tenant=1 forced=false"
+  in
+  let late_transition =
+    ev ~time:(t0 + 20) Trace.Cat.overload
+      "tenant=1 seq=1 from=normal to=throttle held=400000 min=400000"
+  in
+  (match
+     validate [ { run with Export.events = run.Export.events @ [ retired ] } ]
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("retirement marker rejected: " ^ msg));
+  expect_error "an overload transition on a retired tenant's lane"
+    [
+      {
+        run with
+        Export.events = run.Export.events @ [ retired; late_transition ];
+      };
+    ]
+
 let suite =
   [
     ("tenant table", `Quick, test_tenant_table);
     ("tenant spec validation", `Quick, test_tenant_spec_validation);
+    ("wsched create validation", `Quick, test_wsched_create_validation);
+    ("tenant lifecycle", `Quick, test_tenant_lifecycle);
     ("tenant counter round-trip", `Quick, test_counter_roundtrip);
     QCheck_alcotest.to_alcotest prop_weighted_shares;
     QCheck_alcotest.to_alcotest prop_work_conservation;
     QCheck_alcotest.to_alcotest prop_starvation_freedom;
     QCheck_alcotest.to_alcotest prop_flat_fifo_degeneration;
     QCheck_alcotest.to_alcotest prop_class_strict_priority;
+    QCheck_alcotest.to_alcotest prop_churn_conservation;
+    QCheck_alcotest.to_alcotest prop_churn_starvation_bound;
+    ("re-admission banks no credit", `Quick, test_readmission_no_credit);
     ("gate skips one pop only", `Quick, test_gate_skips_only_this_pop);
     ("multi-tenant export validates", `Slow, test_multi_export_validates);
     ("tampered per-tenant export rejected", `Slow,
       test_multi_export_tamper_detected);
+    ("retired lane stays frozen in exports", `Slow, test_frozen_lane_export);
   ]
