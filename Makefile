@@ -28,7 +28,10 @@ test: build
 # lane checks (registered — possibly sparse — ids, non-negative rows,
 # per-tenant sums equal to the globals), then the churn grid, whose
 # export exercises the frozen-lane rule (no overload transitions after a
-# tenant's retirement marker).
+# tenant's retirement marker), then the fleet grid restricted to the
+# 8-NIC failover-on cells, whose per-NIC exports exercise trace_lint's
+# fleet checks (".nic<NN>" labels, recv-side cross-NIC causality,
+# non-negative fleet.* counters).
 smoke: test
 	BENCH_ONLY=fig12 BENCH_SCALE=0.05 BENCH_JOBS=$(JOBS) \
 		BENCH_TRACE_JSON=_build/smoke-trace.json \
@@ -47,6 +50,10 @@ smoke: test
 		--jobs $(JOBS) --churn-profile steady \
 		--trace-json _build/churn-trace.json
 	dune exec bin/trace_lint.exe -- _build/churn-trace.json
+	dune exec bin/taichi_sim.exe -- fleet --seed 42 --scale 0.25 \
+		--jobs $(JOBS) --nics 8 --failover on \
+		--trace-json _build/fleet-trace.json
+	dune exec bin/trace_lint.exe -- _build/fleet-trace.json
 
 # The sweep determinism contract, end to end through the real CLI: the
 # same experiment at --jobs 1 and --jobs 4 must produce byte-identical

@@ -509,6 +509,69 @@ let report_mt_churn () =
     (List.length report.mtc_tenants);
   report
 
+(* --- fleet sub-run -------------------------------------------------------- *)
+
+(* A small rack under the full fleet harness: 4 NICs, one mid-storm
+   crash, failover on. Feeds the "fleet" section of BENCH_ENGINE.json;
+   bench_lint checks its accounting (crash happened, every committed
+   tenant re-placed, RPC completions bounded by sends, attainment a
+   fraction). *)
+type fleet_report = {
+  fl_nics : int;
+  fl_epochs : int;
+  fl_crashed : int;
+  fl_committed : int;
+  fl_replaced : int;
+  fl_abandoned : int;
+  fl_rpc_sent : int;
+  fl_rpc_completed : int;
+  fl_rpc_retries : int;
+  fl_attainment : float;
+}
+
+let report_fleet () =
+  let module P = Taichi_platform in
+  let seed = getenv_i "BENCH_SEED" 42 in
+  let p =
+    {
+      P.Fleet_run.default_params with
+      P.Fleet_run.nics = 4;
+      epochs = 16;
+      density = 2.0;
+      governor = true;
+      failover = true;
+      fleet_jobs = 2;
+      faults =
+        {
+          Taichi_faults.Nic_faults.quiet with
+          Taichi_faults.Nic_faults.crashes = 1;
+          crash_window = (5, 9);
+        };
+    }
+  in
+  let rep = P.Fleet_run.run ~seed p in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rep.P.Fleet_run.r_nics in
+  let report =
+    {
+      fl_nics = p.P.Fleet_run.nics;
+      fl_epochs = p.P.Fleet_run.epochs;
+      fl_crashed = List.length rep.P.Fleet_run.r_crashed;
+      fl_committed = List.length rep.P.Fleet_run.r_committed;
+      fl_replaced = List.length rep.P.Fleet_run.r_replaced;
+      fl_abandoned = rep.P.Fleet_run.r_abandoned;
+      fl_rpc_sent = sum (fun r -> r.P.Fleet_run.nr_rpc_sent);
+      fl_rpc_completed = sum (fun r -> r.P.Fleet_run.nr_rpc_completed);
+      fl_rpc_retries = sum (fun r -> r.P.Fleet_run.nr_rpc_retries);
+      fl_attainment = rep.P.Fleet_run.r_attainment;
+    }
+  in
+  Printf.printf
+    "  fleet sub-run: %d NICs, %d crashed, %d/%d tenants re-placed, rpc \
+     %d/%d, attainment %.2f\n"
+    report.fl_nics report.fl_crashed report.fl_replaced report.fl_committed
+    report.fl_rpc_completed report.fl_rpc_sent report.fl_attainment;
+  report
+
 (* --- BENCH_ENGINE.json ---------------------------------------------------- *)
 
 (* Schema taichi-bench-engine-v1. Everything except the fields whose name
@@ -516,7 +579,7 @@ let report_mt_churn () =
    deterministic for a given seed: re-running with the same BENCH_SEED
    must reproduce the file modulo those timing fields. [bin/bench_lint]
    validates the shape in CI. *)
-let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn =
+let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet =
   let module J = Taichi_metrics.Json in
   let rate processed wall = float_of_int processed /. Float.max 1e-9 wall in
   let engine_obj wall =
@@ -614,6 +677,20 @@ let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn =
                                ])
                            churn.mtc_tenants) );
                   ] );
+            ] );
+        ( "fleet",
+          J.Obj
+            [
+              ("nics", J.Int fleet.fl_nics);
+              ("epochs", J.Int fleet.fl_epochs);
+              ("crashed", J.Int fleet.fl_crashed);
+              ("committed", J.Int fleet.fl_committed);
+              ("replaced", J.Int fleet.fl_replaced);
+              ("abandoned", J.Int fleet.fl_abandoned);
+              ("rpc_sent", J.Int fleet.fl_rpc_sent);
+              ("rpc_completed", J.Int fleet.fl_rpc_completed);
+              ("rpc_retries", J.Int fleet.fl_rpc_retries);
+              ("attainment", J.Float fleet.fl_attainment);
             ] );
       ]
   in
@@ -726,8 +803,10 @@ let () =
   let fig17 = report_fig17_cells () in
   let multitenant = report_multitenant () in
   let churn = report_mt_churn () in
+  let fleet = report_fleet () in
   (match Sys.getenv_opt "BENCH_ENGINE_JSON" with
-  | Some path -> write_engine_json path ~hotpath ~fig17 ~multitenant ~churn
+  | Some path ->
+      write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet
   | None -> ());
   run_microbenches ();
   report_tombstones ()

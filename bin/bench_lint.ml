@@ -7,7 +7,8 @@
    counter-lane section is coherent (strictly increasing — possibly
    sparse — tenant ids, non-negative per-tenant rows, per-suffix sums
    equal to the globals, and a churn sub-run whose retired lanes are
-   still reported). Exit 0 on success so CI can gate on it before
+   still reported), plus a fleet sub-run section whose crash/failover
+   accounting balances. Exit 0 on success so CI can gate on it before
    uploading the artifact. *)
 
 let read_file path =
@@ -252,6 +253,44 @@ let check_multitenant json =
   in
   check_mt_churn mt
 
+(* The fleet sub-run: a rack with one planned crash and failover on, so
+   the section must show the crash, a re-placement for every committed
+   tenant, RPC completions bounded by sends, and an attainment that is a
+   fraction of the surviving rack. *)
+let check_fleet json =
+  let* fl = field "fleet" json in
+  let* nics = int_field "nics" fl in
+  let* epochs = int_field "epochs" fl in
+  let* crashed = int_field "crashed" fl in
+  let* committed = int_field "committed" fl in
+  let* replaced = int_field "replaced" fl in
+  let* abandoned = int_field "abandoned" fl in
+  let* rpc_sent = int_field "rpc_sent" fl in
+  let* rpc_completed = int_field "rpc_completed" fl in
+  let* rpc_retries = int_field "rpc_retries" fl in
+  let* attainment = number_field "attainment" fl in
+  if nics < 2 || epochs < 1 then
+    fail "fleet sub-run shape is implausible (%d NICs, %d epochs)" nics epochs
+  else if crashed < 1 || crashed >= nics then
+    fail "fleet sub-run crash count %d is implausible for %d NICs" crashed
+      nics
+  else if committed < crashed then
+    fail "fleet sub-run committed %d tenants across %d crashes" committed
+      crashed
+  else if replaced < committed then
+    fail
+      "fleet sub-run re-placed %d of %d committed tenants (failover must be \
+       lossless)"
+      replaced committed
+  else if abandoned < 0 || rpc_retries < 0 then
+    fail "fleet sub-run loss counters are negative"
+  else if rpc_sent < 1 || rpc_completed < 0 || rpc_completed > rpc_sent then
+    fail "fleet sub-run RPC books do not balance (%d completed, %d sent)"
+      rpc_completed rpc_sent
+  else if attainment < 0.0 || attainment > 1.0 then
+    fail "fleet sub-run attainment %f is not a fraction" attainment
+  else Ok ()
+
 let fig17_cells = 8
 
 let check_fig17 json =
@@ -287,7 +326,8 @@ let validate contents =
   let* _scale = number_field "scale" json in
   let* () = check_hotpath json in
   let* () = check_fig17 json in
-  check_multitenant json
+  let* () = check_multitenant json in
+  check_fleet json
 
 let () =
   match Sys.argv with

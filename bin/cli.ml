@@ -96,6 +96,24 @@ let churn_profile_arg =
     & opt (some string) None
     & info [ "churn-profile" ] ~docv:"PROFILE" ~doc)
 
+let nics_arg =
+  let doc =
+    "Restrict the fleet experiment to the cells whose rack is $(docv) \
+     NICs wide (8 or 16; the determinism repeat rides with the 8-NIC \
+     cells). Defaults to every width (or $(b,FLEET_NICS))."
+  in
+  Arg.(value & opt (some int) None & info [ "nics" ] ~docv:"N" ~doc)
+
+let failover_arg =
+  let doc =
+    "Restrict the fleet experiment to one failover setting ($(b,on) or \
+     $(b,off)). Defaults to both (or $(b,FLEET_FAILOVER))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failover" ] ~docv:"FAILOVER" ~doc)
+
 let list_experiments () =
   Printf.printf "%-11s %5s  %s\n" "name" "cells" "description";
   List.iter
@@ -136,7 +154,7 @@ let report_audit_failures failures =
    explicit flag wins over it. Both become plain cell filters on the
    relevant descriptor — no module state anywhere. *)
 let filter_for ~chaos_profile ~overload_governor ~aggressor ~churn_profile
-    desc =
+    ~fleet_nics ~fleet_failover desc =
   match P.Exp_desc.name desc with
   | "chaos" -> (
       match chaos_profile with
@@ -154,10 +172,22 @@ let filter_for ~chaos_profile ~overload_governor ~aggressor ~churn_profile
       match churn_profile with
       | Some p -> P.Exp_churn.profile_filter p
       | None -> fun _ -> true)
+  | "fleet" ->
+      let by_nics =
+        match fleet_nics with
+        | Some n -> P.Exp_fleet.nics_filter n
+        | None -> fun _ -> true
+      in
+      let by_failover =
+        match fleet_failover with
+        | Some s -> P.Exp_fleet.failover_filter s
+        | None -> fun _ -> true
+      in
+      fun cell -> by_nics cell && by_failover cell
   | _ -> fun _ -> true
 
 let run name seed scale jobs list trace trace_json chaos_profile
-    overload_governor aggressor churn_profile =
+    overload_governor aggressor churn_profile fleet_nics fleet_failover =
   if list then begin
     list_experiments ();
     0
@@ -188,6 +218,24 @@ let run name seed scale jobs list trace trace_json chaos_profile
           | Some _ as p -> p
           | None -> Sys.getenv_opt "CHURN_PROFILE"
         in
+        let fleet_nics =
+          match fleet_nics with
+          | Some _ as n -> n
+          | None -> (
+              match Sys.getenv_opt "FLEET_NICS" with
+              | Some s -> (
+                  match int_of_string_opt s with
+                  | Some n -> Some n
+                  | None ->
+                      Printf.eprintf "ignoring non-numeric FLEET_NICS=%s\n" s;
+                      None)
+              | None -> None)
+        in
+        let fleet_failover =
+          match fleet_failover with
+          | Some _ as f -> f
+          | None -> Sys.getenv_opt "FLEET_FAILOVER"
+        in
         let tracing = trace || trace_json <> None in
         (* Collect audit violations instead of aborting mid-batch: every
            experiment still runs, then the process exits with the distinct
@@ -198,7 +246,7 @@ let run name seed scale jobs list trace trace_json chaos_profile
           P.Sweep.run ~jobs
             ~filter:
               (filter_for ~chaos_profile ~overload_governor ~aggressor
-                 ~churn_profile desc)
+                 ~churn_profile ~fleet_nics ~fleet_failover desc)
             ctx desc ~seed ~scale
         in
         let status =
@@ -256,6 +304,6 @@ let cmd =
     Term.(
       const run $ name_arg $ seed_arg $ scale_arg $ jobs_arg $ list_arg
       $ trace_arg $ trace_json_arg $ chaos_profile_arg $ overload_governor_arg
-      $ aggressor_arg $ churn_profile_arg)
+      $ aggressor_arg $ churn_profile_arg $ nics_arg $ failover_arg)
 
 let main () = exit (Cmd.eval' cmd)

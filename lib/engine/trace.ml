@@ -36,6 +36,7 @@ module Cat = struct
   let degraded = "degraded"
   let overload = "overload"
   let churn = "churn"
+  let fleet = "fleet"
 
   let softirq = "softirq"
 

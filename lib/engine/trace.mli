@@ -67,6 +67,13 @@ module Cat : sig
       its frozen-lane check on: no overload transition for that tenant
       may appear after it. *)
 
+  val fleet : string
+  (** Cross-NIC fleet events: epoch-boundary exchange sends/receives
+      ([send dst=.. seq=.. epoch=..] / [recv src=.. seq=.. epoch=..
+      sent=..]), RPC receipts, NIC fault-domain events (crash, brownout,
+      partition) and failover placements. trace_lint keys its cross-NIC
+      causality check on the [sent=] field of receive records. *)
+
   val softirq : string
 
   val kernel_steal : string

@@ -167,22 +167,30 @@ let fabric_fault t ~dst ~vector =
       (Rng.int_range t.ipi_rng ~lo:1 ~hi:(max 1 t.profile.ipi_delay_max))
   else (ignore dst; Machine.Pass)
 
-let create ~rng ~machine ~boot_vector profile =
+let create ?nic ~rng ~machine ~boot_vector profile =
+  (* Fleet runs namespace every per-class stream by NIC id so identical
+     profiles on different NICs draw decorrelated streams. Single-NIC
+     plans ([?nic] absent) keep the PR 3 stream names bit-for-bit. *)
+  let stream name =
+    match nic with
+    | None -> Rng.split rng name
+    | Some i -> Rng.split rng (Printf.sprintf "nic%d.%s" i name)
+  in
   let t =
     {
       machine;
       profile;
       boot_vector;
-      ipi_rng = Rng.split rng "fault.ipi";
-      boot_rng = Rng.split rng "fault.boot";
-      lapic_rng = Rng.split rng "fault.lapic";
-      mirror_rng = Rng.split rng "fault.mirror";
-      probe_rng = Rng.split rng "fault.probe";
-      cp_rng = Rng.split rng "fault.cp";
-      dp_rng = Rng.split rng "fault.dp";
-      churn_depart_rng = Rng.split rng "fault.churn.depart";
-      churn_arrive_rng = Rng.split rng "fault.churn.arrive";
-      churn_overrun_rng = Rng.split rng "fault.churn.overrun";
+      ipi_rng = stream "fault.ipi";
+      boot_rng = stream "fault.boot";
+      lapic_rng = stream "fault.lapic";
+      mirror_rng = stream "fault.mirror";
+      probe_rng = stream "fault.probe";
+      cp_rng = stream "fault.cp";
+      dp_rng = stream "fault.dp";
+      churn_depart_rng = stream "fault.churn.depart";
+      churn_arrive_rng = stream "fault.churn.arrive";
+      churn_overrun_rng = stream "fault.churn.overrun";
       table = None;
       probe_misfire = None;
       cp_hang = None;

@@ -86,12 +86,15 @@ val of_name : string -> profile option
 type t
 
 val create :
-  rng:Rng.t -> machine:Machine.t -> boot_vector:int -> profile -> t
+  ?nic:int -> rng:Rng.t -> machine:Machine.t -> boot_vector:int -> profile -> t
 (** [create ~rng ~machine ~boot_vector profile] derives the per-class
     streams from [rng] and installs the fabric fault hook. [boot_vector]
     identifies hotplug boot IPIs, which draw from their own stream (and
     count as [fault.boot.dropped]) so boot-timeout injection is tunable
-    independently of steady-state IPI loss. *)
+    independently of steady-state IPI loss. [?nic] prefixes every stream
+    name with ["nic<i>."] so a fleet can run the same plan on every NIC
+    with decorrelated draws; omitting it keeps the original single-NIC
+    stream names (and therefore the exact PR 3 fault sequences). *)
 
 val profile : t -> profile
 

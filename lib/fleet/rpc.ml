@@ -1,0 +1,156 @@
+(* Cross-NIC RPC over the epoch exchange: per-request timeout measured in
+   epochs, capped-exponential retry, and loss accounting under
+   [fleet.rpc.*] in the requester / server NIC's registry.
+
+   An endpoint is strictly NIC-local: requests and retries are sent from
+   its own NIC, inbound frames are handed to it by that NIC's deliver
+   callback, and the timeout scan runs from that NIC's epoch hook — so an
+   endpoint never races another NIC's domain and the retry schedule is a
+   pure function of epoch numbers.
+
+   Wire framing rides the exchange's string payload:
+     "q|<id>|<tag>|<body>"   request
+     "p|<id>|<tag>|<body>"   response
+   Ids are per-endpoint, so (requester nic, id) is globally unique. *)
+
+open Taichi_engine
+
+type pending = {
+  id : int;
+  dst : int;
+  tag : string;
+  body : string;
+  mutable attempts : int;  (** sends so far (first send counts) *)
+  mutable deadline : int;  (** epoch at which the wait expires *)
+  on_reply : string -> unit;
+  on_abandon : unit -> unit;
+}
+
+type 'nic t = {
+  fleet : 'nic Fleet.t;
+  nic : int;
+  timeout : int;
+  retry_base : int;
+  retry_cap : int;
+  max_attempts : int;
+  handlers : (string, src:int -> string -> string option) Hashtbl.t;
+  mutable pending : pending list;  (** ascending id order *)
+  mutable next_id : int;
+}
+
+let create ?(timeout = 2) ?(retry_base = 1) ?(retry_cap = 8)
+    ?(max_attempts = 4) fleet ~nic =
+  if timeout < 1 then invalid_arg "Rpc.create: timeout must be >= 1";
+  if max_attempts < 1 then invalid_arg "Rpc.create: max_attempts must be >= 1";
+  {
+    fleet;
+    nic;
+    timeout;
+    retry_base;
+    retry_cap;
+    max_attempts;
+    handlers = Hashtbl.create 8;
+    pending = [];
+    next_id = 0;
+  }
+
+let count t name = Counters.incr (Fleet.counters t.fleet).(t.nic) name
+
+let register t ~tag handler =
+  if Hashtbl.mem t.handlers tag then
+    invalid_arg (Printf.sprintf "Rpc.register: duplicate tag %S" tag);
+  Hashtbl.replace t.handlers tag handler
+
+let frame kind id tag body = Printf.sprintf "%s|%d|%s|%s" kind id tag body
+
+let parse payload =
+  match String.split_on_char '|' payload with
+  | kind :: id :: tag :: rest when kind = "q" || kind = "p" -> (
+      match int_of_string_opt id with
+      | Some id -> Some (kind, id, tag, String.concat "|" rest)
+      | None -> None)
+  | _ -> None
+
+let transmit t p =
+  Fleet.send t.fleet ~src:t.nic ~dst:p.dst (frame "q" p.id p.tag p.body)
+
+(* Capped-exponential wait before the k-th retry (k = attempts already
+   made): timeout + min(cap, base * 2^(k-1)) epochs from the resend. *)
+let backoff t k =
+  t.timeout + min t.retry_cap (t.retry_base * (1 lsl min (k - 1) 20))
+
+let call t ~dst ~tag body ~on_reply ~on_abandon =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let p =
+    {
+      id;
+      dst;
+      tag;
+      body;
+      attempts = 1;
+      deadline = Fleet.epoch t.fleet + t.timeout;
+      on_reply;
+      on_abandon;
+    }
+  in
+  t.pending <- t.pending @ [ p ];
+  count t "fleet.rpc.sent";
+  transmit t p
+
+(* Hand an inbound exchange message to the endpoint. Returns [true] when
+   the payload was an RPC frame (consumed), [false] otherwise so the
+   caller can route non-RPC payloads elsewhere. *)
+let deliver t (m : Fleet.msg) =
+  match parse m.Fleet.payload with
+  | None -> false
+  | Some ("q", id, tag, body) ->
+      (match Hashtbl.find_opt t.handlers tag with
+      | None -> count t "fleet.rpc.unhandled"
+      | Some handler -> (
+          count t "fleet.rpc.served";
+          match handler ~src:m.Fleet.src body with
+          | None -> ()
+          | Some reply ->
+              Fleet.send t.fleet ~src:t.nic ~dst:m.Fleet.src
+                (frame "p" id tag reply)));
+      true
+  | Some ("p", id, _tag, body) ->
+      (match List.find_opt (fun p -> p.id = id) t.pending with
+      | None ->
+          (* Late duplicate: the request was already completed or
+             abandoned. Count it, drop it. *)
+          count t "fleet.rpc.stale_replies"
+      | Some p ->
+          t.pending <- List.filter (fun q -> q.id <> id) t.pending;
+          count t "fleet.rpc.completed";
+          p.on_reply body);
+      true
+  | Some _ -> false
+
+(* Epoch-start timeout scan, run from the owning NIC's epoch hook after
+   deliveries: every pending request whose deadline has passed either
+   retries (with the grown deadline) or abandons. Scanning in ascending
+   id order keeps receipt order deterministic. *)
+let tick t ~epoch =
+  let expired, live =
+    List.partition (fun p -> p.deadline <= epoch) t.pending
+  in
+  t.pending <- live;
+  List.iter
+    (fun p ->
+      count t "fleet.rpc.timeouts";
+      if p.attempts >= t.max_attempts then begin
+        count t "fleet.rpc.abandoned";
+        p.on_abandon ()
+      end
+      else begin
+        count t "fleet.rpc.retries";
+        p.deadline <- epoch + backoff t p.attempts;
+        p.attempts <- p.attempts + 1;
+        t.pending <- t.pending @ [ p ];
+        transmit t p
+      end)
+    expired
+
+let outstanding t = List.length t.pending

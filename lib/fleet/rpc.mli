@@ -1,0 +1,53 @@
+(** Cross-NIC RPC over the {!Fleet} epoch exchange.
+
+    Per-request timeout measured in epochs, capped-exponential retry
+    ([timeout + min(cap, base * 2^(k-1))] epochs before the k-th retry,
+    at most [max_attempts] sends), and loss accounting under
+    [fleet.rpc.*] in the owning NIC's counter registry:
+    [sent] / [completed] / [timeouts] / [retries] / [abandoned] on the
+    requester, [served] / [unhandled] / [stale_replies] on the server.
+
+    An endpoint is strictly NIC-local: wire it into that NIC's deliver
+    callback ({!deliver}) and epoch hook ({!tick}); it never touches
+    another NIC's state, so it is safe under fleet worker domains. *)
+
+type 'nic t
+
+val create :
+  ?timeout:int ->
+  ?retry_base:int ->
+  ?retry_cap:int ->
+  ?max_attempts:int ->
+  'nic Fleet.t ->
+  nic:int ->
+  'nic t
+(** Endpoint for NIC [nic]. [timeout] (default 2) epochs per wait,
+    retries backed off by [min(retry_cap, retry_base * 2^(k-1))] extra
+    epochs, abandoning after [max_attempts] (default 4) total sends. *)
+
+val register : 'nic t -> tag:string -> (src:int -> string -> string option) -> unit
+(** [register t ~tag handler] serves requests tagged [tag]; the handler's
+    [Some reply] is sent back next epoch, [None] swallows the request
+    (server-side drop — the requester times out). *)
+
+val call :
+  'nic t ->
+  dst:int ->
+  tag:string ->
+  string ->
+  on_reply:(string -> unit) ->
+  on_abandon:(unit -> unit) ->
+  unit
+(** Send a request to [dst]; exactly one of the callbacks eventually
+    fires (from {!deliver} or {!tick} on the owning NIC). *)
+
+val deliver : 'nic t -> Fleet.msg -> bool
+(** Route an inbound exchange message: [true] when consumed as an RPC
+    frame, [false] when the payload is not RPC-framed. *)
+
+val tick : 'nic t -> epoch:int -> unit
+(** Epoch-start timeout scan (call after the epoch's deliveries): expired
+    requests retry with the grown deadline or abandon. *)
+
+val outstanding : 'nic t -> int
+(** Requests still awaiting a reply or a verdict. *)

@@ -131,6 +131,41 @@ let parse_retired msg =
   try Scanf.sscanf msg "retired tenant=%d forced=%B" (fun tid _ -> Some tid)
   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
+(* Fleet exchange records, as emitted by Taichi_fleet.Fleet: sends and
+   receives carry epoch stamps so the lint can check cross-NIC causality
+   without pairing records across runs (the trace ring buffer may have
+   dropped the matching send). *)
+let parse_fleet_recv msg =
+  try
+    Scanf.sscanf msg "recv src=%d seq=%d epoch=%d sent=%d" (fun a b c d ->
+        Some (a, b, c, d))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let parse_fleet_send msg =
+  try
+    Scanf.sscanf msg "send dst=%d seq=%d epoch=%d" (fun a b c ->
+        Some (a, b, c))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Runs carrying fleet events must use the harness's per-NIC label
+   convention, "<experiment>.nic<NN>" — the prefix is what groups one
+   rack's exports back together. *)
+let is_per_nic_label s =
+  match String.rindex_opt s '.' with
+  | None -> false
+  | Some i ->
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      has_prefix "nic" tail
+      && String.length tail > 3
+      && (match int_of_string_opt (String.sub tail 3 (String.length tail - 3))
+          with
+         | Some n -> n >= 0
+         | None -> false)
+
 let validate_json j =
   let ( let* ) x f = match x with Ok v -> f v | Error _ as e -> e in
   let require msg = function Some v -> Ok v | None -> Error msg in
@@ -182,7 +217,8 @@ let validate_json j =
                 String.length k >= String.length prefix
                 && String.sub k 0 (String.length prefix) = prefix
               in
-              if monotone "recovery." || monotone "overload." then
+              if monotone "recovery." || monotone "overload."
+                 || monotone "fleet." then
                 match Json.to_int v with
                 | Some n when n < 0 ->
                     Error (Printf.sprintf "counter %s is negative" k)
@@ -202,10 +238,10 @@ let validate_json j =
       | None -> Ok ()
       | Some evs ->
           let* evs = require "events not an array" (Json.to_list evs) in
-          let* _ =
+          let* _, _, _, fleet_seen =
             List.fold_left
               (fun acc ev ->
-                let* prev_t, chains, retired = acc in
+                let* prev_t, chains, retired, fleet_seen = acc in
                 let* t = require "event missing t_ns" (Json.member "t_ns" ev) in
                 let* t = require "event t_ns not an int" (Json.to_int t) in
                 let* () =
@@ -232,8 +268,50 @@ let validate_json j =
                         | None -> retired)
                     | None -> retired
                   in
-                  Ok (t, chains, retired)
-                else if cat <> "overload" then Ok (t, chains, retired)
+                  Ok (t, chains, retired, fleet_seen)
+                else if cat = "fleet" then
+                  (* Cross-NIC causality: a receive must carry the epoch
+                     its send happened in, strictly before the delivery
+                     epoch — checked from the recv record alone, so a
+                     ring-buffer-dropped send never fails the lint. *)
+                  let* msg =
+                    require "fleet event missing msg" (Json.member "msg" ev)
+                  in
+                  let* msg =
+                    require "fleet event msg not a string" (Json.to_str msg)
+                  in
+                  let* () =
+                    if has_prefix "recv " msg then
+                      match parse_fleet_recv msg with
+                      | None ->
+                          Error
+                            (Printf.sprintf "malformed fleet receive %S" msg)
+                      | Some (src, seq, epoch, sent) ->
+                          if src < 0 || seq < 0 then
+                            Error
+                              (Printf.sprintf
+                                 "fleet receive with negative src/seq %S" msg)
+                          else if sent >= epoch then
+                            Error
+                              (Printf.sprintf
+                                 "fleet receive breaks causality: sent \
+                                  epoch %d, delivered epoch %d (%S)"
+                                 sent epoch msg)
+                          else Ok ()
+                    else if has_prefix "send " msg then
+                      match parse_fleet_send msg with
+                      | None ->
+                          Error (Printf.sprintf "malformed fleet send %S" msg)
+                      | Some (dst, seq, _epoch) ->
+                          if dst < 0 || seq < 0 then
+                            Error
+                              (Printf.sprintf
+                                 "fleet send with negative dst/seq %S" msg)
+                          else Ok ()
+                    else Ok ()
+                  in
+                  Ok (t, chains, retired, true)
+                else if cat <> "overload" then Ok (t, chains, retired, fleet_seen)
                 else
                   let* msg =
                     require "event missing msg" (Json.member "msg" ev)
@@ -313,11 +391,26 @@ let validate_json j =
                     ( t,
                       (tenant, (want_seq + 1, to_))
                       :: List.remove_assoc tenant chains,
-                      retired ))
-              (Ok (0, [], []))
+                      retired,
+                      fleet_seen ))
+              (Ok (0, [], [], false))
               evs
           in
-          Ok ()
+          if fleet_seen then
+            let* label =
+              require "missing experiment" (Json.member "experiment" r)
+            in
+            let* label =
+              require "experiment not a string" (Json.to_str label)
+            in
+            if is_per_nic_label label then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "run %S carries fleet events but is not labelled with \
+                    the per-NIC \".nic<NN>\" suffix"
+                   label)
+          else Ok ()
     in
     (* Per-tenant counter sections: every [tenant.<id>.<suffix>] counter
        must be non-negative, belong to a tenant id the run registered,

@@ -10,6 +10,18 @@ open Taichi_os
 val scaled : float -> Time_ns.t -> Time_ns.t
 (** [scaled s d] shrinks duration [d] by scale [s], floored at 10 ms. *)
 
+val harvest_run : ctx:Run_ctx.t -> seed:int -> System.t -> unit
+(** Snapshot one finished system into the context's sink (an
+    {!Taichi_metrics.Export.run} labelled with the context's experiment
+    name). {!with_system} calls this automatically; the fleet harness —
+    which keeps N systems alive across one run — calls it per NIC, under
+    a per-NIC experiment label. *)
+
+val check_audit : ctx:Run_ctx.t -> seed:int -> System.t -> unit
+(** The machine-wide coherence check {!with_system} runs after the body:
+    abort or collect per the context's audit mode. Exposed for the fleet
+    harness, which audits each surviving NIC. *)
+
 val with_system :
   ?layout:System.layout ->
   ?prepare:(Taichi_hw.Machine.t -> unit) ->

@@ -21,6 +21,7 @@ let all =
     Exp_overload.overload;
     Exp_multitenant.multitenant;
     Exp_churn.churn;
+    Exp_fleet.fleet;
   ]
 
 let find name = List.find_opt (fun d -> Exp_desc.name d = name) all

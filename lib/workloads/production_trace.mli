@@ -20,3 +20,28 @@ val cdf_points : float array -> xs:float list -> (float * float) list
 (** [(x, fraction of samples <= x)] for each requested threshold. *)
 
 val mean : float array -> float
+
+(** {2 Fleet load curves}
+
+    Deterministic modulation of offered load over a synthetic day, used by
+    the fleet experiment to drive correlated tenant bursts (ROADMAP item
+    3). All functions are pure in their arguments, so N NICs evaluating
+    the same curve at the same phase agree without shared state. *)
+
+val diurnal : phase:float -> float
+(** [diurnal ~phase] is the diurnal load multiplier at [phase] ∈ [0,1)
+    of the synthetic day (values outside wrap): a sine with trough 0.4x
+    at phase 0 and peak 1.6x at phase 0.5. *)
+
+type flash_crowd = { at : float; magnitude : float; width : float }
+(** A flash crowd centred at day-phase [at], multiplying load by up to
+    [magnitude] and decaying linearly to 1x at distance [width]. *)
+
+val flash_crowds : Rng.t -> n:int -> flash_crowd list
+(** [flash_crowds rng ~n] draws [n] crowds from [rng] — deterministic per
+    seed, so a fleet harness derives one list per run and every NIC sees
+    the same correlated bursts. *)
+
+val load_factor : ?crowds:flash_crowd list -> phase:float -> unit -> float
+(** [load_factor ?crowds ~phase ()] is the combined diurnal × flash-crowd
+    multiplier, clamped to at least 0.05. *)

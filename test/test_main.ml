@@ -16,6 +16,7 @@ let () =
       ("tenant", Test_tenant.suite);
       ("overload", Test_overload.suite);
       ("faults", Test_faults.suite);
+      ("fleet", Test_fleet.suite);
       ("workloads", Test_workloads.suite);
       ("platform", Test_platform.suite);
       ("sweep", Test_sweep.suite);
