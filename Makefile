@@ -72,17 +72,21 @@ sweep-check: build
 	dune exec bin/trace_lint.exe -- _build/sweep/j4.json
 
 # Engine throughput trajectory: run the bench's engine sections (the
-# fig17-shaped hot-path replay against the seed binary-heap engine, plus
-# per-fig17-cell events/sec) and write the schema-versioned, seed-stamped
-# BENCH_ENGINE.json, then validate its shape with bench_lint. Event
-# counts are deterministic for a given seed; only wall-clock fields vary
-# run to run. CI uploads the file as an artifact so the speedup is a
-# tracked trajectory rather than a number in a commit message.
+# fig17-shaped hot-path replay against the seed binary-heap engine, the
+# full-work string-vs-handle hot path, the counter and packet-arena
+# microbenches, plus per-fig17-cell events/sec) and write the
+# schema-versioned, seed-stamped BENCH_ENGINE.json, then validate its
+# shape with bench_lint and hold it to the committed perf floors
+# (BENCH_FLOORS.json: minimum events/sec and speedups, zero allocation
+# per op on the handle/arena paths). Event counts and allocation rates
+# are deterministic for a given seed; only wall-clock fields vary run to
+# run. CI uploads the file as an artifact so the speedup is a tracked
+# trajectory rather than a number in a commit message.
 bench-json: build
 	BENCH_ONLY=none BENCH_SCALE=0.05 BENCH_SEED=$(SEED) \
 		BENCH_ENGINE_JSON=_build/BENCH_ENGINE.json \
 		dune exec bench/main.exe
-	dune exec bin/bench_lint.exe -- _build/BENCH_ENGINE.json
+	dune exec bin/bench_lint.exe -- _build/BENCH_ENGINE.json BENCH_FLOORS.json
 
 ci: smoke sweep-check
 

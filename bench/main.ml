@@ -11,9 +11,11 @@
      BENCH_TRACE_JSON  collect scheduler traces and write the JSON export
                        (schema taichi-trace-v1) to this path
      BENCH_ENGINE_JSON write the engine speed report (schema
-                       taichi-bench-engine-v1: hot-path calendar-vs-heap
-                       replay, per-fig17-cell throughput, and the
-                       multi-tenant counter-lane section) to this path
+                       taichi-bench-engine-v2: hot-path calendar-vs-heap
+                       replay, the full-work string-vs-handle hot path,
+                       counter and packet-arena microbenches,
+                       per-fig17-cell throughput, and the multi-tenant
+                       counter-lane section) to this path
 *)
 
 open Taichi_engine
@@ -236,6 +238,255 @@ let report_engine_hotpath () =
     hp_processed = cproc;
     hp_wall_calendar = cwall;
     hp_wall_legacy = lwall;
+  }
+
+(* --- full-work hot path: seed-style vs handle-based bookkeeping ----------- *)
+
+(* The per-event work the experiments layer on top of the engine, in the
+   two idioms this repo has used: the seed's (string-keyed counter
+   increments, a heap-allocated packet record per descriptor, one RNG
+   draw per activation) and the current one (interned counter handles,
+   arena-recycled descriptors, per-batch variates pre-drawn with
+   [Rng.fill_array], and a dense per-tenant counter lane in place of the
+   per-packet [sprintf] mirror). Both styles execute the identical
+   fig17-shaped
+   event program on the production engine — the delays derive from the
+   same RNG stream — so scheduled/processed counts, packet counts and
+   the final counter dump must match exactly; the caller fails loudly if
+   they diverge. Only the bookkeeping idiom differs, which makes the
+   wall-clock ratio a direct measurement of what the handle-based hot
+   path bought over the string-keyed one. *)
+let fullwork_chains = 192
+let fullwork_burst = 8
+let fullwork_horizon = Time_ns.ms 10
+let fullwork_batch = 64
+
+type fullwork_style = Oldstyle | Newstyle
+
+let fullwork_replay style ~seed =
+  let module Pk = Taichi_accel.Packet in
+  let sim = Sim.create () in
+  let ctr = Counters.create () in
+  let rng = Rng.create ~seed in
+  let arena = Pk.arena ~capacity:64 () in
+  let h_burst = Counters.handle ctr "dp.rx_burst" in
+  let h_done = Counters.handle ctr "dp.packets_done" in
+  let h_bytes = Counters.handle ctr "dp.bytes" in
+  let l_done = Counters.lane ctr "dp.packets_done" in
+  let variates = Array.make fullwork_batch 0L in
+  let cursor = ref fullwork_batch in
+  let packets = ref 0 in
+  let next_variate () =
+    match style with
+    | Oldstyle -> Rng.bits64 rng
+    | Newstyle ->
+        if !cursor = fullwork_batch then begin
+          Rng.fill_array rng variates;
+          cursor := 0
+        end;
+        let v = variates.(!cursor) in
+        incr cursor;
+        v
+  in
+  let rec worker () =
+    let v = Int64.to_int (Int64.shift_right_logical (next_variate ()) 2) in
+    (match style with
+    | Oldstyle ->
+        Counters.incr ctr "dp.rx_burst";
+        for k = 0 to fullwork_burst - 1 do
+          let size = 64 + ((v lsr (4 * k)) land 0x3FF) in
+          let pkt =
+            Pk.create ~kind:Pk.Net_rx ~size ~dst_core:(k land 3) ~tag:!packets
+          in
+          Counters.incr ctr "dp.packets_done";
+          Counters.incr ctr ~by:pkt.Pk.size "dp.bytes";
+          (* the seed's per-tenant mirror: a sprintf per packet *)
+          Counters.incr ctr
+            (Printf.sprintf "tenant.%d.%s" (k land 1) "dp.packets_done");
+          ignore (Sys.opaque_identity pkt);
+          incr packets
+        done
+    | Newstyle ->
+        Counters.incr_h ctr h_burst;
+        for k = 0 to fullwork_burst - 1 do
+          let size = 64 + ((v lsr (4 * k)) land 0x3FF) in
+          let pkt =
+            Pk.alloc arena ~kind:Pk.Net_rx ~size ~dst_core:(k land 3)
+              ~tag:!packets
+          in
+          Counters.incr_h ctr h_done;
+          Counters.add_h ctr h_bytes pkt.Pk.size;
+          Counters.lane_incr l_done (k land 1);
+          Pk.free arena pkt;
+          incr packets
+        done);
+    ignore (Sim.after sim (Time_ns.ns 700 + ((v lsr 40) land 0x7FF)) worker)
+  in
+  (* Deterministic stagger; no draw, so both styles' streams stay aligned
+     from the first activation. *)
+  for i = 1 to fullwork_chains do
+    ignore (Sim.after sim (i * 17) worker)
+  done;
+  let t0 = Unix.gettimeofday () in
+  Sim.run ~until:fullwork_horizon sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  ( Sim.events_scheduled sim,
+    Sim.events_processed sim,
+    !packets,
+    Counters.dump ctr,
+    wall )
+
+type fullwork_report = {
+  fw_scheduled : int;
+  fw_processed : int;
+  fw_packets : int;
+  fw_wall_old : float;
+  fw_wall_new : float;
+}
+
+let report_fullwork () =
+  let seed = getenv_i "BENCH_SEED" 42 in
+  print_newline ();
+  print_endline "Full-work hot path: seed-style vs handle-based bookkeeping";
+  print_endline "==========================================================";
+  Printf.printf
+    "  fig17-shaped replay with per-event work: %d chains, burst %d, %s \
+     horizon\n"
+    fullwork_chains fullwork_burst
+    (Time_ns.to_string fullwork_horizon);
+  (* Old style first so the new path cannot inherit a warmer cache. *)
+  let osched, oproc, opkts, odump, owall = fullwork_replay Oldstyle ~seed in
+  let nsched, nproc, npkts, ndump, nwall = fullwork_replay Newstyle ~seed in
+  if (osched, oproc, opkts) <> (nsched, nproc, npkts) then
+    failwith
+      (Printf.sprintf
+         "full-work hot path: old %d/%d/%d vs new %d/%d/%d — the two styles \
+          diverged"
+         osched oproc opkts nsched nproc npkts);
+  if odump <> ndump then
+    failwith
+      "full-work hot path: counter dumps diverged between string and handle \
+       bookkeeping";
+  let rate wall = float_of_int oproc /. Float.max 1e-9 wall in
+  Printf.printf
+    "  %-13s %9d fired %9d packets  %8.3fs wall  %12.0f events/sec\n"
+    "string+heap" oproc opkts owall (rate owall);
+  Printf.printf
+    "  %-13s %9d fired %9d packets  %8.3fs wall  %12.0f events/sec\n"
+    "handle+arena" nproc npkts nwall (rate nwall);
+  Printf.printf "  speedup: %.2fx\n" (owall /. Float.max 1e-9 nwall);
+  {
+    fw_scheduled = osched;
+    fw_processed = oproc;
+    fw_packets = opkts;
+    fw_wall_old = owall;
+    fw_wall_new = nwall;
+  }
+
+(* --- counters / packet-arena microbenches --------------------------------- *)
+
+(* Hand-timed loops rather than bechamel so the numbers land in
+   BENCH_ENGINE.json: op counts and allocation rates are deterministic,
+   only the ns/op columns move run to run. The minor-words-per-op
+   figures are the "no allocation on the per-event path" acceptance
+   check — bench_lint holds them to (essentially) zero. *)
+let time_loop n f =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+
+let minor_words_loop n f =
+  let w0 = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int n
+
+type counters_report = {
+  co_ops : int;
+  co_string_ns : float;
+  co_handle_ns : float;
+  co_lane_ns : float;
+  co_handle_minor_words : float;
+  co_lane_minor_words : float;
+}
+
+let report_counters_bench () =
+  let n = 2_000_000 in
+  let c = Counters.create () in
+  let h = Counters.handle c "dp.packets_done" in
+  let l = Counters.lane c "dp.packets_done" in
+  (* Touch the lane rows once so the warm (post-intern) path is what is
+     measured, as on a steady-state service. *)
+  for t = 0 to 3 do
+    Counters.lane_incr l t
+  done;
+  let string_ns = time_loop n (fun _ -> Counters.incr c "dp.packets_done") in
+  let handle_ns = time_loop n (fun _ -> Counters.incr_h c h) in
+  let lane_ns = time_loop n (fun i -> Counters.lane_incr l (i land 3)) in
+  let handle_minor = minor_words_loop n (fun _ -> Counters.incr_h c h) in
+  let lane_minor =
+    minor_words_loop n (fun i -> Counters.lane_incr l (i land 3))
+  in
+  print_newline ();
+  print_endline "Counter increment microbenchmark";
+  print_endline "================================";
+  Printf.printf "  %-22s %10.1f ns/op\n" "string-keyed incr" string_ns;
+  Printf.printf "  %-22s %10.1f ns/op  %.6f minor words/op\n" "handle incr_h"
+    handle_ns handle_minor;
+  Printf.printf "  %-22s %10.1f ns/op  %.6f minor words/op\n"
+    "tenant lane_incr" lane_ns lane_minor;
+  Printf.printf "  handle speedup over string: %.2fx\n"
+    (string_ns /. Float.max 1e-9 handle_ns);
+  {
+    co_ops = n;
+    co_string_ns = string_ns;
+    co_handle_ns = handle_ns;
+    co_lane_ns = lane_ns;
+    co_handle_minor_words = handle_minor;
+    co_lane_minor_words = lane_minor;
+  }
+
+type arena_report = {
+  pa_ops : int;
+  pa_create_ns : float;
+  pa_alloc_free_ns : float;
+  pa_create_minor_words : float;
+  pa_alloc_free_minor_words : float;
+}
+
+let report_arena_bench () =
+  let module Pk = Taichi_accel.Packet in
+  let n = 1_000_000 in
+  let arena = Pk.arena ~capacity:64 () in
+  let create i =
+    ignore
+      (Sys.opaque_identity
+         (Pk.create ~kind:Pk.Net_rx ~size:64 ~dst_core:0 ~tag:i))
+  in
+  let alloc_free i =
+    let pkt = Pk.alloc arena ~kind:Pk.Net_rx ~size:64 ~dst_core:0 ~tag:i in
+    Pk.free arena pkt
+  in
+  let create_ns = time_loop n create in
+  let alloc_free_ns = time_loop n alloc_free in
+  let create_minor = minor_words_loop n create in
+  let alloc_free_minor = minor_words_loop n alloc_free in
+  print_newline ();
+  print_endline "Packet descriptor microbenchmark";
+  print_endline "================================";
+  Printf.printf "  %-22s %10.1f ns/op  %.6f minor words/op\n" "heap create"
+    create_ns create_minor;
+  Printf.printf "  %-22s %10.1f ns/op  %.6f minor words/op\n"
+    "arena alloc+free" alloc_free_ns alloc_free_minor;
+  {
+    pa_ops = n;
+    pa_create_ns = create_ns;
+    pa_alloc_free_ns = alloc_free_ns;
+    pa_create_minor_words = create_minor;
+    pa_alloc_free_minor_words = alloc_free_minor;
   }
 
 (* --- per-cell fig17 engine throughput ------------------------------------- *)
@@ -574,12 +825,16 @@ let report_fleet () =
 
 (* --- BENCH_ENGINE.json ---------------------------------------------------- *)
 
-(* Schema taichi-bench-engine-v1. Everything except the fields whose name
-   starts with [wall_] or [events_per_sec] (and the derived [speedup]) is
-   deterministic for a given seed: re-running with the same BENCH_SEED
-   must reproduce the file modulo those timing fields. [bin/bench_lint]
-   validates the shape in CI. *)
-let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet =
+(* Schema taichi-bench-engine-v2. Everything except the fields whose name
+   starts with [wall_] or ends in [_ns] or [events_per_sec] (and the
+   derived [speedup]s) is deterministic for a given seed: re-running
+   with the same BENCH_SEED must reproduce the file modulo those timing
+   fields. The [minor_words_per_op] figures are deterministic too — the
+   allocation-free contract, not a timing. [bin/bench_lint] validates
+   the shape in CI and holds the speedups and allocation rates to the
+   committed floors in BENCH_FLOORS.json. *)
+let write_engine_json path ~hotpath ~fullwork ~cbench ~abench ~fig17
+    ~multitenant ~churn ~fleet =
   let module J = Taichi_metrics.Json in
   let rate processed wall = float_of_int processed /. Float.max 1e-9 wall in
   let engine_obj wall =
@@ -589,10 +844,17 @@ let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet =
         ("events_per_sec", J.Float (rate hotpath.hp_processed wall));
       ]
   in
+  let fullwork_obj wall =
+    J.Obj
+      [
+        ("wall_s", J.Float wall);
+        ("events_per_sec", J.Float (rate fullwork.fw_processed wall));
+      ]
+  in
   let json =
     J.Obj
       [
-        ("schema", J.Str "taichi-bench-engine-v1");
+        ("schema", J.Str "taichi-bench-engine-v2");
         ("seed", J.Int (getenv_i "BENCH_SEED" 42));
         ("scale", J.Float (getenv_f "BENCH_SCALE" 0.25));
         ( "hotpath",
@@ -609,6 +871,48 @@ let write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet =
                 J.Float
                   (hotpath.hp_wall_legacy
                   /. Float.max 1e-9 hotpath.hp_wall_calendar) );
+            ] );
+        ( "hotpath_full",
+          J.Obj
+            [
+              ("chains", J.Int fullwork_chains);
+              ("burst", J.Int fullwork_burst);
+              ("horizon_ns", J.Int fullwork_horizon);
+              ("events_scheduled", J.Int fullwork.fw_scheduled);
+              ("events_processed", J.Int fullwork.fw_processed);
+              ("packets", J.Int fullwork.fw_packets);
+              ("oldstyle", fullwork_obj fullwork.fw_wall_old);
+              ("newstyle", fullwork_obj fullwork.fw_wall_new);
+              ( "speedup",
+                J.Float
+                  (fullwork.fw_wall_old /. Float.max 1e-9 fullwork.fw_wall_new)
+              );
+            ] );
+        ( "counters",
+          J.Obj
+            [
+              ("ops", J.Int cbench.co_ops);
+              ("string_incr_ns", J.Float cbench.co_string_ns);
+              ("handle_incr_ns", J.Float cbench.co_handle_ns);
+              ("lane_incr_ns", J.Float cbench.co_lane_ns);
+              ( "handle_minor_words_per_op",
+                J.Float cbench.co_handle_minor_words );
+              ("lane_minor_words_per_op", J.Float cbench.co_lane_minor_words);
+              ( "speedup",
+                J.Float
+                  (cbench.co_string_ns /. Float.max 1e-9 cbench.co_handle_ns)
+              );
+            ] );
+        ( "packet_arena",
+          J.Obj
+            [
+              ("ops", J.Int abench.pa_ops);
+              ("create_ns", J.Float abench.pa_create_ns);
+              ("alloc_free_ns", J.Float abench.pa_alloc_free_ns);
+              ( "create_minor_words_per_op",
+                J.Float abench.pa_create_minor_words );
+              ( "alloc_free_minor_words_per_op",
+                J.Float abench.pa_alloc_free_minor_words );
             ] );
         ( "fig17",
           J.Arr
@@ -800,13 +1104,17 @@ let () =
   run_experiments ();
   report_sweep_wallclock ();
   let hotpath = report_engine_hotpath () in
+  let fullwork = report_fullwork () in
+  let cbench = report_counters_bench () in
+  let abench = report_arena_bench () in
   let fig17 = report_fig17_cells () in
   let multitenant = report_multitenant () in
   let churn = report_mt_churn () in
   let fleet = report_fleet () in
   (match Sys.getenv_opt "BENCH_ENGINE_JSON" with
   | Some path ->
-      write_engine_json path ~hotpath ~fig17 ~multitenant ~churn ~fleet
+      write_engine_json path ~hotpath ~fullwork ~cbench ~abench ~fig17
+        ~multitenant ~churn ~fleet
   | None -> ());
   run_microbenches ();
   report_tombstones ()

@@ -1,15 +1,22 @@
-(* Validate a taichi-bench-engine-v1 JSON export (the tracked engine
+(* Validate a taichi-bench-engine-v2 JSON export (the tracked engine
    throughput trajectory written by `make bench-json`): parses the file,
    checks the schema marker, the hotpath section's shape — including that
    the calendar and legacy engines processed the identical event counts,
-   the determinism guarantee the bench itself asserts — that every fig17
-   cell row carries the expected fields, and that the multitenant
-   counter-lane section is coherent (strictly increasing — possibly
-   sparse — tenant ids, non-negative per-tenant rows, per-suffix sums
-   equal to the globals, and a churn sub-run whose retired lanes are
-   still reported), plus a fleet sub-run section whose crash/failover
-   accounting balances. Exit 0 on success so CI can gate on it before
-   uploading the artifact. *)
+   the determinism guarantee the bench itself asserts — the full-work
+   hot-path section (string-vs-handle bookkeeping on the same event
+   program), the counters and packet_arena microbench sections — whose
+   minor-words-per-op figures are the allocation-free contract of the
+   per-event path — that every fig17 cell row carries the expected
+   fields, and that the multitenant counter-lane section is coherent
+   (strictly increasing — possibly sparse — tenant ids, non-negative
+   per-tenant rows, per-suffix sums equal to the globals, and a churn
+   sub-run whose retired lanes are still reported), plus a fleet sub-run
+   section whose crash/failover accounting balances.
+
+   With a second argument (the committed BENCH_FLOORS.json) it also
+   enforces the perf floors: minimum hot-path events/sec and speedups,
+   maximum allocation per op. Exit 0 on success so CI can gate on it
+   before uploading the artifact. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -291,6 +298,124 @@ let check_fleet json =
     fail "fleet sub-run attainment %f is not a fraction" attainment
   else Ok ()
 
+(* The full-work section: both bookkeeping styles ran the identical
+   event program, so the shared counts must be plausible and the two
+   rate objects well-formed. *)
+let check_hotpath_full json =
+  let* fw = field "hotpath_full" json in
+  let* chains = int_field "chains" fw in
+  let* burst = int_field "burst" fw in
+  let* horizon = int_field "horizon_ns" fw in
+  let* scheduled = int_field "events_scheduled" fw in
+  let* processed = int_field "events_processed" fw in
+  let* packets = int_field "packets" fw in
+  let* () = check_engine "oldstyle" fw in
+  let* () = check_engine "newstyle" fw in
+  let* speedup = number_field "speedup" fw in
+  if chains <= 0 || burst <= 0 || horizon <= 0 then
+    fail "hotpath_full workload parameters must be positive"
+  else if scheduled <= 0 || processed <= 0 || processed > scheduled then
+    fail
+      "hotpath_full event counts are implausible (%d scheduled, %d processed)"
+      scheduled processed
+  else if packets <> processed * burst then
+    fail "hotpath_full packets %d != processed %d * burst %d" packets
+      processed burst
+  else if speedup <= 0.0 then fail "hotpath_full.speedup must be positive"
+  else Ok ()
+
+(* The microbench sections carry the allocation-free contract: the
+   handle, lane and arena paths must not allocate per op (a hair above
+   zero tolerated for the Gc.minor_words probe itself). *)
+let alloc_free_tolerance = 0.01
+
+let check_counters json =
+  let* c = field "counters" json in
+  let* ops = int_field "ops" c in
+  let* string_ns = number_field "string_incr_ns" c in
+  let* handle_ns = number_field "handle_incr_ns" c in
+  let* lane_ns = number_field "lane_incr_ns" c in
+  let* handle_minor = number_field "handle_minor_words_per_op" c in
+  let* lane_minor = number_field "lane_minor_words_per_op" c in
+  let* speedup = number_field "speedup" c in
+  if ops <= 0 then fail "counters.ops must be positive"
+  else if string_ns <= 0.0 || handle_ns <= 0.0 || lane_ns <= 0.0 then
+    fail "counters timings must be positive"
+  else if handle_minor > alloc_free_tolerance then
+    fail "counters.handle_incr allocates %f minor words/op (must be 0)"
+      handle_minor
+  else if lane_minor > alloc_free_tolerance then
+    fail "counters.lane_incr allocates %f minor words/op (must be 0)"
+      lane_minor
+  else if speedup <= 0.0 then fail "counters.speedup must be positive"
+  else Ok ()
+
+let check_packet_arena json =
+  let* p = field "packet_arena" json in
+  let* ops = int_field "ops" p in
+  let* create_ns = number_field "create_ns" p in
+  let* alloc_free_ns = number_field "alloc_free_ns" p in
+  let* create_minor = number_field "create_minor_words_per_op" p in
+  let* alloc_free_minor = number_field "alloc_free_minor_words_per_op" p in
+  if ops <= 0 then fail "packet_arena.ops must be positive"
+  else if create_ns <= 0.0 || alloc_free_ns <= 0.0 then
+    fail "packet_arena timings must be positive"
+  else if create_minor <= 0.0 then
+    fail
+      "packet_arena.create_minor_words_per_op is %f — heap create must \
+       allocate, or the probe is broken"
+      create_minor
+  else if alloc_free_minor > alloc_free_tolerance then
+    fail "packet_arena.alloc_free allocates %f minor words/op (must be 0)"
+      alloc_free_minor
+  else Ok ()
+
+(* --- perf floors ---------------------------------------------------------- *)
+
+(* The committed BENCH_FLOORS.json: every [*_min] is a lower bound on
+   the same-named figure, every [*_max] an upper bound. Ratios guard the
+   refactor's payoff independent of the host; the one absolute
+   events/sec floor catches catastrophic engine regressions. *)
+let check_floors floors json =
+  let* schema = field "schema" floors in
+  let* () =
+    match Taichi_metrics.Json.to_str schema with
+    | Some "taichi-bench-floors-v1" -> Ok ()
+    | Some other -> fail "unexpected floors schema %S" other
+    | None -> fail "floors schema marker is not a string"
+  in
+  let* hp = field "hotpath" json in
+  let* cal = field "calendar" hp in
+  let* hp_rate = number_field "events_per_sec" cal in
+  let* hp_speedup = number_field "speedup" hp in
+  let* fw = field "hotpath_full" json in
+  let* fw_speedup = number_field "speedup" fw in
+  let* c = field "counters" json in
+  let* co_speedup = number_field "speedup" c in
+  let* co_handle_minor = number_field "handle_minor_words_per_op" c in
+  let* co_lane_minor = number_field "lane_minor_words_per_op" c in
+  let* p = field "packet_arena" json in
+  let* pa_minor = number_field "alloc_free_minor_words_per_op" p in
+  let floor_min name value =
+    let* floor = number_field name floors in
+    if value < floor then
+      fail "perf floor %s: measured %f < floor %f" name value floor
+    else Ok ()
+  in
+  let cap_max name value =
+    let* cap = number_field name floors in
+    if value > cap then
+      fail "perf cap %s: measured %f > cap %f" name value cap
+    else Ok ()
+  in
+  let* () = floor_min "hotpath_events_per_sec_min" hp_rate in
+  let* () = floor_min "hotpath_speedup_min" hp_speedup in
+  let* () = floor_min "hotpath_full_speedup_min" fw_speedup in
+  let* () = floor_min "counters_speedup_min" co_speedup in
+  let* () = cap_max "handle_minor_words_per_op_max" co_handle_minor in
+  let* () = cap_max "lane_minor_words_per_op_max" co_lane_minor in
+  cap_max "alloc_free_minor_words_per_op_max" pa_minor
+
 let fig17_cells = 8
 
 let check_fig17 json =
@@ -309,7 +434,7 @@ let check_fig17 json =
           (Ok ())
           (List.mapi (fun i row -> (i, row)) rows)
 
-let validate contents =
+let validate ?floors contents =
   let* json =
     match Taichi_metrics.Json.parse_opt contents with
     | Some j -> Ok j
@@ -318,33 +443,53 @@ let validate contents =
   let* schema = field "schema" json in
   let* () =
     match Taichi_metrics.Json.to_str schema with
-    | Some "taichi-bench-engine-v1" -> Ok ()
+    | Some "taichi-bench-engine-v2" -> Ok ()
     | Some other -> fail "unexpected schema %S" other
     | None -> fail "schema marker is not a string"
   in
   let* _seed = int_field "seed" json in
   let* _scale = number_field "scale" json in
   let* () = check_hotpath json in
+  let* () = check_hotpath_full json in
+  let* () = check_counters json in
+  let* () = check_packet_arena json in
   let* () = check_fig17 json in
   let* () = check_multitenant json in
-  check_fleet json
+  let* () = check_fleet json in
+  match floors with
+  | None -> Ok ()
+  | Some contents ->
+      let* floors =
+        match Taichi_metrics.Json.parse_opt contents with
+        | Some j -> Ok j
+        | None -> fail "malformed floors JSON"
+      in
+      check_floors floors json
+
+let read_or_die path =
+  try read_file path
+  with Sys_error msg ->
+    Printf.eprintf "bench_lint: %s\n" msg;
+    exit 2
+
+let run path ~floors_path =
+  let contents = read_or_die path in
+  let floors = Option.map read_or_die floors_path in
+  match validate ?floors contents with
+  | Ok () ->
+      Printf.printf "bench_lint: %s OK%s\n" path
+        (match floors_path with
+        | Some f -> Printf.sprintf " (floors %s)" f
+        | None -> "");
+      exit 0
+  | Error msg ->
+      Printf.eprintf "bench_lint: %s: %s\n" path msg;
+      exit 1
 
 let () =
   match Sys.argv with
-  | [| _; path |] -> (
-      let contents =
-        try read_file path
-        with Sys_error msg ->
-          Printf.eprintf "bench_lint: %s\n" msg;
-          exit 2
-      in
-      match validate contents with
-      | Ok () ->
-          Printf.printf "bench_lint: %s OK\n" path;
-          exit 0
-      | Error msg ->
-          Printf.eprintf "bench_lint: %s: %s\n" path msg;
-          exit 1)
+  | [| _; path |] -> run path ~floors_path:None
+  | [| _; path; floors |] -> run path ~floors_path:(Some floors)
   | _ ->
-      Printf.eprintf "usage: bench_lint BENCH_ENGINE.json\n";
+      Printf.eprintf "usage: bench_lint BENCH_ENGINE.json [BENCH_FLOORS.json]\n";
       exit 2

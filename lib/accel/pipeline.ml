@@ -23,6 +23,10 @@ let default_config = { preprocess = Time_ns.ns 2700; transfer = Time_ns.ns 500 }
 type t = {
   sim : Sim.t;
   config : config;
+  arena : Packet.arena;
+      (* descriptor pool for everything submitted through this pipeline;
+         the service frees after [on_packets_done], the drop and
+         discard paths free inline *)
   rings : (int, Ring.t) Hashtbl.t;
   in_flight : (int, int ref) Hashtbl.t;
   mutable probe_hook : (Packet.t -> unit) option;
@@ -42,6 +46,7 @@ type t = {
 }
 
 let config t = t.config
+let arena t = t.arena
 let window t = t.config.preprocess + t.config.transfer
 let attach_ring t ~core ring = Hashtbl.replace t.rings core ring
 let ring t ~core = Hashtbl.find t.rings core
@@ -110,7 +115,11 @@ let rec drain t =
   if Ring.push ring pkt then begin
     t.delivered <- t.delivered + 1;
     t.deliver_hook ~core:pkt.Packet.dst_core
-  end;
+  end
+  else
+    (* A full ring drops the descriptor on the floor; its slot recycles
+       immediately. *)
+    Packet.free t.arena pkt;
   if t.q_len = 0 then t.armed <- false
   else begin
     let h = t.q_head in
@@ -129,6 +138,7 @@ let create ?(config = default_config) sim =
     {
       sim;
       config;
+      arena = Packet.arena ~capacity:4096 ();
       rings = Hashtbl.create 16;
       in_flight = Hashtbl.create 16;
       probe_hook = None;

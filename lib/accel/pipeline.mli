@@ -24,6 +24,12 @@ val create : ?config:config -> Sim.t -> t
 
 val config : t -> config
 
+val arena : t -> Packet.arena
+(** The descriptor pool everything submitted through this pipeline is
+    allocated from. Clients {!Packet.alloc} here; the consuming service
+    frees once [on_packets_done] returns, and the pipeline itself frees
+    descriptors a full ring drops. *)
+
 val window : t -> Time_ns.t
 (** [window t] is the total hardware window (preprocess + transfer). *)
 

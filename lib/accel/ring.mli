@@ -33,7 +33,14 @@ val push : t -> Packet.t -> bool
 
 val pop_burst : t -> max:int -> Packet.t list
 (** [pop_burst t ~max] dequeues up to [max] descriptors in FIFO order —
-    [rte_eth_rx_burst] semantics. *)
+    [rte_eth_rx_burst] semantics. Allocates the list; hot consumers use
+    {!pop_burst_into}. *)
+
+val pop_burst_into : t -> Packet.t array -> max:int -> int
+(** [pop_burst_into t dst ~max] dequeues up to
+    [min max (Array.length dst)] descriptors into [dst.(0..n-1)] and
+    returns [n] — the allocation-free burst used on the service poll
+    loop. *)
 
 val drops : t -> int
 val total_enqueued : t -> int

@@ -9,6 +9,8 @@ type t = {
   table : State_table.t;
   sched : Vcpu_sched.t;
   pending : (int, unit) Hashtbl.t;
+  h_triggers : Counters.handle;
+  h_suppressed : Counters.handle;
   mutable triggers : int;
   mutable suppressed : int;
   mutable suppressor : (core:int -> bool) option;
@@ -17,7 +19,7 @@ type t = {
 let fire t ~core =
   Hashtbl.replace t.pending core ();
   t.triggers <- t.triggers + 1;
-  Counters.incr (Machine.counters t.machine) "probe.hw.triggers";
+  Counters.incr_h (Machine.counters t.machine) t.h_triggers;
   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
     ~category:Trace.Cat.probe_hw "irq scheduled in %dns"
     t.config.Config.irq_latency;
@@ -35,6 +37,9 @@ let install config machine table pipeline sched =
       table;
       sched;
       pending = Hashtbl.create 16;
+      h_triggers = Counters.handle (Machine.counters machine) "probe.hw.triggers";
+      h_suppressed =
+        Counters.handle (Machine.counters machine) "probe.hw.suppressed";
       triggers = 0;
       suppressed = 0;
       suppressor = None;
@@ -50,7 +55,7 @@ let install config machine table pipeline sched =
            | State_table.V_state ->
                if Hashtbl.mem t.pending core then begin
                  t.suppressed <- t.suppressed + 1;
-                 Counters.incr (Machine.counters t.machine) "probe.hw.suppressed"
+                 Counters.incr_h (Machine.counters t.machine) t.h_suppressed
                end
                else
                  (* The injected suppressor models the accelerator failing

@@ -37,9 +37,19 @@ type t = {
   mutable free_floats : Dp_service.t list;
   assigned : (int, assignment) Hashtbl.t;
   mutable on_retired : (int -> unit) list;
+  h_admit_refused : Counters.handle;
+  h_refused_by : Counters.handle array; (* indexed by refusal *)
+  h_admitted : Counters.handle;
+  h_admit_abandoned : Counters.handle;
+  h_admit_retries : Counters.handle;
+  h_drain_forced : Counters.handle;
+  h_drain_flushed : Counters.handle;
+  h_drain_discarded : Counters.handle;
+  h_retired : Counters.handle;
+  h_drains : Counters.handle;
 }
 
-let count ?by t name = Counters.incr ?by (Machine.counters t.machine) name
+let count ?by t h = Counters.incr_h ?by (Machine.counters t.machine) h
 
 let emitf t fmt =
   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim)
@@ -47,6 +57,7 @@ let emitf t fmt =
 
 let create ~config ~machine ~kernel ~sched ~overload ~tenants ~spares ~floats
     ~cp_pcpus ~dps ~recovery =
+  let h = Counters.handle (Machine.counters machine) in
   let t =
     {
       config;
@@ -63,6 +74,19 @@ let create ~config ~machine ~kernel ~sched ~overload ~tenants ~spares ~floats
       free_floats = floats;
       assigned = Hashtbl.create 8;
       on_retired = [];
+      h_admit_refused = h "churn.admit_refused";
+      h_refused_by =
+        Array.map
+          (fun r -> h ("churn.admit_refused." ^ refusal_label r))
+          [| Backpressure; No_vcpus; No_services |];
+      h_admitted = h "churn.admitted";
+      h_admit_abandoned = h "churn.admit_abandoned";
+      h_admit_retries = h "churn.admit_retries";
+      h_drain_forced = h "churn.drain_forced";
+      h_drain_flushed = h "churn.drain_flushed";
+      h_drain_discarded = h "churn.drain_discarded_pkts";
+      h_retired = h "churn.retired";
+      h_drains = h "churn.drains";
     }
   in
   (* The zero-orphan audit, run with every machine-wide [Core_state.audit]
@@ -145,8 +169,12 @@ let take n l =
 
 let admit t ?(vcpus = 1) ?(services = 1) (spec : Tenant.spec) =
   let refuse r =
-    count t "churn.admit_refused";
-    count t ("churn.admit_refused." ^ refusal_label r);
+    count t t.h_admit_refused;
+    count t
+      t.h_refused_by.(match r with
+        | Backpressure -> 0
+        | No_vcpus -> 1
+        | No_services -> 2);
     emitf t "refused name=%s reason=%s" spec.Tenant.name (refusal_label r);
     Error r
   in
@@ -192,7 +220,7 @@ let admit t ?(vcpus = 1) ?(services = 1) (spec : Tenant.spec) =
     Hashtbl.replace t.assigned id
       { vcpus = vs; services = svcs; tasks = []; forced = false };
     Tenant.set_phase t.tenants id Tenant.Active;
-    count t "churn.admitted";
+    count t t.h_admitted;
     emitf t "admit tenant=%d name=%s vcpus=%d services=%d" id spec.Tenant.name
       vcpus services;
     Ok id
@@ -212,12 +240,12 @@ let admit_with_backoff t ?on_refused ?vcpus ?services (spec : Tenant.spec)
     | Error r ->
         (match on_refused with None -> () | Some f -> f r);
         if n >= t.config.Config.admit_retry_max then begin
-          count t "churn.admit_abandoned";
+          count t t.h_admit_abandoned;
           emitf t "abandoned name=%s attempts=%d" spec.Tenant.name n;
           on_abandoned r
         end
         else begin
-          count t "churn.admit_retries";
+          count t t.h_admit_retries;
           let delay = min cap (base * (1 lsl min n 20)) in
           ignore (Sim.after t.sim delay (fun () -> attempt (n + 1)))
         end
@@ -245,7 +273,7 @@ let quiesced t ~tenant a =
    mid-invariant. *)
 let force_drain t ~tenant a =
   a.forced <- true;
-  count t "churn.drain_forced";
+  count t t.h_drain_forced;
   emitf t "force tenant=%d" tenant;
   prune_finished a;
   List.iter
@@ -256,11 +284,11 @@ let force_drain t ~tenant a =
   Vcpu_sched.force_evict_tenant t.sched ~tenant;
   let flushed = Vcpu_sched.flush_tenant t.sched ~tenant in
   if flushed <> [] then
-    count ~by:(List.length flushed) t "churn.drain_flushed";
+    count ~by:(List.length flushed) t t.h_drain_flushed;
   List.iter
     (fun dp ->
       let n = Dp_service.discard_backlog dp in
-      if n > 0 then count ~by:n t "churn.drain_discarded_pkts")
+      if n > 0 then count ~by:n t t.h_drain_discarded)
     a.services;
   Recovery.note t.recovery ~cls:"drain" ~action:"forced"
     ~latency:t.config.Config.drain_window
@@ -286,7 +314,7 @@ let finalize t ~tenant a =
   | Some ov -> Overload.retire_lane ov ~tenant
   | None -> ());
   Tenant.set_phase t.tenants tenant Tenant.Retired;
-  count t "churn.retired";
+  count t t.h_retired;
   emitf t "retired tenant=%d forced=%b" tenant a.forced;
   List.iter (fun f -> f tenant) t.on_retired
 
@@ -300,7 +328,7 @@ let retire t ~tenant =
              "Lifecycle.retire: tenant %d was not dynamically admitted" tenant)
   in
   Tenant.set_phase t.tenants tenant Tenant.Draining;
-  count t "churn.drains";
+  count t t.h_drains;
   emitf t "drain tenant=%d window=%d" tenant t.config.Config.drain_window;
   (* A departing tenant's parked CP admissions must never run. *)
   (match t.overload with
@@ -319,7 +347,7 @@ let retire t ~tenant =
         List.iter
           (fun dp ->
             let n = Dp_service.discard_backlog dp in
-            if n > 0 then count ~by:n t "churn.drain_discarded_pkts")
+            if n > 0 then count ~by:n t t.h_drain_discarded)
           a.services;
       ignore (Sim.after t.sim t.config.Config.drain_poll poll)
     end

@@ -57,6 +57,29 @@ type lane = {
   shed_counts : (cls, int) Hashtbl.t;
 }
 
+(* A mirrored counter cell: the global handle plus the per-tenant lane
+   for the same name, both interned once at [create]. Incrementing one
+   is two array stores — no string hashing, no [Tenant.counter]
+   sprintf — which matters because admission verdicts and ladder
+   samples are per-event. *)
+type cell = { ch : Counters.handle; cl : Counters.lane }
+
+(* One cell per counter the governor touches; the per-class and
+   per-level families are arrays indexed by [cls_rank] / [rank], so the
+   seed's [Printf.sprintf "overload.admitted.%s"] per admission is a
+   plain array index now. *)
+type cells = {
+  c_place_denied : cell;
+  c_admitted : cell array; (* by cls rank *)
+  c_deferred : cell array;
+  c_shed : cell array;
+  c_transitions : cell;
+  c_enter : cell array; (* by level rank *)
+  c_escalations : cell;
+  c_relaxes : cell;
+  c_samples : cell;
+}
+
 type t = {
   config : Config.t;
   machine : Machine.t;
@@ -64,6 +87,8 @@ type t = {
   recovery : Recovery.t;
   sim : Sim.t;
   cs : Core_state.t;
+  ctr : Counters.t;
+  cells : cells;
   mutable lanes : lane array;
   mutable started : bool;
   mutable engaged_lanes : int;
@@ -72,10 +97,31 @@ type t = {
   mutable transition_cbs : (level -> level -> unit) list;
 }
 
-let lane_count t l name =
-  Counters.incr (Machine.counters t.machine) name;
-  if l.tagged then
-    Counters.incr (Machine.counters t.machine) (Tenant.counter l.tid name)
+let make_cells ctr =
+  let cell name = { ch = Counters.handle ctr name; cl = Counters.lane ctr name } in
+  let by_cls prefix =
+    Array.of_list
+      (List.map (fun c -> cell (prefix ^ cls_label c)) Tenant.all_classes)
+  in
+  {
+    c_place_denied = cell "overload.place_denied";
+    c_admitted = by_cls "overload.admitted.";
+    c_deferred = by_cls "overload.deferred.";
+    c_shed = by_cls "overload.shed.";
+    c_transitions = cell "overload.transitions";
+    c_enter =
+      Array.of_list
+        (List.map
+           (fun lv -> cell ("overload.enter." ^ level_label lv))
+           [ Normal; Throttle; Defer; Shed; Static_partition ]);
+    c_escalations = cell "overload.escalations";
+    c_relaxes = cell "overload.relaxes";
+    c_samples = cell "overload.samples";
+  }
+
+let lane_count t l c =
+  Counters.incr_h t.ctr c.ch;
+  if l.tagged then Counters.lane_incr c.cl l.tid
 
 let make_lane config ~tid ~tagged =
   (* The sketch window spans a handful of sampling periods, so the p99
@@ -111,6 +157,7 @@ let create ?tenants config machine kernel recovery =
     match tenants with Some t -> t | None -> Config.tenant_table config
   in
   let tagged = Tenant.is_multi table in
+  let ctr = Machine.counters machine in
   {
     config;
     machine;
@@ -118,6 +165,8 @@ let create ?tenants config machine kernel recovery =
     recovery;
     sim = Machine.sim machine;
     cs = Machine.core_state machine;
+    ctr;
+    cells = make_cells ctr;
     lanes =
       Array.init (Tenant.count table) (fun tid ->
           make_lane config ~tid ~tagged);
@@ -224,25 +273,25 @@ let place_allowed t tenant =
         true
       end
       else begin
-        lane_count t l "overload.place_denied";
+        lane_count t l t.cells.c_place_denied;
         false
       end
 
 (* --- admission ------------------------------------------------------------ *)
 
 let run_now t l cls run =
-  lane_count t l (Printf.sprintf "overload.admitted.%s" (cls_label cls));
+  lane_count t l t.cells.c_admitted.(Tenant.cls_rank cls);
   run ();
   `Admitted
 
 let park t l cls run =
-  lane_count t l (Printf.sprintf "overload.deferred.%s" (cls_label cls));
+  lane_count t l t.cells.c_deferred.(Tenant.cls_rank cls);
   Queue.push (cls, run) l.deferred;
   `Deferred
 
 let drop t l cls =
   Hashtbl.replace l.shed_counts cls (lane_shed l cls + 1);
-  lane_count t l (Printf.sprintf "overload.shed.%s" (cls_label cls));
+  lane_count t l t.cells.c_shed.(Tenant.cls_rank cls);
   `Shed
 
 let lane_admit t l ~cls run =
@@ -281,15 +330,15 @@ let goto t l to_ =
   l.entered <- now;
   l.calm_since <- None;
   l.s_transitions <- l.s_transitions + 1;
-  lane_count t l "overload.transitions";
-  lane_count t l (Printf.sprintf "overload.enter.%s" (level_label to_));
+  lane_count t l t.cells.c_transitions;
+  lane_count t l t.cells.c_enter.(rank to_);
   if rank to_ > rank from then begin
     l.s_escalations <- l.s_escalations + 1;
-    lane_count t l "overload.escalations"
+    lane_count t l t.cells.c_escalations
   end
   else begin
     l.s_relaxes <- l.s_relaxes + 1;
-    lane_count t l "overload.relaxes"
+    lane_count t l t.cells.c_relaxes
   end;
   (if l.tagged then
      Trace.emitf (Machine.trace t.machine) ~time:now
@@ -370,7 +419,7 @@ let sample_and_step t l =
   let busy = sample_busy t l in
   let runq = sample_runq t l in
   let p99 = sample_p99 t l in
-  lane_count t l "overload.samples";
+  lane_count t l t.cells.c_samples;
   let bound = c.Config.overload_p99_bound in
   let p99_over = match p99 with Some p -> p >= bound | None -> false in
   let p99_under = match p99 with Some p -> p <= bound / 2 | None -> true in

@@ -15,9 +15,17 @@ type t = {
   mutable rearmed : int;
   mutable engage_cbs : (unit -> unit) list;
   mutable rearm_cbs : (unit -> unit) list;
+  h_rearmed : Counters.handle;
+  h_engaged : Counters.handle;
+  h_forced : Counters.handle;
+  h_released : Counters.handle;
+  (* [note] events carry an open (cls, action) vocabulary; the handles
+     are interned per pair on first use, off the per-event path. *)
+  note_cells : (string * string, Counters.handle) Hashtbl.t;
 }
 
 let create config machine =
+  let h = Counters.handle (Machine.counters machine) in
   {
     config;
     machine;
@@ -32,6 +40,11 @@ let create config machine =
     rearmed = 0;
     engage_cbs = [];
     rearm_cbs = [];
+    h_rearmed = h "recovery.degraded.rearmed";
+    h_engaged = h "recovery.degraded.engaged";
+    h_forced = h "recovery.degraded.forced";
+    h_released = h "recovery.degraded.released";
+    note_cells = Hashtbl.create 8;
   }
 
 let degraded t = t.degraded
@@ -47,7 +60,7 @@ let rearm t =
   t.degraded <- false;
   Queue.clear t.window;
   t.rearmed <- t.rearmed + 1;
-  Counters.incr (Machine.counters t.machine) "recovery.degraded.rearmed";
+  Counters.incr_h (Machine.counters t.machine) t.h_rearmed;
   Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim)
     ~category:Trace.Cat.degraded "rearm";
   List.iter (fun f -> f ()) t.rearm_cbs
@@ -75,7 +88,7 @@ let rec schedule_quiet_check t =
 let engage t =
   t.degraded <- true;
   t.engaged <- t.engaged + 1;
-  Counters.incr (Machine.counters t.machine) "recovery.degraded.engaged";
+  Counters.incr_h (Machine.counters t.machine) t.h_engaged;
   Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim)
     ~category:Trace.Cat.degraded "engage events_in_window=%d"
     (Queue.length t.window);
@@ -90,11 +103,11 @@ let engage t =
 let force_engage t =
   if not t.forced then begin
     t.forced <- true;
-    Counters.incr (Machine.counters t.machine) "recovery.degraded.forced";
+    Counters.incr_h (Machine.counters t.machine) t.h_forced;
     if not t.degraded then begin
       t.degraded <- true;
       t.engaged <- t.engaged + 1;
-      Counters.incr (Machine.counters t.machine) "recovery.degraded.engaged";
+      Counters.incr_h (Machine.counters t.machine) t.h_engaged;
       Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim)
         ~category:Trace.Cat.degraded "engage forced=overload";
       List.iter (fun f -> f ()) t.engage_cbs
@@ -107,13 +120,23 @@ let force_engage t =
 let force_release t =
   if t.forced then begin
     t.forced <- false;
-    Counters.incr (Machine.counters t.machine) "recovery.degraded.released";
+    Counters.incr_h (Machine.counters t.machine) t.h_released;
     if t.degraded then rearm t
   end
 
 let note t ~cls ~action ~latency =
-  Counters.incr (Machine.counters t.machine)
-    (Printf.sprintf "recovery.%s.%s" cls action);
+  let h =
+    match Hashtbl.find_opt t.note_cells (cls, action) with
+    | Some h -> h
+    | None ->
+        let h =
+          Counters.handle (Machine.counters t.machine)
+            (Printf.sprintf "recovery.%s.%s" cls action)
+        in
+        Hashtbl.replace t.note_cells (cls, action) h;
+        h
+  in
+  Counters.incr_h (Machine.counters t.machine) h;
   Histogram.add t.latency latency;
   t.total <- t.total + 1;
   let now = Sim.now t.sim in

@@ -4,15 +4,22 @@ open Taichi_hw
 type t = {
   config : Config.t;
   machine : Machine.t option;
+  h_sustained_idle : Counters.handle option;
+  h_false_positive : Counters.handle option;
   thresholds : int array;
   fps : int array;
   mutable adjustments : int;
 }
 
 let create ?machine config ~cores =
+  let h name =
+    Option.map (fun m -> Counters.handle (Machine.counters m) name) machine
+  in
   {
     config;
     machine;
+    h_sustained_idle = h "probe.sw.sustained_idle";
+    h_false_positive = h "probe.sw.false_positive";
     thresholds = Array.make cores config.Config.threshold_init;
     fps = Array.make cores 0;
     adjustments = 0;
@@ -20,20 +27,20 @@ let create ?machine config ~cores =
 
 let threshold t ~core = t.thresholds.(core)
 
-let note t ~core event =
-  match t.machine with
-  | None -> ()
-  | Some m ->
-      Counters.incr (Machine.counters m) ("probe.sw." ^ event);
+let note t ~core h event =
+  match (t.machine, h) with
+  | Some m, Some h ->
+      Counters.incr_h (Machine.counters m) h;
       Trace.emitf (Machine.trace m) ~time:(Sim.now (Machine.sim m)) ~core
         ~category:Trace.Cat.probe_sw "%s threshold=%d" event t.thresholds.(core)
+  | _ -> ()
 
 let on_sustained_idle t ~core =
   if t.config.Config.adaptive_threshold then begin
     let n = t.thresholds.(core) - t.config.Config.threshold_dec in
     t.thresholds.(core) <- max t.config.Config.threshold_min n;
     t.adjustments <- t.adjustments + 1;
-    note t ~core "sustained_idle"
+    note t ~core t.h_sustained_idle "sustained_idle"
   end
 
 let on_false_positive t ~core =
@@ -43,7 +50,7 @@ let on_false_positive t ~core =
     t.thresholds.(core) <- min t.config.Config.threshold_max n;
     t.adjustments <- t.adjustments + 1
   end;
-  note t ~core "false_positive"
+  note t ~core t.h_false_positive "false_positive"
 
 let false_positives t ~core = t.fps.(core)
 let adjustments t = t.adjustments

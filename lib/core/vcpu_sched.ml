@@ -16,10 +16,36 @@ type stats = {
   unsafe_suspensions : int;
 }
 
+(* A mirrored counter cell: global handle plus the per-tenant lane for
+   the same name, interned once at [create] so per-event scheduler
+   bookkeeping never hashes a string or formats a tenant name. *)
+type cell = { ch : Counters.handle; cl : Counters.lane }
+
+type cells = {
+  c_placements : cell;
+  c_slice_expiries : cell;
+  c_halt_exits : cell;
+  c_evict_probe : cell;
+  c_evict_pending : cell;
+  c_evict_halt : cell;
+  c_evict_drain : cell;
+  c_evict_other : (string, cell) Hashtbl.t;
+      (* rare eviction causes (watchdog, …): interned on first use *)
+  c_grant_ns : cell;
+  h_grant_after_retire : Counters.handle;
+  h_rotations : Counters.handle;
+  h_rescues : Counters.handle;
+  h_borrows : Counters.handle;
+  h_borrow_retries : Counters.handle;
+  h_unsafe : Counters.handle;
+}
+
 type t = {
   config : Config.t;
   sim : Sim.t;
   machine : Machine.t;
+  ctr : Counters.t;
+  cells : cells;
   cs : Core_state.t;  (* authoritative occupancy, owned by the machine *)
   kernel : Kernel.t;
   softirq : Softirq.t;
@@ -72,17 +98,30 @@ let has_work t v = Kernel.cpu_has_work (kcpu_of t v)
 
 (* --- observability ------------------------------------------------------- *)
 
-let count t name = Counters.incr (Machine.counters t.machine) name
+let count t h = Counters.incr_h t.ctr h
 
 (* Counter increments attributable to one vCPU mirror into the owning
    tenant's namespace under an explicit multi-tenant table; single-tenant
    runs emit exactly the seed counter set. Pooled spares (tenant -1,
    churn mode) mirror nowhere. *)
-let count_v t v name =
-  count t name;
+let count_v t v c =
+  Counters.incr_h t.ctr c.ch;
   if t.tag_tenants && v.Vcpu.tenant >= 0 then
-    Counters.incr (Machine.counters t.machine)
-      (Tenant.counter v.Vcpu.tenant name)
+    Counters.lane_incr c.cl v.Vcpu.tenant
+
+(* The cell for one eviction-cause label. The common causes are fields;
+   anything else (watchdog and future causes) interns here, once, off
+   the per-event path. *)
+let evict_cell t kind =
+  match Hashtbl.find_opt t.cells.c_evict_other kind with
+  | Some c -> c
+  | None ->
+      let name = "sched.evictions." ^ kind in
+      let c =
+        { ch = Counters.handle t.ctr name; cl = Counters.lane t.ctr name }
+      in
+      Hashtbl.replace t.cells.c_evict_other kind c;
+      c
 
 (* Raw pCPU grant time, charged at teardown. Feeds the weighted queue's
    tenant clocks always (a single tenant's clock is inert), the counter
@@ -94,13 +133,12 @@ let charge_grant t v occupancy =
   let tenant = v.Vcpu.tenant in
   if tenant < 0 then ()
   else if not (Wsched.is_live t.runq ~tenant) then
-    count t "sched.grant_after_retire"
+    count t t.cells.h_grant_after_retire
   else begin
     Wsched.charge t.runq ~tenant occupancy;
     if t.tag_tenants && occupancy > 0 then begin
-      Counters.incr (Machine.counters t.machine) ~by:occupancy "sched.grant_ns";
-      Counters.incr (Machine.counters t.machine) ~by:occupancy
-        (Tenant.counter tenant "sched.grant_ns")
+      Counters.incr_h t.ctr ~by:occupancy t.cells.c_grant_ns.ch;
+      Counters.lane_incr t.cells.c_grant_ns.cl ~by:occupancy tenant
     end
   end
 
@@ -208,7 +246,7 @@ and back_on_core t v core ~cause =
   v.Vcpu.last_placed <- Sim.now t.sim;
   Kernel.set_backing_core t.kernel (kcpu_of t v) (Some core);
   t.s_placements <- t.s_placements + 1;
-  count_v t v "sched.placements";
+  count_v t v t.cells.c_placements;
   emitf t ~core ~category:Trace.Cat.sched_place "vid=%d kcpu=%d" v.Vcpu.vid
     v.Vcpu.kcpu;
   charge_core t core (world_switch t);
@@ -290,14 +328,16 @@ and unback t v core =
    onto the stable eviction label exported with the trace: "probe",
    "pending" or "halt". *)
 and evict_to_dp t v core ~cause =
-  let kind =
+  let kind, kcell =
     match (cause : Core_state.cause) with
-    | Core_state.Probe -> "probe"
-    | Core_state.Slice_expiry -> "pending"
-    | Core_state.Halt -> "halt"
-    | c -> Core_state.cause_label c
+    | Core_state.Probe -> ("probe", t.cells.c_evict_probe)
+    | Core_state.Slice_expiry -> ("pending", t.cells.c_evict_pending)
+    | Core_state.Halt -> ("halt", t.cells.c_evict_halt)
+    | c ->
+        let kind = Core_state.cause_label c in
+        (kind, evict_cell t kind)
   in
-  count_v t v ("sched.evictions." ^ kind);
+  count_v t v kcell;
   emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=%s" v.Vcpu.vid kind;
   unback t v core;
   (* Entering [Switching To_dp] flips the accelerator mirror back to
@@ -312,7 +352,7 @@ and evict_to_dp t v core ~cause =
   else begin
     if lock_bound then begin
       t.s_unsafe <- t.s_unsafe + 1;
-      count t "sched.unsafe_suspensions"
+      count t t.cells.h_unsafe
     end;
     (* The VM-exit acts as a scheduling tick inside the guest context: a
        preemptible current task returns to the runqueue, where idle CP
@@ -329,7 +369,7 @@ and evict_to_dp t v core ~cause =
 and switch_vcpu t ~from_v ~to_v core ~cause =
   unback t from_v core;
   t.s_rotations <- t.s_rotations + 1;
-  count t "sched.rotations";
+  count t t.cells.h_rotations;
   emitf t ~core ~category:Trace.Cat.sched_rotate "from=%d to=%d" from_v.Vcpu.vid
     to_v.Vcpu.vid;
   mark_runnable t from_v;
@@ -343,7 +383,7 @@ and on_slice_expiry t core =
       Vcpu.record_exit v Vmexit.Timeslice_expired;
       let dp = Hashtbl.find t.dps core in
       let pending = Dp_service.pending_work dp in
-      count_v t v "sched.slice_expiries";
+      count_v t v t.cells.c_slice_expiries;
       emitf t ~core ~category:Trace.Cat.sched_slice "vid=%d pending=%b"
         v.Vcpu.vid pending;
       if pending then begin
@@ -386,7 +426,7 @@ and continue_or_halt t v core =
 and halt_exit t v core =
   Vcpu.record_exit v Vmexit.Halt;
   t.s_halt_exits <- t.s_halt_exits + 1;
-  count_v t v "sched.halt_exits";
+  count_v t v t.cells.c_halt_exits;
   emitf t ~core ~category:Trace.Cat.sched_halt "vid=%d" v.Vcpu.vid;
   match pop_runnable t with
   | Some v' -> switch_vcpu t ~from_v:v ~to_v:v' core ~cause:Core_state.Halt
@@ -399,7 +439,7 @@ and halt_exit t v core =
    through [do_rescue] so re-entries do not inflate [s_lock_rescues]. *)
 and rescue t v =
   t.s_lock_rescues <- t.s_lock_rescues + 1;
-  count t "sched.rescues";
+  count t t.cells.h_rescues;
   emitf t ~core:Trace.no_core ~category:Trace.Cat.sched_rescue "vid=%d"
     v.Vcpu.vid;
   do_rescue t v
@@ -434,12 +474,12 @@ and borrow_cp_pcpu t v =
   | [] ->
       if t.cp_pcpus = [] then begin
         t.s_unsafe <- t.s_unsafe + 1;
-        count t "sched.unsafe_suspensions";
+        count t t.cells.h_unsafe;
         mark_runnable t v
       end
       else begin
         (* All CP pCPUs carry borrows; retry shortly. *)
-        count t "sched.borrow_retries";
+        count t t.cells.h_borrow_retries;
         ignore
           (Sim.after t.sim t.config.Config.borrow_slice (fun () ->
                if
@@ -449,7 +489,7 @@ and borrow_cp_pcpu t v =
       end
   | cp_list ->
       t.s_borrows <- t.s_borrows + 1;
-      count t "sched.borrows";
+      count t t.cells.h_borrows;
       Hashtbl.replace t.borrowing v.Vcpu.vid ();
       let n = List.length cp_list in
       let cp_id = List.nth cp_list (t.next_borrow mod n) in
@@ -586,7 +626,7 @@ let force_end_borrow t v cp_id =
   Hashtbl.remove t.borrowing v.Vcpu.vid;
   Hashtbl.remove t.borrowed_cores cp_id;
   t.s_unsafe <- t.s_unsafe + 1;
-  count t "sched.unsafe_suspensions";
+  count t t.cells.h_unsafe;
   emitf t ~core:cp_id ~category:Trace.Cat.sched_borrow "forced-end vid=%d cp=%d"
     v.Vcpu.vid cp_id;
   transition t ~core:cp_id ~cause:Core_state.Watchdog Core_state.Cp_dedicated;
@@ -785,11 +825,34 @@ let create ?tenants config machine kernel softirq sw table recovery =
     Array.init (Tenant.count tenant_table) (fun id ->
         (Tenant.get tenant_table id).Tenant.weight)
   in
+  let ctr = Machine.counters machine in
+  let cell name = { ch = Counters.handle ctr name; cl = Counters.lane ctr name } in
+  let cells =
+    {
+      c_placements = cell "sched.placements";
+      c_slice_expiries = cell "sched.slice_expiries";
+      c_halt_exits = cell "sched.halt_exits";
+      c_evict_probe = cell "sched.evictions.probe";
+      c_evict_pending = cell "sched.evictions.pending";
+      c_evict_halt = cell "sched.evictions.halt";
+      c_evict_drain = cell "sched.evictions.drain";
+      c_evict_other = Hashtbl.create 4;
+      c_grant_ns = cell "sched.grant_ns";
+      h_grant_after_retire = Counters.handle ctr "sched.grant_after_retire";
+      h_rotations = Counters.handle ctr "sched.rotations";
+      h_rescues = Counters.handle ctr "sched.rescues";
+      h_borrows = Counters.handle ctr "sched.borrows";
+      h_borrow_retries = Counters.handle ctr "sched.borrow_retries";
+      h_unsafe = Counters.handle ctr "sched.unsafe_suspensions";
+    }
+  in
   let t =
     {
       config;
       sim = Machine.sim machine;
       machine;
+      ctr;
+      cells;
       cs = Machine.core_state machine;
       kernel;
       softirq;
@@ -942,14 +1005,14 @@ let force_evict_tenant t ~tenant =
       then begin
         if lockbound t v then begin
           (* Suspend unbacked instead of [evict_to_dp]'s rescue path. *)
-          count_v t v "sched.evictions.drain";
+          count_v t v t.cells.c_evict_drain;
           emitf t ~core ~category:Trace.Cat.sched_evict "vid=%d kind=drain"
             v.Vcpu.vid;
           unback t v core;
           transition t ~core ~cause:Core_state.Watchdog
             (Core_state.Switching Core_state.To_dp);
           t.s_unsafe <- t.s_unsafe + 1;
-          count t "sched.unsafe_suspensions";
+          count t t.cells.h_unsafe;
           Dp_service.resume (Hashtbl.find t.dps core)
             ~switch_cost:(world_switch t)
         end

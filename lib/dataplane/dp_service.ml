@@ -31,6 +31,11 @@ type t = {
   pipeline : Pipeline.t;
   config : config;
   ring : Ring.t;
+  burst_buf : Packet.t array;
+      (* scratch for the poll-loop burst: the service is strictly
+         sequential (one outstanding processing event), so one buffer
+         per service suffices and the pop-process-complete cycle
+         allocates nothing *)
   hooks : hooks;
   latency : Recorder.t;
   mutable started : bool;
@@ -42,6 +47,13 @@ type t = {
   mutable park_dwell : Time_ns.t;  (** cumulative parked (Idle_parked) time *)
   mutable resuming : bool;
   mutable latency_sink : (Time_ns.t -> unit) option;
+  (* dp.* counter cells, interned at [create]: the global handle and the
+     per-tenant mirror lane for the same name. [count] is two array
+     stores — the per-event [Printf.sprintf "tenant.%d.%s"] is gone. *)
+  c_parks : cell;
+  c_wakes : cell;
+  c_yields : cell;
+  c_resumes : cell;
   mutable tag_tenant : bool;
       (** mirror dp.* counters into the per-tenant namespace; only set
           under an explicit multi-tenant table *)
@@ -51,11 +63,16 @@ type t = {
           lifecycle floats this service to a dynamic tenant and back. *)
 }
 
+and cell = { ch : Counters.handle; cl : Counters.lane }
+
 and hooks = {
   mutable idle_threshold : unit -> int;
   mutable idle_detected : t -> unit;
   mutable work_arrived_while_yielded : t -> unit;
-  mutable on_packets_done : Packet.t list -> unit;
+  mutable on_packets_done : Packet.t array -> int -> unit;
+      (** called with the burst scratch array and the burst length; the
+          packets are freed back to the pipeline arena as soon as the
+          hook returns, so handlers must copy anything they keep *)
 }
 
 let default_hooks () =
@@ -63,18 +80,16 @@ let default_hooks () =
     idle_threshold = (fun () -> 200);
     idle_detected = (fun _ -> ());
     work_arrived_while_yielded = (fun _ -> ());
-    on_packets_done = (fun _ -> ());
+    on_packets_done = (fun _ _ -> ());
   }
 
 let charge t cls d =
   if d > 0 then
     Accounting.charge (Machine.accounting t.machine) ~core:t.config.core cls d
 
-let count t name =
-  Counters.incr (Machine.counters t.machine) name;
-  if t.tag_tenant then
-    Counters.incr (Machine.counters t.machine)
-      (Printf.sprintf "tenant.%d.%s" t.owner name)
+let count t c =
+  Counters.incr_h (Machine.counters t.machine) c.ch;
+  if t.tag_tenant then Counters.lane_incr c.cl t.owner
 
 let emit t ~category message =
   Trace.emit (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core:t.config.core
@@ -127,7 +142,7 @@ let rec enter_counting t ~cause =
            settle_poll_time t;
            transition t ~cause:Core_state.Park Core_state.Dp_parked;
            t.park_since <- Sim.now t.sim;
-           count t "dp.parks";
+           count t t.c_parks;
            emit t ~category:Trace.Cat.dp_park (Printf.sprintf "n=%d" n);
            t.hooks.idle_detected t))
 
@@ -137,35 +152,42 @@ and start_processing t ~cause ~discovery =
   ignore (Sim.after t.sim discovery (fun () -> process_loop t))
 
 and process_loop t =
-  match Ring.pop_burst t.ring ~max:t.config.burst with
-  | [] -> enter_counting t ~cause:Core_state.Drain
-  | pkts ->
-      Recorder.incr t.latency "bursts";
-      let work =
-        List.fold_left (fun acc p -> acc + t.config.per_packet p) 0 pkts
-      in
-      let work =
-        if t.speed_tax = 0.0 then work
-        else work + int_of_float (float_of_int work *. t.speed_tax)
-      in
-      let wall =
-        Cache_model.charge_work (Machine.cache t.machine) ~core:t.config.core work
-      in
-      ignore
-        (Sim.after t.sim wall (fun () ->
-             charge t Accounting.Dp_work wall;
-             let now = Sim.now t.sim in
-             List.iter
-               (fun p ->
-                 p.Packet.t_done <- now;
-                 let lat = now - p.Packet.t_submit in
-                 Recorder.observe t.latency lat;
-                 (match t.latency_sink with Some f -> f lat | None -> ());
-                 if lat > t.config.spike_threshold then
-                   Recorder.incr t.latency "spikes")
-               pkts;
-             t.hooks.on_packets_done pkts;
-             process_loop t))
+  let n = Ring.pop_burst_into t.ring t.burst_buf ~max:t.config.burst in
+  if n = 0 then enter_counting t ~cause:Core_state.Drain
+  else begin
+    Recorder.incr t.latency "bursts";
+    let work = ref 0 in
+    for i = 0 to n - 1 do
+      work := !work + t.config.per_packet t.burst_buf.(i)
+    done;
+    let work = !work in
+    let work =
+      if t.speed_tax = 0.0 then work
+      else work + int_of_float (float_of_int work *. t.speed_tax)
+    in
+    let wall =
+      Cache_model.charge_work (Machine.cache t.machine) ~core:t.config.core work
+    in
+    ignore
+      (Sim.after t.sim wall (fun () ->
+           charge t Accounting.Dp_work wall;
+           let now = Sim.now t.sim in
+           for i = 0 to n - 1 do
+             let p = t.burst_buf.(i) in
+             p.Packet.t_done <- now;
+             let lat = now - p.Packet.t_submit in
+             Recorder.observe t.latency lat;
+             (match t.latency_sink with Some f -> f lat | None -> ());
+             if lat > t.config.spike_threshold then
+               Recorder.incr t.latency "spikes"
+           done;
+           t.hooks.on_packets_done t.burst_buf n;
+           let arena = Pipeline.arena t.pipeline in
+           for i = 0 to n - 1 do
+             Packet.free arena t.burst_buf.(i)
+           done;
+           process_loop t))
+  end
 
 let on_ring_activity t =
   if t.started then
@@ -178,7 +200,7 @@ let on_ring_activity t =
         start_processing t ~cause:Core_state.Wake ~discovery:t.config.poll_iter
     | Idle_parked ->
         settle_park_time t;
-        count t "dp.wakes";
+        count t t.c_wakes;
         emit t ~category:Trace.Cat.dp_wake "work arrived";
         start_processing t ~cause:Core_state.Wake ~discovery:t.config.poll_iter
     | Yielded -> t.hooks.work_arrived_while_yielded t
@@ -191,6 +213,8 @@ let create machine pipeline config =
       ~tenant:config.tenant ()
   in
   Pipeline.attach_ring pipeline ~core:config.core ring;
+  let ctr = Machine.counters machine in
+  let cell name = { ch = Counters.handle ctr name; cl = Counters.lane ctr name } in
   let t =
     {
       sim;
@@ -199,6 +223,7 @@ let create machine pipeline config =
       pipeline;
       config;
       ring;
+      burst_buf = Array.make (max 1 config.burst) Packet.dummy;
       hooks = default_hooks ();
       latency = Recorder.create (Printf.sprintf "dp%d.latency" config.core);
       started = false;
@@ -209,6 +234,10 @@ let create machine pipeline config =
       poll_dwell = 0;
       park_dwell = 0;
       resuming = false;
+      c_parks = cell "dp.parks";
+      c_wakes = cell "dp.wakes";
+      c_yields = cell "dp.yields";
+      c_resumes = cell "dp.resumes";
       latency_sink = None;
       tag_tenant = false;
       owner = config.tenant;
@@ -253,7 +282,10 @@ let pending_work t =
    already popped for processing complete normally. *)
 let discard_backlog t =
   let n = Ring.length t.ring in
-  if n > 0 then ignore (Ring.pop_burst t.ring ~max:n);
+  if n > 0 then begin
+    let arena = Pipeline.arena t.pipeline in
+    List.iter (Packet.free arena) (Ring.pop_burst t.ring ~max:n)
+  end;
   n
 
 let try_yield t =
@@ -269,7 +301,7 @@ let try_yield t =
          performs the next transition. *)
       transition t ~cause:Core_state.Yield (Core_state.Switching Core_state.From_dp);
       Recorder.incr t.latency "yields";
-      count t "dp.yields";
+      count t t.c_yields;
       emit t ~category:Trace.Cat.dp_yield "core given up";
       true
   | Counting | Idle_parked | Processing | Yielded -> false
@@ -278,7 +310,7 @@ let resume t ~switch_cost =
   if t.started && state t = Yielded && not t.resuming then begin
     t.resuming <- true;
     Recorder.incr t.latency "resumes";
-    count t "dp.resumes";
+    count t t.c_resumes;
     emit t ~category:Trace.Cat.dp_resume
       (Printf.sprintf "switch_cost=%d" switch_cost);
     (* The evictor (vCPU scheduler) may already have moved the core into

@@ -55,8 +55,12 @@ type hooks = {
       (** threshold crossed; the policy may take the core *)
   mutable work_arrived_while_yielded : t -> unit;
       (** a descriptor landed in the ring while the core was lent out *)
-  mutable on_packets_done : Packet.t list -> unit;
-      (** processing of a burst finished (workload completion path) *)
+  mutable on_packets_done : Packet.t array -> int -> unit;
+      (** processing of a burst finished (workload completion path).
+          Called with the service's burst scratch array and the number of
+          valid entries; the descriptors are freed back to the pipeline
+          arena when the hook returns, so handlers must copy any field
+          they keep *)
 }
 
 val create : Machine.t -> Pipeline.t -> config -> t

@@ -1,20 +1,137 @@
-type t = { cells : (string, int ref) Hashtbl.t }
+(* Interned counter cells. Names are registered once — {!handle} hashes
+   the string a single time and hands back a dense int — and every
+   increment after that is a plain array load/store: no string hashing,
+   no Hashtbl probe, no allocation on the hot path. The string API
+   ({!incr}, {!get}) survives for cold paths and one-off counters; it is
+   now a registration followed by the handle op, so the old
+   find-then-replace double lookup is gone.
 
-let create () = { cells = Hashtbl.create 32 }
+   A registered-but-never-incremented counter must stay invisible: the
+   seed Hashtbl table only materialised a cell on first [incr], and the
+   trace exports (and their byte-identity baselines) depend on absent
+   counters staying absent. Cells therefore start at an [untouched]
+   sentinel and {!dump}/{!get} treat it as "not there". *)
 
-let incr t ?(by = 1) name =
-  match Hashtbl.find_opt t.cells name with
-  | Some cell -> cell := !cell + by
-  | None -> Hashtbl.replace t.cells name (ref by)
+type t = {
+  mutable values : int array; (* handle -> value; [untouched] = never incr'd *)
+  mutable names : string array; (* handle -> registered name *)
+  mutable n : int; (* registered handles *)
+  index : (string, int) Hashtbl.t;
+  lanes : (string, lane) Hashtbl.t;
+}
+
+(* A per-tenant counter lane: one row of handles for a fixed suffix,
+   indexed by tenant id. The row is grown and filled lazily so lanes
+   keep working across churn (tenant ids are dense but admitted
+   mid-run); after the first touch of a (tenant, suffix) pair the
+   mirror increment is an array load and an add — the per-event
+   [Printf.sprintf "tenant.%d.%s"] is gone. *)
+and lane = {
+  owner : t;
+  suffix : string;
+  mutable row : int array; (* tenant id -> handle, -1 = not yet interned *)
+}
+
+type handle = int
+
+let untouched = min_int
+let initial = 64
+
+let create () =
+  {
+    values = Array.make initial untouched;
+    names = Array.make initial "";
+    n = 0;
+    index = Hashtbl.create 32;
+    lanes = Hashtbl.create 8;
+  }
+
+let grow t =
+  let cap = Array.length t.values in
+  let ncap = cap * 2 in
+  let nv = Array.make ncap untouched in
+  let nn = Array.make ncap "" in
+  Array.blit t.values 0 nv 0 cap;
+  Array.blit t.names 0 nn 0 cap;
+  t.values <- nv;
+  t.names <- nn
+
+let handle t name =
+  match Hashtbl.find_opt t.index name with
+  | Some h -> h
+  | None ->
+      let h = t.n in
+      if h = Array.length t.values then grow t;
+      t.names.(h) <- name;
+      t.values.(h) <- untouched;
+      t.n <- h + 1;
+      Hashtbl.add t.index name h;
+      h
+
+let add_h t h by =
+  let v = t.values.(h) in
+  t.values.(h) <- (if v = untouched then by else v + by)
+
+let incr_h t ?(by = 1) h = add_h t h by
+
+let get_h t h =
+  let v = t.values.(h) in
+  if v = untouched then 0 else v
+
+let incr t ?(by = 1) name = incr_h t ~by (handle t name)
 
 let get t name =
-  match Hashtbl.find_opt t.cells name with Some c -> !c | None -> 0
+  match Hashtbl.find_opt t.index name with
+  | Some h -> get_h t h
+  | None -> 0
 
+(* Explicitly sorted by name — never registration or Hashtbl fold
+   order — so exports are deterministic however call sites were
+   converted to handles. *)
 let dump t =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.cells []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let acc = ref [] in
+  for h = t.n - 1 downto 0 do
+    let v = t.values.(h) in
+    if v <> untouched then acc := (t.names.(h), v) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
 
-let clear t = Hashtbl.reset t.cells
+(* Clearing resets the cells, not the registrations: every issued handle
+   (and lane row) stays valid, and an untouched cell disappears from
+   [dump] exactly as the seed table's removed entries did. *)
+let clear t = Array.fill t.values 0 t.n untouched
 
 let pp fmt t =
   List.iter (fun (k, v) -> Format.fprintf fmt "%s=%d@." k v) (dump t)
+
+(* --- per-tenant lanes ----------------------------------------------------- *)
+
+let lane t suffix =
+  match Hashtbl.find_opt t.lanes suffix with
+  | Some l -> l
+  | None ->
+      let l = { owner = t; suffix; row = Array.make 16 (-1) } in
+      Hashtbl.add t.lanes suffix l;
+      l
+
+let grow_row l tid =
+  let cap = Array.length l.row in
+  let ncap =
+    let rec fit c = if tid < c then c else fit (c * 2) in
+    fit (cap * 2)
+  in
+  let nr = Array.make ncap (-1) in
+  Array.blit l.row 0 nr 0 cap;
+  l.row <- nr
+
+let lane_handle l tid =
+  if tid >= Array.length l.row then grow_row l tid;
+  let h = l.row.(tid) in
+  if h >= 0 then h
+  else begin
+    let h = handle l.owner (Printf.sprintf "tenant.%d.%s" tid l.suffix) in
+    l.row.(tid) <- h;
+    h
+  end
+
+let lane_incr l ?(by = 1) tid = add_h l.owner (lane_handle l tid) by

@@ -136,6 +136,17 @@ type t = {
   mutable boot_dropped : int;
   mutable until : Time_ns.t;
   mutable stopped : bool;
+  h_boot_dropped : Counters.handle;
+  h_probe_suppressed : Counters.handle;
+  h_mirror_corruptions : Counters.handle;
+  h_mirror_stalls : Counters.handle;
+  h_probe_misfires : Counters.handle;
+  h_cp_hangs : Counters.handle;
+  h_dp_bursts : Counters.handle;
+  h_churn_departs : Counters.handle;
+  h_churn_arrivals : Counters.handle;
+  h_churn_overruns : Counters.handle;
+  h_lapic_lost : Counters.handle;
 }
 
 let sim t = Machine.sim t.machine
@@ -157,7 +168,7 @@ let fabric_fault t ~dst ~vector =
       && Rng.bernoulli t.boot_rng ~p:t.profile.boot_drop_p
     then begin
       t.boot_dropped <- t.boot_dropped + 1;
-      Counters.incr (counters t) "fault.boot.dropped";
+      Counters.incr_h (counters t) t.h_boot_dropped;
       Machine.Drop
     end
     else Machine.Pass
@@ -176,6 +187,7 @@ let create ?nic ~rng ~machine ~boot_vector profile =
     | None -> Rng.split rng name
     | Some i -> Rng.split rng (Printf.sprintf "nic%d.%s" i name)
   in
+  let h = Counters.handle (Machine.counters machine) in
   let t =
     {
       machine;
@@ -201,6 +213,17 @@ let create ?nic ~rng ~machine ~boot_vector profile =
       boot_dropped = 0;
       until = max_int;
       stopped = false;
+      h_boot_dropped = h "fault.boot.dropped";
+      h_probe_suppressed = h "fault.probe.suppressed";
+      h_mirror_corruptions = h "fault.mirror.corruptions";
+      h_mirror_stalls = h "fault.mirror.stalls";
+      h_probe_misfires = h "fault.probe.misfires";
+      h_cp_hangs = h "fault.cp.hangs";
+      h_dp_bursts = h "fault.dp.bursts";
+      h_churn_departs = h "fault.churn.departs";
+      h_churn_arrivals = h "fault.churn.arrivals";
+      h_churn_overruns = h "fault.churn.overruns";
+      h_lapic_lost = h "fault.lapic.lost";
     }
   in
   Machine.set_fault_hook machine
@@ -222,7 +245,7 @@ let probe_suppress t ~core =
   && t.profile.probe_suppress_p > 0.
   && Rng.bernoulli t.probe_rng ~p:t.profile.probe_suppress_p
   &&
-  (Counters.incr (counters t) "fault.probe.suppressed";
+  (Counters.incr_h (counters t) t.h_probe_suppressed;
    tracef t "probe suppress core=%d" core;
    true)
 
@@ -253,13 +276,13 @@ let mirror_fault t =
         in
         State_table.force table ~core wrong;
         State_table.freeze table ~core;
-        Counters.incr (counters t) "fault.mirror.corruptions";
+        Counters.incr_h (counters t) t.h_mirror_corruptions;
         tracef t "mirror corrupt core=%d now=%s" core
           (State_table.state_name wrong)
       end
       else begin
         State_table.freeze table ~core;
-        Counters.incr (counters t) "fault.mirror.stalls";
+        Counters.incr_h (counters t) t.h_mirror_stalls;
         tracef t "mirror stall core=%d" core
       end;
       (* Thaw later; a corrupted record stays wrong after the thaw until
@@ -273,7 +296,7 @@ let probe_misfire_fault t =
   | None -> ()
   | Some f ->
       let core = Rng.int t.probe_rng (Machine.physical_cores t.machine) in
-      Counters.incr (counters t) "fault.probe.misfires";
+      Counters.incr_h (counters t) t.h_probe_misfires;
       tracef t "probe misfire core=%d" core;
       f ~core
 
@@ -281,7 +304,7 @@ let cp_hang_fault t =
   match t.cp_hang with
   | None -> ()
   | Some f ->
-      Counters.incr (counters t) "fault.cp.hangs";
+      Counters.incr_h (counters t) t.h_cp_hangs;
       tracef t "cp hang hold=%d" t.profile.cp_hang_hold;
       f ~hold:t.profile.cp_hang_hold
 
@@ -289,7 +312,7 @@ let dp_burst_fault t =
   match t.dp_burst with
   | None -> ()
   | Some f ->
-      Counters.incr (counters t) "fault.dp.bursts";
+      Counters.incr_h (counters t) t.h_dp_bursts;
       tracef t "dp burst size=%d" t.profile.dp_burst_size;
       f ~size:t.profile.dp_burst_size
 
@@ -302,7 +325,7 @@ let churn_depart_fault t =
   match t.churn_depart with
   | None -> ()
   | Some f ->
-      Counters.incr (counters t) "fault.churn.departs";
+      Counters.incr_h (counters t) t.h_churn_departs;
       tracef t "churn depart";
       f ()
 
@@ -310,7 +333,7 @@ let churn_arrive_fault t =
   match t.churn_arrive with
   | None -> ()
   | Some f ->
-      Counters.incr (counters t) "fault.churn.arrivals";
+      Counters.incr_h (counters t) t.h_churn_arrivals;
       tracef t "churn arrive";
       f ()
 
@@ -318,7 +341,7 @@ let churn_overrun_fault t =
   match t.churn_overrun with
   | None -> ()
   | Some f ->
-      Counters.incr (counters t) "fault.churn.overruns";
+      Counters.incr_h (counters t) t.h_churn_overruns;
       tracef t "churn overrun";
       f ()
 
@@ -344,7 +367,7 @@ let arm t ~until =
                && v <> t.boot_vector
                && Rng.bernoulli t.lapic_rng ~p:t.profile.lapic_loss_p
                &&
-               (Counters.incr (counters t) "fault.lapic.lost";
+               (Counters.incr_h (counters t) t.h_lapic_lost;
                 tracef t "lapic loss apic=%d vec=%d" (Lapic.apic_id lapic) v;
                 true))));
   periodic t t.mirror_rng t.profile.mirror_period (fun () -> mirror_fault t);

@@ -23,6 +23,8 @@ type t = {
   mutable dropped : int;
   mutable fault_dropped : int;
   mutable fault_delayed : int;
+  h_ipi_dropped : Counters.handle;
+  h_ipi_delayed : Counters.handle;
 }
 
 let create ?(config = default_config) ?trace sim =
@@ -32,6 +34,8 @@ let create ?(config = default_config) ?trace sim =
     | None -> Trace.create ~limit:2_000_000 ~enabled:false ()
   in
   let counters = Counters.create () in
+  let h_transitions = Counters.handle counters "core_state.transitions" in
+  let h_illegal = Counters.handle counters "core_state.illegal" in
   let core_state =
     Core_state.create ~cores:config.physical_cores ~now:(fun () -> Sim.now sim)
   in
@@ -43,8 +47,8 @@ let create ?(config = default_config) ?trace sim =
      and the timeline fold over it — free of zero-information records. *)
   let last_emitted = Array.make config.physical_cores Trace.Cat.state_idle in
   Core_state.subscribe core_state (fun ev ->
-      Counters.incr counters "core_state.transitions";
-      if not ev.Core_state.legal then Counters.incr counters "core_state.illegal";
+      Counters.incr_h counters h_transitions;
+      if not ev.Core_state.legal then Counters.incr_h counters h_illegal;
       let bucket = Core_state.trace_state ev.Core_state.to_state in
       let core = ev.Core_state.core in
       if not (String.equal bucket last_emitted.(core)) then begin
@@ -67,6 +71,8 @@ let create ?(config = default_config) ?trace sim =
     dropped = 0;
     fault_dropped = 0;
     fault_delayed = 0;
+    h_ipi_dropped = Counters.handle counters "fault.ipi.dropped";
+    h_ipi_delayed = Counters.handle counters "fault.ipi.delayed";
   }
 
 let sim t = t.sim
@@ -112,12 +118,12 @@ let deliver_raw t ~dst ~vector =
           | Pass -> deliver_after 0
           | Drop ->
               t.fault_dropped <- t.fault_dropped + 1;
-              Counters.incr t.counters "fault.ipi.dropped";
+              Counters.incr_h t.counters t.h_ipi_dropped;
               Trace.emitf t.trace ~time:(Sim.now t.sim) ~category:Trace.Cat.fault
                 "ipi drop dst=%d vec=%d" dst vector
           | Delay extra ->
               t.fault_delayed <- t.fault_delayed + 1;
-              Counters.incr t.counters "fault.ipi.delayed";
+              Counters.incr_h t.counters t.h_ipi_delayed;
               Trace.emitf t.trace ~time:(Sim.now t.sim) ~category:Trace.Cat.fault
                 "ipi delay dst=%d vec=%d extra=%d" dst vector extra;
               deliver_after extra))

@@ -185,6 +185,27 @@ let validate_json j =
       if List.length tl = cores then Ok ()
       else Error "timeline row count does not match cores"
     in
+    (* Counter snapshots are exported via [Counters.dump], whose contract
+       is strictly-sorted-by-name output whatever order the handles were
+       interned in; an unsorted (or duplicated) key means some export
+       path bypassed it and the byte-identity story is broken. *)
+    let* () =
+      match Json.member "counters" r with
+      | None -> Ok ()
+      | Some (Json.Obj fields) ->
+          let rec sorted = function
+            | (a, _) :: ((b, _) :: _ as rest) ->
+                if String.compare a b < 0 then sorted rest
+                else
+                  Error
+                    (Printf.sprintf
+                       "counters snapshot is not sorted by name (%S then %S)"
+                       a b)
+            | _ -> Ok ()
+          in
+          sorted fields
+      | Some _ -> Error "counters not an object"
+    in
     (* A run that recorded illegal core-state transitions (Permissive-mode
        degradation) is not a clean export, even if its timeline is
        well-formed. Counters only materialise once incremented, so an

@@ -82,9 +82,17 @@ type t = {
   mutable s_reclaim_waits : int;
   mutable s_cancellations : int;
   mutable s_max_deferred_wait : Time_ns.t;
+  (* kernel.* counter handles, interned at [create]: per-event increments
+     (context switches, steals) must not hash strings. *)
+  h_context_switches : Counters.handle;
+  h_steals : Counters.handle;
+  h_cancellations : Counters.handle;
+  h_migrations : Counters.handle;
+  h_reclaims : Counters.handle;
 }
 
 let create ?(config = default_config) machine =
+  let h = Counters.handle (Machine.counters machine) in
   {
     sim = Machine.sim machine;
     machine;
@@ -104,6 +112,11 @@ let create ?(config = default_config) machine =
     s_reclaim_waits = 0;
     s_cancellations = 0;
     s_max_deferred_wait = 0;
+    h_context_switches = h "kernel.context_switches";
+    h_steals = h "kernel.steals";
+    h_cancellations = h "kernel.cancellations";
+    h_migrations = h "kernel.migrations";
+    h_reclaims = h "kernel.reclaims";
   }
 
 let sim t = t.sim
@@ -140,7 +153,7 @@ let max_deferred_wait t = t.s_max_deferred_wait
 (* --- observability ------------------------------------------------------ *)
 
 let trace t = Machine.trace t.machine
-let count t name = Counters.incr (Machine.counters t.machine) name
+let count t h = Counters.incr_h (Machine.counters t.machine) h
 
 (* For trace attribution a kernel CPU maps to the physical core currently
    backing it; unbacked vCPUs produce global (core-less) records. *)
@@ -210,7 +223,7 @@ let rec dispatch t c =
         t.cpu_idle_hook c.cid
     | Some task ->
         t.s_context_switches <- t.s_context_switches + 1;
-        count t "kernel.context_switches";
+        count t t.h_context_switches;
         c.cur <- Some task;
         task.Task.state <- Task.Running;
         task.Task.cpu <- Some c.cid;
@@ -292,7 +305,7 @@ and try_steal t c =
       (match found with
       | Some task ->
           t.s_steals <- t.s_steals + 1;
-          count t "kernel.steals";
+          count t t.h_steals;
           Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
             ~category:Trace.Cat.kernel_steal "cpu=%d task=%s from=%d" c.cid
             task.Task.tname victim.cid;
@@ -359,7 +372,7 @@ and run_ops t c task guard =
   if task.Task.cancelled && not (Task.nonpreemptible task) then begin
     Hashtbl.remove t.pending task.Task.tid;
     t.s_cancellations <- t.s_cancellations + 1;
-    count t "kernel.cancellations";
+    count t t.h_cancellations;
     exit_task t c task
   end
   else
@@ -478,7 +491,7 @@ and after_np_boundary t c task guard =
 
 and migrate_out t c task =
   t.s_migrations <- t.s_migrations + 1;
-  count t "kernel.migrations";
+  count t t.h_migrations;
   Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
     ~category:Trace.Cat.kernel_migrate "cpu=%d task=%s" c.cid task.Task.tname;
   pause_run t c;
@@ -512,7 +525,7 @@ and grant_reclaims t c =
   c.reclaimers <- [];
   let waited = Sim.now t.sim - c.reclaim_requested_at in
   if waited > t.s_max_deferred_wait then t.s_max_deferred_wait <- waited;
-  count t "kernel.reclaims";
+  count t t.h_reclaims;
   Trace.emitf (trace t) ~time:(Sim.now t.sim) ~core:(trace_core c)
     ~category:Trace.Cat.kernel_reclaim "cpu=%d waited=%d" c.cid waited;
   List.iter (fun cb -> cb ()) cbs

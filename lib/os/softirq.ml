@@ -7,6 +7,7 @@ type t = {
   dispatch_cost : Time_ns.t;
   handlers : (int * int, unit -> unit) Hashtbl.t;
   pending : (int * int, unit) Hashtbl.t;
+  h_raised : Counters.handle;
   mutable raised : int;
   mutable handled : int;
   mutable coalesced : int;
@@ -21,6 +22,7 @@ let create ?(dispatch_cost = Time_ns.ns 200) machine =
     dispatch_cost;
     handlers = Hashtbl.create 32;
     pending = Hashtbl.create 32;
+    h_raised = Counters.handle (Machine.counters machine) "softirq.raised";
     raised = 0;
     handled = 0;
     coalesced = 0;
@@ -30,7 +32,7 @@ let register t ~cpu ~vector f = Hashtbl.replace t.handlers (cpu, vector) f
 
 let raise_softirq t ~cpu ~vector =
   t.raised <- t.raised + 1;
-  Counters.incr (Machine.counters t.machine) "softirq.raised";
+  Counters.incr_h (Machine.counters t.machine) t.h_raised;
   (let core = if cpu < Machine.physical_cores t.machine then cpu else Trace.no_core in
    Trace.emitf (Machine.trace t.machine) ~time:(Sim.now t.sim) ~core
      ~category:Trace.Cat.softirq "raise cpu=%d vec=%d" cpu vector);

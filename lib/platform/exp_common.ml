@@ -124,6 +124,11 @@ let start_cp_churn sys ~period ~work ~until =
   let params = { Synth_cp.default_params with total_work = work; phases = 3 } in
   let lock = Task.spinlock "churn-dev" in
   let counter = ref 0 in
+  let held_h =
+    Counters.handle
+      (Taichi_hw.Machine.counters (System.machine sys))
+      "overload.client_held.churn"
+  in
   let rec tick () =
     if Sim.now sim < until then begin
       (* Churn is housekeeping: a well-behaved deferrable client watches
@@ -132,9 +137,9 @@ let start_cp_churn sys ~period ~work ~until =
          silently lost — the post-storm report shows what the brownout
          cost). *)
       if System.cp_backpressure sys then
-        Counters.incr
+        Counters.incr_h
           (Taichi_hw.Machine.counters (System.machine sys))
-          "overload.client_held.churn"
+          held_h
       else begin
         incr counter;
         let task =

@@ -29,6 +29,8 @@ type t = {
          instance threaded through Taichi.install, so churn-time
          admissions are visible to every layer and to the export *)
   mutable epoch : Time_ns.t;
+  h_spawn_refused : Counters.handle;
+  l_spawn_refused : Counters.lane;
 }
 
 let range lo n = List.init n (fun i -> lo + i)
@@ -157,6 +159,8 @@ let create ?(seed = 42) ?(layout = default_layout) ?prepare
     storage_services;
     tenant_table;
     epoch = 0;
+    h_spawn_refused = Counters.handle (Machine.counters machine) "churn.spawn_refused";
+    l_spawn_refused = Counters.lane (Machine.counters machine) "churn.spawn_refused";
   }
 
 let sim t = t.sim
@@ -223,10 +227,9 @@ let spawn_cp ?(cls = Overload.Standard) ?(tenant = 0) t task =
     (* The drain gate: a Draining or Retired tenant admits no new CP
        work. Counted globally and on the tenant's lane (both sides of
        the refusal, so lane sums still equal globals). *)
-    let counters = Machine.counters t.machine in
-    Counters.incr counters "churn.spawn_refused";
+    Counters.incr_h (Machine.counters t.machine) t.h_spawn_refused;
     if Tenant.is_multi t.tenant_table then
-      Counters.incr counters (Tenant.counter tenant "churn.spawn_refused")
+      Counters.lane_incr t.l_spawn_refused tenant
   end
   else begin
     task.Task.tenant <- tenant;

@@ -13,25 +13,25 @@ let conn_bit = Net_service.connection_tag_bit
 
 let create sim pipeline ~services =
   let t = { sim; pipeline; handlers = Hashtbl.create 4096; next_tag = 1 } in
-  let route pkts =
-    List.iter
-      (fun pkt ->
-        let key = pkt.Packet.tag land lnot conn_bit in
-        match Hashtbl.find_opt t.handlers key with
-        | Some f ->
-            Hashtbl.remove t.handlers key;
-            f pkt
-        | None -> ())
-      pkts
+  let route pkts n =
+    for i = 0 to n - 1 do
+      let pkt = pkts.(i) in
+      let key = pkt.Packet.tag land lnot conn_bit in
+      match Hashtbl.find_opt t.handlers key with
+      | Some f ->
+          Hashtbl.remove t.handlers key;
+          f pkt
+      | None -> ()
+    done
   in
   List.iter
     (fun dp ->
       let hooks = Dp_service.hooks dp in
       let previous = hooks.Dp_service.on_packets_done in
       hooks.Dp_service.on_packets_done <-
-        (fun pkts ->
-          previous pkts;
-          route pkts))
+        (fun pkts n ->
+          previous pkts n;
+          route pkts n))
     services;
   t
 
@@ -42,11 +42,16 @@ let submit t ~kind ~size ~core ?(conn_setup = false) ~on_done () =
   t.next_tag <- t.next_tag + 1;
   Hashtbl.replace t.handlers tag on_done;
   let full_tag = if conn_setup then tag lor conn_bit else tag in
-  let pkt = Packet.create ~kind ~size ~dst_core:core ~tag:full_tag in
+  let pkt =
+    Packet.alloc (Pipeline.arena t.pipeline) ~kind ~size ~dst_core:core
+      ~tag:full_tag
+  in
   Pipeline.submit t.pipeline pkt
 
 let submit_background t ~kind ~size ~core =
-  let pkt = Packet.create ~kind ~size ~dst_core:core ~tag:0 in
+  let pkt =
+    Packet.alloc (Pipeline.arena t.pipeline) ~kind ~size ~dst_core:core ~tag:0
+  in
   Pipeline.submit t.pipeline pkt
 
 let outstanding t = Hashtbl.length t.handlers

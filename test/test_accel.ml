@@ -118,6 +118,84 @@ let test_cost_model_defaults () =
   let nt = Cost_model.no_tax c in
   Alcotest.(check (float 0.0)) "no tax" 0.0 nt.Cost_model.npt_tax
 
+(* --- packet arena ---------------------------------------------------------- *)
+
+(* Random alloc/free/scan programs against a small fixed arena. Tags are
+   drawn from a fresh counter, so two live records aliasing the same slot
+   would show as a tag mismatch; generations must stay frozen while a
+   record is live and bump exactly once per free; and exhaustion of a
+   fixed arena must raise {!Packet.Exhausted} precisely when every slot
+   is live. *)
+let prop_arena_roundtrip =
+  QCheck.Test.make ~name:"packet arena alloc/free round-trip" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 0 120) (pair (int_bound 2) small_int))
+    (fun ops ->
+      let capacity = 8 in
+      let arena = Packet.arena ~fixed:true ~capacity () in
+      let live = ref [] in
+      let next_tag = ref 0 in
+      let intact (p, tag, gen) =
+        p.Packet.tag = tag
+        && Packet.is_live arena (Packet.index p)
+        && Packet.generation arena (Packet.index p) = gen
+      in
+      let step (op, a) =
+        match op with
+        | 0 -> (
+            incr next_tag;
+            let tag = !next_tag in
+            match
+              Packet.alloc arena ~kind:Packet.Net_rx
+                ~size:(64 + (a mod 100))
+                ~dst_core:(a mod 4) ~tag
+            with
+            | p ->
+                live := (p, tag, Packet.generation arena (Packet.index p)) :: !live;
+                List.length !live <= capacity
+            | exception Packet.Exhausted -> List.length !live = capacity)
+        | 1 -> (
+            match !live with
+            | [] -> true
+            | l ->
+                let i = a mod List.length l in
+                let ((p, _, gen) as entry) = List.nth l i in
+                let ok = intact entry in
+                Packet.free arena p;
+                live := List.filteri (fun j _ -> j <> i) l;
+                ok
+                && (not (Packet.is_live arena (Packet.index p)))
+                && Packet.generation arena (Packet.index p) = gen + 1)
+        | _ -> List.for_all intact !live
+      in
+      List.for_all step ops
+      && List.for_all intact !live
+      && Packet.live_packets arena = List.length !live)
+
+let test_arena_misuse () =
+  let arena = Packet.arena ~capacity:2 () in
+  let other = Packet.arena ~capacity:2 () in
+  let p = Packet.alloc arena ~kind:Packet.Net_rx ~size:64 ~dst_core:0 ~tag:1 in
+  Packet.free arena p;
+  (try
+     Packet.free arena p;
+     Alcotest.fail "double free accepted"
+   with Invalid_argument _ -> ());
+  let q = Packet.alloc arena ~kind:Packet.Net_rx ~size:64 ~dst_core:0 ~tag:2 in
+  (try
+     Packet.free other q;
+     Alcotest.fail "free into a foreign arena accepted"
+   with Invalid_argument _ -> ());
+  Packet.free arena q;
+  (* Heap packets pass through [free] as a no-op. *)
+  Packet.free arena (Packet.create ~kind:Packet.Net_rx ~size:64 ~dst_core:0 ~tag:3);
+  (* A default arena grows instead of raising. *)
+  let growable = Packet.arena ~capacity:1 () in
+  let a = Packet.alloc growable ~kind:Packet.Net_rx ~size:1 ~dst_core:0 ~tag:4 in
+  let b = Packet.alloc growable ~kind:Packet.Net_rx ~size:1 ~dst_core:0 ~tag:5 in
+  checki "both live after growth" 2 (Packet.live_packets growable);
+  checkb "distinct slots" true (Packet.index a <> Packet.index b)
+
 let suite =
   [
     ("ring FIFO", `Quick, test_ring_fifo);
@@ -130,4 +208,6 @@ let suite =
     ("vcpu exit histogram", `Quick, test_vcpu_exit_histogram);
     ("vcpu placement", `Quick, test_vcpu_placement);
     ("cost model defaults", `Quick, test_cost_model_defaults);
+    ("packet arena misuse", `Quick, test_arena_misuse);
+    QCheck_alcotest.to_alcotest prop_arena_roundtrip;
   ]

@@ -298,6 +298,114 @@ let prop_sim_differential_ties =
       let old_r = run_timer_program (module Legacy_engine) ops in
       new_r = old_r)
 
+(* Batched-dispatch adversary. The production engine lifts dense calendar
+   buckets into a scratch batch and dispatches from it; this program does
+   everything a half-dispatched batch could get wrong: callbacks that
+   schedule fresh events into the very bucket being drained (they must
+   interleave with the batch in (time, seq) order), callbacks that cancel
+   entries still sitting in the batch (lazy tombstones must drop at the
+   same observable instant the heap engine drops them), and chunked
+   [run ~until] stops that land mid-batch (the remainder must survive to
+   the next run). All of it must be observationally identical to the
+   seed heap engine, counters included. *)
+let run_batched_program (module E : ENGINE) ops =
+  let sim = E.create () in
+  let log = ref [] in
+  let handles = ref [] in
+  let nh = ref 0 in
+  let add h =
+    handles := h :: !handles;
+    incr nh
+  in
+  let schedule k ~delay ~act ~arg =
+    add
+      (E.at sim
+         (E.now sim + delay)
+         (fun () ->
+           log := (k, E.now sim) :: !log;
+           match act with
+           | 1 ->
+               (* spawn a sibling, almost always into the bucket being
+                  dispatched *)
+               add
+                 (E.at sim
+                    (E.now sim + (arg mod 900))
+                    (fun () -> log := (k + 10_000, E.now sim) :: !log))
+           | 2 -> if !nh > 0 then E.cancel sim (List.nth !handles (arg mod !nh))
+           | _ -> ()))
+  in
+  List.iteri
+    (fun k (op, a, b) ->
+      match op with
+      | 0 | 1 | 2 -> schedule k ~delay:(a mod 1200) ~act:op ~arg:b
+      | _ -> E.run ~until:(E.now sim + (a mod 700)) sim)
+    ops;
+  E.run sim;
+  ( List.rev !log,
+    E.now sim,
+    ( E.pending_events sim,
+      E.events_processed sim,
+      E.events_scheduled sim,
+      E.dead_events sim,
+      E.compactions sim ) )
+
+let prop_sim_differential_batched =
+  QCheck.Test.make
+    ~name:"calendar engine == seed engine under batched dispatch" ~count:150
+    QCheck.(
+      list_of_size (Gen.int_range 0 200)
+        (triple (int_bound 3) (int_bound 4999) small_int))
+    (fun ops ->
+      run_batched_program (module Sim) ops
+      = run_batched_program (module Legacy_engine) ops)
+
+(* --- Counters: handle/string equivalence ----------------------------------- *)
+
+(* A table driven through any interleaving of the string API, pre-interned
+   handles, [add_h] and per-tenant lanes must be indistinguishable — in
+   [dump] and [get] — from one driven purely through strings. Registration
+   alone (op 3) must leave no trace in the snapshot. *)
+let prop_counters_handle_string_equiv =
+  let names =
+    [| "a.one"; "b.two"; "c.three"; "dp.bytes"; "m.n.o"; "zz" |]
+  in
+  QCheck.Test.make
+    ~name:"counter handles == string keys on random interleavings" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 0 120)
+        (triple (int_bound 5) (int_bound 20) small_int))
+    (fun ops ->
+      let mixed = Counters.create () in
+      let reference = Counters.create () in
+      List.iter
+        (fun (op, ni, byraw) ->
+          let name = names.(ni mod Array.length names) in
+          let by = (byraw land 7) + 1 in
+          match op with
+          | 0 ->
+              Counters.incr mixed ~by name;
+              Counters.incr reference ~by name
+          | 1 ->
+              Counters.incr_h mixed ~by (Counters.handle mixed name);
+              Counters.incr reference ~by name
+          | 2 ->
+              Counters.add_h mixed (Counters.handle mixed name) by;
+              Counters.incr reference ~by name
+          | 3 -> ignore (Counters.handle mixed name)
+          | 4 ->
+              let tid = ni mod 3 in
+              Counters.lane_incr (Counters.lane mixed name) ~by tid;
+              Counters.incr reference ~by
+                (Printf.sprintf "tenant.%d.%s" tid name)
+          | _ ->
+              Counters.clear mixed;
+              Counters.clear reference)
+        ops;
+      Counters.dump mixed = Counters.dump reference
+      && Array.for_all
+           (fun name -> Counters.get mixed name = Counters.get reference name)
+           names)
+
 (* --- Pheap regression: grow after clear ------------------------------------ *)
 
 (* [Pheap.grow] used to size the new store off [h.arr.(0)], which crashed
@@ -726,6 +834,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_histogram_mean_exact;
     QCheck_alcotest.to_alcotest prop_sim_differential;
     QCheck_alcotest.to_alcotest prop_sim_differential_ties;
+    QCheck_alcotest.to_alcotest prop_sim_differential_batched;
+    QCheck_alcotest.to_alcotest prop_counters_handle_string_equiv;
     QCheck_alcotest.to_alcotest prop_bucket_upper_covers;
     QCheck_alcotest.to_alcotest prop_bucket_monotone;
     QCheck_alcotest.to_alcotest prop_histogram_percentile_reference;

@@ -418,7 +418,23 @@ let expect_error what runs =
 let test_multi_export_tamper_detected () =
   let open Taichi_metrics in
   let run = traced_multi_run ~seed:12 in
-  let with_counters counters = { run with Export.counters } in
+  (* Re-sort after tampering so the injected rows land in snapshot order
+     and each vector hits the check it targets, not the sortedness one. *)
+  let with_counters counters =
+    { run with Export.counters = List.sort compare counters }
+  in
+  expect_error "an unsorted counters snapshot"
+    [ { run with Export.counters = List.rev run.Export.counters } ];
+  expect_error "a duplicated counter name"
+    [
+      {
+        run with
+        Export.counters =
+          (match run.Export.counters with
+          | first :: rest -> first :: first :: rest
+          | [] -> []);
+      };
+    ];
   expect_error "a per-tenant sum that exceeds its global counter"
     [ with_counters (run.Export.counters @ [ ("tenant.0.bogus.metric", 5) ]) ];
   expect_error "an unregistered tenant id"
